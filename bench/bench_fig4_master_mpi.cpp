@@ -1,0 +1,31 @@
+// Figure 4: master MPI communication time per function, split into
+// collective and point-to-point, for 1024-1-64, 2048-2-32 and 4096-4-16.
+//
+// Paper shapes reproduced: load_data is point-to-point and grows with
+// ranks; sync_weights_master is collective (MPI_Bcast) and grows with
+// ranks; the CG loop's bcast/reduce pairs dominate collective volume.
+#include <cstdio>
+
+#include "figures_common.h"
+
+int main() {
+  using namespace bgqhf;
+  using namespace bgqhf::bench;
+
+  const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
+  for (const ConfigTriple& c : breakdown_configs()) {
+    print_header("Figure 4 (" + label(c) + "): master MPI time");
+    util::Table table({"function", "collective (s)", "point-to-point (s)"});
+    const bgq::RunReport report = run_bgq(workload, c);
+    for (const auto& fn : report.master) {
+      if (fn.mpi_collective_seconds == 0.0 && fn.mpi_p2p_seconds == 0.0) {
+        continue;
+      }
+      table.add_row({fn.name,
+                     util::Table::fmt(fn.mpi_collective_seconds, 2),
+                     util::Table::fmt(fn.mpi_p2p_seconds, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

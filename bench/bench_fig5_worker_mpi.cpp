@@ -1,0 +1,32 @@
+// Figure 5: worker MPI communication time per function, split into
+// collective and point-to-point, for 1024-1-64, 2048-2-32 and 4096-4-16.
+//
+// Paper shapes reproduced: worker communication is almost entirely
+// collective (weight-sync bcast participation, gradient/curvature
+// reduces); the only point-to-point traffic is the one-time load_data
+// shard receive.
+#include <cstdio>
+
+#include "figures_common.h"
+
+int main() {
+  using namespace bgqhf;
+  using namespace bgqhf::bench;
+
+  const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
+  for (const ConfigTriple& c : breakdown_configs()) {
+    print_header("Figure 5 (" + label(c) + "): worker MPI time");
+    util::Table table({"function", "collective (s)", "point-to-point (s)"});
+    const bgq::RunReport report = run_bgq(workload, c);
+    for (const auto& fn : report.worker) {
+      if (fn.mpi_collective_seconds == 0.0 && fn.mpi_p2p_seconds == 0.0) {
+        continue;
+      }
+      table.add_row({fn.name,
+                     util::Table::fmt(fn.mpi_collective_seconds, 2),
+                     util::Table::fmt(fn.mpi_p2p_seconds, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}

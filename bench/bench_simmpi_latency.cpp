@@ -1,0 +1,81 @@
+// OSU-style micro-benchmarks of the in-process MPI runtime: point-to-point
+// bandwidth and collective time vs. message size and rank count. These are
+// host measurements of simmpi itself (the functional layer), useful for
+// judging how much of a small functional run's wall time is runtime
+// overhead versus compute.
+#include <cstdio>
+
+#include "simmpi/communicator.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace bgqhf;
+
+  std::printf("\n=== simmpi point-to-point throughput (2 ranks) ===\n");
+  util::Table p2p({"message bytes", "round trips/s", "MB/s (one way)"});
+  for (const std::size_t bytes : {64u, 4096u, 262144u, 4194304u}) {
+    const int reps = bytes >= 262144 ? 50 : 500;
+    double seconds = 0.0;
+    simmpi::run_world(2, [&](simmpi::Comm& comm) {
+      std::vector<std::byte> payload(bytes);
+      comm.barrier();
+      util::Timer timer;
+      for (int i = 0; i < reps; ++i) {
+        if (comm.rank() == 0) {
+          comm.send<std::byte>(payload, 1, 1);
+          comm.recv<std::byte>(1, 2);
+        } else {
+          payload = comm.recv<std::byte>(0, 1);
+          comm.send<std::byte>(payload, 0, 2);
+        }
+      }
+      if (comm.rank() == 0) seconds = timer.seconds();
+    });
+    const double rtps = reps / seconds;
+    p2p.add_row({std::to_string(bytes), util::Table::fmt(rtps, 0),
+                 util::Table::fmt(2.0 * bytes * reps / seconds / 1048576.0,
+                                  1)});
+  }
+  std::printf("%s", p2p.render().c_str());
+
+  std::printf("\n=== simmpi collectives: time per call (microseconds) ===\n");
+  util::Table coll({"ranks", "bcast 1MB", "reduce 1MB", "gather 64KB",
+                    "barrier"});
+  for (const int ranks : {2, 4, 8}) {
+    const int reps = 30;
+    double bcast_s = 0, reduce_s = 0, gather_s = 0, barrier_s = 0;
+    simmpi::run_world(ranks, [&](simmpi::Comm& comm) {
+      std::vector<float> big(262144);     // 1 MB
+      std::vector<float> small(16384);    // 64 KB per rank
+      comm.barrier();
+      util::Timer t1;
+      for (int i = 0; i < reps; ++i) comm.bcast(big, 0);
+      if (comm.rank() == 0) bcast_s = t1.seconds();
+      comm.barrier();
+      util::Timer t2;
+      for (int i = 0; i < reps; ++i) comm.reduce_sum(big, 0);
+      if (comm.rank() == 0) reduce_s = t2.seconds();
+      comm.barrier();
+      util::Timer t3;
+      for (int i = 0; i < reps; ++i) {
+        comm.gather<float>(small, 0);
+      }
+      if (comm.rank() == 0) gather_s = t3.seconds();
+      comm.barrier();
+      util::Timer t4;
+      for (int i = 0; i < reps; ++i) comm.barrier();
+      if (comm.rank() == 0) barrier_s = t4.seconds();
+    });
+    coll.add_row({std::to_string(ranks),
+                  util::Table::fmt(1e6 * bcast_s / reps, 0),
+                  util::Table::fmt(1e6 * reduce_s / reps, 0),
+                  util::Table::fmt(1e6 * gather_s / reps, 0),
+                  util::Table::fmt(1e6 * barrier_s / reps, 0)});
+  }
+  std::printf("%s", coll.render().c_str());
+  std::printf(
+      "\n(shared-memory message passing on this host; the BG/Q numbers in "
+      "the figure\nbenches come from the analytic model, not from these)\n");
+  return 0;
+}

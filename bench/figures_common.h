@@ -1,0 +1,80 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bgq/perfsim.h"
+#include "util/table.h"
+
+namespace bgqhf::bench {
+
+struct ConfigTriple {
+  int ranks;
+  int ranks_per_node;
+  int threads_per_rank;
+};
+
+/// The Fig. 1(a) configuration sweep: "one must use at least 16 threads to
+/// utilize all cores ... we target 64 threads per node", then the three
+/// rank/thread decompositions of 64 threads/node on one rack.
+inline std::vector<ConfigTriple> fig1a_configs() {
+  return {
+      {1024, 1, 8},  {1024, 1, 16}, {1024, 1, 32},
+      {1024, 1, 64}, {2048, 2, 32}, {4096, 4, 16},
+  };
+}
+
+/// Fig. 1(b): the 400-hour set on one and two racks.
+inline std::vector<ConfigTriple> fig1b_configs() {
+  return {
+      {1024, 1, 64}, {2048, 2, 32}, {4096, 4, 16}, {8192, 4, 16},
+  };
+}
+
+/// The three decompositions Figs. 2-5 chart.
+inline std::vector<ConfigTriple> breakdown_configs() {
+  return {
+      {1024, 1, 64}, {2048, 2, 32}, {4096, 4, 16},
+  };
+}
+
+inline bgq::RunReport run_bgq(const bgq::HfWorkload& workload,
+                              const ConfigTriple& c) {
+  return bgq::simulate(
+      bgq::bgq_run(workload, c.ranks, c.ranks_per_node, c.threads_per_rank));
+}
+
+inline std::string label(const ConfigTriple& c) {
+  return std::to_string(c.ranks) + "-" + std::to_string(c.ranks_per_node) +
+         "-" + std::to_string(c.threads_per_rank);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Optional CSV output: pass `csv=<dir>` on a bench's command line and
+/// every table it prints is also written to <dir>/<name>.csv for plotting.
+struct CsvSink {
+  std::string dir;
+
+  static CsvSink from_args(int argc, char** argv) {
+    CsvSink sink;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("csv=", 0) == 0) sink.dir = arg.substr(4);
+    }
+    return sink;
+  }
+
+  void save(const util::Table& table, const std::string& name) const {
+    if (dir.empty()) return;
+    const std::string path = dir + "/" + name + ".csv";
+    table.write_csv(path);
+    std::printf("[csv written: %s]\n", path.c_str());
+  }
+};
+
+}  // namespace bgqhf::bench

@@ -1,0 +1,106 @@
+// Pretraining + HF fine-tuning, three ways.
+//
+// The paper's introduction credits pre-training ([2]) and better random
+// initialization ([3]) for making deep nets trainable. This example
+// trains the same deep stack from (a) Glorot random init, (b) greedy
+// discriminative layer-wise pretraining, and (c) RBM/CD-1 generative
+// pretraining, then fine-tunes each with serial HF and compares.
+//
+// Usage: pretrain_finetune [hours=0.01] [iters=5]
+#include <cstdio>
+
+#include "hf/pretrain.h"
+#include "hf/serial_compute.h"
+#include "hf/trainer.h"
+#include "nn/rbm.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  double initial_ce;
+  double final_ce;
+  double accuracy;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgqhf;
+
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const double hours = cfg.get_double("hours", 0.01);
+  const std::size_t iters =
+      static_cast<std::size_t>(cfg.get_int("iters", 5));
+  for (const auto& key : cfg.unused_keys()) {
+    std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+    return 1;
+  }
+
+  speech::CorpusSpec spec;
+  spec.hours = hours;
+  spec.feature_dim = 12;
+  spec.num_states = 5;
+  spec.mean_utt_seconds = 1.5;
+  spec.seed = 19;
+  speech::Corpus corpus = speech::generate_corpus(spec);
+  speech::Corpus heldout_corpus = speech::split_heldout(corpus, 4);
+  const speech::Normalizer norm = speech::estimate_normalizer(corpus);
+  const speech::Dataset train = speech::build_full_dataset(corpus, &norm, 2);
+  const speech::Dataset held =
+      speech::build_full_dataset(heldout_corpus, &norm, 2);
+  const std::vector<std::size_t> hidden{24, 16};
+
+  // --- three initializations ---
+  nn::Network glorot_net =
+      nn::Network::mlp(train.x.cols(), hidden, spec.num_states);
+  util::Rng rng(42);
+  glorot_net.init_glorot(rng);
+
+  const hf::PretrainResult disc = hf::pretrain_layerwise(
+      train.x.cols(), hidden, spec.num_states, train, held);
+
+  nn::RbmOptions rbm_opts;
+  rbm_opts.epochs = 5;
+  rbm_opts.gaussian_visible = true;
+  nn::Network rbm_net = nn::rbm_pretrain_network(train.x.view(), hidden,
+                                                 spec.num_states, rbm_opts);
+
+  // --- HF fine-tuning for each ---
+  auto run = [&](const std::string& name, const nn::Network& init) {
+    hf::SpeechWorkloadOptions wl_opts;
+    wl_opts.curvature_fraction = 0.1;
+    std::vector<std::unique_ptr<hf::Workload>> workloads;
+    workloads.push_back(std::make_unique<hf::SpeechWorkload>(
+        init, train, held, 0, wl_opts));
+    hf::SerialCompute compute(std::move(workloads));
+    hf::HfOptions hf_opts;
+    hf_opts.max_iterations = iters;
+    hf_opts.cg.max_iters = 25;
+    std::vector<float> theta(init.params().begin(), init.params().end());
+    const hf::HfResult result =
+        hf::HfOptimizer(hf_opts).run(compute, theta);
+    return Variant{name, result.iterations.front().heldout_before,
+                   result.final_heldout_loss,
+                   result.final_heldout_accuracy};
+  };
+
+  util::Table table({"initialization", "CE before HF", "CE after HF",
+                     "accuracy"});
+  for (const Variant& v :
+       {run("Glorot random [3]", glorot_net),
+        run("discriminative layer-wise [7]", disc.net),
+        run("RBM / CD-1 generative [2]", rbm_net)}) {
+    table.add_row({v.name, util::Table::fmt(v.initial_ce, 4),
+                   util::Table::fmt(v.final_ce, 4),
+                   util::Table::fmt(100 * v.accuracy, 1) + "%"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nPretraining starts HF well below the random init; HF then "
+      "converges all three\n(the paper's observation that second-order "
+      "fine-tuning is robust to init).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Communication cost model: torus MPI collectives vs. Ethernet trees vs.
+// the pre-MPI socket scheme the application was migrated from (Sec. V-B).
+#pragma once
+
+#include <cstddef>
+
+#include "bgq/machine.h"
+#include "bgq/torus.h"
+
+namespace bgqhf::bgq {
+
+class CommModel {
+ public:
+  /// `participants` = MPI ranks taking part in collectives; they are packed
+  /// `ranks_per_node` to a node of the machine.
+  CommModel(const MachineSpec& machine, int participants, int ranks_per_node);
+
+  int participants() const { return participants_; }
+
+  /// MPI_Bcast of `bytes` from the root to all participants. Torus:
+  /// pipelined hardware-assisted spanning tree (depth = network diameter,
+  /// near-full link bandwidth). Ethernet: binomial software tree with
+  /// store-and-forward per level and contention.
+  double bcast_seconds(std::size_t bytes) const;
+
+  /// MPI_Reduce of `bytes` to the root (same structure as bcast plus the
+  /// combine arithmetic, which the torus offloads to the network logic).
+  double reduce_seconds(std::size_t bytes) const;
+
+  /// Barrier (latency-only collective).
+  double barrier_seconds() const;
+
+  /// Point-to-point transfer of `bytes` over the average-distance path.
+  double p2p_seconds(std::size_t bytes) const;
+
+  /// The master sends `bytes_per_worker` to each of `workers` destinations
+  /// back-to-back (the load_data phase): serialized on the master's
+  /// injection bandwidth, plus per-message software cost.
+  double master_fanout_seconds(std::size_t bytes_per_worker,
+                               int workers) const;
+
+  /// Gradient aggregation to the master in the one-layer master/worker
+  /// architecture: ranks on a node combine locally, then the master
+  /// receives one partial sum per node through its injection port
+  /// (serialized), plus per-worker message overhead. This term grows with
+  /// the partition size and is what bends the scaling curve past 4096.
+  double hierarchical_gather_seconds(std::size_t bytes, int workers) const;
+
+  /// Pre-MPI socket weight sync (the scheme Sec. V-B replaced): the master
+  /// writes the full buffer once per worker over individually managed
+  /// channels — no tree, no hardware assist, higher per-message cost.
+  double socket_sync_seconds(std::size_t bytes, int workers) const;
+
+  /// Tree depth used by the software collectives (ceil(log2 n)).
+  int tree_depth() const;
+
+ private:
+  double contention_factor(int concurrent_senders) const;
+  double link_seconds(std::size_t bytes, double bw_gb) const;
+
+  MachineSpec machine_;
+  int participants_;
+  int ranks_per_node_;
+  TorusDims dims_;
+};
+
+}  // namespace bgqhf::bgq

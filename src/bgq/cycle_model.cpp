@@ -1,0 +1,80 @@
+#include "bgq/cycle_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bgqhf::bgq {
+
+std::string to_string(WorkKind kind) {
+  switch (kind) {
+    case WorkKind::kGemm:
+      return "gemm";
+    case WorkKind::kDataMovement:
+      return "data";
+    case WorkKind::kScalar:
+      return "scalar";
+    case WorkKind::kWait:
+      return "wait";
+  }
+  throw std::invalid_argument("unknown WorkKind");
+}
+
+CycleBreakdown CycleModel::breakdown(WorkKind kind, int threads_per_core,
+                                     double seconds) const {
+  // Base fractions at 1 thread/core; SMT progressively converts stall
+  // cycles back into committed work (up to 4 threads).
+  double committed, iu, axu, fxu;
+  switch (kind) {
+    case WorkKind::kGemm:
+      committed = 0.38;
+      iu = 0.08;
+      axu = 0.38;
+      fxu = 0.12;
+      break;
+    case WorkKind::kDataMovement:
+      committed = 0.30;
+      iu = 0.22;
+      axu = 0.05;
+      fxu = 0.38;
+      break;
+    case WorkKind::kScalar:
+      committed = 0.32;
+      iu = 0.15;
+      axu = 0.25;
+      fxu = 0.22;
+      break;
+    case WorkKind::kWait:
+      committed = 0.06;
+      iu = 0.70;
+      axu = 0.02;
+      fxu = 0.10;
+      break;
+    default:
+      throw std::invalid_argument("unknown WorkKind");
+  }
+
+  // SMT recovery: fraction of stall cycles reclaimed as committed work.
+  const int tpc = std::clamp(threads_per_core, 1, 4);
+  static constexpr double kRecovery[5] = {0.0, 0.0, 0.45, 0.60, 0.70};
+  if (kind != WorkKind::kWait) {
+    const double rec = kRecovery[tpc];
+    const double reclaimed = (iu + axu + fxu) * rec;
+    iu *= 1.0 - rec;
+    axu *= 1.0 - rec;
+    fxu *= 1.0 - rec;
+    committed += reclaimed;
+  }
+
+  const double other =
+      std::max(0.0, 1.0 - committed - iu - axu - fxu);
+  const double cycles = seconds * clock_ghz_ * 1e9;
+  CycleBreakdown b;
+  b.committed = cycles * committed;
+  b.iu_empty = cycles * iu;
+  b.axu_dep_stall = cycles * axu;
+  b.fxu_dep_stall = cycles * fxu;
+  b.other = cycles * other;
+  return b;
+}
+
+}  // namespace bgqhf::bgq

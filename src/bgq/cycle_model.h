@@ -1,0 +1,60 @@
+// Hardware cycle-category model (Figures 2 and 3).
+//
+// The paper charts, per function, cycles split into Committed
+// Instructions, IU_Empty (instruction unit empty: icache/ierat misses),
+// and AXU/FXU dependency stalls. On the in-order A2 those fractions are a
+// function of what the code is doing (GEMM vs. data movement vs. scalar
+// sweeps vs. waiting in MPI) and of how many hardware threads share the
+// core (SMT hides stall cycles: "using more threads per core helps to hide
+// the time gaps (e.g., stall cycles)").
+#pragma once
+
+#include <string>
+
+namespace bgqhf::bgq {
+
+enum class WorkKind {
+  kGemm,          // tuned SGEMM inner kernels
+  kDataMovement,  // packing, (de)serialization, feature shuffling
+  kScalar,        // forward-backward sweeps, CG vector bookkeeping
+  kWait,          // blocked in MPI / waiting on workers
+};
+
+struct CycleBreakdown {
+  double committed = 0.0;
+  double iu_empty = 0.0;
+  double axu_dep_stall = 0.0;  // floating-point (auxiliary unit) deps
+  double fxu_dep_stall = 0.0;  // integer/load-store deps
+  double other = 0.0;
+
+  double total() const {
+    return committed + iu_empty + axu_dep_stall + fxu_dep_stall + other;
+  }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o) {
+    committed += o.committed;
+    iu_empty += o.iu_empty;
+    axu_dep_stall += o.axu_dep_stall;
+    fxu_dep_stall += o.fxu_dep_stall;
+    other += o.other;
+    return *this;
+  }
+};
+
+class CycleModel {
+ public:
+  explicit CycleModel(double clock_ghz) : clock_ghz_(clock_ghz) {}
+
+  /// Split `seconds` of per-core wall time doing `kind` work with
+  /// `threads_per_core` SMT threads into cycle categories. Returned values
+  /// are cycles on one core.
+  CycleBreakdown breakdown(WorkKind kind, int threads_per_core,
+                           double seconds) const;
+
+ private:
+  double clock_ghz_;
+};
+
+std::string to_string(WorkKind kind);
+
+}  // namespace bgqhf::bgq

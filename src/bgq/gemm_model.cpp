@@ -1,0 +1,65 @@
+#include "bgq/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bgqhf::bgq {
+
+GemmModelOptions default_gemm_options(const NodeSpec& node) {
+  GemmModelOptions opts;
+  if (!node.in_order) {
+    // Out-of-order cores fill their issue slots from one thread; SMT adds
+    // little, and there is no cooperative-prefetch scheme to switch on.
+    opts.occupancy[1] = 0.62;
+    opts.occupancy[2] = 0.66;
+    opts.occupancy[3] = 0.66;
+    opts.occupancy[4] = 0.66;
+    opts.implicit_sync_bonus = 1.0;
+    opts.omp_overhead_per_thread = 0.004;
+    opts.nonsquare_penalty = 1.0;
+  }
+  return opts;
+}
+
+double GemmModel::efficiency(int threads_per_core, int threads_per_rank,
+                             std::size_t rows, bool implicit_sync) const {
+  if (threads_per_core < 1) {
+    throw std::invalid_argument("GemmModel: threads_per_core >= 1");
+  }
+  const int tpc = std::min(threads_per_core, 4);
+  double eff = options_.occupancy[tpc];
+
+  // OpenMP fan-out tax inside one rank.
+  eff /= 1.0 + options_.omp_overhead_per_thread *
+                   std::max(0, threads_per_rank - 1);
+
+  // Local batch size: saturating factor rows / (rows + half_point).
+  const double r = static_cast<double>(std::max<std::size_t>(rows, 1));
+  eff *= r / (r + options_.half_efficiency_rows);
+
+  if (implicit_sync) {
+    eff *= options_.implicit_sync_bonus;
+  }
+
+  const int cores = std::max(1, threads_per_rank / std::max(1, tpc));
+  const int root = static_cast<int>(std::round(std::sqrt(cores)));
+  if (root * root != cores) eff *= options_.nonsquare_penalty;
+
+  return std::min(eff, 0.95);
+}
+
+double GemmModel::rank_gemm_flops(int cores, int threads_per_core,
+                                  int threads_per_rank, std::size_t rows,
+                                  bool implicit_sync) const {
+  const double peak =
+      cores * node_.clock_ghz * 1e9 * node_.flops_per_core_cycle;
+  return peak *
+         efficiency(threads_per_core, threads_per_rank, rows, implicit_sync);
+}
+
+double GemmModel::rank_scalar_flops(int cores) const {
+  return cores * node_.clock_ghz * 1e9 * node_.scalar_ipc;
+}
+
+}  // namespace bgqhf::bgq

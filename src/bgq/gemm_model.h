@@ -1,0 +1,65 @@
+// GEMM efficiency model (Sec. V-A distilled into knobs).
+//
+// Predicts the fraction of a rank's peak FLOP rate the tuned SGEMM attains
+// as a function of (i) hardware threads per core — dual issue needs >= 2,
+// full latency hiding wants 4 ("we used 4 hardware threads in all
+// instances"); (ii) the OpenMP fan-out within a rank — more threads per
+// rank cost synchronization ("the granularity of these synchronizations
+// involves a trade-off"); (iii) the local batch size — small fringe-heavy
+// matrices waste the register kernel; and (iv) the implicitly-synchronized
+// cooperative prefetch, modeled as a multiplicative bonus that the
+// ablation bench can switch off.
+#pragma once
+
+#include <cstddef>
+
+#include "bgq/machine.h"
+
+namespace bgqhf::bgq {
+
+struct GemmModelOptions {
+  /// Occupancy factors by hardware threads/core (index 1..4).
+  double occupancy[5] = {0.0, 0.23, 0.40, 0.48, 0.55};
+  /// Per-extra-OpenMP-thread synchronization tax inside one rank.
+  double omp_overhead_per_thread = 0.013;
+  /// Batch rows at which the size factor reaches ~0.5.
+  double half_efficiency_rows = 96.0;
+  /// Multiplier for the cooperative-prefetch scheme.
+  double implicit_sync_bonus = 1.08;
+  /// Square task layouts ("cookie cutters") need cores/rank to be a
+  /// perfect square; otherwise a small penalty applies.
+  double nonsquare_penalty = 0.97;
+};
+
+/// Default knobs for a node: the in-order A2 profile (needs SMT), or an
+/// out-of-order profile (near-peak at one thread/core, no prefetch bonus).
+GemmModelOptions default_gemm_options(const NodeSpec& node);
+
+class GemmModel {
+ public:
+  explicit GemmModel(const NodeSpec& node)
+      : GemmModel(node, default_gemm_options(node)) {}
+  GemmModel(const NodeSpec& node, GemmModelOptions options)
+      : node_(node), options_(options) {}
+
+  /// Fraction of rank peak attained by the blocked GEMM.
+  ///   threads_per_core in [1, smt]; threads_per_rank = total OpenMP
+  ///   threads of the rank; rows = typical local batch rows (frames).
+  double efficiency(int threads_per_core, int threads_per_rank,
+                    std::size_t rows, bool implicit_sync) const;
+
+  /// Sustained GEMM FLOP/s for a rank owning `cores` cores.
+  double rank_gemm_flops(int cores, int threads_per_core,
+                         int threads_per_rank, std::size_t rows,
+                         bool implicit_sync) const;
+
+  /// Sustained FLOP/s on scalar (non-SIMD) code for a rank — the
+  /// forward-backward sweeps of sequence training live here.
+  double rank_scalar_flops(int cores) const;
+
+ private:
+  NodeSpec node_;
+  GemmModelOptions options_;
+};
+
+}  // namespace bgqhf::bgq

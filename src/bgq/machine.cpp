@@ -1,0 +1,66 @@
+#include "bgq/machine.h"
+
+#include <stdexcept>
+
+namespace bgqhf::bgq {
+
+MachineSpec bgq_racks(int racks) {
+  if (racks <= 0) throw std::invalid_argument("bgq_racks: racks must be > 0");
+  MachineSpec m;
+  m.node.name = "BG/Q A2";
+  m.node.clock_ghz = 1.6;
+  m.node.cores = 16;
+  m.node.smt_per_core = 4;
+  m.node.flops_per_core_cycle = 8.0;
+  m.node.scalar_ipc = 0.3;  // in-order, single-issue per thread
+  m.node.in_order = true;
+  m.node.l1d_kb = 16.0;
+  m.node.l1p_kb = 2.0;
+  m.node.l2_mb = 32.0;
+  m.node.mem_bw_gb = 28.0;
+  m.node.mem_gb = 16.0;
+  m.node.watts = 100.0;  // ~2 GF/W, Green500-class (Sequoia: ~7.9 MW /
+                         // 96 racks)
+
+  m.network.kind = NetworkKind::kTorus5D;
+  m.network.link_bw_gb = 2.0;
+  m.network.links_per_node = 10;
+  m.network.hop_latency_us = 0.04;
+  m.network.sw_latency_us = 2.5;
+  m.network.contention_coeff = 0.0;  // torus: no shared-medium collisions
+
+  m.nodes = racks * 1024;
+  return m;
+}
+
+MachineSpec intel_cluster(int processes) {
+  if (processes <= 0) {
+    throw std::invalid_argument("intel_cluster: processes must be > 0");
+  }
+  MachineSpec m;
+  m.node.name = "Xeon 2.9GHz";
+  m.node.clock_ghz = 2.9;
+  m.node.cores = 8;  // one 8-core socket per MPI process
+  m.node.smt_per_core = 2;
+  m.node.flops_per_core_cycle = 8.0;  // AVX single precision FMA-ish
+  m.node.scalar_ipc = 1.2;            // out-of-order, superscalar
+  m.node.in_order = false;
+  m.node.l1d_kb = 32.0;
+  m.node.l1p_kb = 0.0;
+  m.node.l2_mb = 20.0;  // shared L3 standing in
+  m.node.mem_bw_gb = 40.0;
+  m.node.mem_gb = 64.0;
+  m.node.watts = 250.0;  // one socket + its share of chassis/network
+
+  m.network.kind = NetworkKind::kSwitchedEthernet;
+  m.network.link_bw_gb = 1.25;  // 10 GbE
+  m.network.links_per_node = 1;
+  m.network.hop_latency_us = 1.0;
+  m.network.sw_latency_us = 30.0;  // TCP stack
+  m.network.contention_coeff = 0.35;
+
+  m.nodes = processes;
+  return m;
+}
+
+}  // namespace bgqhf::bgq

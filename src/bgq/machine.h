@@ -1,0 +1,81 @@
+// Machine descriptions for the performance model.
+//
+// Two machines from the paper's evaluation: IBM Blue Gene/Q racks (Sec. III)
+// and the Intel Xeon / Linux-cluster baseline of Table I. The numbers here
+// are hardware facts from the paper and the BG/Q literature it cites; the
+// *behavioural* knobs (efficiencies, software overheads) live in the gemm /
+// comm / cycle models so they can be calibrated and ablated independently.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bgqhf::bgq {
+
+struct NodeSpec {
+  std::string name;
+  double clock_ghz = 1.6;
+  int cores = 16;
+  int smt_per_core = 4;
+  /// FLOPs per core per cycle (QPX: 4-wide FMA = 8).
+  double flops_per_core_cycle = 8.0;
+  /// Effective per-core sustained rate on non-SIMD scalar code, as a
+  /// fraction of one FLOP/cycle (A2 is in-order single-issue: low).
+  double scalar_ipc = 0.3;
+  /// In-order core (BG/Q A2) vs. out-of-order (Xeon); selects the GEMM
+  /// occupancy profile — in-order cores need SMT to fill issue slots.
+  bool in_order = true;
+  double l1d_kb = 16.0;
+  double l1p_kb = 2.0;
+  double l2_mb = 32.0;
+  /// Memory bandwidth available to one rank's vector-ish code (GB/s).
+  double mem_bw_gb = 28.0;
+  /// Node DRAM capacity (GB): BG/Q nodes carry 16 GB.
+  double mem_gb = 16.0;
+  /// Node power draw under load (W). BG/Q's Green500 leadership (Sec.
+  /// VIII) follows from ~2 GF/W; commodity Xeon nodes of the era were
+  /// several times worse.
+  double watts = 100.0;
+
+  /// Peak FLOP/s of the whole node.
+  double node_peak_flops() const {
+    return cores * clock_ghz * 1e9 * flops_per_core_cycle;
+  }
+};
+
+enum class NetworkKind {
+  kTorus5D,           // BG/Q: 5-D torus, hardware collectives
+  kSwitchedEthernet,  // Linux cluster: software trees, contention
+};
+
+struct NetworkSpec {
+  NetworkKind kind = NetworkKind::kTorus5D;
+  /// Per-link, per-direction bandwidth (GB/s). BG/Q: 2 GB/s x 10 links =
+  /// 40 GB/s, ~44 GB/s total with I/O links (Sec. III).
+  double link_bw_gb = 2.0;
+  int links_per_node = 10;
+  /// Per-hop hardware latency (microseconds).
+  double hop_latency_us = 0.04;
+  /// Per-message software (MPI stack) latency (microseconds).
+  double sw_latency_us = 2.5;
+  /// Ethernet-style contention: effective bandwidth divides by
+  /// (1 + contention_coeff * sqrt(concurrent senders)).
+  double contention_coeff = 0.0;
+};
+
+struct MachineSpec {
+  NodeSpec node;
+  NetworkSpec network;
+  int nodes = 1;
+
+  double machine_peak_flops() const { return nodes * node.node_peak_flops(); }
+};
+
+/// One or more Blue Gene/Q racks (1024 nodes each).
+MachineSpec bgq_racks(int racks);
+
+/// The Table-I baseline: an Intel Xeon (2.9 GHz) Linux cluster running
+/// `processes` MPI processes of 8 cores each over 10 GbE.
+MachineSpec intel_cluster(int processes);
+
+}  // namespace bgqhf::bgq

@@ -1,0 +1,300 @@
+#include "bgq/perfsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace bgqhf::bgq {
+
+std::string RunConfig::config_label() const {
+  return std::to_string(ranks) + "-" + std::to_string(ranks_per_node) + "-" +
+         std::to_string(threads_per_rank);
+}
+
+const FunctionProfile& RunReport::master_fn(const std::string& name) const {
+  for (const auto& f : master) {
+    if (f.name == name) return f;
+  }
+  throw std::out_of_range("RunReport: no master function " + name);
+}
+
+const FunctionProfile& RunReport::worker_fn(const std::string& name) const {
+  for (const auto& f : worker) {
+    if (f.name == name) return f;
+  }
+  throw std::out_of_range("RunReport: no worker function " + name);
+}
+
+namespace {
+
+/// Load-imbalance stretch: ratio of the slowest worker's frames to the
+/// mean. Naive equal-utterance-count splits of a heavy-tailed (log-normal,
+/// sigma ~0.6) length distribution leave the master waiting on stragglers;
+/// utterance sorting (Sec. V-C) makes shards near-equal.
+double imbalance_factor(bool load_balanced, std::size_t total_frames,
+                        int workers) {
+  if (load_balanced) return 1.02;
+  constexpr double kSigma = 0.6;
+  constexpr double kMeanUttFrames = 500.0;  // 5 s utterances at 100 fps
+  const double cv = std::sqrt(std::exp(kSigma * kSigma) - 1.0);
+  const double utts_per_worker = std::max(
+      1.0, static_cast<double>(total_frames) / (kMeanUttFrames * workers));
+  // Extreme-value estimate for the max of `workers` shard sums.
+  const double stretch = cv / std::sqrt(utts_per_worker) *
+                         std::sqrt(2.0 * std::log(std::max(2.0,
+                                       static_cast<double>(workers))));
+  return 1.0 + std::max(0.02, stretch);
+}
+
+}  // namespace
+
+RunConfig bgq_run(const HfWorkload& workload, int ranks, int ranks_per_node,
+                  int threads_per_rank) {
+  RunConfig cfg;
+  const int nodes_needed = ranks / ranks_per_node;
+  const int racks = std::max(1, (nodes_needed + 1023) / 1024);
+  cfg.machine = bgq_racks(racks);
+  cfg.workload = workload;
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = ranks_per_node;
+  cfg.threads_per_rank = threads_per_rank;
+  return cfg;
+}
+
+RunConfig xeon_run(const HfWorkload& workload, int processes) {
+  RunConfig cfg;
+  cfg.machine = intel_cluster(processes);
+  cfg.workload = workload;
+  cfg.ranks = processes;
+  cfg.ranks_per_node = 1;
+  cfg.threads_per_rank = cfg.machine.node.cores;
+  return cfg;
+}
+
+MemoryEstimate estimate_memory(const RunConfig& config) {
+  MemoryEstimate est;
+  const HfWorkload& w = config.workload;
+  const int nodes =
+      std::max(1, (config.ranks + config.ranks_per_node - 1) /
+                      config.ranks_per_node);
+  // Per rank: theta + gradient + CG direction/residual/Ap + packed scratch
+  // ~ 6 parameter-sized float vectors (the master holds a few more, but it
+  // shares a node with workers only when ranks_per_node > 1).
+  const double per_rank_params_bytes =
+      6.0 * static_cast<double>(w.num_params()) * sizeof(float);
+  est.params_gb =
+      config.ranks_per_node * per_rank_params_bytes / 1e9;
+  est.data_gb = static_cast<double>(w.total_frames()) / nodes *
+                w.staging_bytes_per_frame / 1e9;
+  est.total_gb = est.params_gb + est.data_gb;
+  est.capacity_gb = config.machine.node.mem_gb;
+  est.fits = est.total_gb <= est.capacity_gb;
+  return est;
+}
+
+RunReport simulate(const RunConfig& config) {
+  const HfWorkload& w = config.workload;
+  const MachineSpec& m = config.machine;
+
+  const MemoryEstimate memory = estimate_memory(config);
+  if (!memory.fits) {
+    throw std::invalid_argument(
+        "simulate: configuration needs " + std::to_string(memory.total_gb) +
+        " GB/node, exceeding the " + std::to_string(memory.capacity_gb) +
+        " GB node memory");
+  }
+
+  if (config.ranks < 2) {
+    throw std::invalid_argument("simulate: need a master and >= 1 worker");
+  }
+  if (m.node.cores % config.ranks_per_node != 0) {
+    throw std::invalid_argument("simulate: ranks_per_node must divide cores");
+  }
+  const int nodes_needed =
+      (config.ranks + config.ranks_per_node - 1) / config.ranks_per_node;
+  if (nodes_needed > m.nodes) {
+    throw std::invalid_argument("simulate: machine too small for rank count");
+  }
+
+  const int workers = config.ranks - 1;
+  const int cores_per_rank = m.node.cores / config.ranks_per_node;
+  // Fewer threads than cores leaves cores idle; more threads per core uses
+  // SMT up to the hardware limit.
+  const int active_cores =
+      std::min(cores_per_rank, std::max(1, config.threads_per_rank));
+  const int threads_per_core = std::clamp(
+      config.threads_per_rank / active_cores, 1, m.node.smt_per_core);
+
+  const GemmModel gemm(m.node);
+  const CommModel comm(m, config.ranks, config.ranks_per_node);
+  const CycleModel cycles(m.node.clock_ghz);
+
+  // ---- workload quantities ----
+  const std::size_t frames = w.total_frames();
+  const std::size_t params = w.num_params();
+  const std::size_t param_bytes = params * sizeof(float);
+  const double imbalance =
+      imbalance_factor(config.load_balanced, frames, workers);
+  const double frames_pw = static_cast<double>(frames) / workers;
+  const double held_pw = static_cast<double>(w.heldout_frames()) / workers;
+  const double sample_pw = w.curvature_fraction * frames_pw;
+
+  auto gemm_rate = [&](double rows) {
+    return gemm.rank_gemm_flops(
+        active_cores, threads_per_core, config.threads_per_rank,
+        static_cast<std::size_t>(std::max(1.0, std::min(rows, 2048.0))),
+        config.implicit_sync);
+  };
+  const double scalar_rate = gemm.rank_scalar_flops(active_cores);
+
+  // ---- per-phase compute (slowest worker gates the master) ----
+  const bool seq = w.criterion == TrainCriterion::kSequence;
+  const double seq_fb = seq ? w.sequence_scalar_flops_per_frame : 0.0;
+
+  const double ng = w.non_gemm_overhead;
+  const double t_grad =
+      frames_pw * imbalance *
+      (ng * w.gradient_flops_per_frame() / gemm_rate(frames_pw) +
+       seq_fb / scalar_rate);
+  const double t_curv_per_cg =
+      sample_pw * imbalance * ng * w.curvature_flops_per_frame() /
+      gemm_rate(sample_pw);
+  // Sequence: posteriors for the curvature sample are computed once per CG
+  // call (prepare), not per product.
+  const double t_curv_prepare =
+      seq ? sample_pw * imbalance * 2.0 * seq_fb / scalar_rate : 0.0;
+  const double t_held_per_eval =
+      held_pw * imbalance *
+      (ng * w.forward_flops_per_frame() / gemm_rate(held_pw) +
+       seq_fb / scalar_rate);
+
+  // Master CG bookkeeping: ~6 length-P vector ops per CG iteration,
+  // memory-bandwidth bound on the master rank.
+  const double t_cgvec_per_cg =
+      6.0 * 2.0 * static_cast<double>(param_bytes) /
+      (m.node.mem_bw_gb * 1e9 *
+       (static_cast<double>(cores_per_rank) / m.node.cores));
+
+  // ---- communication ----
+  const double t_bcast_theta = config.use_mpi_collectives
+                                   ? comm.bcast_seconds(param_bytes)
+                                   : comm.socket_sync_seconds(param_bytes,
+                                                              workers);
+  const double t_reduce_theta = comm.reduce_seconds(param_bytes);
+  const double t_small_reduce = comm.reduce_seconds(64);
+  // Full-gradient aggregation: per-node partial sums gathered by the
+  // single master (the one-layer architecture of Sec. IV).
+  const double t_grad_gather =
+      comm.hierarchical_gather_seconds(param_bytes, workers);
+
+  // ---- per-iteration data staging / exchange (corpus-size bound) ----
+  const double staging_bytes =
+      static_cast<double>(frames) * w.staging_bytes_per_frame;
+  const double t_staging = staging_bytes / (w.staging_rate_gb * 1e9) +
+                           config.ranks * 4.0e-6;
+
+  // ---- load_data fan-out (one-time) ----
+  const double shard_bytes =
+      frames_pw * (w.input_dim / 9.0 /* raw dim before stacking */ * 4.0 +
+                   4.0 /* label */);
+  const double t_load_data = comm.master_fanout_seconds(
+      static_cast<std::size_t>(shard_bytes), workers);
+
+  // ---- counts over the whole run ----
+  const double iters = w.hf_iterations;
+  const double cg = w.cg_iterations_per_hf;
+  const double evals = w.heldout_evals_per_hf;
+  const double n_weight_syncs = iters * (1.0 + evals);
+  const double n_cg = iters * cg;
+
+  // ---- per-iteration critical path ----
+  const double t_iter =
+      t_bcast_theta * (1.0 + evals)        // sync_weights
+      + t_grad + t_grad_gather             // gradient + master gather
+      + t_curv_prepare +
+      cg * (t_bcast_theta + t_curv_per_cg + t_reduce_theta +
+            t_cgvec_per_cg)                // CG loop
+      + evals * (t_held_per_eval + t_small_reduce)  // backtracking/Armijo
+      + t_staging;
+
+  RunReport report;
+  report.total_seconds = iters * t_iter + t_load_data;
+  report.nodes_used = nodes_needed;
+  report.energy_kwh =
+      nodes_needed * m.node.watts * report.total_seconds / 3.6e6;
+
+  // Curvature compute jitter for the "varies with ranks" effect of the
+  // random 1-3% resample (Fig. 3 discussion).
+  util::Rng jitter_rng(config.seed ^
+                       (static_cast<std::uint64_t>(config.ranks) << 20) ^
+                       static_cast<std::uint64_t>(config.threads_per_rank));
+  const double curv_jitter = 0.85 + 0.3 * jitter_rng.next_double();
+
+  auto profile = [&](std::vector<FunctionProfile>& out,
+                     const std::string& name, WorkKind kind,
+                     double compute_s, double coll_s, double p2p_s) {
+    FunctionProfile f;
+    f.name = name;
+    f.compute_seconds = compute_s;
+    f.mpi_collective_seconds = coll_s;
+    f.mpi_p2p_seconds = p2p_s;
+    f.cycles = cycles.breakdown(kind, threads_per_core, compute_s);
+    f.cycles += cycles.breakdown(WorkKind::kWait, threads_per_core,
+                                 coll_s + p2p_s);
+    out.push_back(std::move(f));
+  };
+
+  // ---- master profile ----
+  const double master_pack_s =
+      staging_bytes / (m.node.mem_bw_gb * 1e9) +
+      shard_bytes * workers / (m.node.mem_bw_gb * 1e9);
+  profile(report.master, "load_data", WorkKind::kDataMovement, master_pack_s,
+          0.0, t_load_data + iters * t_staging);
+  if (config.use_mpi_collectives) {
+    profile(report.master, "sync_weights_master", WorkKind::kDataMovement,
+            0.0, n_weight_syncs * t_bcast_theta, 0.0);
+  } else {
+    profile(report.master, "sync_weights_master", WorkKind::kDataMovement,
+            0.0, 0.0, n_weight_syncs * t_bcast_theta);
+  }
+  profile(report.master, "cg_minimize", WorkKind::kScalar,
+          n_cg * t_cgvec_per_cg,
+          n_cg * (t_bcast_theta + t_reduce_theta), 0.0);
+  profile(report.master, "gradient_reduce", WorkKind::kDataMovement,
+          iters * t_grad_gather * 0.3 /* summing the incoming partials */,
+          0.0, iters * t_grad_gather);
+  profile(report.master, "backtracking_linesearch", WorkKind::kScalar,
+          iters * evals * 1e-4, iters * evals * t_small_reduce, 0.0);
+  profile(report.master, "wait_workers", WorkKind::kWait,
+          iters * (t_grad + cg * t_curv_per_cg + evals * t_held_per_eval),
+          0.0, 0.0);
+
+  // ---- worker profile (average worker: divide the straggler stretch out) -
+  const double avg = 1.0 / imbalance;
+  profile(report.worker, "load_data_worker", WorkKind::kDataMovement,
+          shard_bytes / (m.node.mem_bw_gb * 1e9), 0.0,
+          comm.p2p_seconds(static_cast<std::size_t>(shard_bytes)) +
+              iters * t_staging / workers);
+  profile(report.worker, "sync_weights_worker", WorkKind::kDataMovement, 0.0,
+          n_weight_syncs * t_bcast_theta, 0.0);
+  profile(report.worker, "gradient_loss", WorkKind::kGemm,
+          iters * t_grad * avg, 0.0,
+          iters * t_grad_gather / std::max(1, workers));
+  profile(report.worker, "worker_curvature_product", WorkKind::kGemm,
+          (n_cg * t_curv_per_cg * avg + iters * t_curv_prepare * avg) *
+              curv_jitter,
+          n_cg * (t_bcast_theta + t_reduce_theta), 0.0);
+  profile(report.worker, "heldout_loss", WorkKind::kGemm,
+          iters * evals * t_held_per_eval * avg,
+          iters * evals * t_small_reduce, 0.0);
+  profile(report.worker, "barrier_wait", WorkKind::kWait,
+          (1.0 - avg) * iters *
+              (t_grad + cg * t_curv_per_cg + evals * t_held_per_eval),
+          0.0, 0.0);
+
+  return report;
+}
+
+}  // namespace bgqhf::bgq

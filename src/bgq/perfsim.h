@@ -1,0 +1,109 @@
+// Performance simulator for one distributed HF training run.
+//
+// Plays the bulk-synchronous master/worker schedule of Sec. IV through the
+// machine, GEMM, communication and cycle models, and reports (i) the total
+// wall time — Fig. 1 and Table I — and (ii) per-function compute/
+// communication profiles for the master and an average worker — Figs. 2-5.
+//
+// The simulated timeline per HF iteration:
+//   sync_weights (bcast theta)
+//   gradient_loss on every worker over its shard (slowest worker gates)
+//   reduce gradient to master
+//   per CG iteration: bcast d, worker curvature products over the fresh
+//     1-3% sample, reduce, master CG vector update
+//   per held-out evaluation (backtracking + Armijo): bcast trial theta,
+//     worker forward passes, reduce scalar loss
+//   data staging exchange proportional to corpus size
+// plus a one-time load_data fan-out from the master.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgq/comm_model.h"
+#include "bgq/cycle_model.h"
+#include "bgq/gemm_model.h"
+#include "bgq/machine.h"
+#include "bgq/workload.h"
+
+namespace bgqhf::bgq {
+
+struct RunConfig {
+  MachineSpec machine;
+  HfWorkload workload;
+  /// Total MPI ranks (rank 0 is the master; the rest are workers).
+  int ranks = 1024;
+  int ranks_per_node = 1;
+  int threads_per_rank = 64;
+
+  // ---- tuning toggles (the paper's Sec. V techniques) ----
+  /// Utterance-sorting load balance (Sec. V-C). Off -> naive split of the
+  /// heavy-tailed utterance lengths, stretching every compute phase.
+  bool load_balanced = true;
+  /// MPI collectives for weight sync (Sec. V-B). Off -> per-worker socket
+  /// writes from the master.
+  bool use_mpi_collectives = true;
+  /// Implicitly synchronized cooperative prefetch in SGEMM (Sec. V-A3).
+  bool implicit_sync = true;
+
+  std::uint64_t seed = 1;
+
+  std::string config_label() const;  // "4096-4-16" style
+};
+
+/// One named phase of the run, accounted for one rank class.
+struct FunctionProfile {
+  std::string name;
+  double compute_seconds = 0.0;
+  double mpi_collective_seconds = 0.0;
+  double mpi_p2p_seconds = 0.0;
+  CycleBreakdown cycles;  // per-core cycles over the whole run
+
+  double total_seconds() const {
+    return compute_seconds + mpi_collective_seconds + mpi_p2p_seconds;
+  }
+};
+
+struct RunReport {
+  double total_seconds = 0.0;
+  double total_hours() const { return total_seconds / 3600.0; }
+  /// Nodes occupied by the run and the energy they consume over it —
+  /// the Green500 angle of the paper's Discussion (Sec. VII/VIII).
+  int nodes_used = 0;
+  double energy_kwh = 0.0;
+  std::vector<FunctionProfile> master;
+  std::vector<FunctionProfile> worker;
+
+  const FunctionProfile& master_fn(const std::string& name) const;
+  const FunctionProfile& worker_fn(const std::string& name) const;
+};
+
+/// Per-node memory footprint of a configuration. BG/Q nodes carry 16 GB;
+/// every rank on a node holds its own parameter, gradient and CG work
+/// vectors plus its resident shard of training data, so packing more
+/// ranks per node trades cache locality against memory headroom.
+struct MemoryEstimate {
+  double params_gb = 0.0;  // parameter + optimizer vectors, all ranks
+  double data_gb = 0.0;    // resident training shard
+  double total_gb = 0.0;
+  double capacity_gb = 16.0;
+  bool fits = false;
+};
+
+MemoryEstimate estimate_memory(const RunConfig& config);
+
+/// Simulate a full training run. Throws std::invalid_argument if the
+/// configuration does not fit in node memory.
+RunReport simulate(const RunConfig& config);
+
+/// Convenience: a BG/Q run of `ranks` total ranks in the
+/// ranks-ranksPerNode-threads convention of Fig. 1 (nodes are derived;
+/// throws if the machine is too small).
+RunConfig bgq_run(const HfWorkload& workload, int ranks, int ranks_per_node,
+                  int threads_per_rank);
+
+/// The Table-I Xeon baseline run (96 processes, 8 threads each).
+RunConfig xeon_run(const HfWorkload& workload, int processes);
+
+}  // namespace bgqhf::bgq

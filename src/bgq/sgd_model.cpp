@@ -1,0 +1,69 @@
+#include "bgq/sgd_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bgq/comm_model.h"
+#include "bgq/gemm_model.h"
+
+namespace bgqhf::bgq {
+
+SgdThroughput sgd_throughput(const SgdModelConfig& config) {
+  if (config.ranks < 1) {
+    throw std::invalid_argument("sgd_throughput: ranks must be >= 1");
+  }
+  const NodeSpec& node = config.machine.node;
+  if (node.cores % config.ranks_per_node != 0) {
+    throw std::invalid_argument("sgd_throughput: ranks_per_node | cores");
+  }
+  const int cores_per_rank = node.cores / config.ranks_per_node;
+  const int active_cores =
+      std::min(cores_per_rank, std::max(1, config.threads_per_rank));
+  const int tpc = std::clamp(config.threads_per_rank / active_cores, 1,
+                             node.smt_per_core);
+
+  const double flops_per_frame =
+      config.flops_per_frame > 0.0
+          ? config.flops_per_frame
+          : 6.0 * static_cast<double>(config.num_params);
+
+  const double frames_per_rank =
+      static_cast<double>(config.batch_frames) / config.ranks;
+  const GemmModel gemm(node);
+  const double rate = gemm.rank_gemm_flops(
+      active_cores, tpc, config.threads_per_rank,
+      static_cast<std::size_t>(std::max(1.0, frames_per_rank)),
+      /*implicit_sync=*/true);
+
+  SgdThroughput out;
+  out.compute_seconds = frames_per_rank * flops_per_frame / rate;
+  if (config.ranks > 1) {
+    const CommModel comm(config.machine, config.ranks,
+                         config.ranks_per_node);
+    // Synchronous update: allreduce(gradient) = reduce + bcast.
+    const std::size_t bytes = config.num_params * sizeof(float);
+    out.comm_seconds = comm.reduce_seconds(bytes) + comm.bcast_seconds(bytes);
+  }
+  out.seconds_per_update = out.compute_seconds + out.comm_seconds;
+  out.frames_per_second =
+      static_cast<double>(config.batch_frames) / out.seconds_per_update;
+  return out;
+}
+
+int sgd_scaling_limit(SgdModelConfig config, int max_ranks) {
+  int best_ranks = 1;
+  config.ranks = 1;
+  double best = sgd_throughput(config).frames_per_second;
+  for (int ranks = 2; ranks <= max_ranks; ranks *= 2) {
+    config.ranks = ranks;
+    const double fps = sgd_throughput(config).frames_per_second;
+    // Doubling the machine must buy a meaningful gain (>5%) to count as
+    // "still scaling"; asymptotic creep toward a plateau does not.
+    if (fps <= best * 1.05) break;
+    best = fps;
+    best_ranks = ranks;
+  }
+  return best_ranks;
+}
+
+}  // namespace bgqhf::bgq

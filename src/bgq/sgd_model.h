@@ -1,0 +1,43 @@
+// Cost model for parallelized mini-batch SGD (Related Work, Sec. II-A).
+//
+// Reproduces the argument of Le et al. [9] and Sainath et al. [13] that
+// the paper builds on: with mini-batches of only 100-1,000 frames and
+// 10-50 M parameters, splitting the mini-batch across machines buys tiny
+// compute savings per update while paying a full gradient allreduce per
+// update — so synchronous parallel SGD is often *slower* than one
+// machine, while HF's large-batch phases amortize the same communication
+// over vastly more work.
+#pragma once
+
+#include "bgq/machine.h"
+
+namespace bgqhf::bgq {
+
+struct SgdModelConfig {
+  MachineSpec machine;
+  int ranks = 1;           // workers splitting each mini-batch
+  int ranks_per_node = 1;
+  int threads_per_rank = 16;
+  std::size_t batch_frames = 512;
+  std::size_t num_params = 23000000;
+  double flops_per_frame = 0.0;  // default: 6 * params (fwd + bwd)
+};
+
+struct SgdThroughput {
+  double seconds_per_update = 0.0;
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  /// Training frames consumed per wall-clock second — the figure of merit
+  /// for time-to-accuracy at a fixed mini-batch size.
+  double frames_per_second = 0.0;
+};
+
+/// Throughput of synchronous data-parallel SGD at the given scale.
+SgdThroughput sgd_throughput(const SgdModelConfig& config);
+
+/// Smallest rank count (scanning 1, 2, 4, ... max_ranks) at which parallel
+/// SGD stops improving over ranks/2 — i.e., where communication eats the
+/// compute gain. Returns 1 if parallelism never helps.
+int sgd_scaling_limit(SgdModelConfig config, int max_ranks);
+
+}  // namespace bgqhf::bgq

@@ -1,0 +1,112 @@
+#include "bgq/torus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bgqhf::bgq {
+
+TorusDims torus_for_nodes(int nodes) {
+  if (nodes <= 0) throw std::invalid_argument("torus_for_nodes: nodes > 0");
+  // Known BG/Q partition shapes first.
+  switch (nodes) {
+    case 32:
+      return TorusDims{{2, 2, 2, 2, 2}};
+    case 128:
+      return TorusDims{{2, 2, 4, 4, 2}};
+    case 512:
+      return TorusDims{{4, 4, 4, 4, 2}};  // midplane
+    case 1024:
+      return TorusDims{{4, 4, 4, 8, 2}};  // rack
+    case 2048:
+      return TorusDims{{4, 4, 8, 8, 2}};  // two racks
+    case 4096:
+      return TorusDims{{4, 8, 8, 8, 2}};
+    default:
+      break;
+  }
+  // Greedy most-cubic factorization, last dimension pinned to 2 when even.
+  TorusDims dims;
+  int remaining = nodes;
+  if (remaining % 2 == 0) {
+    dims.d[4] = 2;
+    remaining /= 2;
+  }
+  for (int i = 0; i < 4 && remaining > 1; ++i) {
+    const int dims_left = 4 - i;
+    int target = static_cast<int>(
+        std::round(std::pow(static_cast<double>(remaining),
+                            1.0 / dims_left)));
+    target = std::max(target, 1);
+    // Find the divisor of `remaining` closest to target.
+    int best = remaining;
+    for (int cand = 1; cand <= remaining; ++cand) {
+      if (remaining % cand != 0) continue;
+      if (std::abs(cand - target) < std::abs(best - target)) best = cand;
+    }
+    dims.d[i] = best;
+    remaining /= best;
+  }
+  if (remaining > 1) dims.d[3] *= remaining;
+  return dims;
+}
+
+TorusCoord coord_of(int node, const TorusDims& dims) {
+  if (node < 0 || node >= dims.nodes()) {
+    throw std::out_of_range("coord_of: node out of range");
+  }
+  TorusCoord coord;
+  for (int i = 4; i >= 0; --i) {
+    coord.c[i] = node % dims.d[i];
+    node /= dims.d[i];
+  }
+  return coord;
+}
+
+int node_of(const TorusCoord& coord, const TorusDims& dims) {
+  int node = 0;
+  for (int i = 0; i < 5; ++i) {
+    node = node * dims.d[i] + coord.c[i];
+  }
+  return node;
+}
+
+int hop_distance(const TorusCoord& a, const TorusCoord& b,
+                 const TorusDims& dims) {
+  int hops = 0;
+  for (int i = 0; i < 5; ++i) {
+    const int direct = std::abs(a.c[i] - b.c[i]);
+    hops += std::min(direct, dims.d[i] - direct);
+  }
+  return hops;
+}
+
+int diameter(const TorusDims& dims) {
+  int d = 0;
+  for (int i = 0; i < 5; ++i) d += dims.d[i] / 2;
+  return d;
+}
+
+double average_hops(const TorusDims& dims) {
+  // By translational symmetry, the average distance from node 0 equals the
+  // network-wide average. Per-dimension averages add.
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const int n = dims.d[i];
+    int sum = 0;
+    for (int k = 0; k < n; ++k) sum += std::min(k, n - k);
+    total += static_cast<double>(sum) / n;
+  }
+  return total;
+}
+
+double bisection_bandwidth_gb(const TorusDims& dims, double link_bw_gb) {
+  const int longest = *std::max_element(dims.d.begin(), dims.d.end());
+  const int cross_section = dims.nodes() / longest;
+  // Cutting a torus ring severs 2 rings of links per cross-section node
+  // (the wraparound makes every cut cross twice).
+  const double wrap_links = longest > 2 ? 2.0 : 1.0;
+  return cross_section * wrap_links * link_bw_gb;
+}
+
+}  // namespace bgqhf::bgq

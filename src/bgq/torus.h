@@ -1,0 +1,48 @@
+// 5-D torus topology (BG/Q's compute network, Sec. III).
+//
+// Used by the communication model for hop distances, tree depths and
+// bisection bandwidth, and directly testable against known BG/Q facts
+// (midplane 4x4x4x4x2 = 512 nodes, rack = 1024, 2 racks = 2048).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace bgqhf::bgq {
+
+struct TorusDims {
+  std::array<int, 5> d{1, 1, 1, 1, 1};
+
+  int nodes() const { return d[0] * d[1] * d[2] * d[3] * d[4]; }
+};
+
+/// Standard BG/Q partition shapes: 1 rack = 4x4x4x8x2, 2 racks =
+/// 4x4x8x8x2, half rack (midplane) = 4x4x4x4x2. Other node counts get the
+/// most-cubic factorization with last dim 2.
+TorusDims torus_for_nodes(int nodes);
+
+struct TorusCoord {
+  std::array<int, 5> c{0, 0, 0, 0, 0};
+};
+
+/// Node id -> coordinate (row-major).
+TorusCoord coord_of(int node, const TorusDims& dims);
+/// Coordinate -> node id.
+int node_of(const TorusCoord& coord, const TorusDims& dims);
+
+/// Minimal hop count between two nodes (per-dimension wraparound).
+int hop_distance(const TorusCoord& a, const TorusCoord& b,
+                 const TorusDims& dims);
+
+/// Longest shortest-path in the torus (network diameter).
+int diameter(const TorusDims& dims);
+
+/// Average hop distance from node 0 (== network-wide average by symmetry).
+double average_hops(const TorusDims& dims);
+
+/// Bisection bandwidth in GB/s given per-link bandwidth: cut across the
+/// largest dimension; 2 links per node pair crossing (torus wrap) times
+/// the cross-sectional node count.
+double bisection_bandwidth_gb(const TorusDims& dims, double link_bw_gb);
+
+}  // namespace bgqhf::bgq

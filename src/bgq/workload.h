@@ -1,0 +1,84 @@
+// HF-training workload description for the performance simulator.
+//
+// Captures the arithmetic shape of one full training run: corpus size in
+// frames, DNN dimensions (hence parameters and FLOPs per frame), outer/
+// inner iteration counts, and the criterion. The presets mirror the
+// paper's two tasks: 50 hours (~18 M frames, ~16 M-parameter net) and
+// 400 hours (~144 M frames, >100 M-parameter net, per the conclusion's
+// "deep network with over 100M parameters").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bgqhf::bgq {
+
+enum class TrainCriterion { kCrossEntropy, kSequence };
+
+struct HfWorkload {
+  // ---- data ----
+  double hours = 50.0;
+  double frames_per_second = 100.0;
+  /// Held-out fraction of the corpus (loss evaluations run over this).
+  double heldout_fraction = 0.1;
+
+  // ---- network ----
+  std::size_t input_dim = 360;   // 40-dim features, +/-4 context
+  std::vector<std::size_t> hidden{1024, 1024, 1024, 1024, 1024};
+  std::size_t output_dim = 3000;
+
+  // ---- criterion ----
+  TrainCriterion criterion = TrainCriterion::kCrossEntropy;
+  /// Extra scalar FLOPs per frame for the sequence criterion's
+  /// forward-backward sweep (~ 4 * states^2, with states folded in).
+  double sequence_scalar_flops_per_frame = 0.0;
+
+  // ---- optimizer schedule (paper: 20-40 passes; tens of CG iters) ----
+  int hf_iterations = 30;
+  int cg_iterations_per_hf = 48;
+  int heldout_evals_per_hf = 9;  // backtracking + Armijo evaluations
+  double curvature_fraction = 0.02;
+
+  // ---- per-iteration data staging (features re-streamed from the I/O
+  //      subsystem each pass; served by the parallel filesystem's fixed
+  //      aggregate bandwidth) ----
+  double staging_bytes_per_frame = 1440.0;
+  double staging_rate_gb = 24.0;  // aggregate GPFS bandwidth
+
+  /// Wall-clock multiplier on GEMM-phase compute covering everything that
+  /// is not the GEMM itself (activations, biases, softmax, batch
+  /// assembly); calibrated against Table I.
+  double non_gemm_overhead = 1.7;
+
+  // ---- derived quantities ----
+  std::size_t total_frames() const {
+    return static_cast<std::size_t>(hours * 3600.0 * frames_per_second);
+  }
+  std::size_t heldout_frames() const {
+    return static_cast<std::size_t>(heldout_fraction * total_frames());
+  }
+  std::size_t num_params() const {
+    std::size_t params = 0;
+    std::size_t in = input_dim;
+    for (const std::size_t h : hidden) {
+      params += in * h + h;
+      in = h;
+    }
+    params += in * output_dim + output_dim;
+    return params;
+  }
+  /// FLOPs per frame: forward = 2 MAC-flops per weight.
+  double forward_flops_per_frame() const { return 2.0 * num_params(); }
+  /// Gradient (forward + backward) per frame.
+  double gradient_flops_per_frame() const { return 6.0 * num_params(); }
+  /// Gauss-Newton product per sampled frame (R-forward + backprop).
+  double curvature_flops_per_frame() const { return 8.0 * num_params(); }
+
+  /// Table-I workloads.
+  static HfWorkload paper_50h_ce();
+  static HfWorkload paper_50h_sequence();
+  /// Fig. 1(b) / conclusion workload (400 h, >100 M params).
+  static HfWorkload paper_400h_ce();
+};
+
+}  // namespace bgqhf::bgq

@@ -1,0 +1,174 @@
+#include "blas/gemm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blas/microkernel.h"
+#include "blas/pack.h"
+#include "util/memory_pool.h"
+
+namespace bgqhf::blas {
+
+namespace {
+
+template <typename T>
+std::size_t op_rows(ConstMatrixView<T> v, Trans t) {
+  return t == Trans::kNo ? v.rows : v.cols;
+}
+template <typename T>
+std::size_t op_cols(ConstMatrixView<T> v, Trans t) {
+  return t == Trans::kNo ? v.cols : v.rows;
+}
+
+template <typename T>
+void scale_c(T beta, MatrixView<T> c) {
+  if (beta == T{1}) return;
+  for (std::size_t i = 0; i < c.rows; ++i) {
+    T* row = c.data + i * c.ld;
+    if (beta == T{}) {
+      std::fill(row, row + c.cols, T{});
+    } else {
+      for (std::size_t j = 0; j < c.cols; ++j) row[j] *= beta;
+    }
+  }
+}
+
+// Multiply the packed B macro-panel against row block [ic, ic+mc) of op(A),
+// packing A into `abuf` (per-thread) and streaming the micro-kernel.
+template <typename T>
+void run_row_block(ConstMatrixView<T> a, bool ta, std::size_t ic,
+                   std::size_t mc, std::size_t pc, std::size_t kc,
+                   std::size_t jc, std::size_t nc, const T* bbuf, T alpha,
+                   MatrixView<T> c, T* abuf) {
+  pack_a(a, ta, ic, pc, mc, kc, abuf);
+  for (std::size_t jr = 0; jr < nc; jr += kNR) {
+    const std::size_t nr = std::min(kNR, nc - jr);
+    const T* bpanel = bbuf + (jr / kNR) * kc * kNR;
+    for (std::size_t ir = 0; ir < mc; ir += kMR) {
+      const std::size_t mr = std::min(kMR, mc - ir);
+      const T* apanel = abuf + (ir / kMR) * kc * kMR;
+      microkernel<T>(kc, apanel, bpanel, alpha,
+                     c.data + (ic + ir) * c.ld + (jc + jr), c.ld, mr, nr);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c,
+          util::ThreadPool* pool, const GemmBlocking& blocking) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  const std::size_t n = op_cols(b, tb);
+  assert(op_rows(b, tb) == k);
+  assert(c.rows == m && c.cols == n);
+  (void)k;
+
+  scale_c(beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == T{}) return;
+
+  const bool trans_a = (ta == Trans::kYes);
+  const bool trans_b = (tb == Trans::kYes);
+  auto& mempool = util::MemoryPool::global();
+
+  util::PoolBuffer<T> bbuf(mempool,
+                           packed_b_elems(blocking.kc, blocking.nc));
+
+  for (std::size_t jc = 0; jc < n; jc += blocking.nc) {
+    const std::size_t nc = std::min(blocking.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += blocking.kc) {
+      const std::size_t kc = std::min(blocking.kc, k - pc);
+      pack_b(b, trans_b, pc, jc, kc, nc, bbuf.data());
+
+      const std::size_t row_blocks = (m + blocking.mc - 1) / blocking.mc;
+      auto do_block = [&](std::size_t blk, T* abuf) {
+        const std::size_t ic = blk * blocking.mc;
+        const std::size_t mc = std::min(blocking.mc, m - ic);
+        run_row_block(a, trans_a, ic, mc, pc, kc, jc, nc, bbuf.data(), alpha,
+                      c, abuf);
+      };
+
+      if (pool == nullptr || row_blocks == 1) {
+        util::PoolBuffer<T> abuf(mempool,
+                                 packed_a_elems(blocking.mc, blocking.kc));
+        for (std::size_t blk = 0; blk < row_blocks; ++blk) {
+          do_block(blk, abuf.data());
+        }
+      } else {
+        // One packed-A buffer per chunk; the pool recycles them across
+        // calls so steady-state training does no allocation here.
+        pool->parallel_for(row_blocks, [&](std::size_t blk) {
+          util::PoolBuffer<T> abuf(mempool,
+                                   packed_a_elems(blocking.mc, blocking.kc));
+          do_block(blk, abuf.data());
+        });
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_naive(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+                ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  const std::size_t n = op_cols(b, tb);
+  assert(op_rows(b, tb) == k);
+  assert(c.rows == m && c.cols == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const T av = ta == Trans::kNo ? a(i, p) : a(p, i);
+        const T bv = tb == Trans::kNo ? b(p, j) : b(j, p);
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c(i, j) = static_cast<T>(alpha * acc + beta * c(i, j));
+    }
+  }
+}
+
+template <typename T>
+void gemv(Trans ta, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
+  const std::size_t m = op_rows(a, ta);
+  const std::size_t k = op_cols(a, ta);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    if (ta == Trans::kNo) {
+      const T* row = a.data + i * a.ld;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(row[p]) * static_cast<double>(x[p]);
+      }
+    } else {
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a(p, i)) * static_cast<double>(x[p]);
+      }
+    }
+    y[i] = static_cast<T>(alpha * acc + beta * y[i]);
+  }
+}
+
+// Explicit instantiations: the library ships float (training) and double
+// (reference/tests) kernels.
+template void gemm<float>(Trans, Trans, float, ConstMatrixView<float>,
+                          ConstMatrixView<float>, float, MatrixView<float>,
+                          util::ThreadPool*, const GemmBlocking&);
+template void gemm<double>(Trans, Trans, double, ConstMatrixView<double>,
+                           ConstMatrixView<double>, double,
+                           MatrixView<double>, util::ThreadPool*,
+                           const GemmBlocking&);
+template void gemm_naive<float>(Trans, Trans, float, ConstMatrixView<float>,
+                                ConstMatrixView<float>, float,
+                                MatrixView<float>);
+template void gemm_naive<double>(Trans, Trans, double,
+                                 ConstMatrixView<double>,
+                                 ConstMatrixView<double>, double,
+                                 MatrixView<double>);
+template void gemv<float>(Trans, float, ConstMatrixView<float>, const float*,
+                          float, float*);
+template void gemv<double>(Trans, double, ConstMatrixView<double>,
+                           const double*, double, double*);
+
+}  // namespace bgqhf::blas

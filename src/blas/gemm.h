@@ -1,0 +1,46 @@
+// Blocked, threaded GEMM: C = alpha * op(A) * op(B) + beta * C.
+//
+// Structure follows the paper's Sec. V-A (and the BLIS work it cites):
+// NC/KC/MC cache blocking, packed stride-one panels, an 8x8 register-block
+// micro-kernel, pack buffers recycled through the MemoryPool (Sec. V-A4),
+// and row-block parallelism over a persistent thread pool standing in for
+// the BG/Q OpenMP runtime. SGEMM (float) is the configuration the paper
+// tuned hardest — DNN training is single precision.
+#pragma once
+
+#include <cstddef>
+
+#include "blas/matrix.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::blas {
+
+enum class Trans { kNo, kYes };
+
+/// Cache-blocking parameters; defaults target a ~32 KB L1 / 256 KB L2 class
+/// core. Exposed so tests and the tuning bench can sweep them.
+struct GemmBlocking {
+  std::size_t mc = 128;
+  std::size_t kc = 256;
+  std::size_t nc = 2048;
+};
+
+/// General matrix multiply. Views describe the *stored* matrices; ta/tb
+/// select op(). Shapes must satisfy op(A): m x k, op(B): k x n, C: m x n
+/// (checked with assert). `pool` == nullptr runs serially.
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c,
+          util::ThreadPool* pool = nullptr,
+          const GemmBlocking& blocking = GemmBlocking{});
+
+/// Reference triple loop (used by tests and the bench baseline).
+template <typename T>
+void gemm_naive(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+                ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// y = alpha * op(A) * x + beta * y.
+template <typename T>
+void gemv(Trans ta, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y);
+
+}  // namespace bgqhf::blas

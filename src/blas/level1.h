@@ -1,0 +1,58 @@
+// Level-1 vector operations used by CG and the optimizer state updates.
+//
+// All loops are simple strided-one loops the compiler vectorizes; the CG
+// inner products are accumulated in double regardless of T so that the
+// Martens relative-progress truncation test is numerically stable in the
+// single-precision configuration the paper tuned for.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace bgqhf::blas {
+
+/// y += alpha * x
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y) {
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// x *= alpha
+template <typename T>
+void scal(T alpha, std::span<T> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// dot(x, y) accumulated in double.
+template <typename T>
+double dot(std::span<const T> x, std::span<const T> y) {
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+/// Euclidean norm.
+template <typename T>
+double nrm2(std::span<const T> x) {
+  return std::sqrt(dot(x, x));
+}
+
+/// y = x
+template <typename T>
+void copy(std::span<const T> x, std::span<T> y) {
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+/// x = 0
+template <typename T>
+void zero(std::span<T> x) {
+  for (auto& v : x) v = T{};
+}
+
+}  // namespace bgqhf::blas

@@ -1,0 +1,119 @@
+// Dense row-major matrix container and non-owning views.
+//
+// All bgqhf numeric code is written against MatrixView so routines compose
+// with sub-blocks (the cache-blocked GEMM slices operands by "square cookie
+// cutters", Sec. V-A5) without copies.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace bgqhf::blas {
+
+/// Non-owning mutable view of a row-major matrix with leading dimension ld.
+template <typename T>
+struct MatrixView {
+  T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;  // elements between consecutive rows
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows && c < cols);
+    return data[r * ld + c];
+  }
+
+  /// Sub-block [r0, r0+nr) x [c0, c0+nc).
+  MatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                   std::size_t nc) const {
+    assert(r0 + nr <= rows && c0 + nc <= cols);
+    return MatrixView{data + r0 * ld + c0, nr, nc, ld};
+  }
+};
+
+/// Non-owning read-only view.
+template <typename T>
+struct ConstMatrixView {
+  const T* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* d, std::size_t r, std::size_t c, std::size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixView(MatrixView<T> v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows && c < cols);
+    return data[r * ld + c];
+  }
+
+  ConstMatrixView block(std::size_t r0, std::size_t c0, std::size_t nr,
+                        std::size_t nc) const {
+    assert(r0 + nr <= rows && c0 + nc <= cols);
+    return ConstMatrixView{data + r0 * ld + c0, nr, nc, ld};
+  }
+};
+
+/// Owning aligned row-major matrix (ld == cols), zero-initialized.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), store_(util::aligned_array<T>(rows * cols)) {
+    std::fill(store_.get(), store_.get() + rows * cols, T{});
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  Matrix(const Matrix& o) : Matrix(o.rows_, o.cols_) {
+    std::copy(o.data(), o.data() + o.size(), data());
+  }
+  Matrix& operator=(const Matrix& o) {
+    if (this != &o) {
+      Matrix tmp(o);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+
+  T* data() noexcept { return store_.get(); }
+  const T* data() const noexcept { return store_.get(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return store_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return store_[r * cols_ + c];
+  }
+
+  MatrixView<T> view() {
+    return MatrixView<T>{data(), rows_, cols_, cols_};
+  }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>{data(), rows_, cols_, cols_};
+  }
+  ConstMatrixView<T> cview() const { return view(); }
+
+  void fill(T v) { std::fill(data(), data() + size(), v); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  util::AlignedPtr<T> store_;
+};
+
+}  // namespace bgqhf::blas

@@ -1,0 +1,51 @@
+// Register-blocked GEMM micro-kernel.
+//
+// Portable analogue of the paper's assembly inner kernel: an 8x8 C update
+// accumulated in registers by a sequence of rank-1 outer products over
+// packed, strictly stride-one A and B panels (Sec. V-A2). The accumulator
+// array and fixed trip counts let GCC fully unroll and vectorize the body;
+// fringes are handled by zero-padding during packing, never by branches
+// here.
+#pragma once
+
+#include <cstddef>
+
+#include "blas/pack.h"
+
+namespace bgqhf::blas {
+
+/// acc[MR][NR] += sum_k a_panel[k] (outer) b_panel[k], then
+/// C(0:mr, 0:nr) += alpha * acc. a_panel points at kc*MR packed values,
+/// b_panel at kc*NR.
+template <typename T>
+inline void microkernel(std::size_t kc, const T* __restrict a_panel,
+                        const T* __restrict b_panel, T alpha,
+                        T* __restrict c, std::size_t ldc, std::size_t mr,
+                        std::size_t nr) {
+  T acc[kMR][kNR] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const T* __restrict a = a_panel + k * kMR;
+    const T* __restrict b = b_panel + k * kNR;
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const T ai = a[i];
+      for (std::size_t j = 0; j < kNR; ++j) {
+        acc[i][j] += ai * b[j];
+      }
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        c[i * ldc + j] += alpha * acc[i][j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        c[i * ldc + j] += alpha * acc[i][j];
+      }
+    }
+  }
+}
+
+}  // namespace bgqhf::blas

@@ -1,0 +1,142 @@
+#include "hf/cg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/level1.h"
+
+namespace bgqhf::hf {
+
+CgResult cg_minimize(const Matvec& apply_a, std::span<const float> grad,
+                     std::span<const float> d0, const CgOptions& options,
+                     const Matvec* apply_minv) {
+  const std::size_t n = grad.size();
+  CgResult result;
+
+  // Solve A x = b with b = -g; then q(x) = -0.5 * x^T (b + r), tracked
+  // without extra matvecs (Martens' phi bookkeeping). With a
+  // preconditioner, the search directions use z = M^-1 r and the Polak
+  // quantities switch from r.r to r.z; q tracking is unchanged.
+  std::vector<float> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = -grad[i];
+
+  std::vector<float> x(d0.begin(), d0.end());
+  if (x.size() != n) x.assign(n, 0.0f);
+
+  std::vector<float> r(n), p(n), ap(n), z(n);
+  bool x_is_zero = true;
+  for (const float v : x) {
+    if (v != 0.0f) {
+      x_is_zero = false;
+      break;
+    }
+  }
+  if (x_is_zero) {
+    blas::copy<float>(b, r);
+  } else {
+    apply_a(x, ap);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  }
+  if (apply_minv != nullptr) {
+    (*apply_minv)(r, z);
+  } else {
+    blas::copy<float>(r, z);
+  }
+  blas::copy<float>(z, p);
+  double rs_old = blas::dot<float>(r, z);
+
+  std::vector<double> phi_history;  // phi at every iteration (1-based)
+  auto phi_now = [&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += static_cast<double>(x[i]) *
+             (static_cast<double>(b[i]) + static_cast<double>(r[i]));
+    }
+    return -0.5 * acc;
+  };
+
+  auto record = [&](std::size_t iter) {
+    if (!result.iterate_indices.empty() &&
+        result.iterate_indices.back() == iter) {
+      return;  // already recorded this iterate
+    }
+    result.iterates.push_back(x);
+    result.q_values.push_back(phi_history.back());
+    result.iterate_indices.push_back(iter);
+  };
+
+  std::size_t next_record = 1;
+  double spacing_acc = 1.0;
+
+  result.stop = CgResult::Stop::kMaxIters;
+  std::size_t iter = 0;
+  while (iter < options.max_iters) {
+    if (std::sqrt(rs_old) < options.residual_tol) {
+      result.stop = CgResult::Stop::kResidual;
+      break;
+    }
+    ++iter;
+    apply_a(p, ap);
+    const double p_ap = blas::dot<float>(p, ap);
+    if (p_ap <= 0.0) {
+      // Numerically non-positive curvature along p (A should be PSD +
+      // lambda I); stop with the current iterate rather than diverge.
+      result.stop = CgResult::Stop::kResidual;
+      --iter;
+      break;
+    }
+    const double alpha = rs_old / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += static_cast<float>(alpha * p[i]);
+      r[i] -= static_cast<float>(alpha * ap[i]);
+    }
+    phi_history.push_back(phi_now());
+
+    if (iter >= next_record) {
+      record(iter);
+      while (next_record <= iter) {
+        spacing_acc *= options.iterate_spacing;
+        next_record = static_cast<std::size_t>(std::ceil(spacing_acc));
+      }
+    }
+
+    // Martens relative-progress truncation.
+    const std::size_t window =
+        std::max<std::size_t>(10, iter / 10);
+    if (iter >= options.min_iters && iter > window) {
+      const double phi_i = phi_history[iter - 1];
+      const double phi_prev = phi_history[iter - 1 - window];
+      if (phi_i < 0.0 &&
+          (phi_i - phi_prev) / phi_i <
+              static_cast<double>(window) * options.progress_tol) {
+        result.stop = CgResult::Stop::kProgress;
+        break;
+      }
+    }
+
+    if (apply_minv != nullptr) {
+      (*apply_minv)(r, z);
+    } else {
+      blas::copy<float>(r, z);
+    }
+    const double rs_new = blas::dot<float>(r, z);
+    const double beta = rs_new / rs_old;
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = z[i] + static_cast<float>(beta * p[i]);
+    }
+    rs_old = rs_new;
+  }
+
+  result.iterations = iter;
+  if (iter > 0) {
+    record(iter);  // always include the final iterate d_N
+  } else {
+    // No progress possible (e.g. zero gradient): return d0 as the only
+    // iterate with its q value.
+    phi_history.push_back(phi_now());
+    record(0);
+  }
+  return result;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,67 @@
+// Truncated conjugate gradient for the HF inner solve.
+//
+// Minimizes the quadratic model q(d) = g^T d + 1/2 d^T A d with
+// A = G(theta) + lambda I accessed only through matrix-vector products
+// (paper Sec. IV). Two features distinguish it from textbook CG:
+//
+//  * Martens truncation: iteration stops when the *relative per-iteration
+//    progress* in q over a trailing window falls below a tolerance
+//    ("the number of CG iterations is stopped once the relative
+//    per-iteration progress made in minimizing the CG objective function
+//    falls below a certain tolerance").
+//
+//  * The solver records a subsequence of iterates {d_1, ..., d_N}
+//    (exponentially spaced, plus the final one) which Algorithm 1's
+//    backtracking procedure then evaluates against the held-out loss.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace bgqhf::hf {
+
+/// Computes out = A * v (out is pre-zeroed by the caller contract: the
+/// callback must *assign*, not accumulate).
+using Matvec =
+    std::function<void(std::span<const float> v, std::span<float> out)>;
+
+struct CgOptions {
+  std::size_t max_iters = 250;
+  std::size_t min_iters = 1;
+  /// Martens' epsilon: stop when (q_i - q_{i-k}) / q_i < k * progress_tol
+  /// with window k = max(10, i/10) and q_i < 0.
+  double progress_tol = 5e-4;
+  /// Absolute residual stop (exact solve reached).
+  double residual_tol = 1e-12;
+  /// Record iterates at indices ceil(spacing^j), like Martens.
+  double iterate_spacing = 1.3;
+};
+
+struct CgResult {
+  /// Recorded iterates in iteration order; back() is the final iterate d_N.
+  std::vector<std::vector<float>> iterates;
+  /// q(d) at each recorded iterate; back() is q(d_N), used for rho.
+  std::vector<double> q_values;
+  /// Iteration index (1-based) of each recorded iterate.
+  std::vector<std::size_t> iterate_indices;
+  /// Total CG iterations executed.
+  std::size_t iterations = 0;
+  /// Why we stopped.
+  enum class Stop { kProgress, kResidual, kMaxIters } stop = Stop::kMaxIters;
+};
+
+/// Run CG from initial direction d0 (the beta * d_N momentum of Algorithm
+/// 1). `grad` is g = grad L(theta); the quadratic solved is
+/// q(d) = g^T d + 1/2 d^T A d, i.e. CG solves A d = -g.
+///
+/// `apply_minv`, when non-null, turns this into preconditioned CG with
+/// z = M^-1 r — the Martens/Chapelle diagonal preconditioner the paper
+/// lists as not-yet-integrated ("it currently does not use a
+/// preconditioner [25]"); we provide it as the natural extension.
+CgResult cg_minimize(const Matvec& apply_a, std::span<const float> grad,
+                     std::span<const float> d0, const CgOptions& options,
+                     const Matvec* apply_minv = nullptr);
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,55 @@
+// Aggregated-computation interface for the HF optimizer.
+//
+// Algorithm 1 needs four data-dependent primitives: the full-data gradient,
+// Gauss-Newton products over a curvature sample, the held-out loss, and a
+// way to install trial parameters. HfCompute abstracts whether those sums
+// come from one process (SerialCompute) or from a master coordinating MPI
+// workers (MasterCompute) — the optimizer code is identical, which is what
+// makes the distributed-equals-serial equivalence test meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "nn/loss.h"
+
+namespace bgqhf::hf {
+
+class HfCompute {
+ public:
+  virtual ~HfCompute() = default;
+
+  virtual std::size_t num_params() const = 0;
+  virtual std::size_t total_train_frames() const = 0;
+
+  /// Install parameters theta on every compute element (the paper's
+  /// sync_weights MPI_Bcast). All later primitives evaluate at this theta.
+  virtual void set_params(std::span<const float> theta) = 0;
+
+  /// Mean training loss and mean gradient over *all* training data at the
+  /// installed theta (paper: "Gradients are computed over all the training
+  /// data"). grad_out has num_params() entries.
+  virtual nn::BatchLoss gradient(std::span<float> grad_out) = 0;
+
+  /// gradient() plus the summed element-wise squares of per-batch gradient
+  /// contributions (unnormalized; PCG is scale-invariant in M), feeding
+  /// the Jacobi preconditioner extension.
+  virtual nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_out, std::span<float> grad_sq_out) = 0;
+
+  /// Draw the curvature sample (1-3% of training data, fresh "each time
+  /// CG-Minimize is called") and cache activations at the installed theta.
+  virtual void prepare_curvature(std::uint64_t seed) = 0;
+
+  /// out = mean over the curvature sample of G(theta) * v. Requires a
+  /// preceding prepare_curvature at the current theta.
+  virtual void curvature_product(std::span<const float> v,
+                                 std::span<float> out) = 0;
+
+  /// Mean loss over the held-out set at the installed theta ("The loss
+  /// L(theta) is computed over a held-out set").
+  virtual nn::BatchLoss heldout_loss() = 0;
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,166 @@
+#include "hf/ksd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "blas/level1.h"
+#include "util/rng.h"
+
+namespace bgqhf::hf {
+
+bool solve_spd_inplace(std::vector<double>& a, std::size_t n,
+                       std::vector<double>& b) {
+  // Cholesky A = L L^T on the n x n row-major matrix in `a`.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) return false;
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward solve L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Backward solve L^T x = z.
+  for (std::size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= a[k * n + i] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  return true;
+}
+
+KsdResult KsdOptimizer::run(HfCompute& compute, std::span<float> theta) {
+  const std::size_t n = compute.num_params();
+  if (theta.size() != n) {
+    throw std::invalid_argument("KsdOptimizer: theta size mismatch");
+  }
+
+  KsdResult result;
+  std::vector<float> grad(n), trial(n), prev_step;
+  util::Rng seed_rng(options_.seed);
+
+  compute.set_params(theta);
+  double heldout = compute.heldout_loss().mean_loss();
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    KsdIterationLog log;
+    log.iteration = iter;
+
+    compute.set_params(theta);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    const nn::BatchLoss train = compute.gradient(grad);
+    log.train_loss = train.mean_loss();
+    if (blas::nrm2<float>(grad) == 0.0) {
+      log.heldout_loss = heldout;
+      result.iterations.push_back(log);
+      break;
+    }
+
+    compute.prepare_curvature(seed_rng.next_u64());
+    auto apply_a = [&](std::span<const float> v, std::span<float> out) {
+      compute.curvature_product(v, out);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] += static_cast<float>(options_.lambda) * v[i];
+      }
+    };
+
+    // ---- build an orthonormal Krylov basis from g ----
+    std::vector<std::vector<float>> basis;
+    auto orthonormalize = [&](std::vector<float> v) -> bool {
+      for (const auto& b : basis) {
+        const double proj = blas::dot<float>(b, v);
+        blas::axpy<float>(static_cast<float>(-proj), b, v);
+      }
+      const double norm = blas::nrm2<float>(v);
+      if (norm < 1e-8) return false;  // linearly dependent
+      blas::scal<float>(static_cast<float>(1.0 / norm), v);
+      basis.push_back(std::move(v));
+      return true;
+    };
+
+    orthonormalize(std::vector<float>(grad.begin(), grad.end()));
+    if (options_.include_previous_step && !prev_step.empty()) {
+      orthonormalize(prev_step);
+    }
+    // Krylov extension: feed each accepted basis vector through A once.
+    std::size_t source = 0;
+    while (basis.size() < options_.subspace_dim && source < basis.size()) {
+      std::vector<float> next(n);
+      apply_a(basis[source++], next);
+      orthonormalize(std::move(next));
+    }
+    const std::size_t k = basis.size();
+
+    // Images of the final basis under A, for the projected quadratic.
+    std::vector<std::vector<float>> a_basis(k, std::vector<float>(n));
+    for (std::size_t i = 0; i < k; ++i) apply_a(basis[i], a_basis[i]);
+    log.basis_size = k;
+
+    // ---- projected quadratic: (B^T A B) alpha = -B^T g ----
+    std::vector<double> proj_a(k * k), rhs(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        proj_a[i * k + j] = blas::dot<float>(basis[i], a_basis[j]);
+      }
+      rhs[i] = -blas::dot<float>(basis[i], grad);
+    }
+    // Symmetrize against float noise.
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const double sym = 0.5 * (proj_a[i * k + j] + proj_a[j * k + i]);
+        proj_a[i * k + j] = sym;
+        proj_a[j * k + i] = sym;
+      }
+    }
+    if (!solve_spd_inplace(proj_a, k, rhs)) {
+      // Degenerate subspace: fall back to steepest descent.
+      rhs.assign(k, 0.0);
+      rhs[0] = blas::nrm2<float>(grad);
+    }
+
+    std::vector<float> direction(n, 0.0f);
+    for (std::size_t i = 0; i < k; ++i) {
+      blas::axpy<float>(static_cast<float>(rhs[i]), basis[i], direction);
+    }
+
+    const double directional = blas::dot<float>(grad, direction);
+    auto loss_at = [&](double alpha) {
+      for (std::size_t i = 0; i < n; ++i) {
+        trial[i] = theta[i] + static_cast<float>(alpha) * direction[i];
+      }
+      compute.set_params(trial);
+      return compute.heldout_loss().mean_loss();
+    };
+    const LineSearchResult ls =
+        armijo_backtrack(loss_at, heldout, directional, options_.linesearch);
+    log.alpha = ls.alpha;
+    if (ls.alpha > 0.0) {
+      prev_step.assign(n, 0.0f);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float step = static_cast<float>(ls.alpha) * direction[i];
+        prev_step[i] = step;
+        theta[i] += step;
+      }
+      heldout = ls.loss;
+    }
+    log.heldout_loss = heldout;
+    result.iterations.push_back(log);
+  }
+
+  compute.set_params(theta);
+  const nn::BatchLoss final_loss = compute.heldout_loss();
+  result.final_heldout_loss = final_loss.mean_loss();
+  result.final_heldout_accuracy = final_loss.accuracy();
+  return result;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,62 @@
+// Krylov subspace descent (Related Work, Sec. II: Vinyals & Povey [22]).
+//
+// Instead of running CG to (truncated) convergence like HF, KSD builds a
+// small Krylov basis {g, (G+lambda I)g, (G+lambda I)^2 g, ...}, solves the
+// projected quadratic exactly in that subspace, and line-searches the
+// resulting direction. It reuses HF's distributed primitives (full-data
+// gradient, sampled curvature products), so the comparison in
+// bench_optimizers isolates the optimizer, not the infrastructure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hf/compute.h"
+#include "hf/linesearch.h"
+
+namespace bgqhf::hf {
+
+struct KsdOptions {
+  std::size_t max_iterations = 20;
+  /// Krylov subspace dimension (Vinyals & Povey use ~20; small works for
+  /// small problems).
+  std::size_t subspace_dim = 8;
+  double lambda = 1.0;  // fixed damping on the curvature
+  LineSearchOptions linesearch;
+  std::uint64_t seed = 29;
+  /// Include the previous step as an extra basis vector (the paper's
+  /// momentum-like augmentation).
+  bool include_previous_step = true;
+};
+
+struct KsdIterationLog {
+  std::size_t iteration = 0;
+  double train_loss = 0.0;
+  double heldout_loss = 0.0;
+  double alpha = 0.0;
+  std::size_t basis_size = 0;
+};
+
+struct KsdResult {
+  std::vector<KsdIterationLog> iterations;
+  double final_heldout_loss = 0.0;
+  double final_heldout_accuracy = 0.0;
+};
+
+class KsdOptimizer {
+ public:
+  explicit KsdOptimizer(KsdOptions options) : options_(options) {}
+
+  KsdResult run(HfCompute& compute, std::span<float> theta);
+
+ private:
+  KsdOptions options_;
+};
+
+/// Solve the small SPD system A x = b in place by Cholesky; returns false
+/// if A is not numerically positive definite. Exposed for tests.
+bool solve_spd_inplace(std::vector<double>& a, std::size_t n,
+                       std::vector<double>& b);
+
+}  // namespace bgqhf::hf

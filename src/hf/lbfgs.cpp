@@ -1,0 +1,122 @@
+#include "hf/lbfgs.h"
+
+#include <deque>
+
+#include "blas/level1.h"
+
+namespace bgqhf::hf {
+
+LbfgsResult LbfgsOptimizer::run(HfCompute& compute, std::span<float> theta) {
+  const std::size_t n = compute.num_params();
+  if (theta.size() != n) {
+    throw std::invalid_argument("LbfgsOptimizer: theta size mismatch");
+  }
+
+  struct Pair {
+    std::vector<float> s;  // theta_{k+1} - theta_k
+    std::vector<float> y;  // g_{k+1} - g_k
+    double rho = 0.0;      // 1 / (y^T s)
+  };
+  std::deque<Pair> pairs;
+
+  LbfgsResult result;
+  std::vector<float> grad(n), prev_grad(n), direction(n), trial(n);
+
+  compute.set_params(theta);
+  double heldout = compute.heldout_loss().mean_loss();
+
+  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+    LbfgsIterationLog log;
+    log.iteration = iter;
+
+    compute.set_params(theta);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    const nn::BatchLoss train = compute.gradient(grad);
+    log.train_loss = train.mean_loss();
+    log.grad_norm = blas::nrm2<float>(grad);
+    if (log.grad_norm < options_.grad_tol) {
+      result.converged = true;
+      result.iterations.push_back(log);
+      break;
+    }
+
+    // Two-loop recursion: direction = -H_k * grad.
+    std::vector<float> q(grad.begin(), grad.end());
+    std::vector<double> alphas(pairs.size());
+    for (std::size_t i = pairs.size(); i-- > 0;) {
+      const Pair& p = pairs[i];
+      alphas[i] = p.rho * blas::dot<float>(p.s, q);
+      blas::axpy<float>(static_cast<float>(-alphas[i]), p.y, q);
+    }
+    // Initial Hessian scaling gamma = s^T y / y^T y (Nocedal & Wright).
+    if (!pairs.empty()) {
+      const Pair& last = pairs.back();
+      const double gamma = blas::dot<float>(last.s, last.y) /
+                           blas::dot<float>(last.y, last.y);
+      blas::scal<float>(static_cast<float>(gamma), q);
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& p = pairs[i];
+      const double beta = p.rho * blas::dot<float>(p.y, q);
+      blas::axpy<float>(static_cast<float>(alphas[i] - beta), p.s, q);
+    }
+    for (std::size_t i = 0; i < n; ++i) direction[i] = -q[i];
+
+    const double directional = blas::dot<float>(grad, direction);
+    auto loss_at = [&](double alpha) {
+      for (std::size_t i = 0; i < n; ++i) {
+        trial[i] = theta[i] + static_cast<float>(alpha) * direction[i];
+      }
+      compute.set_params(trial);
+      return compute.heldout_loss().mean_loss();
+    };
+    const LineSearchResult ls =
+        armijo_backtrack(loss_at, heldout, directional, options_.linesearch);
+    log.alpha = ls.alpha;
+
+    if (ls.alpha <= 0.0) {
+      // No improvement along the quasi-Newton direction: drop the history
+      // (restart as steepest descent) and retry next iteration.
+      pairs.clear();
+      log.heldout_loss = heldout;
+      result.iterations.push_back(log);
+      continue;
+    }
+
+    // Accept the step; form the new curvature pair.
+    std::copy(grad.begin(), grad.end(), prev_grad.begin());
+    Pair pair;
+    pair.s.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float step = static_cast<float>(ls.alpha) * direction[i];
+      pair.s[i] = step;
+      theta[i] += step;
+    }
+    compute.set_params(theta);
+    std::fill(grad.begin(), grad.end(), 0.0f);
+    compute.gradient(grad);
+    pair.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pair.y[i] = grad[i] - prev_grad[i];
+    }
+    const double sy = blas::dot<float>(pair.s, pair.y);
+    if (sy > options_.curvature_eps) {
+      pair.rho = 1.0 / sy;
+      pairs.push_back(std::move(pair));
+      if (pairs.size() > options_.history) pairs.pop_front();
+      log.pair_accepted = true;
+    }
+
+    heldout = ls.loss;
+    log.heldout_loss = heldout;
+    result.iterations.push_back(log);
+  }
+
+  compute.set_params(theta);
+  const nn::BatchLoss final_loss = compute.heldout_loss();
+  result.final_heldout_loss = final_loss.mean_loss();
+  result.final_heldout_accuracy = final_loss.accuracy();
+  return result;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,60 @@
+// Limited-memory BFGS baseline (Related Work, Sec. II-A).
+//
+// "Second-order batch methods, including conjugate gradient (CG) or
+// limited-memory BFGS (L-BFGS), generally compute the gradient over all of
+// the data rather than a mini-batch, and therefore are much easier to
+// parallelize [15]." This is that method, implemented over the same
+// HfCompute interface as Algorithm 1, so it inherits the full data-parallel
+// machinery (distributed gradients, broadcast weight sync) and can be
+// compared head-to-head in bench_optimizers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hf/compute.h"
+#include "hf/linesearch.h"
+
+namespace bgqhf::hf {
+
+struct LbfgsOptions {
+  std::size_t max_iterations = 20;
+  /// Number of (s, y) curvature pairs kept for the two-loop recursion.
+  std::size_t history = 10;
+  LineSearchOptions linesearch;
+  /// Stop when the gradient norm falls below this.
+  double grad_tol = 1e-7;
+  /// Skip curvature pairs with s^T y below this (maintains positive
+  /// definiteness of the implicit Hessian approximation).
+  double curvature_eps = 1e-10;
+};
+
+struct LbfgsIterationLog {
+  std::size_t iteration = 0;
+  double train_loss = 0.0;
+  double heldout_loss = 0.0;
+  double grad_norm = 0.0;
+  double alpha = 0.0;
+  bool pair_accepted = false;  // (s, y) stored this iteration
+};
+
+struct LbfgsResult {
+  std::vector<LbfgsIterationLog> iterations;
+  double final_heldout_loss = 0.0;
+  double final_heldout_accuracy = 0.0;
+  bool converged = false;  // grad_tol reached
+};
+
+class LbfgsOptimizer {
+ public:
+  explicit LbfgsOptimizer(LbfgsOptions options) : options_(options) {}
+
+  /// Optimize theta in place against compute's training gradient, using
+  /// the held-out loss for the line search (as Algorithm 1 does).
+  LbfgsResult run(HfCompute& compute, std::span<float> theta);
+
+ private:
+  LbfgsOptions options_;
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,39 @@
+#include "hf/linesearch.h"
+
+#include <limits>
+
+namespace bgqhf::hf {
+
+LineSearchResult armijo_backtrack(
+    const std::function<double(double)>& loss_at, double loss0,
+    double directional, const LineSearchOptions& options) {
+  LineSearchResult result;
+  double alpha = options.alpha0;
+  double best_alpha = 0.0;
+  double best_loss = loss0;
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    const double loss = loss_at(alpha);
+    ++result.evals;
+    if (loss < best_loss) {
+      best_loss = loss;
+      best_alpha = alpha;
+    }
+    if (loss <= loss0 + options.c * alpha * directional) {
+      result.alpha = alpha;
+      result.loss = loss;
+      result.satisfied = true;
+      return result;
+    }
+    alpha *= options.shrink;
+  }
+  // Sufficient decrease never certified; fall back to the best strict
+  // improvement seen (alpha = 0 if none) so the optimizer never steps
+  // uphill on the held-out loss.
+  result.alpha = best_alpha;
+  result.loss = best_loss;
+  result.satisfied = false;
+  return result;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,36 @@
+// Armijo backtracking line search (Algorithm 1's "parameter update ...
+// based on an Armijo rule backtracking line search").
+//
+// Given the chosen CG iterate d, find a step alpha along it satisfying
+// L(theta + alpha d) <= L(theta) + c * alpha * g^T d, halving alpha until
+// the condition holds (or the step budget runs out, in which case the best
+// alpha seen is returned).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+namespace bgqhf::hf {
+
+struct LineSearchOptions {
+  double c = 1e-4;         // Armijo sufficient-decrease constant
+  double shrink = 0.5;     // backtracking factor
+  double alpha0 = 1.0;     // initial step
+  std::size_t max_steps = 12;
+};
+
+struct LineSearchResult {
+  double alpha = 0.0;     // accepted step (0 = nothing improved)
+  double loss = 0.0;      // L(theta + alpha d)
+  std::size_t evals = 0;  // loss evaluations used
+  bool satisfied = false; // Armijo condition met (vs. best-effort fallback)
+};
+
+/// `loss_at(alpha)` must return L(theta + alpha * d). `directional` is
+/// g^T d (expected negative for a descent direction). `loss0` is L(theta).
+LineSearchResult armijo_backtrack(
+    const std::function<double(double)>& loss_at, double loss0,
+    double directional, const LineSearchOptions& options = {});
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,139 @@
+#include "hf/master_compute.h"
+
+#include <stdexcept>
+
+#include "util/timer.h"
+
+namespace bgqhf::hf {
+
+namespace {
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseStats* stats, Phase phase) : stats_(stats), phase_(phase) {}
+  ~PhaseTimer() {
+    if (stats_ != nullptr) stats_->add(phase_, timer_.seconds());
+  }
+
+ private:
+  PhaseStats* stats_;
+  Phase phase_;
+  util::Timer timer_;
+};
+}  // namespace
+
+MasterCompute::MasterCompute(simmpi::Comm& comm, std::size_t num_params,
+                             std::size_t total_train_frames,
+                             PhaseStats* stats)
+    : comm_(&comm),
+      num_params_(num_params),
+      train_frames_(total_train_frames),
+      stats_(stats) {
+  if (comm.rank() != 0) {
+    throw std::logic_error("MasterCompute must run on rank 0");
+  }
+}
+
+void MasterCompute::broadcast_command(Command cmd, std::uint64_t aux) {
+  std::vector<std::uint64_t> header{static_cast<std::uint64_t>(cmd), aux};
+  comm_->bcast(header, 0);
+}
+
+void MasterCompute::gather_sum(std::span<float> out) {
+  std::vector<float> zero(out.size(), 0.0f);
+  const std::vector<float> all = comm_->gather<float>(zero, 0);
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (int r = 1; r < comm_->size(); ++r) {
+    const float* slice = all.data() + static_cast<std::size_t>(r) * out.size();
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slice[i];
+  }
+}
+
+nn::BatchLoss MasterCompute::gather_loss_stats() {
+  std::vector<double> zero(kLossStatsLen, 0.0);
+  const std::vector<double> all = comm_->gather<double>(zero, 0);
+  nn::BatchLoss total;
+  for (int r = 1; r < comm_->size(); ++r) {
+    const double* s = all.data() + static_cast<std::size_t>(r) * kLossStatsLen;
+    total.loss_sum += s[0];
+    total.frames += static_cast<std::size_t>(s[1]);
+    total.correct += static_cast<std::size_t>(s[2]);
+  }
+  return total;
+}
+
+void MasterCompute::set_params(std::span<const float> theta) {
+  PhaseTimer timer(stats_, Phase::kSyncWeights);
+  broadcast_command(Command::kSetParams);
+  std::vector<float> buf(theta.begin(), theta.end());
+  comm_->bcast(buf, 0);  // the paper's sync_weights MPI_Bcast
+}
+
+nn::BatchLoss MasterCompute::gradient(std::span<float> grad_out) {
+  if (grad_out.size() != num_params_) {
+    throw std::invalid_argument("MasterCompute::gradient: size mismatch");
+  }
+  PhaseTimer timer(stats_, Phase::kGradient);
+  broadcast_command(Command::kGradient, /*aux=*/0);
+  gather_sum(grad_out);
+  const nn::BatchLoss total = gather_loss_stats();
+  if (total.frames == 0) {
+    throw std::logic_error("MasterCompute::gradient: no frames reported");
+  }
+  const float inv = 1.0f / static_cast<float>(total.frames);
+  for (auto& g : grad_out) g *= inv;
+  return total;
+}
+
+nn::BatchLoss MasterCompute::gradient_with_squares(
+    std::span<float> grad_out, std::span<float> grad_sq_out) {
+  if (grad_out.size() != num_params_ || grad_sq_out.size() != num_params_) {
+    throw std::invalid_argument(
+        "MasterCompute::gradient_with_squares: size mismatch");
+  }
+  PhaseTimer timer(stats_, Phase::kGradient);
+  broadcast_command(Command::kGradient, /*aux=*/1);
+  gather_sum(grad_out);
+  gather_sum(grad_sq_out);
+  const nn::BatchLoss total = gather_loss_stats();
+  if (total.frames == 0) {
+    throw std::logic_error("MasterCompute::gradient: no frames reported");
+  }
+  const float inv = 1.0f / static_cast<float>(total.frames);
+  for (auto& g : grad_out) g *= inv;
+  return total;
+}
+
+void MasterCompute::prepare_curvature(std::uint64_t seed) {
+  PhaseTimer timer(stats_, Phase::kCurvaturePrepare);
+  broadcast_command(Command::kPrepareCurvature, seed);
+  std::vector<double> zero(1, 0.0);
+  const std::vector<double> counts = comm_->gather<double>(zero, 0);
+  curvature_frames_ = 0;
+  for (int r = 1; r < comm_->size(); ++r) {
+    curvature_frames_ += static_cast<std::size_t>(counts[r]);
+  }
+}
+
+void MasterCompute::curvature_product(std::span<const float> v,
+                                      std::span<float> out) {
+  if (curvature_frames_ == 0) {
+    throw std::logic_error("curvature_product before prepare_curvature");
+  }
+  PhaseTimer timer(stats_, Phase::kCurvatureProduct);
+  broadcast_command(Command::kCurvatureProduct);
+  std::vector<float> buf(v.begin(), v.end());
+  comm_->bcast(buf, 0);
+  gather_sum(out);
+  const float inv = 1.0f / static_cast<float>(curvature_frames_);
+  for (auto& g : out) g *= inv;
+}
+
+nn::BatchLoss MasterCompute::heldout_loss() {
+  PhaseTimer timer(stats_, Phase::kHeldoutLoss);
+  broadcast_command(Command::kHeldoutLoss);
+  return gather_loss_stats();
+}
+
+void MasterCompute::shutdown() { broadcast_command(Command::kShutdown); }
+
+}  // namespace bgqhf::hf

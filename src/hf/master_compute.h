@@ -1,0 +1,56 @@
+// HfCompute implementation for the distributed master (rank 0).
+//
+// Each primitive is one broadcast command plus payload collectives; worker
+// sums arrive through gathers and are folded in rank order, making the
+// aggregate arithmetic identical to SerialCompute over the same shards.
+#pragma once
+
+#include <vector>
+
+#include "hf/compute.h"
+#include "hf/phase_stats.h"
+#include "hf/protocol.h"
+#include "simmpi/communicator.h"
+
+namespace bgqhf::hf {
+
+class MasterCompute : public HfCompute {
+ public:
+  /// `num_params` / `total_train_frames` are known to the master from the
+  /// shard-building phase. `stats`, when given, accumulates per-phase wall
+  /// time on the master side (the functional Figs. 2/4 instrumentation).
+  MasterCompute(simmpi::Comm& comm, std::size_t num_params,
+                std::size_t total_train_frames,
+                PhaseStats* stats = nullptr);
+
+  std::size_t num_params() const override { return num_params_; }
+  std::size_t total_train_frames() const override { return train_frames_; }
+
+  void set_params(std::span<const float> theta) override;
+  nn::BatchLoss gradient(std::span<float> grad_out) override;
+  nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_out, std::span<float> grad_sq_out) override;
+  void prepare_curvature(std::uint64_t seed) override;
+  void curvature_product(std::span<const float> v,
+                         std::span<float> out) override;
+  nn::BatchLoss heldout_loss() override;
+
+  /// Tell all workers to exit their loops. Call exactly once, after the
+  /// optimizer finishes.
+  void shutdown();
+
+ private:
+  void broadcast_command(Command cmd, std::uint64_t aux = 0);
+  /// Gather per-rank vectors of length n and fold worker slices (rank
+  /// order) into out; master's own contribution is zero.
+  void gather_sum(std::span<float> out);
+  nn::BatchLoss gather_loss_stats();
+
+  simmpi::Comm* comm_;
+  std::size_t num_params_;
+  std::size_t train_frames_;
+  std::size_t curvature_frames_ = 0;
+  PhaseStats* stats_;
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,81 @@
+// Hessian-free optimizer: the paper's Algorithm 1 (after Martens [10]).
+//
+// Outer loop per iteration:
+//   g <- grad L(theta) over all training data
+//   {d_1..d_N} <- CG-Minimize(q_theta, d_0) on G(theta) + lambda I
+//   backtrack over the iterate sequence against the held-out loss
+//   Levenberg-Marquardt lambda update from rho = (L_prev - L_best)/q(d_N)
+//   theta <- theta + alpha d_i (Armijo backtracking line search)
+//   d_0 <- beta d_N (CG restart momentum)
+//
+// The optimizer is agnostic to where sums come from (HfCompute), so the
+// same code runs serially and as the distributed master.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hf/cg.h"
+#include "hf/compute.h"
+#include "hf/damping.h"
+#include "hf/linesearch.h"
+
+namespace bgqhf::hf {
+
+struct HfOptions {
+  std::size_t max_iterations = 20;
+  DampingOptions damping;
+  CgOptions cg;
+  LineSearchOptions linesearch;
+  /// beta < 1.0 momentum: next CG starts from beta * d_N.
+  double momentum = 0.9;
+  /// Jacobi (diagonal) preconditioning of the CG solve — the extension the
+  /// paper defers ("currently does not use a preconditioner [25]").
+  bool use_preconditioner = false;
+  double preconditioner_exponent = 0.75;  // Martens' xi
+  /// Seed for the per-CG-call curvature resampling.
+  std::uint64_t seed = 7;
+  /// Early stop: relative held-out improvement below this for `patience`
+  /// consecutive iterations (0 disables, run all iterations).
+  double min_relative_improvement = 0.0;
+  std::size_t patience = 3;
+  bool verbose = false;
+};
+
+struct HfIterationLog {
+  std::size_t iteration = 0;
+  double train_loss = 0.0;      // mean CE over training data at iter start
+  double grad_norm = 0.0;
+  std::size_t cg_iterations = 0;
+  std::size_t num_iterates = 0;   // |{d_1..d_N}| recorded by CG
+  std::size_t chosen_iterate = 0; // index into the recorded sequence
+  double q_dn = 0.0;              // q(d_N), the model-predicted reduction
+  double rho = 0.0;
+  double lambda = 0.0;            // lambda used this iteration
+  double alpha = 0.0;             // accepted line-search step
+  double heldout_before = 0.0;
+  double heldout_after = 0.0;
+  bool failed = false;            // no iterate improved; theta unchanged
+  std::size_t heldout_evals = 0;  // loss evaluations (backtrack + Armijo)
+};
+
+struct HfResult {
+  std::vector<HfIterationLog> iterations;
+  double final_heldout_loss = 0.0;
+  double final_heldout_accuracy = 0.0;
+  bool early_stopped = false;
+};
+
+class HfOptimizer {
+ public:
+  explicit HfOptimizer(HfOptions options) : options_(std::move(options)) {}
+
+  /// Optimize theta in place. theta.size() must equal compute.num_params().
+  HfResult run(HfCompute& compute, std::span<float> theta);
+
+ private:
+  HfOptions options_;
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,29 @@
+#include "hf/phase_stats.h"
+
+#include <stdexcept>
+
+namespace bgqhf::hf {
+
+std::string to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kLoadData:
+      return "load_data";
+    case Phase::kSyncWeights:
+      return "sync_weights";
+    case Phase::kGradient:
+      return "gradient_loss";
+    case Phase::kCurvaturePrepare:
+      return "curvature_prepare";
+    case Phase::kCurvatureProduct:
+      return "curvature_product";
+    case Phase::kHeldoutLoss:
+      return "heldout_loss";
+    case Phase::kShutdown:
+      return "shutdown";
+    case Phase::kCount:
+      break;
+  }
+  throw std::invalid_argument("unknown Phase");
+}
+
+}  // namespace bgqhf::hf

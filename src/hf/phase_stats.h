@@ -1,0 +1,66 @@
+// Per-phase wall-time accounting for the functional distributed runtime.
+//
+// The paper instruments its production runs per function (load_data,
+// sync_weights, gradient_loss, worker_curvature_product, heldout_loss) and
+// charts them in Figs. 2-5. PhaseStats is the same instrumentation for our
+// functional layer: MasterCompute and worker_loop stamp every phase, so
+// small real runs produce measured tables with the same row labels the
+// model-based benches predict at scale.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace bgqhf::hf {
+
+enum class Phase {
+  kLoadData = 0,
+  kSyncWeights,
+  kGradient,
+  kCurvaturePrepare,
+  kCurvatureProduct,
+  kHeldoutLoss,
+  kShutdown,
+  kCount
+};
+
+std::string to_string(Phase phase);
+
+class PhaseStats {
+ public:
+  void add(Phase phase, double seconds) {
+    auto& slot = slots_[index(phase)];
+    slot.seconds += seconds;
+    ++slot.calls;
+  }
+
+  double seconds(Phase phase) const { return slots_[index(phase)].seconds; }
+  std::size_t calls(Phase phase) const { return slots_[index(phase)].calls; }
+
+  double total_seconds() const {
+    double total = 0.0;
+    for (const auto& slot : slots_) total += slot.seconds;
+    return total;
+  }
+
+  PhaseStats& operator+=(const PhaseStats& o) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].seconds += o.slots_[i].seconds;
+      slots_[i].calls += o.slots_[i].calls;
+    }
+    return *this;
+  }
+
+ private:
+  static std::size_t index(Phase phase) {
+    return static_cast<std::size_t>(phase);
+  }
+  struct Slot {
+    double seconds = 0.0;
+    std::size_t calls = 0;
+  };
+  std::array<Slot, static_cast<std::size_t>(Phase::kCount)> slots_{};
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,55 @@
+#include "hf/pretrain.h"
+
+#include <stdexcept>
+
+namespace bgqhf::hf {
+
+PretrainResult pretrain_layerwise(std::size_t input_dim,
+                                  const std::vector<std::size_t>& hidden,
+                                  std::size_t output_dim,
+                                  const speech::Dataset& train,
+                                  const speech::Dataset& heldout,
+                                  const PretrainOptions& options,
+                                  util::ThreadPool* pool) {
+  if (hidden.empty()) {
+    throw std::invalid_argument("pretrain_layerwise: no hidden layers");
+  }
+
+  PretrainResult result;
+  util::Rng rng(options.init_seed);
+  nn::Network prev;
+
+  for (std::size_t depth = 1; depth <= hidden.size(); ++depth) {
+    const std::vector<std::size_t> stack(hidden.begin(),
+                                         hidden.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 depth));
+    nn::Network net = nn::Network::mlp(input_dim, stack, output_dim);
+    net.init_glorot(rng);
+
+    // Transfer the already-trained hidden layers (0 .. depth-2) from the
+    // previous stage; the new hidden layer and the fresh output layer keep
+    // their random init.
+    for (std::size_t l = 0; l + 1 < depth; ++l) {
+      auto src = prev.layer(l);
+      auto dst = net.layer(l);
+      for (std::size_t r = 0; r < src.w.rows; ++r) {
+        for (std::size_t c = 0; c < src.w.cols; ++c) {
+          dst.w(r, c) = src.w(r, c);
+        }
+      }
+      for (std::size_t i = 0; i < src.b.size(); ++i) dst.b[i] = src.b[i];
+    }
+
+    SgdOptions sgd = options.sgd;
+    sgd.seed = options.sgd.seed + depth;  // fresh shuffles per stage
+    const SgdResult stage = train_sgd(net, train, heldout, sgd, pool);
+    result.stage_heldout_loss.push_back(stage.final_heldout_loss);
+    prev = std::move(net);
+  }
+
+  result.net = std::move(prev);
+  return result;
+}
+
+}  // namespace bgqhf::hf

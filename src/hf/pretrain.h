@@ -1,0 +1,48 @@
+// Greedy layer-wise discriminative pretraining.
+//
+// The paper's introduction credits "the development of pre-training
+// algorithms [2]" with making deep networks trainable, and its authors'
+// own systems ([7], [8]) use discriminative layer-wise pretraining: train
+// a 1-hidden-layer net briefly, insert a fresh hidden layer beneath the
+// output, retrain briefly, and repeat until the full depth is reached.
+// The result is an initialization for HF that starts well below a random
+// Glorot init on deep stacks.
+#pragma once
+
+#include <vector>
+
+#include "hf/sgd.h"
+#include "nn/network.h"
+#include "speech/dataset.h"
+
+namespace bgqhf::hf {
+
+struct PretrainOptions {
+  /// SGD schedule used for each intermediate depth (brief on purpose).
+  SgdOptions sgd;
+  std::uint64_t init_seed = 42;
+
+  PretrainOptions() {
+    sgd.epochs = 5;
+    sgd.batch_frames = 128;
+    sgd.learning_rate = 0.3;
+    sgd.lr_decay = 0.8;
+  }
+};
+
+struct PretrainResult {
+  nn::Network net;  // full-depth network, pretrained initialization
+  /// Held-out CE after each depth stage (hidden layers 1..N).
+  std::vector<double> stage_heldout_loss;
+};
+
+/// Build and pretrain an MLP of the given topology on (train, heldout).
+PretrainResult pretrain_layerwise(std::size_t input_dim,
+                                  const std::vector<std::size_t>& hidden,
+                                  std::size_t output_dim,
+                                  const speech::Dataset& train,
+                                  const speech::Dataset& heldout,
+                                  const PretrainOptions& options = {},
+                                  util::ThreadPool* pool = nullptr);
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,47 @@
+// Master/worker wire protocol.
+//
+// The paper's architecture: "a master/worker architecture in which worker
+// processes ... perform data-parallel computation of gradients and
+// curvature matrix-vector products and the master implements the
+// Hessian-free optimization and coordinates the activity of the workers.
+// All communication between the master and workers is via MPI." (Sec. IV)
+//
+// Commands are broadcast from rank 0 (the master) as a small fixed-size
+// header, optionally followed by payload collectives; workers reply
+// through gathers, which the master folds in rank order so the arithmetic
+// matches SerialCompute exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace bgqhf::hf {
+
+enum class Command : std::uint64_t {
+  kSetParams = 1,         // followed by bcast of theta (sync_weights)
+  kGradient = 2,          // workers gather grad sums + loss stats;
+                          // aux=1 additionally gathers squared-grad sums
+  kPrepareCurvature = 3,  // aux = sample seed; workers gather sample frames
+  kCurvatureProduct = 4,  // followed by bcast of v; workers gather products
+  kHeldoutLoss = 5,       // workers gather held-out loss stats
+  kShutdown = 6,          // workers exit their loop
+};
+
+/// Fixed header broadcast before every operation: {command, aux}.
+struct CommandHeader {
+  Command command;
+  std::uint64_t aux = 0;
+};
+
+/// Loss statistics exchanged as a flat double triple so they ride a plain
+/// gather: {loss_sum, frames, correct}.
+inline constexpr std::size_t kLossStatsLen = 3;
+
+/// Tags for the load_data point-to-point shard distribution phase.
+inline constexpr int kTagShardMeta = 100;    // offsets + dims
+inline constexpr int kTagShardLabels = 101;
+inline constexpr int kTagShardX = 102;
+inline constexpr int kTagShardHeldMeta = 103;
+inline constexpr int kTagShardHeldLabels = 104;
+inline constexpr int kTagShardHeldX = 105;
+
+}  // namespace bgqhf::hf

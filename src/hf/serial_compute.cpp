@@ -1,0 +1,95 @@
+#include "hf/serial_compute.h"
+
+#include <stdexcept>
+
+namespace bgqhf::hf {
+
+SerialCompute::SerialCompute(std::vector<std::unique_ptr<Workload>> shards)
+    : shards_(std::move(shards)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument("SerialCompute: needs at least one shard");
+  }
+  for (const auto& s : shards_) {
+    if (s->num_params() != shards_.front()->num_params()) {
+      throw std::invalid_argument("SerialCompute: shard param mismatch");
+    }
+    train_frames_ += s->train_frames();
+  }
+  scratch_.resize(shards_.front()->num_params());
+}
+
+std::size_t SerialCompute::num_params() const {
+  return shards_.front()->num_params();
+}
+
+void SerialCompute::set_params(std::span<const float> theta) {
+  for (auto& s : shards_) s->set_params(theta);
+}
+
+nn::BatchLoss SerialCompute::gradient(std::span<float> grad_out) {
+  std::fill(grad_out.begin(), grad_out.end(), 0.0f);
+  nn::BatchLoss total;
+  // Sum per-shard contributions in shard order — the same order the
+  // distributed master applies gathered worker sums.
+  for (auto& s : shards_) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0f);
+    total += s->gradient(scratch_);
+    for (std::size_t i = 0; i < grad_out.size(); ++i) {
+      grad_out[i] += scratch_[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(total.frames);
+  for (auto& g : grad_out) g *= inv;
+  return total;
+}
+
+nn::BatchLoss SerialCompute::gradient_with_squares(
+    std::span<float> grad_out, std::span<float> grad_sq_out) {
+  std::fill(grad_out.begin(), grad_out.end(), 0.0f);
+  std::fill(grad_sq_out.begin(), grad_sq_out.end(), 0.0f);
+  std::vector<float> sq_scratch(grad_sq_out.size());
+  nn::BatchLoss total;
+  for (auto& s : shards_) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0f);
+    std::fill(sq_scratch.begin(), sq_scratch.end(), 0.0f);
+    total += s->gradient_with_squares(scratch_, sq_scratch);
+    for (std::size_t i = 0; i < grad_out.size(); ++i) {
+      grad_out[i] += scratch_[i];
+      grad_sq_out[i] += sq_scratch[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(total.frames);
+  for (auto& g : grad_out) g *= inv;
+  return total;
+}
+
+void SerialCompute::prepare_curvature(std::uint64_t seed) {
+  curvature_frames_ = 0;
+  for (auto& s : shards_) {
+    s->prepare_curvature(seed);
+    curvature_frames_ += s->curvature_frames();
+  }
+}
+
+void SerialCompute::curvature_product(std::span<const float> v,
+                                      std::span<float> out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (auto& s : shards_) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0f);
+    s->curvature_product(v, scratch_);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scratch_[i];
+  }
+  if (curvature_frames_ == 0) {
+    throw std::logic_error("curvature_product before prepare_curvature");
+  }
+  const float inv = 1.0f / static_cast<float>(curvature_frames_);
+  for (auto& g : out) g *= inv;
+}
+
+nn::BatchLoss SerialCompute::heldout_loss() {
+  nn::BatchLoss total;
+  for (auto& s : shards_) total += s->heldout_loss();
+  return total;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,43 @@
+// Serial aggregation over one or more workload shards.
+//
+// With a single shard this is plain single-process HF training. With
+// several shards it mimics the distributed master's arithmetic exactly:
+// per-shard sums are accumulated in shard order into the same kind of
+// accumulator the master uses, so a distributed run over N workers and a
+// serial run over the same N shards produce bitwise-identical trajectories
+// — the strong form of the paper's "no loss in accuracy" claim, asserted
+// in tests/hf/distributed_equivalence_test.cpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hf/compute.h"
+#include "hf/workload.h"
+
+namespace bgqhf::hf {
+
+class SerialCompute : public HfCompute {
+ public:
+  explicit SerialCompute(std::vector<std::unique_ptr<Workload>> shards);
+
+  std::size_t num_params() const override;
+  std::size_t total_train_frames() const override { return train_frames_; }
+
+  void set_params(std::span<const float> theta) override;
+  nn::BatchLoss gradient(std::span<float> grad_out) override;
+  nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_out, std::span<float> grad_sq_out) override;
+  void prepare_curvature(std::uint64_t seed) override;
+  void curvature_product(std::span<const float> v,
+                         std::span<float> out) override;
+  nn::BatchLoss heldout_loss() override;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> shards_;
+  std::size_t train_frames_ = 0;
+  std::size_t curvature_frames_ = 0;
+  std::vector<float> scratch_;
+};
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,120 @@
+#include "hf/sgd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/backprop.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace bgqhf::hf {
+
+namespace {
+
+nn::BatchLoss heldout_loss(const nn::Network& net,
+                           const speech::Dataset& heldout,
+                           std::size_t batch_frames,
+                           util::ThreadPool* pool) {
+  nn::BatchLoss total;
+  const std::size_t frames = heldout.num_frames();
+  for (std::size_t begin = 0; begin < frames; begin += batch_frames) {
+    const std::size_t count = std::min(batch_frames, frames - begin);
+    const auto x = heldout.x.view().block(begin, 0, count, heldout.x.cols());
+    const blas::Matrix<float> logits = net.forward_logits(x, pool);
+    total += nn::softmax_xent(
+        logits.view(),
+        std::span<const int>(heldout.labels).subspan(begin, count));
+  }
+  return total;
+}
+
+}  // namespace
+
+SgdResult train_sgd(nn::Network& net, const speech::Dataset& train,
+                    const speech::Dataset& heldout, const SgdOptions& options,
+                    util::ThreadPool* pool) {
+  const std::size_t frames = train.num_frames();
+  if (frames == 0) throw std::invalid_argument("train_sgd: empty dataset");
+  if (options.batch_frames == 0) {
+    throw std::invalid_argument("train_sgd: batch_frames must be > 0");
+  }
+
+  const std::size_t n = net.num_params();
+  const std::size_t dim = train.x.cols();
+  std::vector<float> grad(n), velocity(n, 0.0f);
+  std::vector<std::size_t> order(frames);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::Rng rng(options.seed);
+
+  // Scratch minibatch assembled by gathering shuffled frames.
+  blas::Matrix<float> batch_x(options.batch_frames, dim);
+  std::vector<int> batch_labels(options.batch_frames);
+
+  SgdResult result;
+  double lr = options.learning_rate;
+
+  for (std::size_t epoch = 1; epoch <= options.epochs; ++epoch) {
+    // Fisher-Yates reshuffle, deterministic in (seed, epoch order).
+    for (std::size_t i = frames - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.below(i + 1)]);
+    }
+
+    double epoch_loss_sum = 0.0;
+    std::size_t epoch_frames = 0;
+    for (std::size_t begin = 0; begin < frames;
+         begin += options.batch_frames) {
+      const std::size_t count =
+          std::min(options.batch_frames, frames - begin);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src = order[begin + i];
+        for (std::size_t c = 0; c < dim; ++c) {
+          batch_x(i, c) = train.x(src, c);
+        }
+        batch_labels[i] = train.labels[src];
+      }
+      const auto x = batch_x.view().block(0, 0, count, dim);
+      const nn::ForwardCache cache = net.forward(x, pool);
+      blas::Matrix<float> delta(count, net.output_dim());
+      auto dv = delta.view();
+      const nn::BatchLoss loss = nn::softmax_xent(
+          cache.logits(),
+          std::span<const int>(batch_labels).subspan(0, count), &dv);
+      epoch_loss_sum += loss.loss_sum;
+      epoch_frames += loss.frames;
+
+      std::fill(grad.begin(), grad.end(), 0.0f);
+      nn::accumulate_gradient(net, x, cache, std::move(delta), grad, pool);
+
+      // velocity = momentum * velocity - lr * (grad / count + wd * theta)
+      const float scale = static_cast<float>(lr / count);
+      const float wd = static_cast<float>(lr * options.weight_decay);
+      auto params = net.params();
+      for (std::size_t i = 0; i < n; ++i) {
+        velocity[i] = static_cast<float>(options.momentum) * velocity[i] -
+                      scale * grad[i] - wd * params[i];
+        params[i] += velocity[i];
+      }
+      ++result.updates;
+    }
+
+    const nn::BatchLoss held =
+        heldout_loss(net, heldout, options.batch_frames, pool);
+    SgdEpochLog log;
+    log.epoch = epoch;
+    log.train_loss = epoch_loss_sum / std::max<std::size_t>(1, epoch_frames);
+    log.heldout_loss = held.mean_loss();
+    log.heldout_accuracy = held.accuracy();
+    log.learning_rate = lr;
+    result.epochs.push_back(log);
+    lr *= options.lr_decay;
+  }
+
+  const nn::BatchLoss final_loss =
+      heldout_loss(net, heldout, options.batch_frames, pool);
+  result.final_heldout_loss = final_loss.mean_loss();
+  result.final_heldout_accuracy = final_loss.accuracy();
+  return result;
+}
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,53 @@
+// Mini-batch stochastic gradient descent baseline.
+//
+// The paper's Related Work (Sec. II-A) frames HF against SGD: "to date the
+// most popular methodology to train DNNs is the first-order stochastic
+// gradient descent optimization technique, which is a serial algorithm";
+// parallelizing it is defeated by per-minibatch communication ([9], [13]).
+// This trainer is the serial baseline used by bench_sgd_vs_hf to
+// reproduce that comparison, and bgq::sgd_model models its (non-)scaling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+#include "speech/dataset.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::hf {
+
+struct SgdOptions {
+  std::size_t epochs = 5;
+  std::size_t batch_frames = 256;  // paper: "on the order of 100-1,000"
+  double learning_rate = 0.1;
+  double momentum = 0.9;
+  /// Learning rate is multiplied by this after every epoch.
+  double lr_decay = 0.9;
+  /// L2 regularization strength (0 disables).
+  double weight_decay = 0.0;
+  std::uint64_t seed = 17;
+};
+
+struct SgdEpochLog {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;  // mean over the epoch's minibatches
+  double heldout_loss = 0.0;
+  double heldout_accuracy = 0.0;
+  double learning_rate = 0.0;
+};
+
+struct SgdResult {
+  std::vector<SgdEpochLog> epochs;
+  double final_heldout_loss = 0.0;
+  double final_heldout_accuracy = 0.0;
+  std::size_t updates = 0;  // total parameter updates applied
+};
+
+/// Train `net` in place with cross-entropy mini-batch SGD. Frames are
+/// reshuffled every epoch (deterministic in options.seed).
+SgdResult train_sgd(nn::Network& net, const speech::Dataset& train,
+                    const speech::Dataset& heldout, const SgdOptions& options,
+                    util::ThreadPool* pool = nullptr);
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,296 @@
+#include "hf/trainer.h"
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+#include "hf/master_compute.h"
+#include "hf/pretrain.h"
+#include "hf/protocol.h"
+#include "hf/serial_compute.h"
+#include "hf/worker.h"
+#include "nn/rbm.h"
+#include "simmpi/communicator.h"
+#include "util/timer.h"
+
+namespace bgqhf::hf {
+
+namespace {
+
+std::vector<std::size_t> utterance_lengths(const speech::Corpus& corpus) {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(corpus.utterances.size());
+  for (const auto& u : corpus.utterances) lengths.push_back(u.num_frames());
+  return lengths;
+}
+
+// ---- dataset wire format (load_data phase, p2p) ----
+
+void send_dataset(simmpi::Comm& comm, int dest, const speech::Dataset& ds,
+                  int meta_tag, int labels_tag, int x_tag) {
+  std::vector<std::uint64_t> meta;
+  meta.push_back(ds.x.rows());
+  meta.push_back(ds.x.cols());
+  meta.push_back(ds.offsets.size());
+  for (const auto o : ds.offsets) meta.push_back(o);
+  comm.send<std::uint64_t>(meta, dest, meta_tag);
+  comm.send<int>(ds.labels, dest, labels_tag);
+  comm.send<float>(std::span<const float>(ds.x.data(), ds.x.size()), dest,
+                   x_tag);
+}
+
+speech::Dataset recv_dataset(simmpi::Comm& comm, int src, int meta_tag,
+                             int labels_tag, int x_tag) {
+  const std::vector<std::uint64_t> meta =
+      comm.recv<std::uint64_t>(src, meta_tag);
+  if (meta.size() < 3) throw std::logic_error("recv_dataset: bad meta");
+  speech::Dataset ds;
+  const std::size_t rows = meta[0];
+  const std::size_t cols = meta[1];
+  const std::size_t num_offsets = meta[2];
+  ds.offsets.assign(meta.begin() + 3,
+                    meta.begin() + 3 + static_cast<std::ptrdiff_t>(num_offsets));
+  ds.labels = comm.recv<int>(src, labels_tag);
+  const std::vector<float> x = comm.recv<float>(src, x_tag);
+  if (x.size() != rows * cols || ds.labels.size() != rows) {
+    throw std::logic_error("recv_dataset: size mismatch");
+  }
+  ds.x = blas::Matrix<float>(rows, cols);
+  std::copy(x.begin(), x.end(), ds.x.data());
+  return ds;
+}
+
+// ---- network/criterion config wire format (broadcast once) ----
+
+std::vector<std::uint64_t> encode_config(const TrainerConfig& config,
+                                         const Shards& shards) {
+  std::vector<std::uint64_t> blob;
+  blob.push_back(shards.net.input_dim());
+  blob.push_back(shards.num_states);
+  blob.push_back(config.hidden.size());
+  for (const auto h : config.hidden) blob.push_back(h);
+  blob.push_back(static_cast<std::uint64_t>(config.criterion));
+  blob.push_back(config.batch_frames);
+  blob.push_back(std::bit_cast<std::uint64_t>(config.curvature_fraction));
+  blob.push_back(std::bit_cast<std::uint64_t>(shards.advance_prob));
+  return blob;
+}
+
+struct DecodedConfig {
+  std::size_t input_dim = 0;
+  std::size_t num_states = 0;
+  std::vector<std::size_t> hidden;
+  Criterion criterion = Criterion::kCrossEntropy;
+  std::size_t batch_frames = 0;
+  double curvature_fraction = 0.0;
+  double advance_prob = 0.0;
+};
+
+DecodedConfig decode_config(const std::vector<std::uint64_t>& blob) {
+  if (blob.size() < 4) throw std::logic_error("decode_config: short blob");
+  DecodedConfig cfg;
+  std::size_t i = 0;
+  cfg.input_dim = blob[i++];
+  cfg.num_states = blob[i++];
+  const std::size_t nh = blob[i++];
+  for (std::size_t h = 0; h < nh; ++h) cfg.hidden.push_back(blob[i++]);
+  cfg.criterion = static_cast<Criterion>(blob[i++]);
+  cfg.batch_frames = blob[i++];
+  cfg.curvature_fraction = std::bit_cast<double>(blob[i++]);
+  cfg.advance_prob = std::bit_cast<double>(blob[i++]);
+  return cfg;
+}
+
+}  // namespace
+
+SpeechWorkloadOptions make_workload_options(const TrainerConfig& config,
+                                            std::size_t num_states,
+                                            double advance_prob,
+                                            util::ThreadPool* pool) {
+  SpeechWorkloadOptions opts;
+  opts.criterion = config.criterion;
+  opts.batch_frames = config.batch_frames;
+  opts.curvature_fraction = config.curvature_fraction;
+  opts.pool = pool;
+  if (config.criterion == Criterion::kSequence) {
+    opts.transitions =
+        nn::TransitionModel::left_to_right(num_states, advance_prob);
+  }
+  return opts;
+}
+
+Shards build_shards(const TrainerConfig& config) {
+  if (config.workers <= 0) {
+    throw std::invalid_argument("TrainerConfig: workers must be > 0");
+  }
+  Shards shards;
+  speech::Corpus corpus = speech::generate_corpus(config.corpus);
+  speech::Corpus heldout =
+      speech::split_heldout(corpus, config.heldout_every_kth);
+  if (heldout.utterances.empty()) {
+    // Algorithm 1 steers entirely by the held-out loss; an empty held-out
+    // set would make every iteration "fail" silently.
+    throw std::invalid_argument(
+        "build_shards: corpus too small for heldout_every_kth=" +
+        std::to_string(config.heldout_every_kth) +
+        " (got " + std::to_string(corpus.utterances.size()) +
+        " training utterances, 0 held-out); increase corpus.hours or "
+        "lower heldout_every_kth");
+  }
+  if (corpus.utterances.empty()) {
+    throw std::invalid_argument("build_shards: no training utterances");
+  }
+  if (config.speaker_cmvn) {
+    speech::apply_speaker_cmvn(corpus);
+    speech::apply_speaker_cmvn(heldout);
+  }
+  const speech::Normalizer norm = speech::estimate_normalizer(corpus);
+
+  const std::size_t workers = static_cast<std::size_t>(config.workers);
+  const speech::Partition train_part = speech::partition_utterances(
+      utterance_lengths(corpus), workers, config.partition);
+  const speech::Partition held_part = speech::partition_utterances(
+      utterance_lengths(heldout), workers,
+      speech::PartitionStrategy::kNaiveEqualCount);
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    shards.train.push_back(speech::build_dataset(
+        corpus, train_part.assignment[w], &norm, config.context));
+    shards.heldout.push_back(speech::build_dataset(
+        heldout, held_part.assignment[w], &norm, config.context));
+    shards.total_train_frames += shards.train.back().num_frames();
+  }
+
+  shards.num_states = corpus.num_states;
+  shards.advance_prob = 1.0 / config.corpus.state_dwell_frames;
+  const std::size_t input_dim =
+      speech::stacked_dim(corpus.feature_dim, config.context);
+  switch (config.init) {
+    case InitScheme::kGlorot: {
+      shards.net =
+          nn::Network::mlp(input_dim, config.hidden, corpus.num_states);
+      util::Rng init_rng(config.init_seed);
+      shards.net.init_glorot(init_rng);
+      break;
+    }
+    case InitScheme::kLayerwise: {
+      // Pretraining sees the whole training set (the master does this
+      // once, before sharding, so serial and distributed runs agree).
+      const speech::Dataset full_train =
+          speech::build_full_dataset(corpus, &norm, config.context);
+      const speech::Dataset full_held =
+          speech::build_full_dataset(heldout, &norm, config.context);
+      PretrainOptions pre;
+      pre.init_seed = config.init_seed;
+      shards.net = pretrain_layerwise(input_dim, config.hidden,
+                                      corpus.num_states, full_train,
+                                      full_held, pre, config.pool)
+                       .net;
+      break;
+    }
+    case InitScheme::kRbm: {
+      const speech::Dataset full_train =
+          speech::build_full_dataset(corpus, &norm, config.context);
+      nn::RbmOptions rbm;
+      rbm.seed = config.init_seed;
+      rbm.gaussian_visible = true;
+      shards.net = nn::rbm_pretrain_network(
+          full_train.x.view(), config.hidden, corpus.num_states, rbm);
+      break;
+    }
+  }
+  return shards;
+}
+
+TrainOutcome train_serial(const TrainerConfig& config) {
+  Shards shards = build_shards(config);
+  const SpeechWorkloadOptions wl_opts = make_workload_options(
+      config, shards.num_states, shards.advance_prob, config.pool);
+
+  std::vector<std::unique_ptr<Workload>> workloads;
+  for (std::size_t w = 0; w < shards.train.size(); ++w) {
+    workloads.push_back(std::make_unique<SpeechWorkload>(
+        shards.net, std::move(shards.train[w]), std::move(shards.heldout[w]),
+        w, wl_opts));
+  }
+  SerialCompute compute(std::move(workloads));
+
+  TrainOutcome out;
+  out.theta.assign(shards.net.params().begin(), shards.net.params().end());
+  out.num_params = shards.net.num_params();
+  HfOptimizer optimizer(config.hf);
+  util::Timer timer;
+  out.hf = optimizer.run(compute, out.theta);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+TrainOutcome train_distributed(const TrainerConfig& config) {
+  TrainOutcome out;
+  out.worker_phases.assign(static_cast<std::size_t>(config.workers),
+                           PhaseStats{});
+  simmpi::World world(config.workers + 1);
+  simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      // ---- master ----
+      Shards shards = build_shards(config);
+      std::vector<std::uint64_t> blob = encode_config(config, shards);
+      comm.bcast(blob, 0);
+      // load_data: ship each worker its shard over point-to-point sends
+      // (the phase Figures 2/4 chart as load_data).
+      util::Timer load_timer;
+      for (int w = 0; w < config.workers; ++w) {
+        const auto shard = static_cast<std::size_t>(w);
+        send_dataset(comm, w + 1, shards.train[shard], kTagShardMeta,
+                     kTagShardLabels, kTagShardX);
+        send_dataset(comm, w + 1, shards.heldout[shard], kTagShardHeldMeta,
+                     kTagShardHeldLabels, kTagShardHeldX);
+      }
+      out.master_phases.add(Phase::kLoadData, load_timer.seconds());
+      MasterCompute compute(comm, shards.net.num_params(),
+                            shards.total_train_frames, &out.master_phases);
+      out.theta.assign(shards.net.params().begin(),
+                       shards.net.params().end());
+      out.num_params = shards.net.num_params();
+      HfOptimizer optimizer(config.hf);
+      util::Timer timer;
+      out.hf = optimizer.run(compute, out.theta);
+      out.seconds = timer.seconds();
+      compute.shutdown();
+    } else {
+      // ---- worker ----
+      std::vector<std::uint64_t> blob;
+      comm.bcast(blob, 0);
+      const DecodedConfig dc = decode_config(blob);
+      PhaseStats& phases =
+          out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)];
+      util::Timer load_timer;
+      speech::Dataset train = recv_dataset(comm, 0, kTagShardMeta,
+                                           kTagShardLabels, kTagShardX);
+      speech::Dataset heldout =
+          recv_dataset(comm, 0, kTagShardHeldMeta, kTagShardHeldLabels,
+                       kTagShardHeldX);
+      phases.add(Phase::kLoadData, load_timer.seconds());
+      nn::Network net =
+          nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);
+      SpeechWorkloadOptions wl_opts;
+      wl_opts.criterion = dc.criterion;
+      wl_opts.batch_frames = dc.batch_frames;
+      wl_opts.curvature_fraction = dc.curvature_fraction;
+      wl_opts.pool = nullptr;
+      if (dc.criterion == Criterion::kSequence) {
+        wl_opts.transitions = nn::TransitionModel::left_to_right(
+            dc.num_states, dc.advance_prob);
+      }
+      SpeechWorkload workload(std::move(net), std::move(train),
+                              std::move(heldout),
+                              static_cast<std::size_t>(comm.rank() - 1),
+                              wl_opts);
+      worker_loop(comm, workload, &phases);
+    }
+  });
+  out.comm = world.total_stats();
+  return out;
+}
+
+}  // namespace bgqhf::hf

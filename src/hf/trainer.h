@@ -1,0 +1,95 @@
+// End-to-end training drivers.
+//
+// train_serial() and train_distributed() run the *same* Algorithm-1
+// optimizer over the *same* shards; the only difference is whether shard
+// sums are folded locally (SerialCompute) or gathered over simmpi
+// (MasterCompute + worker_loop). Their training trajectories are bitwise
+// identical, which is the reproducible form of the paper's "no loss in
+// accuracy" scaling claim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hf/optimizer.h"
+#include "hf/phase_stats.h"
+#include "hf/speech_workload.h"
+#include "nn/network.h"
+#include "simmpi/stats.h"
+#include "speech/corpus.h"
+#include "speech/partition.h"
+
+namespace bgqhf::hf {
+
+/// How the network is initialized before HF fine-tuning (paper Sec. I:
+/// pre-training [2] and better random initialization [3]).
+enum class InitScheme {
+  kGlorot,     // random init [3]
+  kLayerwise,  // greedy discriminative layer-wise pretraining [7]
+  kRbm,        // RBM/CD-1 generative pretraining [2]
+};
+
+struct TrainerConfig {
+  /// Worker count; the distributed run uses workers+1 ranks (rank 0 is the
+  /// master and holds no data, per the paper's one-layer architecture).
+  int workers = 4;
+  speech::CorpusSpec corpus;
+  /// +/- context frames stacked into each network input.
+  std::size_t context = 2;
+  std::vector<std::size_t> hidden{32, 32};
+  Criterion criterion = Criterion::kCrossEntropy;
+  speech::PartitionStrategy partition =
+      speech::PartitionStrategy::kSortedBalanced;
+  /// Every k-th utterance goes to the held-out set.
+  std::size_t heldout_every_kth = 5;
+  /// Apply per-speaker CMVN before the global normalizer (standard speech
+  /// front-end; removes channel/speaker offsets).
+  bool speaker_cmvn = false;
+  /// Network initialization before HF (pretraining runs at shard-building
+  /// time, identically in serial and distributed runs).
+  InitScheme init = InitScheme::kGlorot;
+  double curvature_fraction = 0.02;
+  std::size_t batch_frames = 1024;
+  HfOptions hf;
+  std::uint64_t init_seed = 42;
+  /// Compute pool for GEMMs (shared across shards in serial mode; ignored
+  /// in distributed mode where each worker rank is already a thread).
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Per-worker data shards plus the initialized network.
+struct Shards {
+  nn::Network net;
+  std::vector<speech::Dataset> train;
+  std::vector<speech::Dataset> heldout;
+  std::size_t num_states = 0;
+  double advance_prob = 0.0;  // transition model parameter (sequence crit.)
+  std::size_t total_train_frames = 0;
+};
+
+/// Deterministically build shards from the config (corpus synthesis,
+/// held-out split, normalization, partitioning, network init).
+Shards build_shards(const TrainerConfig& config);
+
+/// Build the workload for one shard (shared by serial and worker paths).
+SpeechWorkloadOptions make_workload_options(const TrainerConfig& config,
+                                            std::size_t num_states,
+                                            double advance_prob,
+                                            util::ThreadPool* pool);
+
+struct TrainOutcome {
+  HfResult hf;
+  std::vector<float> theta;
+  std::size_t num_params = 0;
+  simmpi::CommStats comm;  // all-zero for serial runs
+  double seconds = 0.0;
+  /// Measured per-phase wall time (distributed runs only): the functional
+  /// analogue of the paper's Figs. 2-5 instrumentation.
+  PhaseStats master_phases;
+  std::vector<PhaseStats> worker_phases;  // indexed by worker (rank - 1)
+};
+
+TrainOutcome train_serial(const TrainerConfig& config);
+TrainOutcome train_distributed(const TrainerConfig& config);
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,91 @@
+#include "hf/worker.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "hf/protocol.h"
+#include "util/timer.h"
+
+namespace bgqhf::hf {
+
+void worker_loop(simmpi::Comm& comm, Workload& workload, PhaseStats* stats) {
+  if (comm.rank() == 0) {
+    throw std::logic_error("worker_loop must not run on the master rank");
+  }
+  const std::size_t n = workload.num_params();
+  std::vector<float> scratch(n);
+
+  auto reply_loss_stats = [&](const nn::BatchLoss& loss) {
+    const std::vector<double> flat{loss.loss_sum,
+                                   static_cast<double>(loss.frames),
+                                   static_cast<double>(loss.correct)};
+    comm.gather<double>(flat, 0);
+  };
+  auto stamp = [&](Phase phase, const util::Timer& timer) {
+    if (stats != nullptr) stats->add(phase, timer.seconds());
+  };
+
+  for (;;) {
+    std::vector<std::uint64_t> header;
+    comm.bcast(header, 0);
+    if (header.size() != 2) {
+      throw std::logic_error("worker_loop: malformed command header");
+    }
+    util::Timer timer;
+    switch (static_cast<Command>(header[0])) {
+      case Command::kSetParams: {
+        std::vector<float> theta;
+        comm.bcast(theta, 0);
+        workload.set_params(theta);
+        stamp(Phase::kSyncWeights, timer);
+        break;
+      }
+      case Command::kGradient: {
+        std::fill(scratch.begin(), scratch.end(), 0.0f);
+        if (header[1] == 0) {
+          const nn::BatchLoss loss = workload.gradient(scratch);
+          comm.gather<float>(scratch, 0);
+          reply_loss_stats(loss);
+        } else {
+          // aux == 1: the master also wants squared-gradient sums for the
+          // Jacobi preconditioner.
+          std::vector<float> squares(n, 0.0f);
+          const nn::BatchLoss loss =
+              workload.gradient_with_squares(scratch, squares);
+          comm.gather<float>(scratch, 0);
+          comm.gather<float>(squares, 0);
+          reply_loss_stats(loss);
+        }
+        stamp(Phase::kGradient, timer);
+        break;
+      }
+      case Command::kPrepareCurvature: {
+        workload.prepare_curvature(header[1]);
+        const std::vector<double> count{
+            static_cast<double>(workload.curvature_frames())};
+        comm.gather<double>(count, 0);
+        stamp(Phase::kCurvaturePrepare, timer);
+        break;
+      }
+      case Command::kCurvatureProduct: {
+        std::vector<float> v;
+        comm.bcast(v, 0);
+        std::fill(scratch.begin(), scratch.end(), 0.0f);
+        workload.curvature_product(v, scratch);
+        comm.gather<float>(scratch, 0);
+        stamp(Phase::kCurvatureProduct, timer);
+        break;
+      }
+      case Command::kHeldoutLoss: {
+        reply_loss_stats(workload.heldout_loss());
+        stamp(Phase::kHeldoutLoss, timer);
+        break;
+      }
+      case Command::kShutdown:
+        stamp(Phase::kShutdown, timer);
+        return;
+    }
+  }
+}
+
+}  // namespace bgqhf::hf

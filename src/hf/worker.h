@@ -1,0 +1,18 @@
+// Worker-side command loop.
+#pragma once
+
+#include "hf/phase_stats.h"
+#include "hf/workload.h"
+#include "simmpi/communicator.h"
+
+namespace bgqhf::hf {
+
+/// Serve master commands until kShutdown. The workload computes local
+/// unnormalized sums; every reply is a gather the master folds in rank
+/// order. Must be called by every rank except 0, in lockstep with a
+/// MasterCompute on rank 0. `stats`, when given, accumulates per-phase
+/// wall time (compute + the gathers that conclude each phase).
+void worker_loop(simmpi::Comm& comm, Workload& workload,
+                 PhaseStats* stats = nullptr);
+
+}  // namespace bgqhf::hf

@@ -1,0 +1,45 @@
+#include "nn/backprop.h"
+
+#include <stdexcept>
+
+#include "blas/gemm.h"
+
+namespace bgqhf::nn {
+
+void accumulate_gradient(const Network& net, blas::ConstMatrixView<float> x,
+                         const ForwardCache& cache,
+                         blas::Matrix<float>&& delta_out,
+                         std::span<float> grad, util::ThreadPool* pool) {
+  const std::size_t L = net.num_layers();
+  if (cache.acts.size() != L) {
+    throw std::invalid_argument("accumulate_gradient: bad cache");
+  }
+  blas::Matrix<float> delta = std::move(delta_out);
+  for (std::size_t l = L; l-- > 0;) {
+    auto gl = net.layer_params(grad, l);
+    const blas::ConstMatrixView<float> a_prev =
+        l == 0 ? x : cache.acts[l - 1].view();
+
+    // dW_l += delta^T (N x out) * a_prev (N x in)  -> out x in
+    blas::gemm<float>(blas::Trans::kYes, blas::Trans::kNo, 1.0f, delta.view(),
+                      a_prev, 1.0f, gl.w, pool);
+    // db_l += column sums of delta
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      for (std::size_t c = 0; c < delta.cols(); ++c) {
+        gl.b[c] += delta(r, c);
+      }
+    }
+    if (l == 0) break;
+
+    // delta_{l-1} = (delta * W_l) .* act'(a_{l-1})
+    auto wl = net.layer(l);
+    blas::Matrix<float> prev_delta(delta.rows(), wl.w.cols);
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, 1.0f, delta.view(),
+                      wl.w, 0.0f, prev_delta.view(), pool);
+    multiply_by_derivative(net.layers()[l - 1].act, cache.acts[l - 1].view(),
+                           prev_delta.view());
+    delta = std::move(prev_delta);
+  }
+}
+
+}  // namespace bgqhf::nn

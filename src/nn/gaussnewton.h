@@ -1,0 +1,45 @@
+// Gauss-Newton matrix-vector products via the R-operator.
+//
+// HF accesses curvature only through products G(theta)*v (paper Eq. 1 and
+// Refs. [23] Pearlmutter, [24] Schraudolph). The product is computed in
+// three stages: (1) R-forward pass propagating directional derivatives
+// R{a_l} of the activations along v; (2) application of the loss Hessian
+// with respect to the logits, H_L; (3) an ordinary backprop of the result,
+// accumulating into gv. For softmax cross-entropy H_L u = p.*u - p (p^T u),
+// which is PSD, so d^T G d >= 0 always — the property that lets HF use CG.
+#pragma once
+
+#include <span>
+
+#include "blas/matrix.h"
+#include "nn/network.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::nn {
+
+enum class CurvatureKind {
+  kSoftmaxCE,     // H_L = diag(p) - p p^T with p = softmax(logits)
+  kSquaredError,  // H_L = I
+};
+
+/// gv += G(theta) * v summed over this batch (unnormalized).
+///   x      input batch, as passed to forward()
+///   cache  activations from Network::forward on x (at current params)
+///   v      flat direction, Network parameter layout
+///   gv     flat accumulator, same layout
+void accumulate_gn_product(const Network& net, blas::ConstMatrixView<float> x,
+                           const ForwardCache& cache, CurvatureKind kind,
+                           std::span<const float> v, std::span<float> gv,
+                           util::ThreadPool* pool = nullptr);
+
+/// Same, but with an explicit per-frame output distribution (rows of
+/// `probs` sum to 1). Used by the sequence criterion, whose curvature is
+/// approximated with H_L = diag(gamma) - gamma gamma^T over the CRF
+/// posteriors gamma (standard practice in HF sequence training).
+void accumulate_gn_product_with_distribution(
+    const Network& net, blas::ConstMatrixView<float> x,
+    const ForwardCache& cache, blas::ConstMatrixView<float> probs,
+    std::span<const float> v, std::span<float> gv,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace bgqhf::nn

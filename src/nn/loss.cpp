@@ -1,0 +1,88 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bgqhf::nn {
+
+void softmax_rows(blas::ConstMatrixView<float> logits,
+                  blas::MatrixView<float> probs) {
+  if (logits.rows != probs.rows || logits.cols != probs.cols) {
+    throw std::invalid_argument("softmax_rows: shape mismatch");
+  }
+  for (std::size_t r = 0; r < logits.rows; ++r) {
+    float maxv = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols; ++c) {
+      maxv = std::max(maxv, logits(r, c));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols; ++c) {
+      const double e = std::exp(static_cast<double>(logits(r, c) - maxv));
+      probs(r, c) = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t c = 0; c < logits.cols; ++c) probs(r, c) *= inv;
+  }
+}
+
+BatchLoss softmax_xent(blas::ConstMatrixView<float> logits,
+                       std::span<const int> labels,
+                       blas::MatrixView<float>* delta) {
+  if (labels.size() != logits.rows) {
+    throw std::invalid_argument("softmax_xent: label count mismatch");
+  }
+  BatchLoss out;
+  out.frames = logits.rows;
+  for (std::size_t r = 0; r < logits.rows; ++r) {
+    const int y = labels[r];
+    if (y < 0 || static_cast<std::size_t>(y) >= logits.cols) {
+      throw std::out_of_range("softmax_xent: label out of range");
+    }
+    float maxv = logits(r, 0);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < logits.cols; ++c) {
+      if (logits(r, c) > maxv) {
+        maxv = logits(r, c);
+        argmax = c;
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols; ++c) {
+      sum += std::exp(static_cast<double>(logits(r, c) - maxv));
+    }
+    const double log_z = std::log(sum) + maxv;
+    out.loss_sum += log_z - logits(r, static_cast<std::size_t>(y));
+    if (argmax == static_cast<std::size_t>(y)) ++out.correct;
+    if (delta != nullptr) {
+      for (std::size_t c = 0; c < logits.cols; ++c) {
+        const double p =
+            std::exp(static_cast<double>(logits(r, c)) - log_z);
+        (*delta)(r, c) = static_cast<float>(p);
+      }
+      (*delta)(r, static_cast<std::size_t>(y)) -= 1.0f;
+    }
+  }
+  return out;
+}
+
+BatchLoss squared_error(blas::ConstMatrixView<float> logits,
+                        blas::ConstMatrixView<float> targets,
+                        blas::MatrixView<float>* delta) {
+  if (logits.rows != targets.rows || logits.cols != targets.cols) {
+    throw std::invalid_argument("squared_error: shape mismatch");
+  }
+  BatchLoss out;
+  out.frames = logits.rows;
+  for (std::size_t r = 0; r < logits.rows; ++r) {
+    for (std::size_t c = 0; c < logits.cols; ++c) {
+      const double d = static_cast<double>(logits(r, c)) - targets(r, c);
+      out.loss_sum += 0.5 * d * d;
+      if (delta != nullptr) (*delta)(r, c) = static_cast<float>(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace bgqhf::nn

@@ -1,0 +1,51 @@
+// Frame-level losses on network logits.
+//
+// Cross-entropy after softmax is the paper's first training criterion
+// (Table I row 1). Losses return *sums* over frames plus the frame count;
+// the distributed optimizer aggregates sums across workers and normalizes
+// once at the master, so serial and distributed runs normalize identically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "blas/matrix.h"
+
+namespace bgqhf::nn {
+
+struct BatchLoss {
+  double loss_sum = 0.0;     // sum over frames of per-frame loss
+  std::size_t frames = 0;    // frames contributing
+  std::size_t correct = 0;   // argmax == label (classification accuracy)
+
+  BatchLoss& operator+=(const BatchLoss& o) {
+    loss_sum += o.loss_sum;
+    frames += o.frames;
+    correct += o.correct;
+    return *this;
+  }
+  double mean_loss() const { return frames == 0 ? 0.0 : loss_sum / frames; }
+  double accuracy() const {
+    return frames == 0 ? 0.0 : static_cast<double>(correct) / frames;
+  }
+};
+
+/// Row-wise softmax of logits into `probs` (may alias logits). Numerically
+/// stabilized by max subtraction.
+void softmax_rows(blas::ConstMatrixView<float> logits,
+                  blas::MatrixView<float> probs);
+
+/// Cross-entropy loss of softmax(logits) against integer labels.
+/// If delta != nullptr it receives d(sum loss)/d(logits) = probs - onehot
+/// (per frame, *not* divided by batch size).
+BatchLoss softmax_xent(blas::ConstMatrixView<float> logits,
+                       std::span<const int> labels,
+                       blas::MatrixView<float>* delta = nullptr);
+
+/// 0.5 * ||logits - targets||^2 summed over the batch; delta = logits -
+/// targets. Used by the quickstart regression example and the GN tests.
+BatchLoss squared_error(blas::ConstMatrixView<float> logits,
+                        blas::ConstMatrixView<float> targets,
+                        blas::MatrixView<float>* delta = nullptr);
+
+}  // namespace bgqhf::nn

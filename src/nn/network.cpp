@@ -1,0 +1,135 @@
+#include "nn/network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "blas/gemm.h"
+
+namespace bgqhf::nn {
+
+Network::Network(std::vector<LayerSpec> layers) : layers_(std::move(layers)) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("Network: needs at least one layer");
+  }
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (l > 0 && layers_[l].in != layers_[l - 1].out) {
+      throw std::invalid_argument("Network: layer dimension mismatch");
+    }
+    w_offsets_.push_back(offset);
+    offset += layers_[l].out * layers_[l].in;
+    b_offsets_.push_back(offset);
+    offset += layers_[l].out;
+  }
+  params_.assign(offset, 0.0f);
+}
+
+Network Network::mlp(std::size_t input_dim,
+                     const std::vector<std::size_t>& hidden,
+                     std::size_t output_dim, Activation hidden_act) {
+  std::vector<LayerSpec> specs;
+  std::size_t in = input_dim;
+  for (const std::size_t h : hidden) {
+    specs.push_back(LayerSpec{in, h, hidden_act});
+    in = h;
+  }
+  specs.push_back(LayerSpec{in, output_dim, Activation::kLinear});
+  return Network(std::move(specs));
+}
+
+void Network::set_params(std::span<const float> theta) {
+  if (theta.size() != params_.size()) {
+    throw std::invalid_argument("set_params: size mismatch");
+  }
+  std::copy(theta.begin(), theta.end(), params_.begin());
+}
+
+LayerParams Network::layer_params(std::span<float> theta,
+                                  std::size_t l) const {
+  if (theta.size() != params_.size()) {
+    throw std::invalid_argument("layer_params: flat vector size mismatch");
+  }
+  const auto& spec = layers_.at(l);
+  return LayerParams{
+      blas::MatrixView<float>{theta.data() + w_offsets_[l], spec.out, spec.in,
+                              spec.in},
+      theta.subspan(b_offsets_[l], spec.out)};
+}
+
+ConstLayerParams Network::layer_params(std::span<const float> theta,
+                                       std::size_t l) const {
+  if (theta.size() != params_.size()) {
+    throw std::invalid_argument("layer_params: flat vector size mismatch");
+  }
+  const auto& spec = layers_.at(l);
+  return ConstLayerParams{
+      blas::ConstMatrixView<float>{theta.data() + w_offsets_[l], spec.out,
+                                   spec.in, spec.in},
+      theta.subspan(b_offsets_[l], spec.out)};
+}
+
+void Network::init_glorot(util::Rng& rng) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto lp = layer(l);
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(layers_[l].in + layers_[l].out));
+    for (std::size_t r = 0; r < lp.w.rows; ++r) {
+      for (std::size_t c = 0; c < lp.w.cols; ++c) {
+        lp.w(r, c) = static_cast<float>(rng.uniform(-limit, limit));
+      }
+    }
+    for (auto& b : lp.b) b = 0.0f;
+  }
+}
+
+namespace {
+
+/// out = act(in * W^T + b), for one layer.
+void affine_forward(blas::ConstMatrixView<float> in, ConstLayerParams lp,
+                    Activation act, blas::MatrixView<float> out,
+                    util::ThreadPool* pool) {
+  blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, in, lp.w, 0.0f,
+                    out, pool);
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    float* row = out.data + r * out.ld;
+    for (std::size_t c = 0; c < out.cols; ++c) row[c] += lp.b[c];
+  }
+  apply_activation(act, out);
+}
+
+}  // namespace
+
+ForwardCache Network::forward(blas::ConstMatrixView<float> x,
+                              util::ThreadPool* pool) const {
+  if (x.cols != input_dim()) {
+    throw std::invalid_argument("forward: input dimension mismatch");
+  }
+  ForwardCache cache;
+  cache.acts.reserve(layers_.size());
+  blas::ConstMatrixView<float> in = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    blas::Matrix<float> out(x.rows, layers_[l].out);
+    affine_forward(in, layer(l), layers_[l].act, out.view(), pool);
+    cache.acts.push_back(std::move(out));
+    in = cache.acts.back().view();
+  }
+  return cache;
+}
+
+blas::Matrix<float> Network::forward_logits(blas::ConstMatrixView<float> x,
+                                            util::ThreadPool* pool) const {
+  if (x.cols != input_dim()) {
+    throw std::invalid_argument("forward_logits: input dimension mismatch");
+  }
+  blas::Matrix<float> cur;
+  blas::ConstMatrixView<float> in = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    blas::Matrix<float> out(x.rows, layers_[l].out);
+    affine_forward(in, layer(l), layers_[l].act, out.view(), pool);
+    cur = std::move(out);
+    in = cur.view();
+  }
+  return cur;
+}
+
+}  // namespace bgqhf::nn

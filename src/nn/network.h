@@ -1,0 +1,94 @@
+// Feed-forward deep neural network with flat parameter storage.
+//
+// The network the paper trains: a stack of affine+sigmoid hidden layers and
+// a linear output layer whose logits feed a softmax cross-entropy (or the
+// sequence criterion). Parameters live in one contiguous vector<float> so
+// the HF optimizer, CG, and MPI reductions all operate on flat vectors —
+// exactly how the original implementation ships weights through MPI_Bcast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "nn/activations.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::nn {
+
+struct LayerSpec {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  Activation act = Activation::kSigmoid;
+};
+
+/// Per-layer views into the flat parameter vector.
+struct LayerParams {
+  blas::MatrixView<float> w;  // out x in
+  std::span<float> b;         // out
+};
+struct ConstLayerParams {
+  blas::ConstMatrixView<float> w;
+  std::span<const float> b;
+};
+
+/// Forward-pass cache: post-activation output of every layer; the last
+/// entry holds the output logits (linear). Input is not stored.
+struct ForwardCache {
+  std::vector<blas::Matrix<float>> acts;
+
+  blas::ConstMatrixView<float> logits() const { return acts.back().view(); }
+};
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::vector<LayerSpec> layers);
+
+  /// Convenience builder: input -> hidden... -> output(linear).
+  static Network mlp(std::size_t input_dim,
+                     const std::vector<std::size_t>& hidden,
+                     std::size_t output_dim,
+                     Activation hidden_act = Activation::kSigmoid);
+
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  std::size_t input_dim() const { return layers_.front().in; }
+  std::size_t output_dim() const { return layers_.back().out; }
+  std::size_t num_params() const { return params_.size(); }
+
+  std::span<float> params() { return params_; }
+  std::span<const float> params() const { return params_; }
+  void set_params(std::span<const float> theta);
+
+  /// Views into a flat vector laid out like this network's parameters.
+  LayerParams layer_params(std::span<float> theta, std::size_t l) const;
+  ConstLayerParams layer_params(std::span<const float> theta,
+                                std::size_t l) const;
+  LayerParams layer(std::size_t l) { return layer_params(params(), l); }
+  ConstLayerParams layer(std::size_t l) const {
+    return layer_params(params(), l);
+  }
+
+  /// Glorot/Xavier initialization (paper Ref. [3]); deterministic in rng.
+  void init_glorot(util::Rng& rng);
+
+  /// Forward pass over a batch (rows = frames). Returns the full
+  /// activation cache needed by backprop / R-op.
+  ForwardCache forward(blas::ConstMatrixView<float> x,
+                       util::ThreadPool* pool = nullptr) const;
+
+  /// Forward pass discarding hidden activations (loss evaluation only).
+  blas::Matrix<float> forward_logits(blas::ConstMatrixView<float> x,
+                                     util::ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<LayerSpec> layers_;
+  std::vector<std::size_t> w_offsets_;  // offset of W_l in flat storage
+  std::vector<std::size_t> b_offsets_;
+  std::vector<float> params_;
+};
+
+}  // namespace bgqhf::nn

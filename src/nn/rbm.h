@@ -1,0 +1,74 @@
+// Restricted Boltzmann Machine with CD-1 training.
+//
+// The paper's introduction credits generative pre-training ("the
+// development of pre-training algorithms [2]" — Hinton et al.'s deep
+// belief nets) with making deep networks trainable. This is the classic
+// recipe: train a stack of RBMs bottom-up with one-step contrastive
+// divergence, then use the learned weights to initialize the MLP's hidden
+// layers before supervised (HF) fine-tuning. Gaussian-visible units on
+// the first layer handle real-valued acoustic features; binary-binary
+// RBMs stack above.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+
+struct RbmOptions {
+  std::size_t epochs = 5;
+  std::size_t batch_frames = 64;
+  double learning_rate = 0.05;
+  /// First layer treats visibles as Gaussian (real-valued features);
+  /// stacked layers are binary-binary.
+  bool gaussian_visible = false;
+  std::uint64_t seed = 33;
+};
+
+class Rbm {
+ public:
+  Rbm(std::size_t visible, std::size_t hidden, std::uint64_t init_seed);
+
+  std::size_t visible() const { return visible_; }
+  std::size_t hidden() const { return hidden_; }
+  /// Weights: hidden x visible (same orientation as nn::LayerSpec).
+  const blas::Matrix<float>& weights() const { return w_; }
+  const std::vector<float>& hidden_bias() const { return hb_; }
+  const std::vector<float>& visible_bias() const { return vb_; }
+
+  /// Hidden activation probabilities for a batch (rows = samples).
+  blas::Matrix<float> hidden_probs(blas::ConstMatrixView<float> v) const;
+  /// Visible reconstruction means from hidden samples/probs.
+  blas::Matrix<float> visible_means(blas::ConstMatrixView<float> h) const;
+
+  /// One CD-1 epoch over `data`; returns the mean per-element squared
+  /// reconstruction error.
+  double train_epoch(blas::ConstMatrixView<float> data,
+                     const RbmOptions& options, util::Rng& rng);
+
+  /// Full CD-1 training; returns reconstruction error per epoch.
+  std::vector<double> train(blas::ConstMatrixView<float> data,
+                            const RbmOptions& options);
+
+ private:
+  std::size_t visible_;
+  std::size_t hidden_;
+  blas::Matrix<float> w_;  // hidden x visible
+  std::vector<float> hb_;
+  std::vector<float> vb_;
+};
+
+/// Greedy DBN-style pretraining: train one RBM per hidden layer (the
+/// previous layer's hidden probabilities become the next layer's data) and
+/// copy the learned weights/biases into a fresh MLP whose output layer is
+/// randomly initialized. Returns the initialized network.
+Network rbm_pretrain_network(blas::ConstMatrixView<float> data,
+                             const std::vector<std::size_t>& hidden,
+                             std::size_t output_dim,
+                             const RbmOptions& options = {});
+
+}  // namespace bgqhf::nn

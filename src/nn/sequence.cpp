@@ -1,0 +1,201 @@
+#include "nn/sequence.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bgqhf::nn {
+
+namespace {
+
+/// log(sum(exp(values))) with max subtraction.
+double log_sum_exp(const std::vector<double>& values) {
+  double maxv = -std::numeric_limits<double>::infinity();
+  for (const double v : values) maxv = std::max(maxv, v);
+  if (!std::isfinite(maxv)) return maxv;
+  double sum = 0.0;
+  for (const double v : values) sum += std::exp(v - maxv);
+  return maxv + std::log(sum);
+}
+
+}  // namespace
+
+TransitionModel TransitionModel::left_to_right(std::size_t num_states,
+                                               double advance_prob,
+                                               double offpath_eps) {
+  if (num_states == 0) {
+    throw std::invalid_argument("TransitionModel: num_states must be > 0");
+  }
+  TransitionModel tm;
+  tm.num_states = num_states;
+  tm.log_trans.assign(num_states * num_states,
+                      static_cast<float>(std::log(offpath_eps)));
+  for (std::size_t s = 0; s < num_states; ++s) {
+    const std::size_t next = (s + 1) % num_states;
+    double stay = 1.0 - advance_prob;
+    double adv = advance_prob;
+    // Renormalize against the off-path mass.
+    const double total =
+        stay + adv + offpath_eps * static_cast<double>(num_states - 2);
+    stay /= total;
+    adv /= total;
+    tm.log_trans[s * num_states + s] = static_cast<float>(std::log(stay));
+    if (next != s) {
+      tm.log_trans[s * num_states + next] =
+          static_cast<float>(std::log(adv));
+    }
+  }
+  return tm;
+}
+
+SequenceStats forward_backward(blas::ConstMatrixView<float> logits,
+                               const TransitionModel& trans) {
+  const std::size_t T = logits.rows;
+  const std::size_t S = logits.cols;
+  if (trans.num_states != S) {
+    throw std::invalid_argument("forward_backward: state count mismatch");
+  }
+  if (T == 0) throw std::invalid_argument("forward_backward: empty input");
+
+  // alpha(t,s) = log sum over prefixes ending in s; beta(t,s) likewise for
+  // suffixes. Uniform initial distribution (log 1/S) matching the corpus
+  // generator's uniform start state.
+  std::vector<double> alpha(T * S), beta(T * S);
+  const double log_init = -std::log(static_cast<double>(S));
+  for (std::size_t s = 0; s < S; ++s) {
+    alpha[s] = log_init + logits(0, s);
+  }
+  std::vector<double> scratch(S);
+  for (std::size_t t = 1; t < T; ++t) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t p = 0; p < S; ++p) {
+        scratch[p] = alpha[(t - 1) * S + p] + trans(p, s);
+      }
+      alpha[t * S + s] = log_sum_exp(scratch) + logits(t, s);
+    }
+  }
+  for (std::size_t s = 0; s < S; ++s) beta[(T - 1) * S + s] = 0.0;
+  for (std::size_t t = T - 1; t-- > 0;) {
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t n = 0; n < S; ++n) {
+        scratch[n] = trans(s, n) + logits(t + 1, n) + beta[(t + 1) * S + n];
+      }
+      beta[t * S + s] = log_sum_exp(scratch);
+    }
+  }
+
+  std::vector<double> final_alpha(alpha.end() - static_cast<std::ptrdiff_t>(S),
+                                  alpha.end());
+  SequenceStats stats;
+  stats.log_z = log_sum_exp(final_alpha);
+  stats.gamma = blas::Matrix<float>(T, S);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t s = 0; s < S; ++s) {
+      stats.gamma(t, s) = static_cast<float>(
+          std::exp(alpha[t * S + s] + beta[t * S + s] - stats.log_z));
+    }
+  }
+  return stats;
+}
+
+std::vector<int> viterbi_decode(blas::ConstMatrixView<float> logits,
+                                const TransitionModel& trans) {
+  const std::size_t T = logits.rows;
+  const std::size_t S = logits.cols;
+  if (trans.num_states != S) {
+    throw std::invalid_argument("viterbi_decode: state count mismatch");
+  }
+  if (T == 0) throw std::invalid_argument("viterbi_decode: empty input");
+
+  std::vector<double> score(T * S);
+  std::vector<int> back(T * S, -1);
+  const double log_init = -std::log(static_cast<double>(S));
+  for (std::size_t s = 0; s < S; ++s) {
+    score[s] = log_init + logits(0, s);
+  }
+  for (std::size_t t = 1; t < T; ++t) {
+    for (std::size_t s = 0; s < S; ++s) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (std::size_t p = 0; p < S; ++p) {
+        const double cand = score[(t - 1) * S + p] + trans(p, s);
+        if (cand > best) {
+          best = cand;
+          best_prev = static_cast<int>(p);
+        }
+      }
+      score[t * S + s] = best + logits(t, s);
+      back[t * S + s] = best_prev;
+    }
+  }
+  std::vector<int> path(T);
+  std::size_t cur = 0;
+  for (std::size_t s = 1; s < S; ++s) {
+    if (score[(T - 1) * S + s] > score[(T - 1) * S + cur]) cur = s;
+  }
+  path[T - 1] = static_cast<int>(cur);
+  for (std::size_t t = T - 1; t > 0; --t) {
+    cur = static_cast<std::size_t>(back[t * S + cur]);
+    path[t - 1] = static_cast<int>(cur);
+  }
+  return path;
+}
+
+double state_error_rate(std::span<const int> ref, std::span<const int> hyp) {
+  if (ref.size() != hyp.size()) {
+    throw std::invalid_argument("state_error_rate: length mismatch");
+  }
+  if (ref.empty()) return 0.0;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i] != hyp[i]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(ref.size());
+}
+
+BatchLoss sequence_xent(blas::ConstMatrixView<float> logits,
+                        std::span<const int> labels,
+                        const TransitionModel& trans,
+                        blas::MatrixView<float>* delta,
+                        blas::Matrix<float>* gamma_out) {
+  const std::size_t T = logits.rows;
+  const std::size_t S = logits.cols;
+  if (labels.size() != T) {
+    throw std::invalid_argument("sequence_xent: label count mismatch");
+  }
+  SequenceStats stats = forward_backward(logits, trans);
+
+  // Score of the reference path.
+  double path = -std::log(static_cast<double>(S)) +
+                logits(0, static_cast<std::size_t>(labels[0]));
+  for (std::size_t t = 1; t < T; ++t) {
+    const auto prev = static_cast<std::size_t>(labels[t - 1]);
+    const auto cur = static_cast<std::size_t>(labels[t]);
+    if (cur >= S || prev >= S) {
+      throw std::out_of_range("sequence_xent: label out of range");
+    }
+    path += trans(prev, cur) + logits(t, cur);
+  }
+  stats.path_score = path;
+
+  BatchLoss out;
+  out.frames = T;
+  out.loss_sum = stats.log_z - path;
+  for (std::size_t t = 0; t < T; ++t) {
+    std::size_t argmax = 0;
+    for (std::size_t s = 1; s < S; ++s) {
+      if (stats.gamma(t, s) > stats.gamma(t, argmax)) argmax = s;
+    }
+    if (argmax == static_cast<std::size_t>(labels[t])) ++out.correct;
+    if (delta != nullptr) {
+      for (std::size_t s = 0; s < S; ++s) {
+        (*delta)(t, s) = stats.gamma(t, s);
+      }
+      (*delta)(t, static_cast<std::size_t>(labels[t])) -= 1.0f;
+    }
+  }
+  if (gamma_out != nullptr) *gamma_out = std::move(stats.gamma);
+  return out;
+}
+
+}  // namespace bgqhf::nn

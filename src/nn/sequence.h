@@ -1,0 +1,73 @@
+// Utterance-level sequence training criterion (proxy).
+//
+// The paper's second Table-I row trains with a lattice-based discriminative
+// ("sequence") criterion [25]. We implement the closest open equivalent: a
+// linear-chain criterion over HMM states, -log P(y | x) under a chain with
+// network logits as emission scores and a fixed left-to-right transition
+// model. It preserves what matters for the systems study: per-utterance
+// variable-length losses whose gradient needs a forward-backward sweep
+// (costlier per frame and less GEMM-friendly than cross-entropy), and
+// frame-coupled posteriors gamma used for the Gauss-Newton curvature.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "nn/loss.h"
+
+namespace bgqhf::nn {
+
+/// Fixed log-transition model. Real systems estimate this from alignments;
+/// here it mirrors the corpus generator's dwell process.
+struct TransitionModel {
+  std::size_t num_states = 0;
+  std::vector<float> log_trans;  // row-major S x S, log P(next | cur)
+
+  float operator()(std::size_t from, std::size_t to) const {
+    return log_trans[from * num_states + to];
+  }
+
+  /// Left-to-right-with-wrap chain: stay with prob (1 - advance), advance
+  /// to (s+1) mod S with prob `advance`, everything else `offpath_eps`
+  /// (then renormalized). offpath_eps > 0 keeps the chain ergodic so
+  /// forward-backward never hits -inf.
+  static TransitionModel left_to_right(std::size_t num_states,
+                                       double advance_prob,
+                                       double offpath_eps = 1e-4);
+};
+
+/// Result of one utterance's forward-backward sweep.
+struct SequenceStats {
+  double log_z = 0.0;          // log partition function
+  double path_score = 0.0;     // unnormalized score of the label path
+  blas::Matrix<float> gamma;   // T x S posterior state marginals
+};
+
+/// Run forward-backward over one utterance. logits: T x S emission scores.
+SequenceStats forward_backward(blas::ConstMatrixView<float> logits,
+                               const TransitionModel& trans);
+
+/// Viterbi decode: the most likely state path under emission scores
+/// `logits` and the transition model (uniform initial distribution, like
+/// forward_backward). This is the recognition side of the pipeline; the
+/// state error rate it yields is our word-error-rate proxy.
+std::vector<int> viterbi_decode(blas::ConstMatrixView<float> logits,
+                                const TransitionModel& trans);
+
+/// Fraction of frames where hyp differs from ref (sequences must have
+/// equal length — frame-synchronous state paths).
+double state_error_rate(std::span<const int> ref, std::span<const int> hyp);
+
+/// Sequence loss -log P(y|x) for one utterance, summed into BatchLoss
+/// conventions (loss_sum = loss, frames = T, correct = frames where
+/// argmax gamma == label). If delta != nullptr it receives
+/// d loss / d logits = gamma - onehot(y). If gamma_out != nullptr it
+/// receives the posteriors (for the GN curvature product).
+BatchLoss sequence_xent(blas::ConstMatrixView<float> logits,
+                        std::span<const int> labels,
+                        const TransitionModel& trans,
+                        blas::MatrixView<float>* delta = nullptr,
+                        blas::Matrix<float>* gamma_out = nullptr);
+
+}  // namespace bgqhf::nn

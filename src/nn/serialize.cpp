@@ -1,0 +1,92 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bgqhf::nn {
+
+namespace {
+
+constexpr char kMagic[6] = {'B', 'G', 'Q', 'H', 'F', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("load_network: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_network: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(net.num_layers()));
+  for (const LayerSpec& layer : net.layers()) {
+    write_pod(out, static_cast<std::uint64_t>(layer.in));
+    write_pod(out, static_cast<std::uint64_t>(layer.out));
+    write_pod(out, static_cast<std::uint32_t>(layer.act));
+  }
+  write_pod(out, static_cast<std::uint64_t>(net.num_params()));
+  const auto params = net.params();
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_network: write failed");
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_network: cannot open " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_network: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_network: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto num_layers = read_pod<std::uint64_t>(in);
+  if (num_layers == 0 || num_layers > 1024) {
+    throw std::runtime_error("load_network: implausible layer count");
+  }
+  std::vector<LayerSpec> specs;
+  specs.reserve(num_layers);
+  for (std::uint64_t l = 0; l < num_layers; ++l) {
+    LayerSpec spec;
+    spec.in = read_pod<std::uint64_t>(in);
+    spec.out = read_pod<std::uint64_t>(in);
+    const auto act = read_pod<std::uint32_t>(in);
+    if (act > static_cast<std::uint32_t>(Activation::kLinear)) {
+      throw std::runtime_error("load_network: unknown activation");
+    }
+    spec.act = static_cast<Activation>(act);
+    specs.push_back(spec);
+  }
+  Network net(std::move(specs));
+  const auto num_params = read_pod<std::uint64_t>(in);
+  if (num_params != net.num_params()) {
+    throw std::runtime_error("load_network: parameter count mismatch");
+  }
+  std::vector<float> params(num_params);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(num_params * sizeof(float)));
+  if (!in) throw std::runtime_error("load_network: truncated parameters");
+  net.set_params(params);
+  return net;
+}
+
+}  // namespace bgqhf::nn

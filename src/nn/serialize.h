@@ -1,0 +1,23 @@
+// Network checkpointing: binary save/load of topology + parameters.
+//
+// Training runs of the paper's scale run for hours; any production system
+// checkpoints between HF iterations. Format (little-endian, versioned):
+//   magic "BGQHF\0" | u32 version | u64 num_layers |
+//   per layer: u64 in, u64 out, u32 activation |
+//   u64 num_params | float params[num_params]
+#pragma once
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace bgqhf::nn {
+
+/// Write the network to `path`. Throws std::runtime_error on I/O failure.
+void save_network(const Network& net, const std::string& path);
+
+/// Read a network written by save_network. Throws std::runtime_error on
+/// I/O failure or format mismatch.
+Network load_network(const std::string& path);
+
+}  // namespace bgqhf::nn

@@ -1,0 +1,111 @@
+#include "simmpi/communicator.h"
+
+#include <stdexcept>
+#include <thread>
+
+namespace bgqhf::simmpi {
+
+World::World(int size)
+    : size_(size), barrier_(static_cast<std::size_t>(size)), stats_(size) {
+  if (size <= 0) throw std::invalid_argument("simmpi: world size must be > 0");
+  mailboxes_.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (const auto& s : stats_) total += s;
+  return total;
+}
+
+void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
+                      bool collective) {
+  util::Timer t;
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  const std::size_t n = bytes.size();
+  m.payload =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  world_->mailbox(dest).push(std::move(m));
+  if (!collective) stats().add_p2p(n, t.seconds());
+}
+
+Message Comm::recv_message(int source, int tag, bool collective) {
+  util::Timer t;
+  Message m = world_->mailbox(rank_).pop(source, tag);
+  if (!collective) stats().add_p2p(m.size_bytes(), t.seconds());
+  return m;
+}
+
+void Comm::barrier() {
+  util::Timer t;
+  world_->barrier().arrive_and_wait();
+  stats().add_collective(0, t.seconds());
+}
+
+std::shared_ptr<const std::vector<std::byte>> Comm::bcast_bytes(
+    std::shared_ptr<const std::vector<std::byte>> buf, int root) {
+  util::Timer t;
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  // Binomial tree: receive from the parent (clear lowest set bit), then
+  // forward to children. Payloads are shared, so fan-out costs no copies.
+  int mask = 1;
+  while (mask < n) {
+    if ((rel & mask) != 0) {
+      const int src = ((rel - mask) + root) % n;
+      Message m = world_->mailbox(rank_).pop(src, kCollectiveTagBase - 4);
+      buf = m.payload;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      const int dest = (rel + mask + root) % n;
+      Message m;
+      m.source = rank_;
+      m.tag = kCollectiveTagBase - 4;
+      m.payload = buf;
+      world_->mailbox(dest).push(std::move(m));
+    }
+    mask >>= 1;
+  }
+  stats().add_collective(buf == nullptr ? 0 : buf->size(), t.seconds());
+  if (buf == nullptr) {
+    throw std::logic_error("simmpi: bcast produced no payload");
+  }
+  return buf;
+}
+
+void run_ranks(World& world, const std::function<void(Comm&)>& fn) {
+  const int n = world.size();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+void run_world(int size, const std::function<void(Comm&)>& fn) {
+  World world(size);
+  run_ranks(world, fn);
+}
+
+}  // namespace bgqhf::simmpi

@@ -1,0 +1,374 @@
+// Communicator: the per-rank handle of the in-process MPI-subset runtime.
+//
+// Ranks are threads sharing a World; point-to-point operations are buffered
+// (standard-mode) sends into the destination mailbox, so a send never
+// deadlocks against a matching receive. Collectives are implemented as
+// binomial/binary trees with a *fixed* combine order, which makes every
+// reduction bitwise deterministic — the property behind the paper's "no
+// loss in accuracy" claim for the distributed implementation.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "simmpi/mailbox.h"
+#include "simmpi/message.h"
+#include "simmpi/stats.h"
+#include "util/barrier.h"
+#include "util/timer.h"
+
+namespace bgqhf::simmpi {
+
+/// Shared state of one job: mailboxes, barrier, per-rank statistics.
+class World {
+ public:
+  explicit World(int size);
+
+  int size() const noexcept { return size_; }
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(rank); }
+  util::Barrier& barrier() { return barrier_; }
+  CommStats& stats(int rank) { return stats_.at(rank); }
+
+  /// Sum of all ranks' stats (call after the job joins).
+  CommStats total_stats() const;
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  util::Barrier barrier_;
+  std::vector<CommStats> stats_;
+};
+
+/// Reserved internal tag space for collectives (user tags must be >= 0,
+/// matching MPI's requirement).
+inline constexpr int kCollectiveTagBase = -1000;
+
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_->size(); }
+  CommStats& stats() { return world_->stats(rank_); }
+
+  // ---- point to point ----
+
+  /// Buffered send of a span of trivially copyable elements.
+  template <typename T>
+  void send(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(dest);
+    if (tag < 0) throw std::invalid_argument("simmpi: user tag must be >= 0");
+    send_bytes(as_bytes_copy(data), dest, tag, /*collective=*/false);
+  }
+
+  /// Blocking receive; returns the payload as a vector<T>. Throws if the
+  /// payload size is not a multiple of sizeof(T).
+  template <typename T>
+  std::vector<T> recv(int source, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m = recv_message(source, tag, /*collective=*/false);
+    if (status != nullptr) {
+      *status = Status{m.source, m.tag, m.size_bytes()};
+    }
+    return from_bytes<T>(m);
+  }
+
+  /// Blocking receive into a preallocated span; returns element count.
+  template <typename T>
+  std::size_t recv_into(std::span<T> out, int source, int tag,
+                        Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m = recv_message(source, tag, /*collective=*/false);
+    if (status != nullptr) {
+      *status = Status{m.source, m.tag, m.size_bytes()};
+    }
+    const std::size_t n = m.size_bytes() / sizeof(T);
+    if (n > out.size()) {
+      throw std::length_error("simmpi: recv_into buffer too small");
+    }
+    if (n > 0) std::memcpy(out.data(), m.payload->data(), n * sizeof(T));
+    return n;
+  }
+
+  /// Non-destructive probe.
+  bool probe(int source, int tag) const {
+    return world_->mailbox(rank_).probe(source, tag);
+  }
+
+  // ---- nonblocking point-to-point ----
+  //
+  // "Efficiently overlapping computation and communication helps to
+  // improve the performance" (Sec. V-C). Sends are buffered, so isend
+  // completes immediately; irecv returns a handle that can be tested
+  // without blocking and waited on when the data is finally needed.
+
+  /// Immediate (buffered) send; returns once the message is enqueued.
+  template <typename T>
+  void isend(std::span<const T> data, int dest, int tag) {
+    send(data, dest, tag);
+  }
+
+  /// Handle to a pending receive.
+  template <typename T>
+  class RecvRequest {
+   public:
+    /// Non-blocking completion test; once true, data() is valid.
+    bool test() {
+      if (done_) return true;
+      auto msg = comm_->world_->mailbox(comm_->rank_).try_pop(source_, tag_);
+      if (!msg.has_value()) return false;
+      data_ = Comm::from_bytes<T>(*msg);
+      comm_->stats().add_p2p(msg->size_bytes(), 0.0);
+      done_ = true;
+      return true;
+    }
+    /// Block until completion and return the payload.
+    std::vector<T>& wait() {
+      if (!done_) {
+        util::Timer t;
+        const Message msg = comm_->world_->mailbox(comm_->rank_)
+                                .pop(source_, tag_);
+        data_ = Comm::from_bytes<T>(msg);
+        comm_->stats().add_p2p(msg.size_bytes(), t.seconds());
+        done_ = true;
+      }
+      return data_;
+    }
+    bool done() const { return done_; }
+    std::vector<T>& data() { return data_; }
+
+   private:
+    friend class Comm;
+    RecvRequest(Comm* comm, int source, int tag)
+        : comm_(comm), source_(source), tag_(tag) {}
+    Comm* comm_;
+    int source_;
+    int tag_;
+    bool done_ = false;
+    std::vector<T> data_;
+  };
+
+  /// Post a nonblocking receive matching (source, tag).
+  template <typename T>
+  RecvRequest<T> irecv(int source, int tag) {
+    return RecvRequest<T>(this, source, tag);
+  }
+
+  // ---- collectives (all ranks must call, same arguments shape) ----
+
+  void barrier();
+
+  /// Broadcast `data` (resized on non-roots) via a binomial tree rooted at
+  /// `root` — the MPI_Bcast path the paper migrated weight sync onto.
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    std::shared_ptr<const std::vector<std::byte>> buf;
+    if (rank_ == root) {
+      buf = std::make_shared<const std::vector<std::byte>>(
+          as_bytes_copy(std::span<const T>(data)));
+    }
+    buf = bcast_bytes(std::move(buf), root);
+    if (rank_ != root) {
+      data.resize(buf->size() / sizeof(T));
+      if (!data.empty()) {
+        std::memcpy(data.data(), buf->data(), buf->size());
+      }
+    }
+  }
+
+  /// Element-wise sum reduction to `root`. All ranks pass vectors of equal
+  /// length; on root, `inout` holds the result afterwards. The combine
+  /// order is fixed by the tree (children in increasing stride), so the
+  /// result is independent of thread timing.
+  template <typename T>
+  void reduce_sum(std::vector<T>& inout, int root) {
+    reduce_impl(inout, root,
+                [](T& a, const T& b) { a += b; });
+  }
+
+  /// Element-wise max/min reductions (same deterministic tree).
+  template <typename T>
+  void reduce_max(std::vector<T>& inout, int root) {
+    reduce_impl(inout, root, [](T& a, const T& b) {
+      if (b > a) a = b;
+    });
+  }
+  template <typename T>
+  void reduce_min(std::vector<T>& inout, int root) {
+    reduce_impl(inout, root, [](T& a, const T& b) {
+      if (b < a) a = b;
+    });
+  }
+
+  /// Allreduce = reduce to rank `root`=0 + bcast.
+  template <typename T>
+  void allreduce_sum(std::vector<T>& inout) {
+    reduce_sum(inout, 0);
+    bcast(inout, 0);
+  }
+
+  /// Allgather: every rank contributes `mine` (equal sizes) and receives
+  /// the rank-ordered concatenation (gather to 0 + bcast).
+  template <typename T>
+  std::vector<T> allgather(std::span<const T> mine) {
+    std::vector<T> all = gather(mine, 0);
+    bcast(all, 0);
+    return all;
+  }
+
+  /// Gather equal-size contributions to root; root receives them
+  /// concatenated in rank order (deterministic), others get {}.
+  template <typename T>
+  std::vector<T> gather(std::span<const T> mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    if (rank_ == root) {
+      std::vector<T> all(mine.size() * size());
+      std::copy(mine.begin(), mine.end(),
+                all.begin() + static_cast<std::ptrdiff_t>(rank_ * mine.size()));
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        const Message m =
+            recv_message(r, kCollectiveTagBase - 1, /*collective=*/true);
+        if (m.size_bytes() != mine.size() * sizeof(T)) {
+          throw std::length_error("simmpi: gather size mismatch");
+        }
+        if (m.size_bytes() > 0) {
+          std::memcpy(all.data() + static_cast<std::size_t>(r) * mine.size(),
+                      m.payload->data(), m.size_bytes());
+        }
+      }
+      stats().add_collective(all.size() * sizeof(T), t.seconds());
+      return all;
+    }
+    send_bytes(as_bytes_copy(mine), root, kCollectiveTagBase - 1,
+               /*collective=*/true);
+    stats().add_collective(mine.size() * sizeof(T), t.seconds());
+    return {};
+  }
+
+  /// Scatter: root holds size()*per elements; each rank gets its slice.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<T>& all, std::size_t per,
+                         int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    if (rank_ == root) {
+      if (all.size() != per * static_cast<std::size_t>(size())) {
+        throw std::length_error("simmpi: scatter size mismatch");
+      }
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        std::span<const T> slice(all.data() + static_cast<std::size_t>(r) * per,
+                                 per);
+        send_bytes(as_bytes_copy(slice), r, kCollectiveTagBase - 2,
+                   /*collective=*/true);
+      }
+      std::vector<T> mine(all.begin() + static_cast<std::ptrdiff_t>(
+                                            static_cast<std::size_t>(rank_) *
+                                            per),
+                          all.begin() + static_cast<std::ptrdiff_t>(
+                                            (static_cast<std::size_t>(rank_) +
+                                             1) *
+                                            per));
+      stats().add_collective(all.size() * sizeof(T), t.seconds());
+      return mine;
+    }
+    const Message m =
+        recv_message(root, kCollectiveTagBase - 2, /*collective=*/true);
+    stats().add_collective(m.size_bytes(), t.seconds());
+    return from_bytes<T>(m);
+  }
+
+ private:
+  void check_rank(int r) const {
+    if (r < 0 || r >= size()) {
+      throw std::out_of_range("simmpi: rank out of range");
+    }
+  }
+
+  template <typename T>
+  static std::vector<std::byte> as_bytes_copy(std::span<const T> data) {
+    std::vector<std::byte> bytes(data.size_bytes());
+    if (!bytes.empty()) {
+      std::memcpy(bytes.data(), data.data(), bytes.size());
+    }
+    return bytes;
+  }
+
+  template <typename T>
+  static std::vector<T> from_bytes(const Message& m) {
+    const std::size_t nbytes = m.size_bytes();
+    if (nbytes % sizeof(T) != 0) {
+      throw std::length_error("simmpi: payload not a multiple of sizeof(T)");
+    }
+    std::vector<T> out(nbytes / sizeof(T));
+    if (nbytes > 0) std::memcpy(out.data(), m.payload->data(), nbytes);
+    return out;
+  }
+
+  void send_bytes(std::vector<std::byte> bytes, int dest, int tag,
+                  bool collective);
+  Message recv_message(int source, int tag, bool collective);
+  std::shared_ptr<const std::vector<std::byte>> bcast_bytes(
+      std::shared_ptr<const std::vector<std::byte>> buf, int root);
+
+  template <typename T, typename Combine>
+  void reduce_impl(std::vector<T>& inout, int root, Combine combine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    // Binary-tree reduce on ranks relative to root.
+    const int n = size();
+    const int rel = (rank_ - root + n) % n;
+    const std::size_t bytes = inout.size() * sizeof(T);
+    for (int stride = 1; stride < n; stride <<= 1) {
+      if (rel % (2 * stride) == stride) {
+        const int dest = (rel - stride + root) % n;
+        send_bytes(as_bytes_copy(std::span<const T>(inout)), dest,
+                   kCollectiveTagBase - 3, /*collective=*/true);
+        break;
+      }
+      if (rel % (2 * stride) == 0 && rel + stride < n) {
+        const int src = (rel + stride + root) % n;
+        const Message m =
+            recv_message(src, kCollectiveTagBase - 3, /*collective=*/true);
+        const std::vector<T> other = from_bytes<T>(m);
+        if (other.size() != inout.size()) {
+          throw std::length_error("simmpi: reduce size mismatch");
+        }
+        for (std::size_t i = 0; i < inout.size(); ++i) {
+          combine(inout[i], other[i]);
+        }
+      }
+    }
+    if (rel != 0) {
+      // Non-roots return with their partial garbage cleared to zero so
+      // accidental reads are loud in tests.
+      std::fill(inout.begin(), inout.end(), T{});
+    }
+    stats().add_collective(bytes, t.seconds());
+  }
+
+  World* world_;
+  int rank_;
+};
+
+/// Spawn `size` rank threads, each running fn(comm). Exceptions thrown by
+/// any rank are rethrown (first one) after all ranks join.
+void run_ranks(World& world, const std::function<void(Comm&)>& fn);
+
+/// Convenience: build a World of `size` and run fn on every rank.
+void run_world(int size, const std::function<void(Comm&)>& fn);
+
+}  // namespace bgqhf::simmpi

@@ -1,0 +1,52 @@
+#include "simmpi/mailbox.h"
+
+namespace bgqhf::simmpi {
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_pop(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : queue_) {
+    if (matches(m, source, tag)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace bgqhf::simmpi

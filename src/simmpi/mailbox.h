@@ -1,0 +1,43 @@
+// Per-rank incoming message queue with MPI-style envelope matching.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "simmpi/message.h"
+
+namespace bgqhf::simmpi {
+
+/// Unbounded FIFO of messages addressed to one rank. Matching follows MPI
+/// semantics: among queued messages, the *first* whose (source, tag) matches
+/// the request (with wildcards) is delivered — non-matching messages stay
+/// queued, so interleaved tag streams do not interfere.
+class Mailbox {
+ public:
+  void push(Message m);
+
+  /// Block until a matching message arrives, then remove and return it.
+  Message pop(int source, int tag);
+
+  /// Non-blocking: return a matching message if one is queued.
+  std::optional<Message> try_pop(int source, int tag);
+
+  /// Non-destructive test for a matching message.
+  bool probe(int source, int tag) const;
+
+  std::size_t pending() const;
+
+ private:
+  static bool matches(const Message& m, int source, int tag) {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace bgqhf::simmpi

@@ -1,0 +1,34 @@
+// Message envelope for the in-process MPI-subset runtime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace bgqhf::simmpi {
+
+/// Wildcards mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A buffered message: payload bytes plus the envelope used for matching.
+/// Payloads are shared_ptr so a broadcast can enqueue one buffer to many
+/// mailboxes without copying per destination.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::shared_ptr<const std::vector<std::byte>> payload;
+
+  std::size_t size_bytes() const {
+    return payload == nullptr ? 0 : payload->size();
+  }
+};
+
+/// Receive status (source/tag of the matched message, byte count).
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+}  // namespace bgqhf::simmpi

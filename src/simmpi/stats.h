@@ -1,0 +1,45 @@
+// Per-rank communication accounting.
+//
+// The paper's Figures 4–5 split MPI time into collective vs. point-to-point
+// per function; the functional runtime keeps the same split (bytes, calls,
+// blocked wall time) so small functional runs can be cross-checked against
+// the analytic communication model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bgqhf::simmpi {
+
+struct CommStats {
+  std::size_t p2p_messages = 0;
+  std::size_t p2p_bytes = 0;
+  double p2p_seconds = 0;  // wall time blocked in send/recv
+
+  std::size_t collective_calls = 0;
+  std::size_t collective_bytes = 0;
+  double collective_seconds = 0;
+
+  void add_p2p(std::size_t bytes, double seconds) {
+    ++p2p_messages;
+    p2p_bytes += bytes;
+    p2p_seconds += seconds;
+  }
+  void add_collective(std::size_t bytes, double seconds) {
+    ++collective_calls;
+    collective_bytes += bytes;
+    collective_seconds += seconds;
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    p2p_messages += o.p2p_messages;
+    p2p_bytes += o.p2p_bytes;
+    p2p_seconds += o.p2p_seconds;
+    collective_calls += o.collective_calls;
+    collective_bytes += o.collective_bytes;
+    collective_seconds += o.collective_seconds;
+    return *this;
+  }
+};
+
+}  // namespace bgqhf::simmpi

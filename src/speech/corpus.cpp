@@ -1,0 +1,106 @@
+#include "speech/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bgqhf::speech {
+
+std::size_t Corpus::total_frames() const {
+  std::size_t n = 0;
+  for (const auto& u : utterances) n += u.num_frames();
+  return n;
+}
+
+std::size_t spec_total_frames(const CorpusSpec& spec) {
+  return static_cast<std::size_t>(spec.hours * 3600.0 *
+                                  spec.frames_per_second);
+}
+
+Corpus generate_corpus(const CorpusSpec& spec) {
+  if (spec.num_states == 0 || spec.feature_dim == 0) {
+    throw std::invalid_argument("corpus: states and feature_dim must be > 0");
+  }
+  Corpus corpus;
+  corpus.feature_dim = spec.feature_dim;
+  corpus.num_states = spec.num_states;
+
+  util::Rng rng(spec.seed);
+
+  // Per-state acoustic means: well separated relative to the noise so the
+  // classification task is learnable but not trivial.
+  util::Rng mean_rng = rng.fork(0xACu);
+  std::vector<std::vector<float>> state_means(spec.num_states);
+  for (auto& mean : state_means) {
+    mean.resize(spec.feature_dim);
+    for (auto& v : mean) v = static_cast<float>(mean_rng.normal(0.0, 1.0));
+  }
+
+  const std::size_t target_frames = spec_total_frames(spec);
+  // Log-normal duration with the requested arithmetic mean:
+  // E[X] = exp(mu + sigma^2/2)  =>  mu = log(mean) - sigma^2/2.
+  const double mu =
+      std::log(spec.mean_utt_seconds) - 0.5 * spec.log_sigma * spec.log_sigma;
+
+  util::Rng len_rng = rng.fork(0x1Eu);
+  util::Rng path_rng = rng.fork(0x2Fu);
+  util::Rng noise_rng = rng.fork(0x3Du);
+
+  std::size_t frames_so_far = 0;
+  std::uint64_t next_id = 0;
+  while (frames_so_far < target_frames) {
+    const double seconds = std::exp(len_rng.normal(mu, spec.log_sigma));
+    std::size_t frames = static_cast<std::size_t>(
+        std::max(1.0, seconds * spec.frames_per_second));
+    frames = std::min(frames, target_frames - frames_so_far +
+                                  static_cast<std::size_t>(1));
+
+    Utterance utt;
+    utt.id = next_id++;
+    utt.speaker = static_cast<int>(path_rng.below(1000));
+    utt.features = blas::Matrix<float>(frames, spec.feature_dim);
+    utt.labels.resize(frames);
+
+    // Left-to-right dwell process over states, wrapping so long utterances
+    // revisit states (speech alignments do the same across phones).
+    std::size_t state = path_rng.below(spec.num_states);
+    const double advance_prob = 1.0 / spec.state_dwell_frames;
+    for (std::size_t t = 0; t < frames; ++t) {
+      utt.labels[t] = static_cast<int>(state);
+      const auto& mean = state_means[state];
+      for (std::size_t d = 0; d < spec.feature_dim; ++d) {
+        utt.features(t, d) = static_cast<float>(
+            mean[d] + noise_rng.normal(0.0, spec.noise_stddev));
+      }
+      if (path_rng.next_double() < advance_prob) {
+        state = (state + 1) % spec.num_states;
+      }
+    }
+
+    frames_so_far += frames;
+    corpus.utterances.push_back(std::move(utt));
+  }
+  return corpus;
+}
+
+Corpus split_heldout(Corpus& corpus, std::size_t every_kth) {
+  if (every_kth < 2) {
+    throw std::invalid_argument("split_heldout: every_kth must be >= 2");
+  }
+  Corpus held;
+  held.feature_dim = corpus.feature_dim;
+  held.num_states = corpus.num_states;
+  std::vector<Utterance> kept;
+  kept.reserve(corpus.utterances.size());
+  for (std::size_t i = 0; i < corpus.utterances.size(); ++i) {
+    if (i % every_kth == every_kth - 1) {
+      held.utterances.push_back(std::move(corpus.utterances[i]));
+    } else {
+      kept.push_back(std::move(corpus.utterances[i]));
+    }
+  }
+  corpus.utterances = std::move(kept);
+  return held;
+}
+
+}  // namespace bgqhf::speech

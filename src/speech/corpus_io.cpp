@@ -1,0 +1,91 @@
+#include "speech/corpus_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bgqhf::speech {
+
+namespace {
+
+constexpr char kMagic[5] = {'B', 'G', 'Q', 'C', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("load_corpus: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_corpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_corpus: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(corpus.utterances.size()));
+  write_pod(out, static_cast<std::uint64_t>(corpus.feature_dim));
+  write_pod(out, static_cast<std::uint64_t>(corpus.num_states));
+  for (const Utterance& utt : corpus.utterances) {
+    write_pod(out, static_cast<std::uint64_t>(utt.id));
+    write_pod(out, static_cast<std::int32_t>(utt.speaker));
+    write_pod(out, static_cast<std::uint64_t>(utt.num_frames()));
+    for (const int label : utt.labels) {
+      write_pod(out, static_cast<std::int32_t>(label));
+    }
+    out.write(reinterpret_cast<const char*>(utt.features.data()),
+              static_cast<std::streamsize>(utt.features.size() *
+                                           sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_corpus: write failed");
+}
+
+Corpus load_corpus(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_corpus: cannot open " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_corpus: bad magic in " + path);
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_corpus: unsupported version");
+  }
+  Corpus corpus;
+  const auto num_utts = read_pod<std::uint64_t>(in);
+  corpus.feature_dim = read_pod<std::uint64_t>(in);
+  corpus.num_states = read_pod<std::uint64_t>(in);
+  if (corpus.feature_dim == 0 || corpus.feature_dim > (1u << 20)) {
+    throw std::runtime_error("load_corpus: implausible feature_dim");
+  }
+  corpus.utterances.reserve(num_utts);
+  for (std::uint64_t u = 0; u < num_utts; ++u) {
+    Utterance utt;
+    utt.id = read_pod<std::uint64_t>(in);
+    utt.speaker = read_pod<std::int32_t>(in);
+    const auto frames = read_pod<std::uint64_t>(in);
+    if (frames == 0 || frames > (1u << 26)) {
+      throw std::runtime_error("load_corpus: implausible frame count");
+    }
+    utt.labels.resize(frames);
+    for (auto& label : utt.labels) label = read_pod<std::int32_t>(in);
+    utt.features = blas::Matrix<float>(frames, corpus.feature_dim);
+    in.read(reinterpret_cast<char*>(utt.features.data()),
+            static_cast<std::streamsize>(utt.features.size() *
+                                         sizeof(float)));
+    if (!in) throw std::runtime_error("load_corpus: truncated features");
+    corpus.utterances.push_back(std::move(utt));
+  }
+  return corpus;
+}
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,24 @@
+// Corpus disk format: save/load synthesized corpora.
+//
+// Big-data pipelines stage their training data once and reuse it across
+// experiments (the paper's runs read a prepared corpus from the I/O
+// nodes). Format (little-endian, versioned):
+//   magic "BGQC\0" | u32 version | u64 num_utts, feature_dim, num_states |
+//   per utterance: u64 id, i32 speaker, u64 frames |
+//                  i32 labels[frames] | float features[frames * dim]
+#pragma once
+
+#include <string>
+
+#include "speech/corpus.h"
+
+namespace bgqhf::speech {
+
+/// Write the corpus to `path`. Throws std::runtime_error on I/O failure.
+void save_corpus(const Corpus& corpus, const std::string& path);
+
+/// Read a corpus written by save_corpus. Throws std::runtime_error on I/O
+/// failure or format mismatch.
+Corpus load_corpus(const std::string& path);
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,48 @@
+#include "speech/dataset.h"
+
+#include <numeric>
+
+namespace bgqhf::speech {
+
+Dataset build_dataset(const Corpus& corpus,
+                      std::span<const std::size_t> indices,
+                      const Normalizer* norm, std::size_t context) {
+  Dataset ds;
+  std::size_t total = 0;
+  for (const std::size_t idx : indices) {
+    total += corpus.utterances.at(idx).num_frames();
+  }
+  const std::size_t dim = stacked_dim(corpus.feature_dim, context);
+  ds.x = blas::Matrix<float>(total, dim);
+  ds.labels.reserve(total);
+  ds.offsets.reserve(indices.size() + 1);
+  ds.offsets.push_back(0);
+
+  std::size_t row = 0;
+  for (const std::size_t idx : indices) {
+    const Utterance& utt = corpus.utterances.at(idx);
+    // Normalize raw features first, then stack, so context columns are all
+    // normalized consistently.
+    blas::Matrix<float> raw = utt.features;  // copy
+    if (norm != nullptr) norm->apply(raw.view());
+    blas::Matrix<float> stacked = stack_context(raw.view(), context);
+    for (std::size_t t = 0; t < stacked.rows(); ++t) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        ds.x(row, c) = stacked(t, c);
+      }
+      ++row;
+    }
+    ds.labels.insert(ds.labels.end(), utt.labels.begin(), utt.labels.end());
+    ds.offsets.push_back(row);
+  }
+  return ds;
+}
+
+Dataset build_full_dataset(const Corpus& corpus, const Normalizer* norm,
+                           std::size_t context) {
+  std::vector<std::size_t> all(corpus.utterances.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return build_dataset(corpus, all, norm, context);
+}
+
+}  // namespace bgqhf::speech

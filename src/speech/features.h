@@ -1,0 +1,53 @@
+// Feature post-processing: context-window stacking and normalization.
+//
+// Speech DNNs classify a frame from a window of +/- c neighbouring frames;
+// stacking turns a T x D utterance into T x D*(2c+1) network inputs (edge
+// frames clamp). Mean/variance normalization is computed once over the
+// training corpus and applied everywhere (including held-out data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "speech/corpus.h"
+
+namespace bgqhf::speech {
+
+/// Per-dimension affine normalizer: x -> (x - mean) * inv_std.
+struct Normalizer {
+  std::vector<float> mean;
+  std::vector<float> inv_std;
+
+  std::size_t dim() const { return mean.size(); }
+  void apply(blas::MatrixView<float> m) const;
+};
+
+/// Estimate a normalizer over all frames of the corpus.
+Normalizer estimate_normalizer(const Corpus& corpus);
+
+/// Per-speaker cepstral mean/variance normalization (CMVN), the standard
+/// speech front-end step: each speaker's utterances are normalized by that
+/// speaker's own statistics, removing channel/speaker offsets before the
+/// global normalizer or the network sees the data. Applied in place.
+void apply_speaker_cmvn(Corpus& corpus);
+
+/// Stack +/- context frames around every frame of `features` (edge clamp).
+/// Result: features.rows() x features.cols()*(2*context+1).
+blas::Matrix<float> stack_context(blas::ConstMatrixView<float> features,
+                                  std::size_t context);
+
+/// Append delta and delta-delta features (the classic speech front-end:
+/// static + first + second temporal derivatives). Deltas use the standard
+/// regression formula over +/- `window` frames with edge clamping:
+///   d_t = sum_k k * (x_{t+k} - x_{t-k}) / (2 * sum_k k^2).
+/// Result: T x 3*D (static | delta | delta-delta).
+blas::Matrix<float> append_deltas(blas::ConstMatrixView<float> features,
+                                  std::size_t window = 2);
+
+/// Input dimensionality after stacking.
+inline std::size_t stacked_dim(std::size_t feature_dim, std::size_t context) {
+  return feature_dim * (2 * context + 1);
+}
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,76 @@
+#include "speech/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace bgqhf::speech {
+
+std::vector<std::size_t> Partition::loads(
+    const std::vector<std::size_t>& lengths) const {
+  std::vector<std::size_t> out(assignment.size(), 0);
+  for (std::size_t w = 0; w < assignment.size(); ++w) {
+    for (const std::size_t idx : assignment[w]) out[w] += lengths.at(idx);
+  }
+  return out;
+}
+
+double Partition::imbalance(const std::vector<std::size_t>& lengths) const {
+  const auto load = loads(lengths);
+  if (load.empty()) return 1.0;
+  const std::size_t max_load = *std::max_element(load.begin(), load.end());
+  const double mean =
+      static_cast<double>(std::accumulate(load.begin(), load.end(),
+                                          std::size_t{0})) /
+      static_cast<double>(load.size());
+  return mean == 0.0 ? 1.0 : static_cast<double>(max_load) / mean;
+}
+
+Partition partition_utterances(const std::vector<std::size_t>& lengths,
+                               std::size_t workers,
+                               PartitionStrategy strategy) {
+  if (workers == 0) {
+    throw std::invalid_argument("partition: workers must be > 0");
+  }
+  Partition p;
+  p.assignment.resize(workers);
+
+  if (strategy == PartitionStrategy::kNaiveEqualCount) {
+    // Contiguous equal-count split in corpus order.
+    const std::size_t n = lengths.size();
+    const std::size_t base = n / workers;
+    const std::size_t rem = n % workers;
+    std::size_t next = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t count = base + (w < rem ? 1 : 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        p.assignment[w].push_back(next++);
+      }
+    }
+    return p;
+  }
+
+  // Sorted + greedy LPT: longest utterance first, always to the currently
+  // least-loaded worker. Ties break on worker id so the result is
+  // deterministic.
+  std::vector<std::size_t> order(lengths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return lengths[a] > lengths[b];
+                   });
+
+  using Entry = std::pair<std::size_t, std::size_t>;  // (load, worker)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (std::size_t w = 0; w < workers; ++w) heap.emplace(0, w);
+  for (const std::size_t idx : order) {
+    auto [load, w] = heap.top();
+    heap.pop();
+    p.assignment[w].push_back(idx);
+    heap.emplace(load + lengths[idx], w);
+  }
+  return p;
+}
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,40 @@
+// Load-balancing partitioners (paper Sec. V-C).
+//
+// "These utterances in the training set are not all of the same length, so
+// we preprocessed the data by sorting and computed the number of utterances
+// per worker such that they all receive equal amount of data."
+//
+// Two strategies are provided so the ablation bench can quantify the gain:
+//   - kNaiveEqualCount: equal number of utterances per worker, in corpus
+//     order (the pre-tuning behaviour);
+//   - kSortedBalanced: sort by length descending, then greedy
+//     longest-processing-time assignment to the least-loaded worker (the
+//     paper's equal-amount-of-data scheme).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bgqhf::speech {
+
+enum class PartitionStrategy { kNaiveEqualCount, kSortedBalanced };
+
+/// Assignment of utterances to workers: assignment[w] lists utterance
+/// indices owned by worker w.
+struct Partition {
+  std::vector<std::vector<std::size_t>> assignment;
+
+  /// Total frames per worker, given the lengths used to build it.
+  std::vector<std::size_t> loads(const std::vector<std::size_t>& lengths) const;
+
+  /// max(load) / mean(load); 1.0 is perfect balance. The master waits for
+  /// the slowest worker, so this ratio is the per-iteration stretch.
+  double imbalance(const std::vector<std::size_t>& lengths) const;
+};
+
+/// Partition `lengths.size()` utterances across `workers`.
+Partition partition_utterances(const std::vector<std::size_t>& lengths,
+                               std::size_t workers,
+                               PartitionStrategy strategy);
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,27 @@
+// Utterance: the unit of speech training data.
+//
+// Variable utterance length is the property the paper's load-balancing
+// section (V-C) is about; everything downstream (partitioning, sequence
+// training) works per-utterance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/matrix.h"
+
+namespace bgqhf::speech {
+
+struct Utterance {
+  std::uint64_t id = 0;
+  int speaker = 0;
+  /// frames x feature_dim acoustic features.
+  blas::Matrix<float> features;
+  /// Per-frame HMM-state targets, length == features.rows().
+  std::vector<int> labels;
+
+  std::size_t num_frames() const { return features.rows(); }
+  std::size_t feature_dim() const { return features.cols(); }
+};
+
+}  // namespace bgqhf::speech

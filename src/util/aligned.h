@@ -1,0 +1,45 @@
+// Aligned allocation helpers.
+//
+// The BG/Q QPX unit required 32-byte aligned loads for full-width SIMD; our
+// portable micro-kernel similarly benefits from cache-line-aligned packed
+// panels, so all BLAS buffers go through these helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace bgqhf::util {
+
+/// Alignment used for all numeric buffers (one x86 cache line; also covers
+/// the 32-byte QPX requirement the paper's kernel assumed).
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Allocate `bytes` of storage aligned to kBufferAlignment. Throws
+/// std::bad_alloc on failure. `bytes == 0` returns a non-null unique pointer
+/// to a 1-byte allocation so callers never special-case empty buffers.
+inline void* aligned_malloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded =
+      (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+  void* p = std::aligned_alloc(kBufferAlignment, rounded);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+struct AlignedDeleter {
+  void operator()(void* p) const noexcept { std::free(p); }
+};
+
+/// Owning aligned buffer of `n` elements of T (uninitialized).
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], AlignedDeleter>;
+
+template <typename T>
+AlignedPtr<T> aligned_array(std::size_t n) {
+  return AlignedPtr<T>(static_cast<T*>(aligned_malloc(n * sizeof(T))));
+}
+
+}  // namespace bgqhf::util

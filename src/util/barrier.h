@@ -1,0 +1,46 @@
+// Reusable counting barrier.
+//
+// Used by the simmpi runtime for MPI_Barrier semantics and by tests that
+// need rank threads to rendezvous. (std::barrier exists in C++20 but its
+// completion-function template complicates storage in containers; this is
+// a small fixed-API alternative.)
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace bgqhf::util {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until `parties` threads have arrived; then all are released and
+  /// the barrier resets for the next phase.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::size_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != phase; });
+    }
+  }
+
+  std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace bgqhf::util

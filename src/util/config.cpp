@@ -1,0 +1,84 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bgqhf::util {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      cfg.values_[tok] = "1";
+      continue;
+    }
+    const std::string key = tok.substr(0, eq);
+    if (key.empty()) {
+      throw std::invalid_argument("malformed flag: '" + tok + "'");
+    }
+    cfg.values_[key] = tok.substr(eq + 1);
+  }
+  return cfg;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument(key + ": not an integer: " + it->second);
+  }
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument(key + ": not a number: " + it->second);
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument(key + ": not a boolean: " + v);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (used_.count(k) == 0) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace bgqhf::util

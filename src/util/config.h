@@ -1,0 +1,45 @@
+// Tiny key=value configuration / CLI parser.
+//
+// Examples and benches share a flag style: `prog hours=50 ranks=4096
+// threads=16`. Unknown keys are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bgqhf::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style `key=value` tokens. Bare tokens (no '=') become
+  /// boolean flags set to "1". Throws std::invalid_argument on malformed
+  /// input (empty key).
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Typed getters with defaults. Throw std::invalid_argument when the
+  /// stored text does not parse as the requested type.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  bool has(const std::string& key) const;
+  void set(const std::string& key, const std::string& value);
+
+  /// Keys present in the config that were never read by a getter; examples
+  /// call this after setup to reject typo'd flags.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace bgqhf::util

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// Keeps the training loop chatty under --verbose and silent in tests.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace bgqhf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (thread-safe, single write to stderr).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+}  // namespace bgqhf::util
+
+#define BGQHF_LOG(level) ::bgqhf::util::detail::LogStream(level)
+#define BGQHF_DEBUG BGQHF_LOG(::bgqhf::util::LogLevel::kDebug)
+#define BGQHF_INFO BGQHF_LOG(::bgqhf::util::LogLevel::kInfo)
+#define BGQHF_WARN BGQHF_LOG(::bgqhf::util::LogLevel::kWarn)
+#define BGQHF_ERROR BGQHF_LOG(::bgqhf::util::LogLevel::kError)

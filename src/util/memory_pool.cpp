@@ -1,0 +1,87 @@
+#include "util/memory_pool.h"
+
+#include <bit>
+
+namespace bgqhf::util {
+
+std::size_t MemoryPool::size_class(std::size_t bytes) {
+  // Round to the next power of two, floor 256 B, so near-miss sizes reuse
+  // the same bucket (the training loop allocates many similar-size panels).
+  constexpr std::size_t kMin = 256;
+  if (bytes < kMin) return kMin;
+  return std::bit_ceil(bytes);
+}
+
+void* MemoryPool::acquire(std::size_t bytes) {
+  const std::size_t cls = size_class(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = free_.find(cls);
+  if (it != free_.end() && !it->second.empty()) {
+    Block b = std::move(it->second.back());
+    it->second.pop_back();
+    void* p = b.data.release();
+    live_.emplace(p, std::make_pair(cls, b.bytes));
+    ++hits_;
+    return p;
+  }
+  ++misses_;
+  void* p = aligned_malloc(cls);
+  live_.emplace(p, std::make_pair(cls, cls));
+  resident_ += cls;
+  return p;
+}
+
+void MemoryPool::release(void* p) {
+  if (p == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(p);
+  if (it == live_.end()) {
+    // Not ours: fall back to freeing so misuse is not a leak.
+    std::free(p);
+    return;
+  }
+  const auto [cls, bytes] = it->second;
+  live_.erase(it);
+  Block b;
+  b.data = AlignedPtr<std::byte>(static_cast<std::byte*>(p));
+  b.bytes = bytes;
+  free_[cls].push_back(std::move(b));
+}
+
+void MemoryPool::release_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [cls, blocks] : free_) {
+    resident_ -= cls * blocks.size();
+    blocks.clear();
+  }
+  free_.clear();
+}
+
+std::size_t MemoryPool::cached_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [cls, blocks] : free_) n += blocks.size();
+  return n;
+}
+
+std::size_t MemoryPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+std::size_t MemoryPool::reuse_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t MemoryPool::system_allocs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+MemoryPool& MemoryPool::global() {
+  static MemoryPool pool;
+  return pool;
+}
+
+}  // namespace bgqhf::util

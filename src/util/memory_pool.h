@@ -1,0 +1,109 @@
+// Reusing allocator for transient numeric buffers.
+//
+// Section V-A4 of the paper: "We manage memory by essentially keeping track
+// of what we have allocated so that we can reallocate out of that memory
+// instead of repeatedly freeing and allocating when new memory is required.
+// This ... greatly reduces timing jitter." This pool implements that scheme:
+// freed blocks are retained, bucketed by size class, and handed back on the
+// next acquire of a compatible size.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace bgqhf::util {
+
+/// Thread-safe pool of aligned byte blocks, bucketed by rounded size.
+/// Blocks are recycled rather than freed; release_all() returns memory to
+/// the system (the paper's "another application requests memory" path).
+class MemoryPool {
+ public:
+  MemoryPool() = default;
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+  ~MemoryPool() = default;
+
+  /// Acquire an aligned block of at least `bytes`. The block stays owned by
+  /// the pool; pair with release().
+  void* acquire(std::size_t bytes);
+
+  /// Return a block obtained from acquire() to the pool for reuse.
+  void release(void* p);
+
+  /// Free every block not currently checked out.
+  void release_all();
+
+  /// Number of blocks currently cached for reuse.
+  std::size_t cached_blocks() const;
+  /// Total bytes resident in the pool (cached + checked out).
+  std::size_t resident_bytes() const;
+  /// Allocations served from cache (reuse hits) since construction.
+  std::size_t reuse_hits() const;
+  /// Allocations that had to go to the system.
+  std::size_t system_allocs() const;
+
+  /// Process-wide pool used by the BLAS packing buffers.
+  static MemoryPool& global();
+
+ private:
+  static std::size_t size_class(std::size_t bytes);
+
+  struct Block {
+    AlignedPtr<std::byte> data;
+    std::size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  // size class -> free blocks of that class
+  std::unordered_map<std::size_t, std::vector<Block>> free_;
+  // live pointer -> size class (to re-bucket on release)
+  std::unordered_map<void*, std::pair<std::size_t, std::size_t>> live_;
+  std::size_t resident_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// RAII lease of pool memory, typed.
+template <typename T>
+class PoolBuffer {
+ public:
+  PoolBuffer(MemoryPool& pool, std::size_t n)
+      : pool_(&pool), p_(static_cast<T*>(pool.acquire(n * sizeof(T)))), n_(n) {}
+  PoolBuffer(PoolBuffer&& o) noexcept : pool_(o.pool_), p_(o.p_), n_(o.n_) {
+    o.p_ = nullptr;
+  }
+  PoolBuffer& operator=(PoolBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      pool_ = o.pool_;
+      p_ = o.p_;
+      n_ = o.n_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+  ~PoolBuffer() { reset(); }
+
+  T* data() noexcept { return p_; }
+  const T* data() const noexcept { return p_; }
+  std::size_t size() const noexcept { return n_; }
+  T& operator[](std::size_t i) noexcept { return p_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return p_[i]; }
+
+ private:
+  void reset() {
+    if (p_ != nullptr) pool_->release(p_);
+    p_ = nullptr;
+  }
+  MemoryPool* pool_;
+  T* p_;
+  std::size_t n_;
+};
+
+}  // namespace bgqhf::util

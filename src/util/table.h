@@ -1,0 +1,38 @@
+// ASCII table rendering for bench output.
+//
+// Every figure/table bench prints its result in the same aligned format so
+// EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgqhf::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header rule.
+  std::string render() const;
+
+  /// Render as CSV (RFC-4180-style quoting for commas/quotes/newlines) so
+  /// bench output can feed plotting scripts directly.
+  std::string render_csv() const;
+
+  /// Write render_csv() to a file; throws std::runtime_error on failure.
+  void write_csv(const std::string& path) const;
+
+  /// Format helper: fixed-precision double.
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgqhf::util

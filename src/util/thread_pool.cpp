@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace bgqhf::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (job_.fn != nullptr && job_.epoch != seen_epoch &&
+                         job_.next < job_.chunks);
+      });
+      if (stop_) return;
+      seen_epoch = job_.epoch;
+    }
+    run_chunks();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    std::size_t chunk;
+    const std::function<void(std::size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_.fn == nullptr || job_.next >= job_.chunks) return;
+      chunk = job_.next++;
+      fn = job_.fn;
+    }
+    (*fn)(chunk);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++job_.done == job_.chunks) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t chunks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (chunks == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = &fn;
+    job_.chunks = chunks;
+    job_.next = 0;
+    job_.done = 0;
+    ++job_.epoch;
+  }
+  cv_work_.notify_all();
+  run_chunks();  // caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return job_.done == job_.chunks; });
+  job_.fn = nullptr;
+}
+
+void ThreadPool::parallel_ranges(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t parts = std::min(n, size());
+  if (parts <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  parallel_for(parts, [&](std::size_t p) {
+    const std::size_t begin = p * base + std::min(p, rem);
+    const std::size_t end = begin + base + (p < rem ? 1 : 0);
+    fn(begin, end);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bgqhf::util

@@ -1,0 +1,63 @@
+// Persistent thread pool with parallel_for.
+//
+// Stands in for the OpenMP runtime the paper used at the core level: the
+// BLAS library and the per-worker batch loops fan work out over these
+// threads. The pool is created once and reused (thread creation at every
+// GEMM call would dominate at small sizes).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bgqhf::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 → hardware_concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Run fn(chunk_index) for chunk_index in [0, chunks), blocking until all
+  /// complete. The calling thread participates (chunk 0 upward), so a pool
+  /// of size 1 degenerates to a serial loop with no synchronization cost.
+  void parallel_for(std::size_t chunks,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Split [0, n) into roughly even contiguous ranges, one per pool thread,
+  /// and run fn(begin, end) on each in parallel. Ranges may be empty.
+  void parallel_ranges(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized to the machine.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t chunks = 0;
+    std::size_t next = 0;     // next chunk to claim
+    std::size_t done = 0;     // chunks finished
+    std::uint64_t epoch = 0;  // generation counter
+  };
+
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_;
+  bool stop_ = false;
+};
+
+}  // namespace bgqhf::util

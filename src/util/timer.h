@@ -1,0 +1,42 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace bgqhf::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulating timer: total seconds across start/stop pairs.
+class Accumulator {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); ++count_; }
+  double total_seconds() const { return total_; }
+  std::size_t count() const { return count_; }
+  void clear() { total_ = 0; count_ = 0; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bgqhf::util

@@ -1,0 +1,97 @@
+#include "bgq/cycle_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+TEST(CycleModel, CategoriesSumToTotalCycles) {
+  const CycleModel model(1.6);
+  for (const WorkKind kind : {WorkKind::kGemm, WorkKind::kDataMovement,
+                              WorkKind::kScalar, WorkKind::kWait}) {
+    for (int tpc = 1; tpc <= 4; ++tpc) {
+      const CycleBreakdown b = model.breakdown(kind, tpc, 2.0);
+      EXPECT_NEAR(b.total(), 2.0 * 1.6e9, 1.0)
+          << to_string(kind) << " tpc=" << tpc;
+    }
+  }
+}
+
+TEST(CycleModel, AllCategoriesNonNegative) {
+  const CycleModel model(1.6);
+  for (const WorkKind kind : {WorkKind::kGemm, WorkKind::kDataMovement,
+                              WorkKind::kScalar, WorkKind::kWait}) {
+    for (int tpc = 1; tpc <= 4; ++tpc) {
+      const CycleBreakdown b = model.breakdown(kind, tpc, 1.0);
+      EXPECT_GE(b.committed, 0.0);
+      EXPECT_GE(b.iu_empty, 0.0);
+      EXPECT_GE(b.axu_dep_stall, 0.0);
+      EXPECT_GE(b.fxu_dep_stall, 0.0);
+      EXPECT_GE(b.other, 0.0);
+    }
+  }
+}
+
+TEST(CycleModel, SmtConvertsStallsIntoCommittedWork) {
+  // "Using more threads per core helps to hide the time gaps (e.g., stall
+  // cycles)": at fixed wall time, 4 threads/core commit more.
+  const CycleModel model(1.6);
+  const CycleBreakdown one = model.breakdown(WorkKind::kGemm, 1, 1.0);
+  const CycleBreakdown four = model.breakdown(WorkKind::kGemm, 4, 1.0);
+  EXPECT_GT(four.committed, one.committed);
+  EXPECT_LT(four.axu_dep_stall, one.axu_dep_stall);
+  EXPECT_LT(four.iu_empty, one.iu_empty);
+}
+
+TEST(CycleModel, GemmWorkIsAxuDominatedAmongStalls) {
+  const CycleModel model(1.6);
+  const CycleBreakdown b = model.breakdown(WorkKind::kGemm, 1, 1.0);
+  EXPECT_GT(b.axu_dep_stall, b.fxu_dep_stall);
+  EXPECT_GT(b.axu_dep_stall, b.iu_empty);
+}
+
+TEST(CycleModel, DataMovementIsFxuAndIuDominated) {
+  const CycleModel model(1.6);
+  const CycleBreakdown b =
+      model.breakdown(WorkKind::kDataMovement, 1, 1.0);
+  EXPECT_GT(b.fxu_dep_stall, b.axu_dep_stall);
+  EXPECT_GT(b.iu_empty, b.axu_dep_stall);
+}
+
+TEST(CycleModel, WaitIsMostlyIuEmpty) {
+  const CycleModel model(1.6);
+  const CycleBreakdown b = model.breakdown(WorkKind::kWait, 4, 1.0);
+  EXPECT_GT(b.iu_empty, 0.5 * b.total());
+  EXPECT_LT(b.committed, 0.1 * b.total());
+}
+
+TEST(CycleModel, WaitUnaffectedBySmt) {
+  const CycleModel model(1.6);
+  const CycleBreakdown one = model.breakdown(WorkKind::kWait, 1, 1.0);
+  const CycleBreakdown four = model.breakdown(WorkKind::kWait, 4, 1.0);
+  EXPECT_DOUBLE_EQ(one.committed, four.committed);
+  EXPECT_DOUBLE_EQ(one.iu_empty, four.iu_empty);
+}
+
+TEST(CycleModel, CyclesScaleWithClockAndTime) {
+  const CycleModel slow(1.6);
+  const CycleModel fast(2.9);
+  const double t = 3.0;
+  EXPECT_NEAR(fast.breakdown(WorkKind::kGemm, 2, t).total() /
+                  slow.breakdown(WorkKind::kGemm, 2, t).total(),
+              2.9 / 1.6, 1e-9);
+  EXPECT_NEAR(slow.breakdown(WorkKind::kGemm, 2, 2 * t).total(),
+              2.0 * slow.breakdown(WorkKind::kGemm, 2, t).total(), 1.0);
+}
+
+TEST(CycleModel, BreakdownAccumulates) {
+  CycleBreakdown a{1, 2, 3, 4, 5};
+  const CycleBreakdown b{10, 20, 30, 40, 50};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.committed, 11);
+  EXPECT_DOUBLE_EQ(a.other, 55);
+  EXPECT_DOUBLE_EQ(a.total(), 165);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

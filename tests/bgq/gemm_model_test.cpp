@@ -1,0 +1,101 @@
+#include "bgq/gemm_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+GemmModel bgq_gemm() { return GemmModel(bgq_racks(1).node); }
+GemmModel xeon_gemm() { return GemmModel(intel_cluster(96).node); }
+
+TEST(GemmModel, MoreHardwareThreadsPerCoreHelpOnBgq) {
+  // "Using more threads per core helps to hide the time gaps (e.g., stall
+  // cycles) for the hardware execution components."
+  const GemmModel g = bgq_gemm();
+  double prev = 0.0;
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    const double eff = g.efficiency(tpc, 16, 1024, true);
+    EXPECT_GT(eff, prev) << "tpc=" << tpc;
+    prev = eff;
+  }
+}
+
+TEST(GemmModel, XeonNeedsNoSmtToFillIssueSlots) {
+  const GemmModel g = xeon_gemm();
+  const double one = g.efficiency(1, 8, 1024, false);
+  const double two = g.efficiency(2, 16, 1024, false);
+  EXPECT_GT(one, 0.5);
+  EXPECT_LT(two / one, 1.15);  // SMT adds little out-of-order
+}
+
+TEST(GemmModel, WideOpenMpFanOutCostsEfficiency) {
+  const GemmModel g = bgq_gemm();
+  const double t16 = g.efficiency(4, 16, 1024, true);
+  const double t32 = g.efficiency(4, 32, 1024, true);
+  const double t64 = g.efficiency(4, 64, 1024, true);
+  EXPECT_GT(t16, t32);
+  EXPECT_GT(t32, t64);
+}
+
+TEST(GemmModel, SmallBatchesLoseEfficiency) {
+  const GemmModel g = bgq_gemm();
+  EXPECT_LT(g.efficiency(4, 16, 32, true), g.efficiency(4, 16, 512, true));
+  EXPECT_LT(g.efficiency(4, 16, 512, true),
+            g.efficiency(4, 16, 4096, true));
+}
+
+TEST(GemmModel, ImplicitSyncGivesSingleDigitPercentBonus) {
+  // The paper credits cooperative prefetching with "the last 5% of
+  // performance gained"-scale improvements.
+  const GemmModel g = bgq_gemm();
+  const double with = g.efficiency(4, 16, 1024, true);
+  const double without = g.efficiency(4, 16, 1024, false);
+  EXPECT_GT(with, without);
+  EXPECT_LT(with / without, 1.15);
+}
+
+TEST(GemmModel, EfficiencyBounded) {
+  const GemmModel g = bgq_gemm();
+  for (int tpc = 1; tpc <= 4; ++tpc) {
+    for (const std::size_t rows : {1u, 64u, 100000u}) {
+      const double eff = g.efficiency(tpc, 64, rows, true);
+      EXPECT_GT(eff, 0.0);
+      EXPECT_LE(eff, 0.95);
+    }
+  }
+}
+
+TEST(GemmModel, RankRateScalesWithCores) {
+  const GemmModel g = bgq_gemm();
+  const double four = g.rank_gemm_flops(4, 4, 16, 1024, true);
+  const double sixteen = g.rank_gemm_flops(16, 4, 64, 1024, true);
+  EXPECT_GT(sixteen, 2.0 * four);  // more cores, some OpenMP tax
+  EXPECT_LT(sixteen, 4.0 * four);
+}
+
+TEST(GemmModel, ScalarRateFarBelowSimdPeakOnBgq) {
+  const NodeSpec node = bgq_racks(1).node;
+  const GemmModel g(node);
+  const double scalar = g.rank_scalar_flops(16);
+  EXPECT_LT(scalar, 0.1 * node.node_peak_flops());
+}
+
+TEST(GemmModel, XeonScalarRateRelativelyBetter) {
+  // Why sequence training (scalar forward-backward) hurts BG/Q more than
+  // the Xeon baseline in Table I.
+  const NodeSpec bgq_node = bgq_racks(1).node;
+  const NodeSpec xeon_node = intel_cluster(96).node;
+  const double bgq_ratio = GemmModel(bgq_node).rank_scalar_flops(16) /
+                           bgq_node.node_peak_flops();
+  const double xeon_ratio = GemmModel(xeon_node).rank_scalar_flops(8) /
+                            xeon_node.node_peak_flops();
+  EXPECT_GT(xeon_ratio, 2.0 * bgq_ratio);
+}
+
+TEST(GemmModel, InvalidThreadsPerCoreThrows) {
+  const GemmModel g = bgq_gemm();
+  EXPECT_THROW(g.efficiency(0, 16, 1024, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

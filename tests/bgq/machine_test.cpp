@@ -1,0 +1,71 @@
+#include "bgq/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+TEST(Machine, BgqNodePeakIs204Point8Gflops) {
+  // Sec. V-A1: "the theoretical peak operating speed of a node is 204.8
+  // GFLOPS" (16 cores x 1.6 GHz x 8 flops/cycle).
+  const MachineSpec m = bgq_racks(1);
+  EXPECT_DOUBLE_EQ(m.node.node_peak_flops(), 204.8e9);
+}
+
+TEST(Machine, BgqRackHas1024Nodes) {
+  EXPECT_EQ(bgq_racks(1).nodes, 1024);
+  EXPECT_EQ(bgq_racks(2).nodes, 2048);
+}
+
+TEST(Machine, BgqCacheSizesMatchSec3) {
+  const NodeSpec n = bgq_racks(1).node;
+  EXPECT_DOUBLE_EQ(n.l1d_kb, 16.0);  // "16K-byte private level 1 cache"
+  EXPECT_DOUBLE_EQ(n.l1p_kb, 2.0);   // "2K-byte prefetching buffer"
+  EXPECT_DOUBLE_EQ(n.l2_mb, 32.0);   // "32M-byte level 2 cache"
+  EXPECT_EQ(n.smt_per_core, 4);      // "4-way multi-threaded"
+}
+
+TEST(Machine, BgqNetworkBandwidthMatchesSec3) {
+  // "5-D torus network with a total network bandwidth of 44 GB/s per
+  // node": 10 links x 2 GB/s x 2 directions = 40 GB/s compute traffic
+  // (+ I/O links); we model the 10 x 2 GB/s links.
+  const NetworkSpec net = bgq_racks(1).network;
+  EXPECT_EQ(net.links_per_node, 10);
+  EXPECT_DOUBLE_EQ(net.link_bw_gb, 2.0);
+  EXPECT_EQ(net.kind, NetworkKind::kTorus5D);
+}
+
+TEST(Machine, ClockRatioMatchesTableOneAdjustment) {
+  // Table I's "Frequency Adjustment" column uses 2.9 GHz / 1.6 GHz.
+  const double ratio =
+      intel_cluster(96).node.clock_ghz / bgq_racks(1).node.clock_ghz;
+  EXPECT_NEAR(ratio, 1.8125, 1e-12);
+}
+
+TEST(Machine, XeonClusterShape) {
+  const MachineSpec m = intel_cluster(96);
+  EXPECT_EQ(m.nodes, 96);
+  EXPECT_EQ(m.network.kind, NetworkKind::kSwitchedEthernet);
+  EXPECT_GT(m.network.contention_coeff, 0.0);
+  EXPECT_FALSE(m.node.in_order);
+  EXPECT_TRUE(bgq_racks(1).node.in_order);
+}
+
+TEST(Machine, BgqPeakDwarfsXeonClusterPeak) {
+  // 1 rack BG/Q ~ 210 TF vs 96x8-core Xeon ~ 17.8 TF; the realized
+  // Table-I speedup (6.9x) is far below this 12x peak ratio, which is the
+  // point of the cycle-breakdown analysis.
+  const double bgq_peak = bgq_racks(1).machine_peak_flops();
+  const double xeon_peak = intel_cluster(96).machine_peak_flops();
+  EXPECT_GT(bgq_peak / xeon_peak, 8.0);
+  EXPECT_LT(bgq_peak / xeon_peak, 16.0);
+}
+
+TEST(Machine, InvalidArgumentsThrow) {
+  EXPECT_THROW(bgq_racks(0), std::invalid_argument);
+  EXPECT_THROW(intel_cluster(0), std::invalid_argument);
+  EXPECT_THROW(intel_cluster(-3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "bgq/perfsim.h"
+
+namespace bgqhf::bgq {
+namespace {
+
+TEST(Memory, PaperConfigurationsFitInNodeMemory) {
+  for (const auto& workload :
+       {HfWorkload::paper_50h_ce(), HfWorkload::paper_400h_ce()}) {
+    for (const auto& [ranks, rpn, threads] :
+         {std::tuple{1024, 1, 64}, std::tuple{2048, 2, 32},
+          std::tuple{4096, 4, 16}}) {
+      const MemoryEstimate est =
+          estimate_memory(bgq_run(workload, ranks, rpn, threads));
+      EXPECT_TRUE(est.fits)
+          << ranks << "-" << rpn << "-" << threads << " needs "
+          << est.total_gb << " GB";
+    }
+  }
+}
+
+TEST(Memory, MoreRanksPerNodeCostMoreParameterMemory) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const MemoryEstimate one = estimate_memory(bgq_run(w, 1024, 1, 64));
+  const MemoryEstimate four = estimate_memory(bgq_run(w, 4096, 4, 16));
+  // Same node count, 4x parameter replicas per node.
+  EXPECT_NEAR(four.params_gb / one.params_gb, 4.0, 1e-9);
+}
+
+TEST(Memory, DataFootprintShrinksWithMoreNodes) {
+  const HfWorkload w = HfWorkload::paper_400h_ce();
+  const MemoryEstimate small = estimate_memory(bgq_run(w, 1024, 4, 16));
+  const MemoryEstimate large = estimate_memory(bgq_run(w, 8192, 4, 16));
+  EXPECT_GT(small.data_gb, large.data_gb);
+}
+
+TEST(Memory, OversizedModelRejectedBySimulate) {
+  HfWorkload huge = HfWorkload::paper_50h_ce();
+  huge.hidden = {16384, 16384, 16384, 16384};  // ~1 GB of params...
+  huge.output_dim = 60000;                     // ...and a giant output
+  const RunConfig cfg = bgq_run(huge, 4096, 16, 4);  // 16 replicas/node
+  const MemoryEstimate est = estimate_memory(cfg);
+  EXPECT_FALSE(est.fits);
+  EXPECT_THROW(simulate(cfg), std::invalid_argument);
+}
+
+TEST(Memory, XeonNodesHaveMoreHeadroom) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const MemoryEstimate xeon = estimate_memory(xeon_run(w, 96));
+  EXPECT_DOUBLE_EQ(xeon.capacity_gb, 64.0);
+  EXPECT_TRUE(xeon.fits);
+}
+
+TEST(Memory, TotalIsSumOfComponents) {
+  const MemoryEstimate est =
+      estimate_memory(bgq_run(HfWorkload::paper_50h_ce(), 2048, 2, 32));
+  EXPECT_DOUBLE_EQ(est.total_gb, est.params_gb + est.data_gb);
+  EXPECT_GT(est.params_gb, 0.0);
+  EXPECT_GT(est.data_gb, 0.0);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

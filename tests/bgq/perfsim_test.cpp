@@ -1,0 +1,324 @@
+// Shape assertions for the performance simulator — the calibration
+// contract from DESIGN.md. These tests pin the paper's qualitative results
+// so model refactoring cannot silently drift away from them.
+#include "bgq/perfsim.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+double hours(const HfWorkload& w, int ranks, int rpn, int tpr) {
+  return simulate(bgq_run(w, ranks, rpn, tpr)).total_hours();
+}
+
+// ---- Figure 1(a) ----
+
+TEST(PerfSim, Fig1aMoreThreadsPerNodeIsFaster) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double t8 = hours(w, 1024, 1, 8);
+  const double t16 = hours(w, 1024, 1, 16);
+  const double t32 = hours(w, 1024, 1, 32);
+  const double t64 = hours(w, 1024, 1, 64);
+  EXPECT_GT(t8, t16);
+  EXPECT_GT(t16, t32);
+  EXPECT_GT(t32, t64);
+}
+
+TEST(PerfSim, Fig1aDecompositionOrdering) {
+  // "the performance of 2048-2-32 is slightly better than 4096-4-16 which
+  // is better than 1024-1-64"
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double t1024 = hours(w, 1024, 1, 64);
+  const double t2048 = hours(w, 2048, 2, 32);
+  const double t4096 = hours(w, 4096, 4, 16);
+  EXPECT_LT(t2048, t4096);
+  EXPECT_LT(t4096, t1024);
+  // "slightly": the three 64-thread/node points are within ~25%.
+  EXPECT_LT(t1024 / t2048, 1.25);
+}
+
+TEST(PerfSim, ScalingNearLinearUpTo4096) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  double prev = hours(w, 512, 4, 16);
+  for (const int ranks : {1024, 2048, 4096}) {
+    const double cur = hours(w, ranks, 4, 16);
+    EXPECT_GT(prev / cur, 1.5) << ranks;  // >= 75% of ideal per doubling
+    prev = cur;
+  }
+}
+
+TEST(PerfSim, ScalingSublinearBeyond4096) {
+  // "Beyond that, although we see a significant speed up, the speed
+  // improvements are sub-linear."
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double gain_to_4096 =
+      hours(w, 2048, 4, 16) / hours(w, 4096, 4, 16);
+  const double gain_to_8192 =
+      hours(w, 4096, 4, 16) / hours(w, 8192, 4, 16);
+  EXPECT_GT(gain_to_8192, 1.05);          // still a significant speedup
+  EXPECT_LT(gain_to_8192, gain_to_4096);  // but clearly sub-linear
+}
+
+// ---- Figure 1(b) ----
+
+TEST(PerfSim, Fig1b400HourShapes) {
+  const HfWorkload w = HfWorkload::paper_400h_ce();
+  const double t4096 = hours(w, 4096, 4, 16);
+  const double t8192 = hours(w, 8192, 4, 16);
+  EXPECT_LT(t8192, t4096);      // two racks help
+  EXPECT_GT(t8192 * 2, t4096);  // but less than ideally
+  // Absolute envelope around the paper's 6.3 h.
+  EXPECT_GT(t8192, 3.0);
+  EXPECT_LT(t8192, 9.0);
+}
+
+// ---- Table I ----
+
+TEST(PerfSim, TableOneCrossEntropy) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double xeon = simulate(xeon_run(w, 96)).total_hours();
+  const double bgq = hours(w, 4096, 4, 16);
+  const double speedup = xeon / bgq;
+  EXPECT_GT(speedup, 5.0);  // paper: 6.9x
+  EXPECT_LT(speedup, 9.0);
+  EXPECT_GT(bgq, 0.9);  // paper: 1.3 h
+  EXPECT_LT(bgq, 2.0);
+  EXPECT_GT(xeon, 7.0);  // paper: 9 h
+  EXPECT_LT(xeon, 12.0);
+}
+
+TEST(PerfSim, TableOneSequence) {
+  const HfWorkload w = HfWorkload::paper_50h_sequence();
+  const double xeon = simulate(xeon_run(w, 96)).total_hours();
+  const double bgq = hours(w, 4096, 4, 16);
+  const double speedup = xeon / bgq;
+  EXPECT_GT(speedup, 3.0);  // paper: 4.5x
+  EXPECT_LT(speedup, 6.0);
+  EXPECT_GT(bgq, 2.5);  // paper: 4.19 h
+  EXPECT_LT(bgq, 5.5);
+}
+
+TEST(PerfSim, SequenceScalesWorseThanCrossEntropyOnBgq) {
+  // The scalar forward-backward penalizes the in-order A2 more than the
+  // Xeon, so the sequence-criterion speedup is lower (4.5x vs 6.9x).
+  const HfWorkload ce = HfWorkload::paper_50h_ce();
+  const HfWorkload seq = HfWorkload::paper_50h_sequence();
+  const double ce_speedup = simulate(xeon_run(ce, 96)).total_seconds /
+                            simulate(bgq_run(ce, 4096, 4, 16)).total_seconds;
+  const double seq_speedup =
+      simulate(xeon_run(seq, 96)).total_seconds /
+      simulate(bgq_run(seq, 4096, 4, 16)).total_seconds;
+  EXPECT_LT(seq_speedup, ce_speedup);
+}
+
+// ---- Figures 2-5 trends ----
+
+TEST(PerfSim, MasterLoadDataAndSyncWeightsGrowWithRanks) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const RunReport r1024 = simulate(bgq_run(w, 1024, 1, 64));
+  const RunReport r2048 = simulate(bgq_run(w, 2048, 2, 32));
+  const RunReport r4096 = simulate(bgq_run(w, 4096, 4, 16));
+  EXPECT_LT(r1024.master_fn("load_data").mpi_p2p_seconds,
+            r2048.master_fn("load_data").mpi_p2p_seconds);
+  EXPECT_LT(r2048.master_fn("load_data").mpi_p2p_seconds,
+            r4096.master_fn("load_data").mpi_p2p_seconds);
+  EXPECT_LE(
+      r1024.master_fn("sync_weights_master").mpi_collective_seconds,
+      r4096.master_fn("sync_weights_master").mpi_collective_seconds);
+}
+
+TEST(PerfSim, WorkerGradientComputeShrinksWithRanks) {
+  // "for almost all function calls, as the MPI ranks increase, the
+  // computation time decreases (such as gradient_loss)"
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double g1024 = simulate(bgq_run(w, 1024, 1, 64))
+                           .worker_fn("gradient_loss")
+                           .compute_seconds;
+  const double g4096 = simulate(bgq_run(w, 4096, 4, 16))
+                           .worker_fn("gradient_loss")
+                           .compute_seconds;
+  EXPECT_LT(g4096, g1024);
+}
+
+TEST(PerfSim, CurvatureProductVariesAcrossConfigs) {
+  // The 1-3% resample makes worker_curvature_product noisy across
+  // configurations rather than strictly monotone.
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const double c1 = simulate(bgq_run(w, 1024, 1, 64))
+                        .worker_fn("worker_curvature_product")
+                        .compute_seconds;
+  const double c2 = simulate(bgq_run(w, 2048, 2, 32))
+                        .worker_fn("worker_curvature_product")
+                        .compute_seconds;
+  EXPECT_NE(c1, c2);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_GT(c2, 0.0);
+}
+
+TEST(PerfSim, WorkerTrafficIsMostlyCollective) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const RunReport report = simulate(bgq_run(w, 4096, 4, 16));
+  double coll = 0, p2p = 0;
+  for (const auto& fn : report.worker) {
+    coll += fn.mpi_collective_seconds;
+    p2p += fn.mpi_p2p_seconds;
+  }
+  EXPECT_GT(coll, p2p);
+}
+
+TEST(PerfSim, MasterWaitsOnWorkersMostOfTheTime) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const RunReport report = simulate(bgq_run(w, 1024, 1, 64));
+  const auto& wait = report.master_fn("wait_workers");
+  EXPECT_GT(wait.compute_seconds, 0.3 * report.total_seconds);
+  // Waiting shows up as IU_Empty in the Fig. 2 charts.
+  EXPECT_GT(wait.cycles.iu_empty, wait.cycles.committed);
+}
+
+// ---- Sec. V ablations ----
+
+TEST(PerfSim, LoadBalancingHelpsAndMoreSoAtScale) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  auto slowdown = [&](int ranks, int rpn, int tpr) {
+    RunConfig balanced = bgq_run(w, ranks, rpn, tpr);
+    RunConfig naive = balanced;
+    naive.load_balanced = false;
+    return simulate(naive).total_seconds /
+           simulate(balanced).total_seconds;
+  };
+  const double at_1024 = slowdown(1024, 1, 64);
+  const double at_4096 = slowdown(4096, 4, 16);
+  EXPECT_GT(at_1024, 1.02);
+  EXPECT_GT(at_4096, at_1024);  // "more apparent when ... scaled"
+}
+
+TEST(PerfSim, MpiCollectivesBeatSockets) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  RunConfig mpi = bgq_run(w, 4096, 4, 16);
+  RunConfig socket = mpi;
+  socket.use_mpi_collectives = false;
+  EXPECT_GT(simulate(socket).total_seconds,
+            1.5 * simulate(mpi).total_seconds);
+}
+
+TEST(PerfSim, ImplicitSyncGivesModestGain) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  RunConfig on = bgq_run(w, 2048, 2, 32);
+  RunConfig off = on;
+  off.implicit_sync = false;
+  const double ratio =
+      simulate(off).total_seconds / simulate(on).total_seconds;
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.2);
+}
+
+// ---- plumbing ----
+
+TEST(PerfSim, Deterministic) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const RunReport a = simulate(bgq_run(w, 2048, 2, 32));
+  const RunReport b = simulate(bgq_run(w, 2048, 2, 32));
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  ASSERT_EQ(a.worker.size(), b.worker.size());
+  for (std::size_t i = 0; i < a.worker.size(); ++i) {
+    EXPECT_EQ(a.worker[i].compute_seconds, b.worker[i].compute_seconds);
+  }
+}
+
+TEST(PerfSim, ConfigLabelFormat) {
+  const RunConfig cfg = bgq_run(HfWorkload::paper_50h_ce(), 4096, 4, 16);
+  EXPECT_EQ(cfg.config_label(), "4096-4-16");
+}
+
+TEST(PerfSim, RejectsBadConfigs) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  RunConfig tiny = bgq_run(w, 2, 1, 16);
+  tiny.ranks = 1;  // no workers
+  EXPECT_THROW(simulate(tiny), std::invalid_argument);
+  RunConfig bad_rpn = bgq_run(w, 1024, 1, 64);
+  bad_rpn.ranks_per_node = 3;  // does not divide 16 cores
+  EXPECT_THROW(simulate(bad_rpn), std::invalid_argument);
+  RunConfig too_big = bgq_run(w, 1024, 1, 64);
+  too_big.ranks = 4096;  // 4096 nodes needed, 1-rack machine
+  EXPECT_THROW(simulate(too_big), std::invalid_argument);
+}
+
+TEST(PerfSim, UnknownFunctionNameThrows) {
+  const RunReport report =
+      simulate(bgq_run(HfWorkload::paper_50h_ce(), 1024, 1, 64));
+  EXPECT_THROW(report.master_fn("no_such_phase"), std::out_of_range);
+}
+
+TEST(PerfSim, WorkloadDerivedQuantities) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  EXPECT_EQ(w.total_frames(), 18000000u);
+  EXPECT_GT(w.num_params(), 10000000u);  // "10-50 million DNN parameters"
+  EXPECT_LT(w.num_params(), 50000000u);
+  EXPECT_DOUBLE_EQ(w.gradient_flops_per_frame(),
+                   3.0 * w.forward_flops_per_frame());
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq
+
+namespace bgqhf::bgq {
+namespace {
+
+// Parameterized monotonicity sweep: across both paper workloads and a
+// rank grid at 4 ranks/node, adding hardware never slows the modeled run.
+class MonotoneScalingTest
+    : public ::testing::TestWithParam<std::tuple<bool, int>> {};
+
+TEST_P(MonotoneScalingTest, MoreRanksNeverSlower) {
+  const auto [use_400h, ranks] = GetParam();
+  const HfWorkload w =
+      use_400h ? HfWorkload::paper_400h_ce() : HfWorkload::paper_50h_ce();
+  const double t_small = simulate(bgq_run(w, ranks, 4, 16)).total_seconds;
+  const double t_large =
+      simulate(bgq_run(w, ranks * 2, 4, 16)).total_seconds;
+  EXPECT_LE(t_large, t_small * 1.001)
+      << (use_400h ? "400h" : "50h") << " " << ranks << "->" << ranks * 2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonotoneScalingTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(512, 1024, 2048, 4096)));
+
+TEST(PerfSimSweep, ThreadsNeverHurtAtFixedRanks) {
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  double prev = 1e300;
+  for (const int threads : {8, 16, 32, 64}) {
+    const double t = simulate(bgq_run(w, 1024, 1, threads)).total_seconds;
+    EXPECT_LE(t, prev * 1.001) << threads;
+    prev = t;
+  }
+}
+
+TEST(PerfSimSweep, SequenceAlwaysCostsMoreThanCe) {
+  for (const auto& [ranks, rpn, threads] :
+       {std::tuple{1024, 1, 64}, std::tuple{2048, 2, 32},
+        std::tuple{4096, 4, 16}}) {
+    const double ce =
+        simulate(bgq_run(HfWorkload::paper_50h_ce(), ranks, rpn, threads))
+            .total_seconds;
+    const double seq = simulate(bgq_run(HfWorkload::paper_50h_sequence(),
+                                        ranks, rpn, threads))
+                           .total_seconds;
+    EXPECT_GT(seq, ce);
+  }
+}
+
+TEST(PerfSimSweep, MoreDataTakesLongerEverywhere) {
+  HfWorkload small = HfWorkload::paper_50h_ce();
+  HfWorkload big = small;
+  big.hours = 100.0;
+  for (const int ranks : {1024, 4096}) {
+    EXPECT_GT(simulate(bgq_run(big, ranks, 4, 16)).total_seconds,
+              simulate(bgq_run(small, ranks, 4, 16)).total_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

@@ -1,0 +1,112 @@
+#include "bgq/sgd_model.h"
+
+#include "bgq/perfsim.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+SgdModelConfig bgq_config(int ranks) {
+  SgdModelConfig cfg;
+  cfg.machine = bgq_racks(4);
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 4;
+  cfg.threads_per_rank = 16;
+  return cfg;
+}
+
+SgdModelConfig xeon_config(int ranks) {
+  SgdModelConfig cfg;
+  cfg.machine = intel_cluster(96);
+  cfg.ranks = ranks;
+  cfg.ranks_per_node = 1;
+  cfg.threads_per_rank = 8;
+  return cfg;
+}
+
+TEST(SgdModel, SerialHasNoCommunication) {
+  const SgdThroughput t = sgd_throughput(bgq_config(1));
+  EXPECT_EQ(t.comm_seconds, 0.0);
+  EXPECT_GT(t.compute_seconds, 0.0);
+  EXPECT_GT(t.frames_per_second, 0.0);
+}
+
+TEST(SgdModel, ParallelismShrinksComputeButAddsComm) {
+  const SgdThroughput serial = sgd_throughput(bgq_config(1));
+  const SgdThroughput parallel = sgd_throughput(bgq_config(8));
+  EXPECT_LT(parallel.compute_seconds, serial.compute_seconds);
+  EXPECT_GT(parallel.comm_seconds, 0.0);
+}
+
+TEST(SgdModel, EthernetClusterSaturatesWithinAFewRanks) {
+  // The paper's Related-Work premise [9]: on a commodity cluster,
+  // splitting a small mini-batch is not worth the gradient exchange.
+  const int limit = sgd_scaling_limit(xeon_config(1), 96);
+  EXPECT_LE(limit, 4);
+}
+
+TEST(SgdModel, BgqNetworkExtendsButDoesNotSaveSgdScaling) {
+  const int bgq_limit = sgd_scaling_limit(bgq_config(1), 4096);
+  const int xeon_limit = sgd_scaling_limit(xeon_config(1), 96);
+  EXPECT_GT(bgq_limit, xeon_limit);  // better network helps...
+  EXPECT_LE(bgq_limit, 256);         // ...but SGD still stops far below
+                                     // the 4096 ranks HF reaches
+}
+
+TEST(SgdModel, LargerBatchesScaleFurther) {
+  // HF's insight in miniature: more work per synchronization scales
+  // further.
+  SgdModelConfig small = bgq_config(1);
+  small.batch_frames = 128;
+  SgdModelConfig large = bgq_config(1);
+  large.batch_frames = 16384;
+  EXPECT_GT(sgd_scaling_limit(large, 4096), sgd_scaling_limit(small, 4096));
+}
+
+TEST(SgdModel, ThroughputMonotoneInBatchWhenSerial) {
+  SgdModelConfig a = bgq_config(1);
+  a.batch_frames = 64;
+  SgdModelConfig b = bgq_config(1);
+  b.batch_frames = 1024;
+  EXPECT_GT(sgd_throughput(b).frames_per_second,
+            sgd_throughput(a).frames_per_second);
+}
+
+TEST(SgdModel, InvalidConfigThrows) {
+  SgdModelConfig bad = bgq_config(0);
+  EXPECT_THROW(sgd_throughput(bad), std::invalid_argument);
+  SgdModelConfig bad_rpn = bgq_config(4);
+  bad_rpn.ranks_per_node = 5;
+  EXPECT_THROW(sgd_throughput(bad_rpn), std::invalid_argument);
+}
+
+TEST(SgdModel, CustomFlopsPerFrameRespected) {
+  SgdModelConfig light = bgq_config(1);
+  light.flops_per_frame = 1e6;
+  SgdModelConfig heavy = bgq_config(1);
+  heavy.flops_per_frame = 1e9;
+  EXPECT_GT(sgd_throughput(light).frames_per_second,
+            sgd_throughput(heavy).frames_per_second);
+}
+
+TEST(PerfSimEnergy, EnergyAccountingPresent) {
+  const RunReport report =
+      simulate(bgq_run(HfWorkload::paper_50h_ce(), 4096, 4, 16));
+  EXPECT_EQ(report.nodes_used, 1024);
+  EXPECT_GT(report.energy_kwh, 0.0);
+  // energy = nodes * watts * seconds
+  EXPECT_NEAR(report.energy_kwh,
+              1024 * 100.0 * report.total_seconds / 3.6e6, 1e-9);
+}
+
+TEST(PerfSimEnergy, BgqWinsEnergyToSolution) {
+  // Sec. VIII: "Blue Gene/Q is also a leader in energy efficiency".
+  const HfWorkload w = HfWorkload::paper_50h_ce();
+  const RunReport bgq_report = simulate(bgq_run(w, 4096, 4, 16));
+  const RunReport xeon_report = simulate(xeon_run(w, 96));
+  EXPECT_LT(bgq_report.energy_kwh, xeon_report.energy_kwh);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

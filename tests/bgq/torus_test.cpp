@@ -1,0 +1,97 @@
+#include "bgq/torus.h"
+
+#include <gtest/gtest.h>
+
+namespace bgqhf::bgq {
+namespace {
+
+TEST(Torus, KnownPartitionShapes) {
+  EXPECT_EQ(torus_for_nodes(512).nodes(), 512);   // midplane 4x4x4x4x2
+  EXPECT_EQ(torus_for_nodes(1024).nodes(), 1024); // rack 4x4x4x8x2
+  EXPECT_EQ(torus_for_nodes(2048).nodes(), 2048); // 2 racks
+  const TorusDims rack = torus_for_nodes(1024);
+  EXPECT_EQ(rack.d[0], 4);
+  EXPECT_EQ(rack.d[3], 8);
+  EXPECT_EQ(rack.d[4], 2);
+}
+
+TEST(Torus, GenericFactorizationCoversNodeCount) {
+  for (const int n : {1, 2, 6, 64, 100, 768, 3000}) {
+    EXPECT_EQ(torus_for_nodes(n).nodes(), n) << n;
+  }
+}
+
+TEST(Torus, CoordRoundTrip) {
+  const TorusDims dims = torus_for_nodes(1024);
+  for (const int node : {0, 1, 17, 511, 1023}) {
+    EXPECT_EQ(node_of(coord_of(node, dims), dims), node);
+  }
+}
+
+TEST(Torus, CoordOutOfRangeThrows) {
+  const TorusDims dims = torus_for_nodes(32);
+  EXPECT_THROW(coord_of(32, dims), std::out_of_range);
+  EXPECT_THROW(coord_of(-1, dims), std::out_of_range);
+}
+
+TEST(Torus, HopDistanceUsesWraparound) {
+  TorusDims dims;
+  dims.d = {8, 1, 1, 1, 1};
+  TorusCoord a, b;
+  a.c = {0, 0, 0, 0, 0};
+  b.c = {7, 0, 0, 0, 0};
+  // 0 -> 7 is one wraparound hop, not seven.
+  EXPECT_EQ(hop_distance(a, b, dims), 1);
+  b.c = {4, 0, 0, 0, 0};
+  EXPECT_EQ(hop_distance(a, b, dims), 4);
+}
+
+TEST(Torus, HopDistanceIsAMetric) {
+  const TorusDims dims = torus_for_nodes(128);
+  const TorusCoord a = coord_of(3, dims);
+  const TorusCoord b = coord_of(77, dims);
+  const TorusCoord c = coord_of(120, dims);
+  EXPECT_EQ(hop_distance(a, a, dims), 0);
+  EXPECT_EQ(hop_distance(a, b, dims), hop_distance(b, a, dims));
+  EXPECT_LE(hop_distance(a, c, dims),
+            hop_distance(a, b, dims) + hop_distance(b, c, dims));
+}
+
+TEST(Torus, DiameterOfRackIsSumOfHalfDims) {
+  // 4x4x4x8x2 -> 2+2+2+4+1 = 11
+  EXPECT_EQ(diameter(torus_for_nodes(1024)), 11);
+  // midplane 4x4x4x4x2 -> 2+2+2+2+1 = 9
+  EXPECT_EQ(diameter(torus_for_nodes(512)), 9);
+}
+
+TEST(Torus, AverageHopsBelowDiameter) {
+  for (const int n : {32, 512, 1024, 2048}) {
+    const TorusDims dims = torus_for_nodes(n);
+    EXPECT_GT(average_hops(dims), 0.0);
+    EXPECT_LT(average_hops(dims), diameter(dims));
+  }
+}
+
+TEST(Torus, AverageHopsGrowsWithPartitionSize) {
+  EXPECT_LT(average_hops(torus_for_nodes(512)),
+            average_hops(torus_for_nodes(1024)));
+  EXPECT_LT(average_hops(torus_for_nodes(1024)),
+            average_hops(torus_for_nodes(2048)));
+}
+
+TEST(Torus, BisectionBandwidthScalesWithCrossSection) {
+  const double one_rack =
+      bisection_bandwidth_gb(torus_for_nodes(1024), 2.0);
+  const double two_racks =
+      bisection_bandwidth_gb(torus_for_nodes(2048), 2.0);
+  EXPECT_GT(one_rack, 0.0);
+  EXPECT_GE(two_racks, one_rack);
+}
+
+TEST(Torus, InvalidNodeCountThrows) {
+  EXPECT_THROW(torus_for_nodes(0), std::invalid_argument);
+  EXPECT_THROW(torus_for_nodes(-5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::bgq

@@ -1,0 +1,253 @@
+#include "blas/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/memory_pool.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::blas {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix<T> m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m(i, j) = static_cast<T>(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) -
+                                       static_cast<double>(b(i, j))));
+    }
+  }
+  return worst;
+}
+
+// (m, n, k, transA, transB) sweep including fringe sizes that exercise the
+// zero-padded edge panels of the micro-kernel.
+using GemmShape = std::tuple<int, int, int, bool, bool>;
+
+class GemmShapeTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmShapeTest, MatchesNaiveReference) {
+  const auto [m, n, k, ta, tb] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 73 + n * 31 + k * 7 +
+                                           (ta ? 2 : 0) + (tb ? 1 : 0)));
+  const Matrix<float> a = ta ? random_matrix<float>(k, m, rng)
+                             : random_matrix<float>(m, k, rng);
+  const Matrix<float> b = tb ? random_matrix<float>(n, k, rng)
+                             : random_matrix<float>(k, n, rng);
+  Matrix<float> c_blocked = random_matrix<float>(m, n, rng);
+  Matrix<float> c_naive = c_blocked;
+
+  const Trans transa = ta ? Trans::kYes : Trans::kNo;
+  const Trans transb = tb ? Trans::kYes : Trans::kNo;
+  gemm<float>(transa, transb, 1.3f, a.view(), b.view(), 0.7f,
+              c_blocked.view());
+  gemm_naive<float>(transa, transb, 1.3f, a.view(), b.view(), 0.7f,
+                    c_naive.view());
+  EXPECT_LT(max_abs_diff(c_blocked, c_naive), 1e-3 * std::sqrt(k))
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(
+        GemmShape{1, 1, 1, false, false}, GemmShape{8, 8, 8, false, false},
+        GemmShape{16, 16, 16, false, false},
+        GemmShape{7, 5, 3, false, false},    // all-fringe
+        GemmShape{9, 17, 33, false, false},  // off-by-one fringes
+        GemmShape{64, 64, 64, false, false},
+        GemmShape{100, 50, 75, false, false},
+        GemmShape{130, 260, 70, false, false},  // crosses MC/KC boundaries
+        GemmShape{8, 8, 300, false, false},     // multiple KC panels
+        GemmShape{300, 8, 8, false, false},     // multiple MC blocks
+        GemmShape{33, 65, 129, true, false},
+        GemmShape{33, 65, 129, false, true},
+        GemmShape{33, 65, 129, true, true},
+        GemmShape{64, 64, 64, true, true},
+        GemmShape{1, 128, 64, false, true},
+        GemmShape{128, 1, 64, true, false}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  // C may contain NaN; beta == 0 must not propagate it.
+  Matrix<float> a(4, 4), b(4, 4), c(4, 4);
+  a.fill(1.0f);
+  b.fill(1.0f);
+  c.fill(std::nanf(""));
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c.view());
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(c(i, j), 4.0f);
+  }
+}
+
+TEST(Gemm, AlphaZeroOnlyScalesC) {
+  util::Rng rng(5);
+  Matrix<float> a = random_matrix<float>(8, 8, rng);
+  Matrix<float> b = random_matrix<float>(8, 8, rng);
+  Matrix<float> c = random_matrix<float>(8, 8, rng);
+  Matrix<float> expected = c;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) expected(i, j) *= 2.0f;
+  }
+  gemm<float>(Trans::kNo, Trans::kNo, 0.0f, a.view(), b.view(), 2.0f,
+              c.view());
+  EXPECT_LT(max_abs_diff(c, expected), 1e-6);
+}
+
+TEST(Gemm, ThreadedMatchesSerialBitwise) {
+  // The row-block parallelization must not change results at all: blocks
+  // write disjoint C rows and each block's arithmetic is identical.
+  util::Rng rng(6);
+  Matrix<float> a = random_matrix<float>(300, 90, rng);
+  Matrix<float> b = random_matrix<float>(90, 70, rng);
+  Matrix<float> c_serial(300, 70);
+  Matrix<float> c_par(300, 70);
+  util::ThreadPool pool(4);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c_serial.view(), nullptr);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c_par.view(), &pool);
+  for (std::size_t i = 0; i < c_serial.rows(); ++i) {
+    for (std::size_t j = 0; j < c_serial.cols(); ++j) {
+      ASSERT_EQ(c_serial(i, j), c_par(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Gemm, DoublePrecisionMatchesNaive) {
+  util::Rng rng(7);
+  Matrix<double> a = random_matrix<double>(40, 30, rng);
+  Matrix<double> b = random_matrix<double>(30, 50, rng);
+  Matrix<double> c1(40, 50), c2(40, 50);
+  gemm<double>(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+               c1.view());
+  gemm_naive<double>(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+                     c2.view());
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
+}
+
+TEST(Gemm, CustomBlockingStillCorrect) {
+  util::Rng rng(8);
+  Matrix<float> a = random_matrix<float>(70, 70, rng);
+  Matrix<float> b = random_matrix<float>(70, 70, rng);
+  Matrix<float> c1(70, 70), c2(70, 70);
+  GemmBlocking tiny{16, 8, 24};  // force many blocks
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c1.view(), nullptr, tiny);
+  gemm_naive<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+                    c2.view());
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-3);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoops) {
+  Matrix<float> a(0, 5), b(5, 0), c(0, 0);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c.view());
+  SUCCEED();
+}
+
+TEST(Gemv, MatchesManualComputation) {
+  Matrix<float> a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const float x[3] = {1.0f, 0.5f, -1.0f};
+  float y[2] = {10.0f, 20.0f};
+  gemv<float>(Trans::kNo, 2.0f, a.view(), x, 1.0f, y);
+  EXPECT_FLOAT_EQ(y[0], 10.0f + 2.0f * (1 + 1 - 3));
+  EXPECT_FLOAT_EQ(y[1], 20.0f + 2.0f * (4 + 2.5f - 6));
+}
+
+TEST(Gemv, TransposedMatchesNaiveGemm) {
+  util::Rng rng(9);
+  Matrix<float> a = random_matrix<float>(6, 4, rng);
+  Matrix<float> x(6, 1);
+  for (std::size_t i = 0; i < 6; ++i) x(i, 0) = static_cast<float>(i);
+  Matrix<float> expected(4, 1);
+  gemm_naive<float>(Trans::kYes, Trans::kNo, 1.0f, a.view(), x.view(), 0.0f,
+                    expected.view());
+  float y[4] = {};
+  gemv<float>(Trans::kYes, 1.0f, a.view(), x.data(), 0.0f, y);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], expected(i, 0), 1e-5);
+}
+
+}  // namespace
+}  // namespace bgqhf::blas
+
+namespace bgqhf::blas {
+namespace {
+
+TEST(Gemm, WritesIntoSubviewOfLargerMatrix) {
+  // The training code multiplies into blocks of preallocated buffers; the
+  // leading-dimension handling must leave the surrounding elements alone.
+  util::Rng rng(77);
+  const Matrix<float> a = random_matrix<float>(6, 4, rng);
+  const Matrix<float> b = random_matrix<float>(4, 5, rng);
+  Matrix<float> big(10, 12);
+  big.fill(99.0f);
+  auto block = big.view().block(2, 3, 6, 5);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              block);
+  Matrix<float> expected(6, 5);
+  gemm_naive<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+                    expected.view());
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 12; ++c) {
+      if (r >= 2 && r < 8 && c >= 3 && c < 8) {
+        EXPECT_NEAR(big(r, c), expected(r - 2, c - 3), 1e-4);
+      } else {
+        EXPECT_EQ(big(r, c), 99.0f) << "clobbered at " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(Gemm, ReadsFromSubviewsOfLargerMatrices) {
+  util::Rng rng(78);
+  const Matrix<float> big_a = random_matrix<float>(9, 9, rng);
+  const Matrix<float> big_b = random_matrix<float>(9, 9, rng);
+  const auto a = big_a.view().block(1, 2, 5, 4);
+  const auto b = big_b.view().block(3, 0, 4, 6);
+  Matrix<float> c1(5, 6), c2(5, 6);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, c1.view());
+  gemm_naive<float>(Trans::kNo, Trans::kNo, 1.0f, a, b, 0.0f, c2.view());
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-4);
+}
+
+TEST(Gemm, RepeatedCallsReusePoolBuffers) {
+  // The Sec. V-A4 memory scheme: steady-state GEMMs should hit the pool,
+  // not the system allocator.
+  util::Rng rng(79);
+  const Matrix<float> a = random_matrix<float>(64, 64, rng);
+  const Matrix<float> b = random_matrix<float>(64, 64, rng);
+  Matrix<float> c(64, 64);
+  gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+              c.view());  // warm the pool
+  const std::size_t allocs_before =
+      util::MemoryPool::global().system_allocs();
+  for (int i = 0; i < 20; ++i) {
+    gemm<float>(Trans::kNo, Trans::kNo, 1.0f, a.view(), b.view(), 0.0f,
+                c.view());
+  }
+  EXPECT_EQ(util::MemoryPool::global().system_allocs(), allocs_before);
+}
+
+}  // namespace
+}  // namespace bgqhf::blas

@@ -1,0 +1,66 @@
+#include "blas/level1.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgqhf::blas {
+namespace {
+
+TEST(Level1, AxpyAccumulates) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy<float>(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[1], 24);
+  EXPECT_FLOAT_EQ(y[2], 36);
+}
+
+TEST(Level1, ScalMultiplies) {
+  std::vector<float> x{1, -2, 4};
+  scal<float>(0.5f, x);
+  EXPECT_FLOAT_EQ(x[0], 0.5f);
+  EXPECT_FLOAT_EQ(x[1], -1.0f);
+  EXPECT_FLOAT_EQ(x[2], 2.0f);
+}
+
+TEST(Level1, DotAccumulatesInDouble) {
+  // Catastrophic cancellation case: float accumulation would lose the 1.0.
+  std::vector<float> x{1e8f, 1.0f, -1e8f};
+  std::vector<float> y{1.0f, 1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(dot<float>(x, y), 1.0);
+}
+
+TEST(Level1, Nrm2) {
+  std::vector<float> x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2<float>(x), 5.0);
+}
+
+TEST(Level1, CopyAndZero) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y(3, 0.0f);
+  copy<float>(x, y);
+  EXPECT_EQ(y, x);
+  zero<float>(y);
+  for (const float v : y) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Level1, EmptySpansAreSafe) {
+  std::vector<float> empty;
+  std::vector<float> also_empty;
+  EXPECT_DOUBLE_EQ(dot<float>(empty, also_empty), 0.0);
+  EXPECT_DOUBLE_EQ(nrm2<float>(empty), 0.0);
+  axpy<float>(1.0f, empty, also_empty);
+  SUCCEED();
+}
+
+TEST(Level1, DoubleVariantsWork) {
+  std::vector<double> x{1.5, 2.5};
+  std::vector<double> y{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(dot<double>(x, y), 2.0);
+  axpy<double>(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+}
+
+}  // namespace
+}  // namespace bgqhf::blas

@@ -1,0 +1,101 @@
+#include "blas/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace bgqhf::blas {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix<float> m(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0f);
+  }
+}
+
+TEST(Matrix, DataIsAligned) {
+  Matrix<float> m(5, 7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) %
+                util::kBufferAlignment,
+            0u);
+}
+
+TEST(Matrix, ElementAccessRowMajor) {
+  Matrix<float> m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 2;
+  m(1, 0) = 3;
+  EXPECT_EQ(m.data()[0], 1.0f);
+  EXPECT_EQ(m.data()[2], 2.0f);
+  EXPECT_EQ(m.data()[3], 3.0f);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  Matrix<float> a(2, 2);
+  a(0, 0) = 5;
+  Matrix<float> b = a;
+  b(0, 0) = 9;
+  EXPECT_EQ(a(0, 0), 5.0f);
+  EXPECT_EQ(b(0, 0), 9.0f);
+}
+
+TEST(Matrix, CopyAssignment) {
+  Matrix<float> a(2, 2);
+  a(1, 1) = 7;
+  Matrix<float> b(5, 5);
+  b = a;
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b(1, 1), 7.0f);
+}
+
+TEST(Matrix, MoveLeavesSourceReusable) {
+  Matrix<float> a(2, 2);
+  a(0, 1) = 3;
+  Matrix<float> b = std::move(a);
+  EXPECT_EQ(b(0, 1), 3.0f);
+}
+
+TEST(Matrix, FillSetsAllElements) {
+  Matrix<double> m(3, 3);
+  m.fill(2.5);
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(m.data()[i], 2.5);
+}
+
+TEST(MatrixView, BlockViewsSubrange) {
+  Matrix<float> m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      m(i, j) = static_cast<float>(i * 10 + j);
+    }
+  }
+  const auto blk = m.view().block(1, 2, 2, 2);
+  EXPECT_EQ(blk.rows, 2u);
+  EXPECT_EQ(blk.cols, 2u);
+  EXPECT_EQ(blk(0, 0), 12.0f);
+  EXPECT_EQ(blk(1, 1), 23.0f);
+}
+
+TEST(MatrixView, BlockWritesThrough) {
+  Matrix<float> m(3, 3);
+  auto blk = m.view().block(1, 1, 2, 2);
+  blk(0, 0) = 42.0f;
+  EXPECT_EQ(m(1, 1), 42.0f);
+}
+
+TEST(MatrixView, ConstViewConvertsFromMutable) {
+  Matrix<float> m(2, 2);
+  m(0, 0) = 1.0f;
+  ConstMatrixView<float> cv = m.view();
+  EXPECT_EQ(cv(0, 0), 1.0f);
+}
+
+TEST(Matrix, EmptyMatrixIsValid) {
+  Matrix<float> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bgqhf::blas

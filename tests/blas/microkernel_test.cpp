@@ -1,0 +1,79 @@
+#include "blas/microkernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgqhf::blas {
+namespace {
+
+TEST(Microkernel, ComputesRankOneUpdate) {
+  // kc = 1: C += alpha * a (outer) b on an 8x8 tile.
+  std::vector<float> a(kMR), b(kNR);
+  for (std::size_t i = 0; i < kMR; ++i) a[i] = static_cast<float>(i + 1);
+  for (std::size_t j = 0; j < kNR; ++j) b[j] = static_cast<float>(10 + j);
+  std::vector<float> c(kMR * kNR, 1.0f);
+  microkernel<float>(1, a.data(), b.data(), 2.0f, c.data(), kNR, kMR, kNR);
+  for (std::size_t i = 0; i < kMR; ++i) {
+    for (std::size_t j = 0; j < kNR; ++j) {
+      EXPECT_FLOAT_EQ(c[i * kNR + j],
+                      1.0f + 2.0f * static_cast<float>((i + 1) * (10 + j)));
+    }
+  }
+}
+
+TEST(Microkernel, AccumulatesOverK) {
+  // kc = 3 with all-ones panels: each C entry += alpha * 3.
+  const std::size_t kc = 3;
+  std::vector<float> a(kc * kMR, 1.0f), b(kc * kNR, 1.0f);
+  std::vector<float> c(kMR * kNR, 0.0f);
+  microkernel<float>(kc, a.data(), b.data(), 1.0f, c.data(), kNR, kMR, kNR);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Microkernel, PartialTileOnlyTouchesValidRegion) {
+  const std::size_t kc = 2;
+  std::vector<float> a(kc * kMR, 1.0f), b(kc * kNR, 1.0f);
+  std::vector<float> c(kMR * kNR, -5.0f);
+  microkernel<float>(kc, a.data(), b.data(), 1.0f, c.data(), kNR,
+                     /*mr=*/3, /*nr=*/2);
+  for (std::size_t i = 0; i < kMR; ++i) {
+    for (std::size_t j = 0; j < kNR; ++j) {
+      if (i < 3 && j < 2) {
+        EXPECT_FLOAT_EQ(c[i * kNR + j], -5.0f + 2.0f);
+      } else {
+        EXPECT_FLOAT_EQ(c[i * kNR + j], -5.0f) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Microkernel, RespectsLeadingDimension) {
+  // C tile embedded in a wider row: ldc > NR must skip the gap.
+  const std::size_t ldc = kNR + 4;
+  std::vector<float> a(kMR, 1.0f), b(kNR, 1.0f);
+  std::vector<float> c(kMR * ldc, 0.0f);
+  microkernel<float>(1, a.data(), b.data(), 1.0f, c.data(), ldc, kMR, kNR);
+  for (std::size_t i = 0; i < kMR; ++i) {
+    for (std::size_t j = 0; j < ldc; ++j) {
+      EXPECT_FLOAT_EQ(c[i * ldc + j], j < kNR ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(Microkernel, ZeroKcLeavesCUntouched) {
+  std::vector<float> a(kMR), b(kNR);
+  std::vector<float> c(kMR * kNR, 7.0f);
+  microkernel<float>(0, a.data(), b.data(), 1.0f, c.data(), kNR, kMR, kNR);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(Microkernel, DoubleVariant) {
+  std::vector<double> a(kMR, 2.0), b(kNR, 3.0);
+  std::vector<double> c(kMR * kNR, 0.0);
+  microkernel<double>(1, a.data(), b.data(), 0.5, c.data(), kNR, kMR, kNR);
+  for (const double v : c) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+}  // namespace
+}  // namespace bgqhf::blas

@@ -1,0 +1,210 @@
+#include "hf/cg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bgqhf::hf {
+namespace {
+
+// Dense SPD test operator A = B B^T + mu I.
+struct SpdOperator {
+  std::size_t n;
+  std::vector<double> a;  // row-major n x n
+
+  static SpdOperator random(std::size_t n, double mu, std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<double> b(n * n);
+    for (auto& v : b) v = rng.normal();
+    SpdOperator op{n, std::vector<double>(n * n, 0.0)};
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = i == j ? mu : 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += b[i * n + k] * b[j * n + k];
+        }
+        op.a[i * n + j] = acc;
+      }
+    }
+    return op;
+  }
+
+  Matvec matvec() const {
+    return [this](std::span<const float> v, std::span<float> out) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += a[i * n + j] * v[j];
+        }
+        out[i] = static_cast<float>(acc);
+      }
+    };
+  }
+};
+
+double residual_norm(const SpdOperator& op, std::span<const float> x,
+                     std::span<const float> g) {
+  // r = -g - A x
+  double norm2 = 0;
+  for (std::size_t i = 0; i < op.n; ++i) {
+    double acc = -static_cast<double>(g[i]);
+    for (std::size_t j = 0; j < op.n; ++j) {
+      acc -= op.a[i * op.n + j] * x[j];
+    }
+    norm2 += acc * acc;
+  }
+  return std::sqrt(norm2);
+}
+
+TEST(Cg, SolvesSpdSystemToHighAccuracy) {
+  const SpdOperator op = SpdOperator::random(12, 1.0, 1);
+  util::Rng rng(2);
+  std::vector<float> g(12);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  std::vector<float> d0(12, 0.0f);
+
+  CgOptions opts;
+  opts.max_iters = 200;
+  opts.progress_tol = 0.0;  // disable truncation; run to residual stop
+  opts.residual_tol = 1e-6;
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  EXPECT_LT(residual_norm(op, result.iterates.back(), g), 1e-3);
+}
+
+TEST(Cg, IdentityOperatorConvergesInOneIteration) {
+  const std::size_t n = 8;
+  const Matvec identity = [](std::span<const float> v,
+                             std::span<float> out) {
+    std::copy(v.begin(), v.end(), out.begin());
+  };
+  std::vector<float> g(n, 2.0f);
+  std::vector<float> d0(n, 0.0f);
+  CgOptions opts;
+  opts.residual_tol = 1e-6;
+  const CgResult result = cg_minimize(identity, g, d0, opts);
+  EXPECT_LE(result.iterations, 2u);
+  for (const float x : result.iterates.back()) {
+    EXPECT_NEAR(x, -2.0f, 1e-5);  // solves x = -g
+  }
+}
+
+TEST(Cg, QValuesDecreaseMonotonically) {
+  const SpdOperator op = SpdOperator::random(20, 0.5, 3);
+  util::Rng rng(4);
+  std::vector<float> g(20);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  std::vector<float> d0(20, 0.0f);
+  CgOptions opts;
+  opts.progress_tol = 0.0;
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  ASSERT_GE(result.q_values.size(), 2u);
+  for (std::size_t i = 1; i < result.q_values.size(); ++i) {
+    EXPECT_LE(result.q_values[i], result.q_values[i - 1] + 1e-6);
+  }
+  // Minimizing from x=0 must produce q < 0 (q(0) = 0).
+  EXPECT_LT(result.q_values.back(), 0.0);
+}
+
+TEST(Cg, IterateIndicesStrictlyIncreaseAndEndAtFinal) {
+  const SpdOperator op = SpdOperator::random(30, 0.1, 5);
+  util::Rng rng(6);
+  std::vector<float> g(30);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  std::vector<float> d0(30, 0.0f);
+  CgOptions opts;
+  opts.progress_tol = 0.0;
+  opts.max_iters = 25;
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  for (std::size_t i = 1; i < result.iterate_indices.size(); ++i) {
+    EXPECT_GT(result.iterate_indices[i], result.iterate_indices[i - 1]);
+  }
+  EXPECT_EQ(result.iterate_indices.back(), result.iterations);
+  EXPECT_EQ(result.iterates.size(), result.q_values.size());
+  EXPECT_EQ(result.iterates.size(), result.iterate_indices.size());
+}
+
+TEST(Cg, MartensTruncationStopsEarly) {
+  // An ill-conditioned system makes late CG progress slow; a loose
+  // progress tolerance must truncate well before max_iters.
+  const SpdOperator op = SpdOperator::random(60, 1e-3, 7);
+  util::Rng rng(8);
+  std::vector<float> g(60);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  std::vector<float> d0(60, 0.0f);
+
+  CgOptions loose;
+  loose.max_iters = 500;
+  loose.progress_tol = 5e-2;
+  const CgResult truncated = cg_minimize(op.matvec(), g, d0, loose);
+  EXPECT_EQ(truncated.stop, CgResult::Stop::kProgress);
+  EXPECT_LT(truncated.iterations, 500u);
+
+  CgOptions strict = loose;
+  strict.progress_tol = 1e-8;
+  const CgResult longer = cg_minimize(op.matvec(), g, d0, strict);
+  EXPECT_GE(longer.iterations, truncated.iterations);
+}
+
+TEST(Cg, WarmStartAtSolutionStopsImmediately) {
+  const SpdOperator op = SpdOperator::random(10, 1.0, 9);
+  util::Rng rng(10);
+  std::vector<float> g(10);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  std::vector<float> d0(10, 0.0f);
+  CgOptions opts;
+  opts.progress_tol = 0.0;
+  opts.residual_tol = 1e-7;
+  const CgResult first = cg_minimize(op.matvec(), g, d0, opts);
+  // Restart from the solution: the residual is already near float noise,
+  // so the warm solve takes far fewer iterations than the cold one.
+  const CgResult warm =
+      cg_minimize(op.matvec(), g, first.iterates.back(), opts);
+  EXPECT_LT(warm.iterations, first.iterations);
+  EXPECT_LE(warm.iterations, 5u);
+}
+
+TEST(Cg, WarmStartReachesSameSolution) {
+  const SpdOperator op = SpdOperator::random(15, 1.0, 11);
+  util::Rng rng(12);
+  std::vector<float> g(15), half(15);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  CgOptions opts;
+  opts.progress_tol = 0.0;
+  opts.residual_tol = 1e-7;
+  const CgResult cold =
+      cg_minimize(op.matvec(), g, std::vector<float>(15, 0.0f), opts);
+  for (std::size_t i = 0; i < 15; ++i) {
+    half[i] = 0.5f * cold.iterates.back()[i];
+  }
+  const CgResult warm = cg_minimize(op.matvec(), g, half, opts);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_NEAR(warm.iterates.back()[i], cold.iterates.back()[i], 1e-2f);
+  }
+}
+
+TEST(Cg, ZeroGradientReturnsZeroStep) {
+  const SpdOperator op = SpdOperator::random(5, 1.0, 13);
+  std::vector<float> g(5, 0.0f), d0(5, 0.0f);
+  const CgResult result = cg_minimize(op.matvec(), g, d0, CgOptions{});
+  for (const float x : result.iterates.back()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Cg, RespectsMaxIters) {
+  const SpdOperator op = SpdOperator::random(50, 1e-4, 14);
+  util::Rng rng(15);
+  std::vector<float> g(50);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  CgOptions opts;
+  opts.max_iters = 7;
+  opts.progress_tol = 0.0;
+  const CgResult result =
+      cg_minimize(op.matvec(), g, std::vector<float>(50, 0.0f), opts);
+  EXPECT_EQ(result.iterations, 7u);
+  EXPECT_EQ(result.stop, CgResult::Stop::kMaxIters);
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

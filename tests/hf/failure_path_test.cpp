@@ -1,0 +1,99 @@
+// Algorithm 1's failure branch: when no CG iterate improves the held-out
+// loss, the iteration must leave theta untouched, raise lambda, and reset
+// the CG momentum. Forced here with an adversarial compute whose held-out
+// loss punishes every move away from the start.
+#include <gtest/gtest.h>
+
+#include "hf/optimizer.h"
+#include "quadratic_compute.h"
+
+namespace bgqhf::hf {
+namespace {
+
+// Wraps a quadratic compute but reports a held-out loss that is minimal at
+// theta0 and grows with distance from it — so every HF step "fails".
+class AdversarialCompute : public HfCompute {
+ public:
+  explicit AdversarialCompute(std::size_t n, std::uint64_t seed)
+      : inner_(testing::QuadraticCompute::random(n, 1.0, seed)), n_(n) {}
+
+  std::size_t num_params() const override { return n_; }
+  std::size_t total_train_frames() const override { return 1; }
+  void set_params(std::span<const float> theta) override {
+    theta_.assign(theta.begin(), theta.end());
+    inner_.set_params(theta);
+  }
+  nn::BatchLoss gradient(std::span<float> grad_out) override {
+    return inner_.gradient(grad_out);
+  }
+  nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_out, std::span<float> grad_sq_out) override {
+    return inner_.gradient_with_squares(grad_out, grad_sq_out);
+  }
+  void prepare_curvature(std::uint64_t seed) override {
+    inner_.prepare_curvature(seed);
+  }
+  void curvature_product(std::span<const float> v,
+                         std::span<float> out) override {
+    inner_.curvature_product(v, out);
+  }
+  nn::BatchLoss heldout_loss() override {
+    double d2 = 0.0;
+    for (const float t : theta_) d2 += static_cast<double>(t) * t;
+    nn::BatchLoss loss;
+    loss.frames = 1;
+    loss.loss_sum = 1.0 + d2;  // minimized at theta = 0
+    return loss;
+  }
+
+ private:
+  testing::QuadraticCompute inner_;
+  std::size_t n_;
+  std::vector<float> theta_;
+};
+
+TEST(FailurePath, FailedIterationsLeaveThetaUntouchedAndRaiseLambda) {
+  AdversarialCompute compute(8, 44);
+  std::vector<float> theta(8, 0.0f);  // already at the held-out optimum
+  HfOptions opts;
+  opts.max_iterations = 4;
+  opts.cg.max_iters = 20;
+  opts.damping.lambda0 = 1.0;
+  const HfResult result = HfOptimizer(opts).run(compute, theta);
+
+  ASSERT_EQ(result.iterations.size(), 4u);
+  for (const auto& log : result.iterations) {
+    EXPECT_TRUE(log.failed) << "iteration " << log.iteration;
+    EXPECT_EQ(log.heldout_after, log.heldout_before);
+  }
+  // Theta unchanged through all failed iterations.
+  for (const float t : theta) EXPECT_EQ(t, 0.0f);
+  // Lambda must have grown by 1.5x per failure.
+  EXPECT_GT(result.iterations.back().lambda,
+            result.iterations.front().lambda);
+  EXPECT_NEAR(result.iterations[1].lambda,
+              1.5 * result.iterations[0].lambda, 1e-12);
+}
+
+TEST(FailurePath, FailedIterationResetsCgMomentum) {
+  // After a failure, d0 resets to zero, so the next CG run starts cold;
+  // observable as identical CG behaviour in consecutive failing
+  // iterations (same operator, same zero warm start, same gradient).
+  AdversarialCompute compute(6, 45);
+  std::vector<float> theta(6, 0.0f);
+  HfOptions opts;
+  opts.max_iterations = 3;
+  opts.cg.max_iters = 15;
+  const HfResult result = HfOptimizer(opts).run(compute, theta);
+  ASSERT_GE(result.iterations.size(), 3u);
+  // Lambda differs per iteration (grows), so CG counts may differ; the
+  // structural invariant is that every iteration re-ran CG from scratch
+  // and still failed without corrupting state.
+  for (const auto& log : result.iterations) {
+    EXPECT_GT(log.cg_iterations, 0u);
+    EXPECT_TRUE(log.failed);
+  }
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

@@ -1,0 +1,92 @@
+#include "hf/linesearch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bgqhf::hf {
+namespace {
+
+TEST(LineSearch, AcceptsFullStepOnWellScaledQuadratic) {
+  // L(alpha) = (alpha - 1)^2: full step alpha=1 is the minimizer and
+  // trivially satisfies Armijo with directional = -2.
+  const auto loss_at = [](double a) { return (a - 1.0) * (a - 1.0); };
+  const LineSearchResult r = armijo_backtrack(loss_at, 1.0, -2.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(r.loss, 0.0);
+  EXPECT_EQ(r.evals, 1u);
+}
+
+TEST(LineSearch, BacktracksWhenFullStepOvershoots) {
+  // L(alpha) = (4*alpha - 1)^2: minimizer at 0.25; alpha=1 is uphill.
+  const auto loss_at = [](double a) {
+    const double d = 4.0 * a - 1.0;
+    return d * d;
+  };
+  const LineSearchResult r = armijo_backtrack(loss_at, 1.0, -8.0);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_LT(r.alpha, 1.0);
+  EXPECT_GT(r.alpha, 0.0);
+  EXPECT_LT(r.loss, 1.0);
+}
+
+TEST(LineSearch, ReturnsZeroWhenNothingImproves) {
+  // Strictly increasing loss: no alpha helps.
+  const auto loss_at = [](double a) { return 1.0 + a; };
+  const LineSearchResult r = armijo_backtrack(loss_at, 1.0, -1.0);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(r.loss, 1.0);
+}
+
+TEST(LineSearch, FallsBackToBestSeenWithoutCertification) {
+  // Improvement exists but never meets the sufficient-decrease slope
+  // (directional is wildly optimistic): best-seen alpha is returned.
+  const auto loss_at = [](double a) { return 1.0 - 0.01 * a; };
+  LineSearchOptions opts;
+  opts.c = 1.0;  // demand full predicted decrease
+  opts.max_steps = 5;
+  const LineSearchResult r = armijo_backtrack(loss_at, 1.0, -100.0, opts);
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_DOUBLE_EQ(r.alpha, 1.0);  // the largest step improves the most
+  EXPECT_LT(r.loss, 1.0);
+}
+
+TEST(LineSearch, RespectsEvalBudget) {
+  int calls = 0;
+  const auto loss_at = [&calls](double a) {
+    ++calls;
+    return 1.0 + a;
+  };
+  LineSearchOptions opts;
+  opts.max_steps = 4;
+  armijo_backtrack(loss_at, 1.0, -1.0, opts);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(LineSearch, ShrinkFactorControlsTrialSequence) {
+  std::vector<double> trials;
+  const auto loss_at = [&trials](double a) {
+    trials.push_back(a);
+    return 10.0;  // never accepted
+  };
+  LineSearchOptions opts;
+  opts.alpha0 = 1.0;
+  opts.shrink = 0.25;
+  opts.max_steps = 3;
+  armijo_backtrack(loss_at, 1.0, -1.0, opts);
+  ASSERT_EQ(trials.size(), 3u);
+  EXPECT_DOUBLE_EQ(trials[0], 1.0);
+  EXPECT_DOUBLE_EQ(trials[1], 0.25);
+  EXPECT_DOUBLE_EQ(trials[2], 0.0625);
+}
+
+TEST(LineSearch, CountsEvals) {
+  const auto loss_at = [](double a) { return (4.0 * a - 1.0) * (4.0 * a - 1.0); };
+  const LineSearchResult r = armijo_backtrack(loss_at, 1.0, -8.0);
+  EXPECT_GE(r.evals, 2u);  // alpha=1 rejected, at least one more trial
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

@@ -1,0 +1,68 @@
+// End-to-end behaviour of the literal printed Algorithm 1 damping rule
+// versus the Martens convention the text says it implements (see
+// hf/damping.h for the discrepancy analysis).
+#include <gtest/gtest.h>
+
+#include "hf/trainer.h"
+
+namespace bgqhf::hf {
+namespace {
+
+TrainerConfig config() {
+  TrainerConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus.hours = 0.004;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 151;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.heldout_every_kth = 4;
+  cfg.hf.max_iterations = 6;
+  cfg.hf.cg.max_iters = 20;
+  return cfg;
+}
+
+TEST(PaperLiteral, BothConventionsTrainOnEasyTask) {
+  TrainerConfig martens = config();
+  TrainerConfig literal = config();
+  literal.hf.damping.paper_literal = true;
+  const TrainOutcome m = train_serial(martens);
+  const TrainOutcome l = train_serial(literal);
+  EXPECT_LT(m.hf.final_heldout_loss,
+            m.hf.iterations.front().heldout_before);
+  EXPECT_LT(l.hf.final_heldout_loss,
+            l.hf.iterations.front().heldout_before);
+}
+
+TEST(PaperLiteral, LambdaTrajectoriesDiverge) {
+  TrainerConfig martens = config();
+  TrainerConfig literal = config();
+  literal.hf.damping.paper_literal = true;
+  const TrainOutcome m = train_serial(martens);
+  const TrainOutcome l = train_serial(literal);
+  // On this well-behaved task rho is typically > 0.75: Martens *shrinks*
+  // lambda there; the literal rule *grows* it. The trajectories must
+  // separate.
+  bool diverged = false;
+  const std::size_t n =
+      std::min(m.hf.iterations.size(), l.hf.iterations.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (m.hf.iterations[i].lambda != l.hf.iterations[i].lambda) {
+      diverged = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(PaperLiteral, MartensConventionShrinksLambdaWhenModelIsGood) {
+  const TrainOutcome m = train_serial(config());
+  // With an accurate quadratic model, lambda should end below its start.
+  EXPECT_LT(m.hf.iterations.back().lambda,
+            m.hf.iterations.front().lambda + 1e-12);
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

@@ -1,0 +1,161 @@
+#include "hf/preconditioner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hf/cg.h"
+#include "hf/trainer.h"
+#include "util/rng.h"
+
+namespace bgqhf::hf {
+namespace {
+
+// Ill-conditioned diagonal operator A = diag(d) with huge dynamic range —
+// the textbook case where Jacobi preconditioning collapses the iteration
+// count to O(1).
+struct DiagOperator {
+  std::vector<float> d;
+  Matvec matvec() const {
+    return [this](std::span<const float> v, std::span<float> out) {
+      for (std::size_t i = 0; i < d.size(); ++i) out[i] = d[i] * v[i];
+    };
+  }
+};
+
+TEST(Preconditioner, JacobiInvertsDiagonalWithExponentOne) {
+  JacobiPreconditioner m({4.0f, 9.0f, 16.0f}, /*lambda=*/0.0,
+                         /*exponent=*/1.0);
+  std::vector<float> v{4.0f, 9.0f, 16.0f}, out(3);
+  m.apply(v, out);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 1.0f);
+  EXPECT_FLOAT_EQ(out[2], 1.0f);
+}
+
+TEST(Preconditioner, ExponentSoftensScaling) {
+  JacobiPreconditioner m({16.0f}, 0.0, 0.5);
+  std::vector<float> v{1.0f}, out(1);
+  m.apply(v, out);
+  EXPECT_FLOAT_EQ(out[0], 0.25f);  // 16^-0.5
+}
+
+TEST(Preconditioner, LambdaRegularizesZeroDiagonal) {
+  JacobiPreconditioner m({0.0f}, 4.0, 1.0);
+  std::vector<float> v{1.0f}, out(1);
+  m.apply(v, out);
+  EXPECT_FLOAT_EQ(out[0], 0.25f);
+  EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(Preconditioner, NegativeEstimatesClampedToLambda) {
+  JacobiPreconditioner m({-5.0f}, 2.0, 1.0);
+  std::vector<float> v{1.0f}, out(1);
+  m.apply(v, out);
+  EXPECT_FLOAT_EQ(out[0], 0.5f);
+}
+
+TEST(Preconditioner, JacobiCollapsesIterationsOnIllConditionedSystem) {
+  const std::size_t n = 64;
+  DiagOperator op;
+  util::Rng rng(3);
+  op.d.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Condition number ~1e6.
+    op.d[i] = static_cast<float>(std::pow(10.0, rng.uniform(-3.0, 3.0)));
+  }
+  std::vector<float> g(n);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  const std::vector<float> d0(n, 0.0f);
+
+  CgOptions opts;
+  opts.max_iters = 500;
+  opts.progress_tol = 0.0;
+  opts.residual_tol = 1e-5;
+
+  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts);
+
+  JacobiPreconditioner jacobi(op.d, 0.0, 1.0);
+  const Matvec minv = jacobi.as_matvec();
+  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, &minv);
+
+  EXPECT_LT(pre.iterations, plain.iterations / 4)
+      << "plain=" << plain.iterations << " pre=" << pre.iterations;
+  // Both reach (approximately) the same solution x = -g / d.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float expected = -g[i] / op.d[i];
+    EXPECT_NEAR(pre.iterates.back()[i], expected,
+                5e-3f * (1.0f + std::abs(expected)));
+  }
+}
+
+TEST(Preconditioner, UniformDiagonalReproducesPlainCgSolution) {
+  // PCG with M = cI is mathematically identical to CG; solutions must
+  // agree to float tolerance.
+  const std::size_t n = 20;
+  DiagOperator op;
+  util::Rng rng(5);
+  op.d.assign(n, 0.0f);
+  for (auto& v : op.d) v = static_cast<float>(rng.uniform(0.5, 2.0));
+  std::vector<float> g(n);
+  for (auto& v : g) v = static_cast<float>(rng.normal());
+  const std::vector<float> d0(n, 0.0f);
+  CgOptions opts;
+  opts.max_iters = 200;
+  opts.progress_tol = 0.0;
+  opts.residual_tol = 1e-6;
+
+  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts);
+  JacobiPreconditioner uniform(std::vector<float>(n, 3.0f), 0.0, 1.0);
+  const Matvec minv = uniform.as_matvec();
+  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, &minv);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(plain.iterates.back()[i], pre.iterates.back()[i], 1e-3f);
+  }
+}
+
+TEST(Preconditioner, HfWithPreconditionerStillTrains) {
+  TrainerConfig cfg;
+  cfg.workers = 1;
+  cfg.corpus.hours = 0.002;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 61;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.heldout_every_kth = 4;
+  cfg.hf.max_iterations = 5;
+  cfg.hf.cg.max_iters = 20;
+  cfg.hf.use_preconditioner = true;
+  const TrainOutcome out = train_serial(cfg);
+  EXPECT_LT(out.hf.final_heldout_loss,
+            out.hf.iterations.front().heldout_before);
+}
+
+TEST(Preconditioner, DistributedEqualsSerialWithPreconditioner) {
+  // The extra squared-gradient gather must preserve the bitwise
+  // equivalence property.
+  TrainerConfig cfg;
+  cfg.workers = 3;
+  cfg.corpus.hours = 0.002;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 71;
+  cfg.context = 1;
+  cfg.hidden = {10};
+  cfg.heldout_every_kth = 4;
+  cfg.hf.max_iterations = 3;
+  cfg.hf.cg.max_iters = 15;
+  cfg.hf.use_preconditioner = true;
+  const TrainOutcome serial = train_serial(cfg);
+  const TrainOutcome distributed = train_distributed(cfg);
+  ASSERT_EQ(serial.theta.size(), distributed.theta.size());
+  for (std::size_t i = 0; i < serial.theta.size(); ++i) {
+    ASSERT_EQ(serial.theta[i], distributed.theta[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

@@ -1,0 +1,152 @@
+// Test double: an HfCompute backed by an exact convex quadratic
+//   L(theta) = 0.5 theta^T A theta - b^T theta + c,  A SPD.
+// Gradient, curvature products, and the "held-out" loss are all exact and
+// deterministic, which turns optimizer tests into checks against known
+// minimizers (theta* = A^-1 b).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "hf/compute.h"
+#include "util/rng.h"
+
+namespace bgqhf::hf::testing {
+
+class QuadraticCompute : public HfCompute {
+ public:
+  /// Random SPD A = M M^T + mu I and random b.
+  static QuadraticCompute random(std::size_t n, double mu,
+                                 std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<double> m(n * n);
+    for (auto& v : m) v = rng.normal();
+    QuadraticCompute q;
+    q.n_ = n;
+    q.a_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = i == j ? mu : 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          acc += m[i * n + k] * m[j * n + k];
+        }
+        q.a_[i * n + j] = acc;
+      }
+    }
+    q.b_.resize(n);
+    for (auto& v : q.b_) v = rng.normal();
+    q.theta_.assign(n, 0.0f);
+    return q;
+  }
+
+  /// Diagonal A (possibly ill-conditioned) with given entries.
+  static QuadraticCompute diagonal(std::vector<double> diag,
+                                   std::uint64_t seed) {
+    QuadraticCompute q;
+    q.n_ = diag.size();
+    q.a_.assign(q.n_ * q.n_, 0.0);
+    for (std::size_t i = 0; i < q.n_; ++i) q.a_[i * q.n_ + i] = diag[i];
+    util::Rng rng(seed);
+    q.b_.resize(q.n_);
+    for (auto& v : q.b_) v = rng.normal();
+    q.theta_.assign(q.n_, 0.0f);
+    return q;
+  }
+
+  /// theta* = A^-1 b via Gaussian elimination (test-scale sizes).
+  std::vector<double> minimizer() const {
+    std::vector<double> a = a_;
+    std::vector<double> x = b_;
+    const std::size_t n = n_;
+    for (std::size_t col = 0; col < n; ++col) {
+      std::size_t pivot = col;
+      for (std::size_t r = col + 1; r < n; ++r) {
+        if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) {
+          pivot = r;
+        }
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(x[col], x[pivot]);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (r == col) continue;
+        const double f = a[r * n + col] / a[col * n + col];
+        for (std::size_t c = 0; c < n; ++c) {
+          a[r * n + c] -= f * a[col * n + c];
+        }
+        x[r] -= f * x[col];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] /= a[i * n + i];
+    return x;
+  }
+
+  double loss_at(std::span<const float> theta) const {
+    double quad = 0.0, lin = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        av += a_[i * n_ + j] * theta[j];
+      }
+      quad += theta[i] * av;
+      lin += b_[i] * theta[i];
+    }
+    return 0.5 * quad - lin + offset_;
+  }
+
+  // ---- HfCompute ----
+  std::size_t num_params() const override { return n_; }
+  std::size_t total_train_frames() const override { return 1; }
+  void set_params(std::span<const float> theta) override {
+    theta_.assign(theta.begin(), theta.end());
+  }
+  nn::BatchLoss gradient(std::span<float> grad_out) override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        av += a_[i * n_ + j] * theta_[j];
+      }
+      grad_out[i] = static_cast<float>(av - b_[i]);
+    }
+    nn::BatchLoss loss;
+    loss.frames = 1;
+    loss.loss_sum = loss_at(theta_);
+    return loss;
+  }
+  nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_out, std::span<float> grad_sq_out) override {
+    const nn::BatchLoss loss = gradient(grad_out);
+    for (std::size_t i = 0; i < n_; ++i) {
+      grad_sq_out[i] = grad_out[i] * grad_out[i];
+    }
+    return loss;
+  }
+  void prepare_curvature(std::uint64_t) override {}
+  void curvature_product(std::span<const float> v,
+                         std::span<float> out) override {
+    for (std::size_t i = 0; i < n_; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) {
+        av += a_[i * n_ + j] * v[j];
+      }
+      out[i] = static_cast<float>(av);
+    }
+  }
+  nn::BatchLoss heldout_loss() override {
+    nn::BatchLoss loss;
+    loss.frames = 1;
+    loss.loss_sum = loss_at(theta_);
+    return loss;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<float> theta_;
+  // Positive offset so losses stay positive (mean_loss conventions).
+  double offset_ = 100.0;
+};
+
+}  // namespace bgqhf::hf::testing

@@ -1,0 +1,143 @@
+// Viterbi decoding and state-error-rate (the recognition-side proxy for
+// the paper's WER metric).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "nn/sequence.h"
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+blas::Matrix<float> random_logits(std::size_t T, std::size_t S,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  blas::Matrix<float> m(T, S);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+  }
+  return m;
+}
+
+// Enumerate every path (S^T) and return the best-scoring one.
+std::vector<int> brute_force_best_path(blas::ConstMatrixView<float> logits,
+                                       const TransitionModel& trans) {
+  const std::size_t T = logits.rows;
+  const std::size_t S = logits.cols;
+  std::vector<int> best_path, path(T, 0);
+  double best = -std::numeric_limits<double>::infinity();
+  const double log_init = -std::log(static_cast<double>(S));
+  for (;;) {
+    double score = log_init + logits(0, static_cast<std::size_t>(path[0]));
+    for (std::size_t t = 1; t < T; ++t) {
+      score += trans(static_cast<std::size_t>(path[t - 1]),
+                     static_cast<std::size_t>(path[t])) +
+               logits(t, static_cast<std::size_t>(path[t]));
+    }
+    if (score > best) {
+      best = score;
+      best_path = path;
+    }
+    // Next path in lexicographic order.
+    std::size_t t = 0;
+    while (t < T && ++path[t] == static_cast<int>(S)) {
+      path[t] = 0;
+      ++t;
+    }
+    if (t == T) break;
+  }
+  return best_path;
+}
+
+TEST(Viterbi, MatchesBruteForceOnSmallProblems) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto logits = random_logits(5, 3, seed);
+    const TransitionModel tm = TransitionModel::left_to_right(3, 0.3);
+    EXPECT_EQ(viterbi_decode(logits.view(), tm),
+              brute_force_best_path(logits.view(), tm))
+        << "seed " << seed;
+  }
+}
+
+TEST(Viterbi, DominantLogitsDecodeToArgmax) {
+  const std::size_t T = 8, S = 4;
+  blas::Matrix<float> logits(T, S);
+  std::vector<int> target{0, 0, 1, 1, 2, 2, 3, 3};  // dwell-consistent
+  for (std::size_t t = 0; t < T; ++t) {
+    logits(t, static_cast<std::size_t>(target[t])) = 40.0f;
+  }
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.3);
+  EXPECT_EQ(viterbi_decode(logits.view(), tm), target);
+}
+
+TEST(Viterbi, TransitionsBreakEmissionTies) {
+  // With all-zero logits the best path is the one the transition model
+  // prefers: constant (self-loops dominate when dwell is long).
+  blas::Matrix<float> logits(6, 3);
+  const TransitionModel tm = TransitionModel::left_to_right(3, 0.05);
+  const std::vector<int> path = viterbi_decode(logits.view(), tm);
+  for (std::size_t t = 1; t < path.size(); ++t) {
+    EXPECT_EQ(path[t], path[0]);
+  }
+}
+
+TEST(Viterbi, SingleFrameIsArgmax) {
+  blas::Matrix<float> logits(1, 4);
+  logits(0, 2) = 3.0f;
+  const TransitionModel tm = TransitionModel::left_to_right(4, 0.2);
+  EXPECT_EQ(viterbi_decode(logits.view(), tm), (std::vector<int>{2}));
+}
+
+TEST(Viterbi, InvalidInputsThrow) {
+  blas::Matrix<float> logits(4, 3);
+  const TransitionModel wrong = TransitionModel::left_to_right(5, 0.2);
+  EXPECT_THROW(viterbi_decode(logits.view(), wrong), std::invalid_argument);
+  blas::Matrix<float> empty(0, 3);
+  const TransitionModel tm = TransitionModel::left_to_right(3, 0.2);
+  EXPECT_THROW(viterbi_decode(empty.view(), tm), std::invalid_argument);
+}
+
+TEST(StateErrorRate, CountsMismatchedFrames) {
+  const std::vector<int> ref{0, 1, 2, 3};
+  const std::vector<int> hyp{0, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(state_error_rate(ref, hyp), 0.5);
+  EXPECT_DOUBLE_EQ(state_error_rate(ref, ref), 0.0);
+}
+
+TEST(StateErrorRate, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(state_error_rate({}, {}), 0.0);
+}
+
+TEST(StateErrorRate, LengthMismatchThrows) {
+  const std::vector<int> a{1, 2};
+  const std::vector<int> b{1};
+  EXPECT_THROW(state_error_rate(a, b), std::invalid_argument);
+}
+
+TEST(Viterbi, DecodingTrainedSignalBeatsChance) {
+  // End-to-end sanity: logits favoring the reference by a margin decode
+  // with low state error rate even through noise.
+  util::Rng rng(77);
+  const std::size_t T = 60, S = 5;
+  std::vector<int> ref(T);
+  int s = 0;
+  for (std::size_t t = 0; t < T; ++t) {
+    ref[t] = s;
+    if (rng.next_double() < 0.15) s = (s + 1) % static_cast<int>(S);
+  }
+  blas::Matrix<float> logits(T, S);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t c = 0; c < S; ++c) {
+      logits(t, c) = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+    logits(t, static_cast<std::size_t>(ref[t])) += 2.0f;
+  }
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.15);
+  const std::vector<int> hyp = viterbi_decode(logits.view(), tm);
+  EXPECT_LT(state_error_rate(ref, hyp), 0.25);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

@@ -1,0 +1,253 @@
+// Properties of the Gauss-Newton product: PSD (the property HF's CG relies
+// on), symmetry, and agreement with the true Hessian where they coincide.
+#include "nn/gaussnewton.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/backprop.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+struct GnSetup {
+  Network net;
+  blas::Matrix<float> x;
+  std::vector<int> labels;
+  ForwardCache cache;
+};
+
+GnSetup make_setup(const std::vector<std::size_t>& hidden, std::uint64_t seed,
+                 std::size_t frames = 8) {
+  GnSetup s{Network::mlp(5, hidden, 4), blas::Matrix<float>(frames, 5), {},
+          {}};
+  util::Rng rng(seed);
+  s.net.init_glorot(rng);
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    s.x.data()[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t f = 0; f < frames; ++f) {
+    s.labels.push_back(static_cast<int>(rng.below(4)));
+  }
+  s.cache = s.net.forward(s.x.view());
+  return s;
+}
+
+std::vector<float> gn_product(GnSetup& s, std::span<const float> v) {
+  std::vector<float> gv(s.net.num_params(), 0.0f);
+  accumulate_gn_product(s.net, s.x.view(), s.cache, CurvatureKind::kSoftmaxCE,
+                        v, gv);
+  return gv;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+class GnArchTest
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(GnArchTest, ProductIsPositiveSemidefinite) {
+  GnSetup s = make_setup(GetParam(), 21);
+  util::Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> v(s.net.num_params());
+    for (auto& vi : v) vi = static_cast<float>(rng.normal());
+    const std::vector<float> gv = gn_product(s, v);
+    EXPECT_GE(dot(v, gv), -1e-4) << "trial " << trial;
+  }
+}
+
+TEST_P(GnArchTest, ProductIsSymmetric) {
+  GnSetup s = make_setup(GetParam(), 22);
+  util::Rng rng(56);
+  std::vector<float> u(s.net.num_params()), v(s.net.num_params());
+  for (auto& x : u) x = static_cast<float>(rng.normal());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const double ugv = dot(u, gn_product(s, v));
+  const double vgu = dot(v, gn_product(s, u));
+  const double scale = std::max({1.0, std::abs(ugv), std::abs(vgu)});
+  EXPECT_NEAR(ugv / scale, vgu / scale, 1e-4);
+}
+
+TEST_P(GnArchTest, ProductIsLinearInV) {
+  GnSetup s = make_setup(GetParam(), 23);
+  util::Rng rng(57);
+  std::vector<float> u(s.net.num_params()), v(s.net.num_params());
+  for (auto& x : u) x = static_cast<float>(rng.normal());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  std::vector<float> w(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) w[i] = 2.0f * u[i] - 3.0f * v[i];
+  const auto gu = gn_product(s, u);
+  const auto gv = gn_product(s, v);
+  const auto gw = gn_product(s, w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(gw[i], 2.0f * gu[i] - 3.0f * gv[i], 2e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, GnArchTest,
+                         ::testing::Values(std::vector<std::size_t>{},
+                                           std::vector<std::size_t>{6},
+                                           std::vector<std::size_t>{5, 4}));
+
+TEST(GaussNewton, EqualsHessianForLinearModel) {
+  // For a single linear layer + softmax CE the model is linear in the
+  // parameters, so the Gauss-Newton matrix IS the Hessian; check Gv against
+  // finite differences of the gradient.
+  GnSetup s = make_setup({}, 31, 6);
+  std::vector<float> theta(s.net.params().begin(), s.net.params().end());
+
+  auto gradient_at = [&](std::span<const float> params) {
+    s.net.set_params(params);
+    const ForwardCache cache = s.net.forward(s.x.view());
+    blas::Matrix<float> delta(s.x.rows(), s.net.output_dim());
+    auto dv = delta.view();
+    softmax_xent(cache.logits(), s.labels, &dv);
+    std::vector<float> g(s.net.num_params(), 0.0f);
+    accumulate_gradient(s.net, s.x.view(), cache, std::move(delta), g);
+    return g;
+  };
+
+  util::Rng rng(58);
+  std::vector<float> v(s.net.num_params());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  s.net.set_params(theta);
+  s.cache = s.net.forward(s.x.view());
+  const std::vector<float> gv = gn_product(s, v);
+
+  const double eps = 1e-3;
+  std::vector<float> plus = theta, minus = theta;
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    plus[i] += static_cast<float>(eps * v[i]);
+    minus[i] -= static_cast<float>(eps * v[i]);
+  }
+  const std::vector<float> gp = gradient_at(plus);
+  const std::vector<float> gm = gradient_at(minus);
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const double hv = (gp[i] - gm[i]) / (2 * eps);
+    EXPECT_NEAR(gv[i], hv, 5e-3) << "coordinate " << i;
+  }
+}
+
+TEST(GaussNewton, SquaredErrorLinearNetIsJtJ) {
+  // Linear 1-layer net, squared error: G = J^T J; for a single frame with
+  // input x, the W-block of G*v is (V x) x^T. Verify on a hand case.
+  Network net({LayerSpec{2, 1, Activation::kLinear}});
+  blas::Matrix<float> x(1, 2);
+  x(0, 0) = 3.0f;
+  x(0, 1) = -2.0f;
+  const ForwardCache cache = net.forward(x.view());
+  // v: W-block {a, b}, bias c. J row for frame = [x0, x1, 1].
+  std::vector<float> v{0.5f, 1.0f, 2.0f};
+  std::vector<float> gv(3, 0.0f);
+  accumulate_gn_product(net, x.view(), cache, CurvatureKind::kSquaredError,
+                        v, gv);
+  const float jv = 3.0f * 0.5f + (-2.0f) * 1.0f + 2.0f;  // J v
+  EXPECT_FLOAT_EQ(gv[0], jv * 3.0f);
+  EXPECT_FLOAT_EQ(gv[1], jv * -2.0f);
+  EXPECT_FLOAT_EQ(gv[2], jv);
+}
+
+TEST(GaussNewton, ZeroDirectionGivesZeroProduct) {
+  GnSetup s = make_setup({4}, 33);
+  std::vector<float> v(s.net.num_params(), 0.0f);
+  const auto gv = gn_product(s, v);
+  for (const float g : gv) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(GaussNewton, AccumulatesAcrossBatches) {
+  GnSetup s = make_setup({4}, 34);
+  util::Rng rng(59);
+  std::vector<float> v(s.net.num_params());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const auto once = gn_product(s, v);
+  std::vector<float> twice(v.size(), 0.0f);
+  accumulate_gn_product(s.net, s.x.view(), s.cache,
+                        CurvatureKind::kSoftmaxCE, v, twice);
+  accumulate_gn_product(s.net, s.x.view(), s.cache,
+                        CurvatureKind::kSoftmaxCE, v, twice);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+  }
+}
+
+TEST(GaussNewton, ExplicitDistributionMatchesSoftmaxPath) {
+  GnSetup s = make_setup({5}, 35);
+  util::Rng rng(60);
+  std::vector<float> v(s.net.num_params());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  const auto via_enum = gn_product(s, v);
+
+  blas::Matrix<float> probs(s.x.rows(), s.net.output_dim());
+  softmax_rows(s.cache.logits(), probs.view());
+  std::vector<float> via_dist(v.size(), 0.0f);
+  accumulate_gn_product_with_distribution(s.net, s.x.view(), s.cache,
+                                          probs.view(), v, via_dist);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(via_enum[i], via_dist[i], 1e-5f);
+  }
+}
+
+TEST(GaussNewton, ShapeMismatchThrows) {
+  GnSetup s = make_setup({4}, 36);
+  blas::Matrix<float> bad_probs(s.x.rows(), s.net.output_dim() + 1);
+  std::vector<float> v(s.net.num_params(), 0.0f), gv(v.size(), 0.0f);
+  EXPECT_THROW(accumulate_gn_product_with_distribution(
+                   s.net, s.x.view(), s.cache, bad_probs.view(), v, gv),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn
+
+namespace bgqhf::nn {
+namespace {
+
+TEST(GaussNewton, RopMatchesFiniteDifferenceJacobianProduct) {
+  // For squared error, H_L = I, so v^T G v = ||J v||^2 where J is the
+  // Jacobian of the logits w.r.t. the parameters. J v is computed by the
+  // R-forward pass; check it against central differences of the logits.
+  GnSetup s = make_setup({5, 4}, 99, 5);
+  util::Rng rng(100);
+  std::vector<float> v(s.net.num_params());
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+
+  std::vector<float> gv(v.size(), 0.0f);
+  accumulate_gn_product(s.net, s.x.view(), s.cache,
+                        CurvatureKind::kSquaredError, v, gv);
+  const double vgv = dot(v, gv);
+
+  // ||J v||^2 via finite differences.
+  std::vector<float> theta(s.net.params().begin(), s.net.params().end());
+  const double eps = 1e-3;
+  std::vector<float> plus = theta, minus = theta;
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    plus[i] += static_cast<float>(eps * v[i]);
+    minus[i] -= static_cast<float>(eps * v[i]);
+  }
+  nn::Network net = s.net;
+  net.set_params(plus);
+  const blas::Matrix<float> lp = net.forward_logits(s.x.view());
+  net.set_params(minus);
+  const blas::Matrix<float> lm = net.forward_logits(s.x.view());
+  double jv_norm2 = 0.0;
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    const double jv = (static_cast<double>(lp.data()[i]) - lm.data()[i]) /
+                      (2.0 * eps);
+    jv_norm2 += jv * jv;
+  }
+  EXPECT_NEAR(vgv, jv_norm2, 0.02 * (1.0 + jv_norm2));
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

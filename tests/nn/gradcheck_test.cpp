@@ -1,0 +1,154 @@
+// Finite-difference verification of the backprop gradient — the foundation
+// everything in HF rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/backprop.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+struct Problem {
+  Network net;
+  blas::Matrix<float> x;
+  std::vector<int> labels;
+};
+
+Problem make_problem(const std::vector<std::size_t>& hidden,
+                     Activation act, std::uint64_t seed) {
+  Problem p{Network::mlp(4, hidden, 3, act), blas::Matrix<float>(6, 4), {}};
+  util::Rng rng(seed);
+  p.net.init_glorot(rng);
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    p.x.data()[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    p.labels.push_back(static_cast<int>(rng.below(3)));
+  }
+  return p;
+}
+
+double loss_at(Problem& p, std::span<const float> theta) {
+  p.net.set_params(theta);
+  const blas::Matrix<float> logits = p.net.forward_logits(p.x.view());
+  return softmax_xent(logits.view(), p.labels).loss_sum;
+}
+
+std::vector<float> analytic_gradient(Problem& p,
+                                     std::span<const float> theta) {
+  p.net.set_params(theta);
+  const ForwardCache cache = p.net.forward(p.x.view());
+  blas::Matrix<float> delta(p.x.rows(), p.net.output_dim());
+  auto dv = delta.view();
+  softmax_xent(cache.logits(), p.labels, &dv);
+  std::vector<float> grad(p.net.num_params(), 0.0f);
+  accumulate_gradient(p.net, p.x.view(), cache, std::move(delta), grad);
+  return grad;
+}
+
+// Compare every coordinate of the analytic gradient against central
+// differences. Returns the worst relative error over coordinates with a
+// non-trivial magnitude.
+double gradcheck(Problem& p) {
+  std::vector<float> theta(p.net.params().begin(), p.net.params().end());
+  const std::vector<float> grad = analytic_gradient(p, theta);
+  const double eps = 1e-3;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    std::vector<float> plus = theta, minus = theta;
+    plus[i] += static_cast<float>(eps);
+    minus[i] -= static_cast<float>(eps);
+    const double fd = (loss_at(p, plus) - loss_at(p, minus)) / (2 * eps);
+    const double denom = std::max(1.0, std::abs(fd) + std::abs(grad[i]));
+    worst = std::max(worst, std::abs(fd - grad[i]) / denom);
+  }
+  return worst;
+}
+
+using GradProblem = std::tuple<std::vector<std::size_t>, Activation>;
+
+class GradCheckTest : public ::testing::TestWithParam<GradProblem> {};
+
+TEST_P(GradCheckTest, BackpropMatchesFiniteDifferences) {
+  const auto& [hidden, act] = GetParam();
+  Problem p = make_problem(hidden, act, 1234);
+  EXPECT_LT(gradcheck(p), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, GradCheckTest,
+    ::testing::Values(
+        // single linear layer
+        std::make_tuple(std::vector<std::size_t>{}, Activation::kSigmoid),
+        std::make_tuple(std::vector<std::size_t>{5}, Activation::kSigmoid),
+        std::make_tuple(std::vector<std::size_t>{5}, Activation::kTanh),
+        std::make_tuple(std::vector<std::size_t>{5}, Activation::kReLU),
+        std::make_tuple(std::vector<std::size_t>{6, 5}, Activation::kSigmoid),
+        std::make_tuple(std::vector<std::size_t>{4, 4, 4},
+                        Activation::kTanh)));
+
+TEST(GradCheck, GradientAccumulatesAcrossCalls) {
+  Problem p = make_problem({4}, Activation::kSigmoid, 5);
+  std::vector<float> theta(p.net.params().begin(), p.net.params().end());
+  p.net.set_params(theta);
+
+  auto one_grad = [&]() {
+    const ForwardCache cache = p.net.forward(p.x.view());
+    blas::Matrix<float> delta(p.x.rows(), p.net.output_dim());
+    auto dv = delta.view();
+    softmax_xent(cache.logits(), p.labels, &dv);
+    std::vector<float> g(p.net.num_params(), 0.0f);
+    accumulate_gradient(p.net, p.x.view(), cache, std::move(delta), g);
+    return g;
+  };
+  const std::vector<float> once = one_grad();
+
+  // Accumulate twice into the same buffer: result must be exactly 2x.
+  std::vector<float> twice(p.net.num_params(), 0.0f);
+  for (int rep = 0; rep < 2; ++rep) {
+    const ForwardCache cache = p.net.forward(p.x.view());
+    blas::Matrix<float> delta(p.x.rows(), p.net.output_dim());
+    auto dv = delta.view();
+    softmax_xent(cache.logits(), p.labels, &dv);
+    accumulate_gradient(p.net, p.x.view(), cache, std::move(delta), twice);
+  }
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4f);
+  }
+}
+
+TEST(GradCheck, BatchGradientEqualsSumOfFrameGradients) {
+  // Linearity of the gradient over frames is what makes data-parallel
+  // sharding exact.
+  Problem p = make_problem({5}, Activation::kSigmoid, 8);
+  std::vector<float> theta(p.net.params().begin(), p.net.params().end());
+  const std::vector<float> whole = analytic_gradient(p, theta);
+
+  std::vector<float> summed(p.net.num_params(), 0.0f);
+  for (std::size_t f = 0; f < p.x.rows(); ++f) {
+    Problem single{p.net, blas::Matrix<float>(1, 4), {p.labels[f]}};
+    for (std::size_t c = 0; c < 4; ++c) single.x(0, c) = p.x(f, c);
+    const std::vector<float> g = analytic_gradient(single, theta);
+    for (std::size_t i = 0; i < g.size(); ++i) summed[i] += g[i];
+  }
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_NEAR(whole[i], summed[i], 5e-4f);
+  }
+}
+
+TEST(GradCheck, ZeroDeltaGivesZeroGradient) {
+  Problem p = make_problem({3}, Activation::kTanh, 9);
+  const ForwardCache cache = p.net.forward(p.x.view());
+  blas::Matrix<float> delta(p.x.rows(), p.net.output_dim());  // zeros
+  std::vector<float> grad(p.net.num_params(), 0.0f);
+  accumulate_gradient(p.net, p.x.view(), cache, std::move(delta), grad);
+  for (const float g : grad) EXPECT_EQ(g, 0.0f);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

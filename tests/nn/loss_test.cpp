@@ -1,0 +1,165 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(1);
+  blas::Matrix<float> logits(5, 7);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.uniform(-5, 5));
+  }
+  blas::Matrix<float> probs(5, 7);
+  softmax_rows(logits.view(), probs.view());
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 7; ++c) {
+      EXPECT_GT(probs(r, c), 0.0f);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  blas::Matrix<float> logits(1, 3);
+  logits(0, 0) = 1000.0f;
+  logits(0, 1) = 999.0f;
+  logits(0, 2) = -1000.0f;
+  blas::Matrix<float> probs(1, 3);
+  softmax_rows(logits.view(), probs.view());
+  EXPECT_TRUE(std::isfinite(probs(0, 0)));
+  EXPECT_NEAR(probs(0, 0) + probs(0, 1) + probs(0, 2), 1.0, 1e-5);
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+}
+
+TEST(SoftmaxXent, UniformLogitsGiveLogC) {
+  blas::Matrix<float> logits(4, 10);  // all zero
+  std::vector<int> labels{0, 3, 7, 9};
+  const BatchLoss loss = softmax_xent(logits.view(), labels);
+  EXPECT_NEAR(loss.mean_loss(), std::log(10.0), 1e-5);
+  EXPECT_EQ(loss.frames, 4u);
+}
+
+TEST(SoftmaxXent, PerfectPredictionNearZeroLoss) {
+  blas::Matrix<float> logits(2, 3);
+  logits(0, 1) = 50.0f;
+  logits(1, 2) = 50.0f;
+  std::vector<int> labels{1, 2};
+  const BatchLoss loss = softmax_xent(logits.view(), labels);
+  EXPECT_NEAR(loss.mean_loss(), 0.0, 1e-5);
+  EXPECT_EQ(loss.correct, 2u);
+  EXPECT_DOUBLE_EQ(loss.accuracy(), 1.0);
+}
+
+TEST(SoftmaxXent, DeltaIsProbsMinusOnehot) {
+  util::Rng rng(2);
+  blas::Matrix<float> logits(3, 4);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+  }
+  std::vector<int> labels{1, 0, 3};
+  blas::Matrix<float> probs(3, 4);
+  softmax_rows(logits.view(), probs.view());
+  blas::Matrix<float> delta(3, 4);
+  auto dv = delta.view();
+  softmax_xent(logits.view(), labels, &dv);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const float onehot =
+          c == static_cast<std::size_t>(labels[r]) ? 1.0f : 0.0f;
+      EXPECT_NEAR(delta(r, c), probs(r, c) - onehot, 1e-5);
+    }
+  }
+}
+
+TEST(SoftmaxXent, DeltaRowsSumToZero) {
+  util::Rng rng(3);
+  blas::Matrix<float> logits(6, 5);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] = static_cast<float>(rng.normal());
+  }
+  std::vector<int> labels{0, 1, 2, 3, 4, 0};
+  blas::Matrix<float> delta(6, 5);
+  auto dv = delta.view();
+  softmax_xent(logits.view(), labels, &dv);
+  for (std::size_t r = 0; r < 6; ++r) {
+    double sum = 0;
+    for (std::size_t c = 0; c < 5; ++c) sum += delta(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxXent, LossIsNonNegative) {
+  util::Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    blas::Matrix<float> logits(4, 6);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+      logits.data()[i] = static_cast<float>(rng.uniform(-10, 10));
+    }
+    std::vector<int> labels{0, 1, 2, 3};
+    EXPECT_GE(softmax_xent(logits.view(), labels).loss_sum, 0.0);
+  }
+}
+
+TEST(SoftmaxXent, LabelOutOfRangeThrows) {
+  blas::Matrix<float> logits(1, 3);
+  std::vector<int> labels{5};
+  EXPECT_THROW(softmax_xent(logits.view(), labels), std::out_of_range);
+  labels[0] = -1;
+  EXPECT_THROW(softmax_xent(logits.view(), labels), std::out_of_range);
+}
+
+TEST(SoftmaxXent, LabelCountMismatchThrows) {
+  blas::Matrix<float> logits(2, 3);
+  std::vector<int> labels{0};
+  EXPECT_THROW(softmax_xent(logits.view(), labels), std::invalid_argument);
+}
+
+TEST(BatchLoss, AccumulationAddsFields) {
+  BatchLoss a{1.0, 10, 5};
+  BatchLoss b{2.0, 20, 15};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.loss_sum, 3.0);
+  EXPECT_EQ(a.frames, 30u);
+  EXPECT_EQ(a.correct, 20u);
+  EXPECT_DOUBLE_EQ(a.mean_loss(), 0.1);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 2.0 / 3.0);
+}
+
+TEST(BatchLoss, EmptyIsSafe) {
+  BatchLoss empty;
+  EXPECT_DOUBLE_EQ(empty.mean_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+}
+
+TEST(SquaredError, MatchesClosedForm) {
+  blas::Matrix<float> logits(1, 2);
+  logits(0, 0) = 3.0f;
+  logits(0, 1) = -1.0f;
+  blas::Matrix<float> targets(1, 2);
+  targets(0, 0) = 1.0f;
+  targets(0, 1) = 1.0f;
+  blas::Matrix<float> delta(1, 2);
+  auto dv = delta.view();
+  const BatchLoss loss = squared_error(logits.view(), targets.view(), &dv);
+  EXPECT_DOUBLE_EQ(loss.loss_sum, 0.5 * (4.0 + 4.0));
+  EXPECT_FLOAT_EQ(delta(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(delta(0, 1), -2.0f);
+}
+
+TEST(SquaredError, ZeroAtTarget) {
+  blas::Matrix<float> m(3, 2);
+  m.fill(1.5f);
+  const BatchLoss loss = squared_error(m.view(), m.view(), nullptr);
+  EXPECT_DOUBLE_EQ(loss.loss_sum, 0.0);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

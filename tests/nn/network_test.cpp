@@ -1,0 +1,192 @@
+#include "nn/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bgqhf::nn {
+namespace {
+
+TEST(Network, ParamCountMatchesLayout) {
+  const Network net = Network::mlp(10, {8, 6}, 4);
+  // 10*8+8 + 8*6+6 + 6*4+4
+  EXPECT_EQ(net.num_params(), 88u + 54u + 28u);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.input_dim(), 10u);
+  EXPECT_EQ(net.output_dim(), 4u);
+}
+
+TEST(Network, OutputLayerIsLinear) {
+  const Network net = Network::mlp(4, {3}, 2);
+  EXPECT_EQ(net.layers().back().act, Activation::kLinear);
+  EXPECT_EQ(net.layers().front().act, Activation::kSigmoid);
+}
+
+TEST(Network, LayerViewsPartitionFlatStorage) {
+  Network net = Network::mlp(3, {2}, 2);
+  auto l0 = net.layer(0);
+  auto l1 = net.layer(1);
+  EXPECT_EQ(l0.w.rows, 2u);
+  EXPECT_EQ(l0.w.cols, 3u);
+  EXPECT_EQ(l0.b.size(), 2u);
+  EXPECT_EQ(l1.w.rows, 2u);
+  EXPECT_EQ(l1.w.cols, 2u);
+  // Views tile the flat vector contiguously: W0, b0, W1, b1.
+  EXPECT_EQ(l0.b.data(), l0.w.data + 6);
+  EXPECT_EQ(l1.w.data, l0.b.data() + 2);
+}
+
+TEST(Network, SetParamsRoundTrips) {
+  Network net = Network::mlp(2, {2}, 1);
+  std::vector<float> theta(net.num_params());
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    theta[i] = static_cast<float>(i) * 0.1f;
+  }
+  net.set_params(theta);
+  const auto p = net.params();
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    EXPECT_EQ(p[i], theta[i]);
+  }
+}
+
+TEST(Network, SetParamsSizeMismatchThrows) {
+  Network net = Network::mlp(2, {2}, 1);
+  std::vector<float> wrong(3);
+  EXPECT_THROW(net.set_params(wrong), std::invalid_argument);
+}
+
+TEST(Network, DimensionMismatchInSpecsThrows) {
+  std::vector<LayerSpec> bad{{4, 3, Activation::kSigmoid},
+                             {5, 2, Activation::kLinear}};
+  EXPECT_THROW(Network{bad}, std::invalid_argument);
+}
+
+TEST(Network, GlorotInitWithinLimits) {
+  Network net = Network::mlp(100, {50}, 10);
+  util::Rng rng(3);
+  net.init_glorot(rng);
+  const auto l0 = net.layer(0);
+  const double limit = std::sqrt(6.0 / 150.0);
+  for (std::size_t r = 0; r < l0.w.rows; ++r) {
+    for (std::size_t c = 0; c < l0.w.cols; ++c) {
+      EXPECT_LE(std::abs(l0.w(r, c)), limit);
+    }
+  }
+  for (const float b : l0.b) EXPECT_EQ(b, 0.0f);
+}
+
+TEST(Network, GlorotDeterministicInSeed) {
+  Network a = Network::mlp(5, {4}, 3);
+  Network b = Network::mlp(5, {4}, 3);
+  util::Rng r1(9), r2(9);
+  a.init_glorot(r1);
+  b.init_glorot(r2);
+  for (std::size_t i = 0; i < a.num_params(); ++i) {
+    EXPECT_EQ(a.params()[i], b.params()[i]);
+  }
+}
+
+TEST(Network, ForwardLinearIdentityNetwork) {
+  // One linear layer with W = I, b = 0: output == input.
+  Network net({LayerSpec{3, 3, Activation::kLinear}});
+  auto l0 = net.layer(0);
+  for (std::size_t i = 0; i < 3; ++i) l0.w(i, i) = 1.0f;
+  blas::Matrix<float> x(2, 3);
+  x(0, 0) = 1;
+  x(1, 2) = -4;
+  const ForwardCache cache = net.forward(x.view());
+  EXPECT_FLOAT_EQ(cache.logits()(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cache.logits()(1, 2), -4.0f);
+}
+
+TEST(Network, ForwardAppliesBias) {
+  Network net({LayerSpec{2, 2, Activation::kLinear}});
+  auto l0 = net.layer(0);
+  l0.b[0] = 5.0f;
+  l0.b[1] = -2.0f;
+  blas::Matrix<float> x(1, 2);
+  const ForwardCache cache = net.forward(x.view());
+  EXPECT_FLOAT_EQ(cache.logits()(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(cache.logits()(0, 1), -2.0f);
+}
+
+TEST(Network, ForwardSigmoidSquashes) {
+  Network net({LayerSpec{1, 1, Activation::kSigmoid}});
+  auto l0 = net.layer(0);
+  l0.w(0, 0) = 100.0f;  // saturate
+  blas::Matrix<float> x(2, 1);
+  x(0, 0) = 1.0f;
+  x(1, 0) = -1.0f;
+  const ForwardCache cache = net.forward(x.view());
+  EXPECT_NEAR(cache.logits()(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(cache.logits()(1, 0), 0.0f, 1e-5);
+}
+
+TEST(Network, ForwardCacheHasAllLayers) {
+  Network net = Network::mlp(4, {3, 5}, 2);
+  util::Rng rng(1);
+  net.init_glorot(rng);
+  blas::Matrix<float> x(7, 4);
+  const ForwardCache cache = net.forward(x.view());
+  ASSERT_EQ(cache.acts.size(), 3u);
+  EXPECT_EQ(cache.acts[0].cols(), 3u);
+  EXPECT_EQ(cache.acts[1].cols(), 5u);
+  EXPECT_EQ(cache.acts[2].cols(), 2u);
+  for (const auto& a : cache.acts) EXPECT_EQ(a.rows(), 7u);
+}
+
+TEST(Network, ForwardLogitsMatchesFullForward) {
+  Network net = Network::mlp(6, {5, 4}, 3, Activation::kTanh);
+  util::Rng rng(2);
+  net.init_glorot(rng);
+  blas::Matrix<float> x(9, 6);
+  util::Rng xr(5);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(xr.normal());
+  }
+  const ForwardCache cache = net.forward(x.view());
+  const blas::Matrix<float> logits = net.forward_logits(x.view());
+  for (std::size_t r = 0; r < 9; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(logits(r, c), cache.logits()(r, c));
+    }
+  }
+}
+
+TEST(Network, ForwardInputDimMismatchThrows) {
+  Network net = Network::mlp(4, {3}, 2);
+  blas::Matrix<float> x(2, 5);
+  EXPECT_THROW(net.forward(x.view()), std::invalid_argument);
+}
+
+TEST(Activations, ReluClampsNegative) {
+  blas::Matrix<float> m(1, 3);
+  m(0, 0) = -1.0f;
+  m(0, 1) = 0.0f;
+  m(0, 2) = 2.0f;
+  apply_activation(Activation::kReLU, m.view());
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_EQ(m(0, 2), 2.0f);
+}
+
+TEST(Activations, DerivativeOfSigmoidFromOutput) {
+  blas::Matrix<float> a(1, 1);
+  a(0, 0) = 0.25f;  // activation output
+  blas::Matrix<float> m(1, 1);
+  m(0, 0) = 2.0f;
+  multiply_by_derivative(Activation::kSigmoid, a.view(), m.view());
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f * 0.25f * 0.75f);
+}
+
+TEST(Activations, DerivativeOfTanhFromOutput) {
+  blas::Matrix<float> a(1, 1);
+  a(0, 0) = 0.5f;
+  blas::Matrix<float> m(1, 1);
+  m(0, 0) = 1.0f;
+  multiply_by_derivative(Activation::kTanh, a.view(), m.view());
+  EXPECT_FLOAT_EQ(m(0, 0), 0.75f);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

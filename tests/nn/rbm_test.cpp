@@ -1,0 +1,135 @@
+#include "nn/rbm.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+// Structured binary-ish data: two prototype patterns plus noise.
+blas::Matrix<float> make_data(std::size_t rows, std::size_t dim,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  blas::Matrix<float> data(rows, dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const bool pattern = rng.next_double() < 0.5;
+    for (std::size_t c = 0; c < dim; ++c) {
+      const bool on = pattern ? (c % 2 == 0) : (c % 2 == 1);
+      const double p = on ? 0.9 : 0.1;
+      data(r, c) = rng.next_double() < p ? 1.0f : 0.0f;
+    }
+  }
+  return data;
+}
+
+TEST(Rbm, ShapesAndInit) {
+  Rbm rbm(10, 6, 1);
+  EXPECT_EQ(rbm.visible(), 10u);
+  EXPECT_EQ(rbm.hidden(), 6u);
+  EXPECT_EQ(rbm.weights().rows(), 6u);
+  EXPECT_EQ(rbm.weights().cols(), 10u);
+  for (const float b : rbm.hidden_bias()) EXPECT_EQ(b, 0.0f);
+}
+
+TEST(Rbm, HiddenProbsAreProbabilities) {
+  Rbm rbm(8, 5, 2);
+  const auto data = make_data(20, 8, 3);
+  const auto h = rbm.hidden_probs(data.view());
+  EXPECT_EQ(h.rows(), 20u);
+  EXPECT_EQ(h.cols(), 5u);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_GT(h.data()[i], 0.0f);
+    EXPECT_LT(h.data()[i], 1.0f);
+  }
+}
+
+TEST(Rbm, Cd1ReducesReconstructionError) {
+  Rbm rbm(12, 8, 4);
+  const auto data = make_data(200, 12, 5);
+  RbmOptions options;
+  options.epochs = 15;
+  options.learning_rate = 0.1;
+  const std::vector<double> errors = rbm.train(data.view(), options);
+  ASSERT_EQ(errors.size(), 15u);
+  // Binary visibles with 10% label noise floor the error near p(1-p);
+  // CD-1 must close most of the gap from the untrained start.
+  EXPECT_LT(errors.back(), 0.85 * errors.front());
+  EXPECT_LT(errors.back(), errors.front());
+}
+
+TEST(Rbm, TrainingIsDeterministic) {
+  const auto data = make_data(50, 10, 6);
+  RbmOptions options;
+  options.epochs = 3;
+  Rbm a(10, 4, 7), b(10, 4, 7);
+  const auto ea = a.train(data.view(), options);
+  const auto eb = b.train(data.view(), options);
+  EXPECT_EQ(ea, eb);
+  for (std::size_t i = 0; i < a.weights().size(); ++i) {
+    ASSERT_EQ(a.weights().data()[i], b.weights().data()[i]);
+  }
+}
+
+TEST(Rbm, DimensionMismatchThrows) {
+  Rbm rbm(6, 4, 8);
+  blas::Matrix<float> wrong(3, 5);
+  EXPECT_THROW(rbm.hidden_probs(wrong.view()), std::invalid_argument);
+  blas::Matrix<float> wrong_h(3, 5);
+  EXPECT_THROW(rbm.visible_means(wrong_h.view()), std::invalid_argument);
+  EXPECT_THROW(Rbm(0, 4, 1), std::invalid_argument);
+}
+
+TEST(RbmPretrain, BuildsNetworkWithRbmWeights) {
+  const auto data = make_data(100, 10, 9);
+  RbmOptions options;
+  options.epochs = 8;
+  options.learning_rate = 0.1;
+  const Network net =
+      rbm_pretrain_network(data.view(), {8, 6}, 3, options);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.input_dim(), 10u);
+  EXPECT_EQ(net.output_dim(), 3u);
+  // The first hidden layer is no longer a Glorot init: CD-1 moves weights
+  // well away from the tiny N(0, 0.01) starting point for structured data.
+  const auto l0 = net.layer(0);
+  float max_abs = 0.0f;
+  for (std::size_t r = 0; r < l0.w.rows; ++r) {
+    for (std::size_t c = 0; c < l0.w.cols; ++c) {
+      max_abs = std::max(max_abs, std::abs(l0.w(r, c)));
+    }
+  }
+  EXPECT_GT(max_abs, 0.025f);  // well beyond the N(0, 0.01) init scale
+}
+
+TEST(RbmPretrain, PretrainedFeaturesSeparateThePatterns) {
+  // Hidden representations of the two prototype patterns should differ
+  // substantially after pretraining — the point of DBN initialization.
+  const auto data = make_data(300, 12, 10);
+  Rbm rbm(12, 6, 11);
+  RbmOptions options;
+  options.epochs = 20;
+  options.learning_rate = 0.1;
+  rbm.train(data.view(), options);
+
+  blas::Matrix<float> proto(2, 12);
+  for (std::size_t c = 0; c < 12; ++c) {
+    proto(0, c) = c % 2 == 0 ? 1.0f : 0.0f;
+    proto(1, c) = c % 2 == 1 ? 1.0f : 0.0f;
+  }
+  const auto h = rbm.hidden_probs(proto.view());
+  double dist = 0.0;
+  for (std::size_t c = 0; c < 6; ++c) {
+    dist += std::abs(static_cast<double>(h(0, c)) - h(1, c));
+  }
+  EXPECT_GT(dist, 0.5);
+}
+
+TEST(RbmPretrain, EmptyHiddenStackRejected) {
+  const auto data = make_data(10, 6, 12);
+  EXPECT_THROW(rbm_pretrain_network(data.view(), {}, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

@@ -1,0 +1,195 @@
+#include "nn/sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+blas::Matrix<float> random_logits(std::size_t T, std::size_t S,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  blas::Matrix<float> m(T, S);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-2, 2));
+  }
+  return m;
+}
+
+std::vector<int> random_labels(std::size_t T, std::size_t S,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<int> labels(T);
+  int s = static_cast<int>(rng.below(S));
+  for (auto& l : labels) {
+    l = s;
+    if (rng.next_double() < 0.3) s = (s + 1) % static_cast<int>(S);
+  }
+  return labels;
+}
+
+TEST(TransitionModel, RowsAreLogDistributions) {
+  const TransitionModel tm = TransitionModel::left_to_right(5, 0.2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 5; ++j) sum += std::exp(tm(i, j));
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(TransitionModel, StayDominatesWithLongDwell) {
+  const TransitionModel tm = TransitionModel::left_to_right(4, 0.1);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(tm(s, s), tm(s, (s + 1) % 4));
+    EXPECT_GT(tm(s, (s + 1) % 4), tm(s, (s + 2) % 4));
+  }
+}
+
+TEST(ForwardBackward, GammaRowsSumToOne) {
+  const auto logits = random_logits(20, 4, 1);
+  const TransitionModel tm = TransitionModel::left_to_right(4, 0.15);
+  const SequenceStats stats = forward_backward(logits.view(), tm);
+  for (std::size_t t = 0; t < 20; ++t) {
+    double sum = 0;
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_GE(stats.gamma(t, s), 0.0f);
+      sum += stats.gamma(t, s);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4) << "t=" << t;
+  }
+}
+
+TEST(ForwardBackward, SingleFrameGammaIsSoftmaxOverStates) {
+  blas::Matrix<float> logits(1, 3);
+  logits(0, 0) = 1.0f;
+  logits(0, 1) = 2.0f;
+  logits(0, 2) = 0.0f;
+  const TransitionModel tm = TransitionModel::left_to_right(3, 0.2);
+  const SequenceStats stats = forward_backward(logits.view(), tm);
+  // With T=1 transitions never fire; gamma = softmax(logits) (uniform init
+  // cancels).
+  const double z = std::exp(1.0) + std::exp(2.0) + std::exp(0.0);
+  EXPECT_NEAR(stats.gamma(0, 0), std::exp(1.0) / z, 1e-4);
+  EXPECT_NEAR(stats.gamma(0, 1), std::exp(2.0) / z, 1e-4);
+}
+
+TEST(SequenceXent, LossIsNonNegative) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto logits = random_logits(15, 5, seed);
+    const auto labels = random_labels(15, 5, seed + 100);
+    const TransitionModel tm = TransitionModel::left_to_right(5, 0.25);
+    const BatchLoss loss = sequence_xent(logits.view(), labels, tm);
+    EXPECT_GE(loss.loss_sum, 0.0) << "seed " << seed;
+    EXPECT_EQ(loss.frames, 15u);
+  }
+}
+
+TEST(SequenceXent, UniformTransitionsReduceToFrameCE) {
+  // With a uniform transition matrix the chain factorizes and the sequence
+  // loss equals the sum of frame-level softmax cross-entropies.
+  const std::size_t S = 4, T = 12;
+  const auto logits = random_logits(T, S, 7);
+  const auto labels = random_labels(T, S, 17);
+  TransitionModel uniform;
+  uniform.num_states = S;
+  uniform.log_trans.assign(S * S,
+                           static_cast<float>(-std::log(double(S))));
+  const BatchLoss seq = sequence_xent(logits.view(), labels, uniform);
+  const BatchLoss frame = softmax_xent(logits.view(), labels);
+  EXPECT_NEAR(seq.loss_sum, frame.loss_sum, 1e-3);
+}
+
+TEST(SequenceXent, DeltaIsGammaMinusOnehot) {
+  const std::size_t S = 3, T = 8;
+  const auto logits = random_logits(T, S, 9);
+  const auto labels = random_labels(T, S, 19);
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.3);
+  blas::Matrix<float> delta(T, S);
+  auto dv = delta.view();
+  blas::Matrix<float> gamma;
+  sequence_xent(logits.view(), labels, tm, &dv, &gamma);
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t s = 0; s < S; ++s) {
+      const float onehot =
+          s == static_cast<std::size_t>(labels[t]) ? 1.0f : 0.0f;
+      EXPECT_NEAR(delta(t, s), gamma(t, s) - onehot, 1e-5);
+    }
+  }
+}
+
+TEST(SequenceXent, GradientMatchesFiniteDifferences) {
+  const std::size_t S = 3, T = 6;
+  blas::Matrix<float> logits = random_logits(T, S, 11);
+  const auto labels = random_labels(T, S, 21);
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.25);
+
+  blas::Matrix<float> delta(T, S);
+  auto dv = delta.view();
+  sequence_xent(logits.view(), labels, tm, &dv);
+
+  const double eps = 1e-3;
+  for (std::size_t t = 0; t < T; ++t) {
+    for (std::size_t s = 0; s < S; ++s) {
+      const float saved = logits(t, s);
+      logits(t, s) = saved + static_cast<float>(eps);
+      const double lp = sequence_xent(logits.view(), labels, tm).loss_sum;
+      logits(t, s) = saved - static_cast<float>(eps);
+      const double lm = sequence_xent(logits.view(), labels, tm).loss_sum;
+      logits(t, s) = saved;
+      EXPECT_NEAR(delta(t, s), (lp - lm) / (2 * eps), 5e-3)
+          << "t=" << t << " s=" << s;
+    }
+  }
+}
+
+TEST(SequenceXent, StrongLogitsOnPathDriveLossToZero) {
+  const std::size_t S = 4, T = 10;
+  const auto labels = random_labels(T, S, 23);
+  blas::Matrix<float> logits(T, S);
+  for (std::size_t t = 0; t < T; ++t) {
+    logits(t, static_cast<std::size_t>(labels[t])) = 30.0f;
+  }
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.3);
+  const BatchLoss loss = sequence_xent(logits.view(), labels, tm);
+  EXPECT_LT(loss.mean_loss(), 0.05);
+  EXPECT_EQ(loss.correct, T);
+}
+
+TEST(SequenceXent, ConsistentPathScoresFavorDwellPaths) {
+  // A label path obeying the dwell structure scores better (lower loss)
+  // than the same emissions with a path that jumps backwards.
+  const std::size_t S = 4, T = 8;
+  const auto logits = random_logits(T, S, 13);
+  const TransitionModel tm = TransitionModel::left_to_right(S, 0.3);
+  std::vector<int> good{0, 0, 1, 1, 2, 2, 3, 3};
+  std::vector<int> bad{0, 3, 1, 0, 2, 1, 3, 0};  // constant back-jumps
+  const double lg = sequence_xent(logits.view(), good, tm).loss_sum;
+  const double lb = sequence_xent(logits.view(), bad, tm).loss_sum;
+  EXPECT_LT(lg, lb);
+}
+
+TEST(SequenceXent, LabelMismatchThrows) {
+  const auto logits = random_logits(5, 3, 15);
+  const TransitionModel tm = TransitionModel::left_to_right(3, 0.3);
+  std::vector<int> short_labels{0, 1};
+  EXPECT_THROW(sequence_xent(logits.view(), short_labels, tm),
+               std::invalid_argument);
+}
+
+TEST(ForwardBackward, StateCountMismatchThrows) {
+  const auto logits = random_logits(4, 3, 16);
+  const TransitionModel tm = TransitionModel::left_to_right(5, 0.3);
+  EXPECT_THROW(forward_backward(logits.view(), tm), std::invalid_argument);
+}
+
+TEST(ForwardBackward, EmptyInputThrows) {
+  blas::Matrix<float> logits(0, 3);
+  const TransitionModel tm = TransitionModel::left_to_right(3, 0.3);
+  EXPECT_THROW(forward_backward(logits.view(), tm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

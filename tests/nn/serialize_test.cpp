@@ -1,0 +1,98 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/rng.h"
+
+namespace bgqhf::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "bgqhf_net_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+Network random_net(std::uint64_t seed) {
+  Network net = Network::mlp(7, {5, 4}, 3, Activation::kTanh);
+  util::Rng rng(seed);
+  net.init_glorot(rng);
+  return net;
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  const Network original = random_net(1);
+  save_network(original, path_);
+  const Network loaded = load_network(path_);
+  ASSERT_EQ(loaded.num_layers(), original.num_layers());
+  for (std::size_t l = 0; l < original.num_layers(); ++l) {
+    EXPECT_EQ(loaded.layers()[l].in, original.layers()[l].in);
+    EXPECT_EQ(loaded.layers()[l].out, original.layers()[l].out);
+    EXPECT_EQ(loaded.layers()[l].act, original.layers()[l].act);
+  }
+  ASSERT_EQ(loaded.num_params(), original.num_params());
+  for (std::size_t i = 0; i < original.num_params(); ++i) {
+    ASSERT_EQ(loaded.params()[i], original.params()[i]) << i;  // bitwise
+  }
+}
+
+TEST_F(SerializeTest, LoadedNetworkComputesIdenticalLogits) {
+  const Network original = random_net(2);
+  save_network(original, path_);
+  const Network loaded = load_network(path_);
+  blas::Matrix<float> x(4, 7);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.normal());
+  }
+  const auto a = original.forward_logits(x.view());
+  const auto b = loaded.forward_logits(x.view());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST_F(SerializeTest, OverwriteReplacesOldCheckpoint) {
+  save_network(random_net(3), path_);
+  const Network second = random_net(4);
+  save_network(second, path_);
+  const Network loaded = load_network(path_);
+  EXPECT_EQ(loaded.params()[0], second.params()[0]);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_network(path_ + ".does-not-exist"), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTBGQHF-GARBAGE-DATA";
+  out.close();
+  EXPECT_THROW(load_network(path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileRejected) {
+  save_network(random_net(5), path_);
+  // Truncate to half size.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_THROW(load_network(path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, SaveToUnwritablePathThrows) {
+  EXPECT_THROW(save_network(random_net(6), "/nonexistent-dir/x.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgqhf::nn

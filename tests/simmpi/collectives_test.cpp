@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simmpi/communicator.h"
+
+namespace bgqhf::simmpi {
+namespace {
+
+class CollectivesSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesSizeTest, BcastDeliversToAllRanks) {
+  const int size = GetParam();
+  run_world(size, [](Comm& comm) {
+    std::vector<float> data;
+    if (comm.rank() == 0) data = {3.5f, -1.0f, 2.0f};
+    comm.bcast(data, 0);
+    EXPECT_EQ(data, (std::vector<float>{3.5f, -1.0f, 2.0f}));
+  });
+}
+
+TEST_P(CollectivesSizeTest, BcastFromNonzeroRoot) {
+  const int size = GetParam();
+  if (size < 2) GTEST_SKIP();
+  run_world(size, [](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 1) data = {42};
+    comm.bcast(data, 1);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_EQ(data[0], 42);
+  });
+}
+
+TEST_P(CollectivesSizeTest, ReduceSumsToRoot) {
+  const int size = GetParam();
+  run_world(size, [size](Comm& comm) {
+    std::vector<double> v{static_cast<double>(comm.rank() + 1), 1.0};
+    comm.reduce_sum(v, 0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(v[0], size * (size + 1) / 2.0);
+      EXPECT_DOUBLE_EQ(v[1], size);
+    }
+  });
+}
+
+TEST_P(CollectivesSizeTest, AllreduceGivesEveryRankTheSum) {
+  const int size = GetParam();
+  run_world(size, [size](Comm& comm) {
+    std::vector<float> v{1.0f};
+    comm.allreduce_sum(v);
+    EXPECT_FLOAT_EQ(v[0], static_cast<float>(size));
+  });
+}
+
+TEST_P(CollectivesSizeTest, GatherConcatenatesInRankOrder) {
+  const int size = GetParam();
+  run_world(size, [size](Comm& comm) {
+    const std::vector<int> mine{comm.rank() * 10, comm.rank() * 10 + 1};
+    const auto all = comm.gather<int>(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(2 * size));
+      for (int r = 0; r < size; ++r) {
+        EXPECT_EQ(all[2 * r], r * 10);
+        EXPECT_EQ(all[2 * r + 1], r * 10 + 1);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesSizeTest, ScatterDistributesSlices) {
+  const int size = GetParam();
+  run_world(size, [size](Comm& comm) {
+    std::vector<int> all;
+    if (comm.rank() == 0) {
+      all.resize(static_cast<std::size_t>(3 * size));
+      std::iota(all.begin(), all.end(), 0);
+    }
+    const auto mine = comm.scatter<int>(all, 3, 0);
+    ASSERT_EQ(mine.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)], comm.rank() * 3 + i);
+    }
+  });
+}
+
+TEST_P(CollectivesSizeTest, BarrierSynchronizes) {
+  const int size = GetParam();
+  run_world(size, [](Comm& comm) {
+    for (int i = 0; i < 5; ++i) comm.barrier();
+    SUCCEED();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+TEST(Collectives, ReduceIsDeterministicAcrossRepeats) {
+  // Pairwise float sums depend on combine order; the fixed tree must give
+  // the same bits every run.
+  std::vector<float> first;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<float> result;
+    run_world(7, [&result](Comm& comm) {
+      std::vector<float> v(64);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 0.1f * static_cast<float>(comm.rank() + 1) +
+               1e-7f * static_cast<float>(i);
+      }
+      comm.reduce_sum(v, 0);
+      if (comm.rank() == 0) result = v;
+    });
+    if (rep == 0) {
+      first = result;
+    } else {
+      ASSERT_EQ(result.size(), first.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(result[i], first[i]) << "element " << i << " rep " << rep;
+      }
+    }
+  }
+}
+
+TEST(Collectives, SequentialCollectivesDoNotInterfere) {
+  run_world(4, [](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<int> b;
+      if (comm.rank() == 0) b = {round};
+      comm.bcast(b, 0);
+      EXPECT_EQ(b.at(0), round);
+      std::vector<double> v{1.0};
+      comm.reduce_sum(v, 0);
+      if (comm.rank() == 0) {
+        EXPECT_DOUBLE_EQ(v[0], 4.0);
+      }
+    }
+  });
+}
+
+TEST(Collectives, StatsSplitCollectiveFromP2P) {
+  World world(4);
+  run_ranks(world, [](Comm& comm) {
+    std::vector<float> v(10, 1.0f);
+    comm.allreduce_sum(v);
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(world.stats(r).collective_calls, 0u);
+    EXPECT_EQ(world.stats(r).p2p_messages, 0u);
+  }
+}
+
+TEST(Collectives, GatherSizeMismatchThrows) {
+  EXPECT_THROW(run_world(2,
+                         [](Comm& comm) {
+                           std::vector<int> mine(
+                               comm.rank() == 0 ? 2 : 3, 0);
+                           comm.gather<int>(mine, 0);
+                         }),
+               std::length_error);
+}
+
+}  // namespace
+}  // namespace bgqhf::simmpi

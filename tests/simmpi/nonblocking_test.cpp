@@ -1,0 +1,97 @@
+// Nonblocking point-to-point: isend / irecv / test / wait.
+#include <gtest/gtest.h>
+
+#include "simmpi/communicator.h"
+
+namespace bgqhf::simmpi {
+namespace {
+
+TEST(Nonblocking, IrecvWaitDeliversPayload) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend<int>(std::vector<int>{1, 2, 3}, 1, 4);
+    } else {
+      auto req = comm.irecv<int>(0, 4);
+      EXPECT_EQ(req.wait(), (std::vector<int>{1, 2, 3}));
+      EXPECT_TRUE(req.done());
+    }
+  });
+}
+
+TEST(Nonblocking, TestReturnsFalseBeforeArrival) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      auto req = comm.irecv<int>(0, 9);
+      // Nothing has been sent yet (sender blocked on the barrier below).
+      EXPECT_FALSE(req.test());
+      comm.barrier();          // release the sender
+      comm.barrier();          // wait for the send to complete
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(req.data().at(0), 42);
+    } else {
+      comm.barrier();
+      comm.send<int>(std::vector<int>{42}, 1, 9);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Nonblocking, TestIsIdempotentAfterCompletion) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend<float>(std::vector<float>{1.5f}, 1, 2);
+    } else {
+      auto req = comm.irecv<float>(0, 2);
+      req.wait();
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.test());
+      EXPECT_FLOAT_EQ(req.data()[0], 1.5f);
+    }
+  });
+}
+
+TEST(Nonblocking, OverlapComputeWithPendingReceive) {
+  // The Sec. V-C pattern: post the receive, do work, then collect.
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend<int>(std::vector<int>{7}, 1, 3);
+    } else {
+      auto req = comm.irecv<int>(0, 3);
+      long acc = 0;
+      for (int i = 0; i < 100000; ++i) acc += i;  // "compute"
+      EXPECT_GT(acc, 0);
+      EXPECT_EQ(req.wait().at(0), 7);
+    }
+  });
+}
+
+TEST(Nonblocking, MultipleOutstandingRequestsMatchByTag) {
+  run_world(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.isend<int>(std::vector<int>{10}, 1, 10);
+      comm.isend<int>(std::vector<int>{20}, 1, 20);
+    } else {
+      auto r20 = comm.irecv<int>(0, 20);
+      auto r10 = comm.irecv<int>(0, 10);
+      EXPECT_EQ(r20.wait().at(0), 20);
+      EXPECT_EQ(r10.wait().at(0), 10);
+    }
+  });
+}
+
+TEST(Nonblocking, AnySourceIrecv) {
+  run_world(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto a = comm.irecv<int>(kAnySource, 5);
+      auto b = comm.irecv<int>(kAnySource, 5);
+      const int x = a.wait().at(0);
+      const int y = b.wait().at(0);
+      EXPECT_EQ(x + y, 3);  // ranks 1 and 2
+    } else {
+      comm.isend<int>(std::vector<int>{comm.rank()}, 0, 5);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace bgqhf::simmpi

@@ -1,0 +1,88 @@
+#include "speech/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace bgqhf::speech {
+namespace {
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "bgqhf_corpus_test.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Corpus make_corpus() {
+    CorpusSpec spec;
+    spec.hours = 0.002;
+    spec.feature_dim = 6;
+    spec.num_states = 3;
+    spec.mean_utt_seconds = 1.0;
+    spec.seed = 131;
+    return generate_corpus(spec);
+  }
+};
+
+TEST_F(CorpusIoTest, RoundTripPreservesEverything) {
+  const Corpus original = make_corpus();
+  save_corpus(original, path_);
+  const Corpus loaded = load_corpus(path_);
+  ASSERT_EQ(loaded.utterances.size(), original.utterances.size());
+  EXPECT_EQ(loaded.feature_dim, original.feature_dim);
+  EXPECT_EQ(loaded.num_states, original.num_states);
+  for (std::size_t u = 0; u < original.utterances.size(); ++u) {
+    const auto& a = original.utterances[u];
+    const auto& b = loaded.utterances[u];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.speaker, b.speaker);
+    ASSERT_EQ(a.num_frames(), b.num_frames());
+    EXPECT_EQ(a.labels, b.labels);
+    for (std::size_t i = 0; i < a.features.size(); ++i) {
+      ASSERT_EQ(a.features.data()[i], b.features.data()[i]);
+    }
+  }
+}
+
+TEST_F(CorpusIoTest, TotalFramesPreserved) {
+  const Corpus original = make_corpus();
+  save_corpus(original, path_);
+  EXPECT_EQ(load_corpus(path_).total_frames(), original.total_frames());
+}
+
+TEST_F(CorpusIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_corpus(path_ + ".missing"), std::runtime_error);
+}
+
+TEST_F(CorpusIoTest, GarbageFileRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "definitely not a corpus";
+  out.close();
+  EXPECT_THROW(load_corpus(path_), std::runtime_error);
+}
+
+TEST_F(CorpusIoTest, TruncatedFileRejected) {
+  save_corpus(make_corpus(), path_);
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 64));
+  out.close();
+  EXPECT_THROW(load_corpus(path_), std::runtime_error);
+}
+
+TEST_F(CorpusIoTest, EmptyCorpusRoundTrips) {
+  Corpus empty;
+  empty.feature_dim = 4;
+  empty.num_states = 2;
+  save_corpus(empty, path_);
+  const Corpus loaded = load_corpus(path_);
+  EXPECT_TRUE(loaded.utterances.empty());
+  EXPECT_EQ(loaded.feature_dim, 4u);
+}
+
+}  // namespace
+}  // namespace bgqhf::speech

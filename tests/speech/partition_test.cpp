@@ -1,0 +1,134 @@
+#include "speech/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "speech/corpus.h"
+#include "util/rng.h"
+
+namespace bgqhf::speech {
+namespace {
+
+std::vector<std::size_t> lognormal_lengths(std::size_t n,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::size_t> lengths(n);
+  for (auto& len : lengths) {
+    len = static_cast<std::size_t>(
+        std::max(1.0, std::exp(rng.normal(5.0, 0.6))));
+  }
+  return lengths;
+}
+
+TEST(Partition, EveryUtteranceAssignedExactlyOnce) {
+  const auto lengths = lognormal_lengths(100, 1);
+  for (const auto strategy : {PartitionStrategy::kNaiveEqualCount,
+                              PartitionStrategy::kSortedBalanced}) {
+    const Partition p = partition_utterances(lengths, 7, strategy);
+    std::vector<int> seen(lengths.size(), 0);
+    for (const auto& bucket : p.assignment) {
+      for (const auto idx : bucket) seen[idx]++;
+    }
+    for (const int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(Partition, NaiveSplitsCountsEvenly) {
+  const auto lengths = lognormal_lengths(103, 2);
+  const Partition p = partition_utterances(
+      lengths, 10, PartitionStrategy::kNaiveEqualCount);
+  for (const auto& bucket : p.assignment) {
+    EXPECT_GE(bucket.size(), 10u);
+    EXPECT_LE(bucket.size(), 11u);
+  }
+}
+
+TEST(Partition, SortedBalancedBeatsNaiveOnFrames) {
+  // The paper's claim: equalizing *data* (frames), not utterance counts,
+  // is what removes the master's wait on stragglers.
+  const auto lengths = lognormal_lengths(200, 3);
+  const Partition naive = partition_utterances(
+      lengths, 16, PartitionStrategy::kNaiveEqualCount);
+  const Partition balanced = partition_utterances(
+      lengths, 16, PartitionStrategy::kSortedBalanced);
+  EXPECT_LT(balanced.imbalance(lengths), naive.imbalance(lengths));
+}
+
+TEST(Partition, SortedBalancedNearPerfectWithManyUtterances) {
+  const auto lengths = lognormal_lengths(2000, 4);
+  const Partition p = partition_utterances(
+      lengths, 8, PartitionStrategy::kSortedBalanced);
+  EXPECT_LT(p.imbalance(lengths), 1.01);
+}
+
+TEST(Partition, ImbalanceIsOneForPerfectSplit) {
+  const std::vector<std::size_t> lengths(12, 100);
+  const Partition p = partition_utterances(
+      lengths, 4, PartitionStrategy::kSortedBalanced);
+  EXPECT_DOUBLE_EQ(p.imbalance(lengths), 1.0);
+}
+
+TEST(Partition, LoadsSumToTotal) {
+  const auto lengths = lognormal_lengths(50, 5);
+  const std::size_t total =
+      std::accumulate(lengths.begin(), lengths.end(), std::size_t{0});
+  const Partition p = partition_utterances(
+      lengths, 6, PartitionStrategy::kSortedBalanced);
+  const auto loads = p.loads(lengths);
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::size_t{0}),
+            total);
+}
+
+TEST(Partition, Deterministic) {
+  const auto lengths = lognormal_lengths(60, 6);
+  const Partition a = partition_utterances(
+      lengths, 5, PartitionStrategy::kSortedBalanced);
+  const Partition b = partition_utterances(
+      lengths, 5, PartitionStrategy::kSortedBalanced);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Partition, MoreWorkersThanUtterances) {
+  const std::vector<std::size_t> lengths{10, 20, 30};
+  const Partition p = partition_utterances(
+      lengths, 8, PartitionStrategy::kSortedBalanced);
+  EXPECT_EQ(p.assignment.size(), 8u);
+  std::size_t assigned = 0;
+  for (const auto& bucket : p.assignment) assigned += bucket.size();
+  EXPECT_EQ(assigned, 3u);
+}
+
+TEST(Partition, ZeroWorkersRejected) {
+  EXPECT_THROW(partition_utterances({1, 2}, 0,
+                                    PartitionStrategy::kSortedBalanced),
+               std::invalid_argument);
+}
+
+TEST(Partition, SingleWorkerGetsEverything) {
+  const auto lengths = lognormal_lengths(20, 7);
+  const Partition p = partition_utterances(
+      lengths, 1, PartitionStrategy::kSortedBalanced);
+  EXPECT_EQ(p.assignment[0].size(), 20u);
+  EXPECT_DOUBLE_EQ(p.imbalance(lengths), 1.0);
+}
+
+TEST(Partition, ImbalanceGrowsWithSkewUnderNaive) {
+  // Property sweep: heavier tails make naive partitioning worse while
+  // sorted-balanced stays near 1.
+  for (const double sigma : {0.2, 0.6, 1.0}) {
+    util::Rng rng(static_cast<std::uint64_t>(sigma * 1000));
+    std::vector<std::size_t> lengths(300);
+    for (auto& len : lengths) {
+      len = static_cast<std::size_t>(
+          std::max(1.0, std::exp(rng.normal(5.0, sigma))));
+    }
+    const Partition balanced = partition_utterances(
+        lengths, 12, PartitionStrategy::kSortedBalanced);
+    EXPECT_LT(balanced.imbalance(lengths), 1.05) << "sigma=" << sigma;
+  }
+}
+
+}  // namespace
+}  // namespace bgqhf::speech

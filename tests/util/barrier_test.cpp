@@ -1,0 +1,84 @@
+#include "util/barrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/aligned.h"
+
+namespace bgqhf::util {
+namespace {
+
+TEST(Barrier, SingleThreadPassesImmediately) {
+  Barrier barrier(1);
+  barrier.arrive_and_wait();
+  barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.parties(), 1u);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  // Property: no thread observes a counter value from a *later* phase
+  // before all threads finished the current one.
+  const std::size_t threads = 4;
+  const int phases = 50;
+  Barrier barrier(threads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> pool;
+  std::atomic<bool> ok{true};
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int phase = 0; phase < phases; ++phase) {
+        counter++;
+        barrier.arrive_and_wait();
+        // After the barrier, the counter must be exactly (phase+1)*threads.
+        if (counter.load() != static_cast<int>((phase + 1) * threads)) {
+          ok = false;
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Barrier, ReusableAcrossManyPhases) {
+  Barrier barrier(2);
+  std::atomic<int> done{0};
+  std::thread other([&] {
+    for (int i = 0; i < 1000; ++i) barrier.arrive_and_wait();
+    done = 1;
+  });
+  for (int i = 0; i < 1000; ++i) barrier.arrive_and_wait();
+  other.join();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(Aligned, MallocReturnsAlignedNonNull) {
+  void* p = aligned_malloc(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kBufferAlignment, 0u);
+  std::free(p);
+}
+
+TEST(Aligned, ZeroBytesStillValid) {
+  void* p = aligned_malloc(0);
+  ASSERT_NE(p, nullptr);
+  std::free(p);
+}
+
+TEST(Aligned, ArrayHelperTypedAndAligned) {
+  auto arr = aligned_array<double>(33);
+  ASSERT_NE(arr.get(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.get()) % kBufferAlignment,
+            0u);
+  arr[0] = 1.5;
+  arr[32] = 2.5;
+  EXPECT_DOUBLE_EQ(arr[0], 1.5);
+  EXPECT_DOUBLE_EQ(arr[32], 2.5);
+}
+
+}  // namespace
+}  // namespace bgqhf::util

@@ -1,0 +1,92 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bgqhf::util {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  const Config cfg = parse({"hours=50", "name=test"});
+  EXPECT_EQ(cfg.get_int("hours", 0), 50);
+  EXPECT_EQ(cfg.get_string("name", ""), "test");
+}
+
+TEST(Config, FallbacksUsedWhenMissing) {
+  const Config cfg = parse({});
+  EXPECT_EQ(cfg.get_int("ranks", 1024), 1024);
+  EXPECT_DOUBLE_EQ(cfg.get_double("frac", 0.02), 0.02);
+  EXPECT_EQ(cfg.get_string("mode", "ce"), "ce");
+  EXPECT_TRUE(cfg.get_bool("flag", true));
+}
+
+TEST(Config, BareTokenIsBooleanFlag) {
+  const Config cfg = parse({"verbose"});
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg =
+      parse({"a=true", "b=false", "c=yes", "d=no", "e=on", "f=off"});
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, MalformedNumberThrows) {
+  const Config cfg = parse({"n=12x"});
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Config, MalformedDoubleThrows) {
+  const Config cfg = parse({"x=1.5y"});
+  EXPECT_THROW(cfg.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(Config, MalformedBoolThrows) {
+  const Config cfg = parse({"b=maybe"});
+  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, EmptyKeyThrows) {
+  std::vector<const char*> argv{"prog", "=5"};
+  EXPECT_THROW(Config::from_args(2, argv.data()), std::invalid_argument);
+}
+
+TEST(Config, UnusedKeysReported) {
+  const Config cfg = parse({"used=1", "typo_key=2"});
+  EXPECT_EQ(cfg.get_int("used", 0), 1);
+  const auto unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(Config, NegativeAndFloatValues) {
+  const Config cfg = parse({"a=-42", "b=-1.5e3"});
+  EXPECT_EQ(cfg.get_int("a", 0), -42);
+  EXPECT_DOUBLE_EQ(cfg.get_double("b", 0), -1500.0);
+}
+
+TEST(Config, SetOverridesValue) {
+  Config cfg = parse({"k=1"});
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  const Config cfg = parse({"expr=a=b"});
+  EXPECT_EQ(cfg.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace bgqhf::util

@@ -1,0 +1,126 @@
+#include "util/memory_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace bgqhf::util {
+namespace {
+
+TEST(MemoryPool, AcquireGivesAlignedMemory) {
+  MemoryPool pool;
+  void* p = pool.acquire(1000);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kBufferAlignment, 0u);
+  pool.release(p);
+}
+
+TEST(MemoryPool, ReleaseThenAcquireReusesBlock) {
+  MemoryPool pool;
+  void* p = pool.acquire(4096);
+  pool.release(p);
+  void* q = pool.acquire(4096);
+  EXPECT_EQ(p, q);  // same size class must hand the cached block back
+  EXPECT_EQ(pool.reuse_hits(), 1u);
+  EXPECT_EQ(pool.system_allocs(), 1u);
+  pool.release(q);
+}
+
+TEST(MemoryPool, NearbySizesShareSizeClass) {
+  MemoryPool pool;
+  void* p = pool.acquire(3000);
+  pool.release(p);
+  // 3000 and 4000 both round to the 4096 class.
+  void* q = pool.acquire(4000);
+  EXPECT_EQ(p, q);
+  pool.release(q);
+}
+
+TEST(MemoryPool, DistinctSizeClassesDoNotCollide) {
+  MemoryPool pool;
+  void* small = pool.acquire(256);
+  void* big = pool.acquire(1 << 20);
+  EXPECT_NE(small, big);
+  pool.release(small);
+  void* big2 = pool.acquire(1 << 20);
+  EXPECT_NE(big2, small);
+  pool.release(big);
+  pool.release(big2);
+}
+
+TEST(MemoryPool, ReleaseAllFreesCachedBlocks) {
+  MemoryPool pool;
+  void* p = pool.acquire(8192);
+  pool.release(p);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  pool.release_all();
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+}
+
+TEST(MemoryPool, ResidentBytesTracksAllocations) {
+  MemoryPool pool;
+  EXPECT_EQ(pool.resident_bytes(), 0u);
+  void* p = pool.acquire(1024);
+  EXPECT_GE(pool.resident_bytes(), 1024u);
+  pool.release(p);
+  pool.release_all();
+  EXPECT_EQ(pool.resident_bytes(), 0u);
+}
+
+TEST(MemoryPool, SteadyStateDoesNoSystemAllocs) {
+  // The paper's motivation: reallocate out of tracked memory instead of
+  // repeatedly freeing and allocating.
+  MemoryPool pool;
+  for (int i = 0; i < 100; ++i) {
+    void* p = pool.acquire(65536);
+    pool.release(p);
+  }
+  EXPECT_EQ(pool.system_allocs(), 1u);
+  EXPECT_EQ(pool.reuse_hits(), 99u);
+}
+
+TEST(MemoryPool, PoolBufferRaii) {
+  MemoryPool pool;
+  {
+    PoolBuffer<float> buf(pool, 100);
+    buf[0] = 1.0f;
+    buf[99] = 2.0f;
+    EXPECT_EQ(buf.size(), 100u);
+  }
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+}
+
+TEST(MemoryPool, PoolBufferMoveTransfersOwnership) {
+  MemoryPool pool;
+  PoolBuffer<int> a(pool, 10);
+  int* p = a.data();
+  PoolBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(MemoryPool, ConcurrentAcquireReleaseIsSafe) {
+  MemoryPool pool;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 500; ++i) {
+        void* p = pool.acquire(static_cast<std::size_t>(512 + 64 * (i % 8)));
+        pool.release(p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(pool.reuse_hits(), 0u);
+}
+
+TEST(MemoryPool, ZeroByteAcquireIsValid) {
+  MemoryPool pool;
+  void* p = pool.acquire(0);
+  EXPECT_NE(p, nullptr);
+  pool.release(p);
+}
+
+}  // namespace
+}  // namespace bgqhf::util

@@ -1,0 +1,153 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bgqhf::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"config", "time"});
+  t.add_row({"1024-1-64", "3.1"});
+  t.add_row({"2048-2-32", "1.6"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("config"), std::string::npos);
+  EXPECT_NE(out.find("1024-1-64"), std::string::npos);
+  EXPECT_NE(out.find("2048-2-32"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.add_row({"xxxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Every line has the same length when columns are padded.
+  std::size_t first_len = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(1.5, 3), "1.500");
+}
+
+TEST(Table, EmptyTableRendersHeaderOnly) {
+  Table t({"col"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgqhf::util
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bgqhf::util {
+namespace {
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped without side effects.
+  log_line(LogLevel::kDebug, "should be dropped");
+  BGQHF_INFO << "also dropped";
+  set_log_level(saved);
+}
+
+TEST(Logging, StreamMacroComposesValues) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);
+  BGQHF_WARN << "value=" << 42 << " f=" << 1.5;  // must compile and not crash
+  set_log_level(saved);
+  SUCCEED();
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.seconds(), 0.0);
+  // milliseconds is the same clock scaled by 1e3 (reads a moment later).
+  EXPECT_GE(t.milliseconds(), t.seconds() * 1e3 * 0.5);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LT(t.seconds(), before + 1.0);
+}
+
+TEST(Accumulator, SumsStartStopIntervals) {
+  Accumulator acc;
+  acc.start();
+  acc.stop();
+  acc.start();
+  acc.stop();
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_GE(acc.total_seconds(), 0.0);
+  acc.clear();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bgqhf::util
+
+namespace bgqhf::util {
+namespace {
+
+TEST(TableCsv, RendersCommaSeparatedRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableCsv, EscapesSpecialCharacters) {
+  Table t({"name", "value"});
+  t.add_row({"has,comma", "has\"quote"});
+  EXPECT_EQ(t.render_csv(),
+            "name,value\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(TableCsv, WriteCsvRoundTrips) {
+  Table t({"k"});
+  t.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "bgqhf_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableCsv, WriteToBadPathThrows) {
+  Table t({"k"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgqhf::util

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace bgqhf::util {
+namespace {
+
+TEST(ThreadPool, SizeRespectsRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroChunksIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolDegradesToSerial) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(10, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // serial fallback preserves order
+}
+
+TEST(ThreadPool, RepeatedInvocationsWork) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(8, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, ParallelRangesCoversWholeRangeDisjointly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_ranges(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelRangesSmallN) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_ranges(3, [&](std::size_t begin, std::size_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, MoreChunksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace bgqhf::util
