@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_50hr.dir/bench_fig1a_50hr.cpp.o"
+  "CMakeFiles/bench_fig1a_50hr.dir/bench_fig1a_50hr.cpp.o.d"
+  "bench_fig1a_50hr"
+  "bench_fig1a_50hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_50hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1a_50hr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_400hr.dir/bench_fig1b_400hr.cpp.o"
+  "CMakeFiles/bench_fig1b_400hr.dir/bench_fig1b_400hr.cpp.o.d"
+  "bench_fig1b_400hr"
+  "bench_fig1b_400hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_400hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_master_mpi.dir/bench_fig4_master_mpi.cpp.o"
+  "CMakeFiles/bench_fig4_master_mpi.dir/bench_fig4_master_mpi.cpp.o.d"
+  "bench_fig4_master_mpi"
+  "bench_fig4_master_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_master_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

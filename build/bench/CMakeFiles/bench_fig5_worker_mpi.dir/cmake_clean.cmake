@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_worker_mpi.dir/bench_fig5_worker_mpi.cpp.o"
+  "CMakeFiles/bench_fig5_worker_mpi.dir/bench_fig5_worker_mpi.cpp.o.d"
+  "bench_fig5_worker_mpi"
+  "bench_fig5_worker_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_worker_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemm_tuning.dir/bench_gemm_tuning.cpp.o"
+  "CMakeFiles/bench_gemm_tuning.dir/bench_gemm_tuning.cpp.o.d"
+  "bench_gemm_tuning"
+  "bench_gemm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

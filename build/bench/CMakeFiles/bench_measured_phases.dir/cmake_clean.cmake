@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_measured_phases.dir/bench_measured_phases.cpp.o"
+  "CMakeFiles/bench_measured_phases.dir/bench_measured_phases.cpp.o.d"
+  "bench_measured_phases"
+  "bench_measured_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_measured_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sgd_vs_hf.dir/bench_sgd_vs_hf.cpp.o"
+  "CMakeFiles/bench_sgd_vs_hf.dir/bench_sgd_vs_hf.cpp.o.d"
+  "bench_sgd_vs_hf"
+  "bench_sgd_vs_hf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sgd_vs_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

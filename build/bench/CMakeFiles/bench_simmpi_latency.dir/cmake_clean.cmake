@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simmpi_latency.dir/bench_simmpi_latency.cpp.o"
+  "CMakeFiles/bench_simmpi_latency.dir/bench_simmpi_latency.cpp.o.d"
+  "bench_simmpi_latency"
+  "bench_simmpi_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simmpi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

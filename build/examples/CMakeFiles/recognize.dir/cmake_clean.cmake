@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recognize.dir/recognize.cpp.o"
+  "CMakeFiles/recognize.dir/recognize.cpp.o.d"
+  "recognize"
+  "recognize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recognize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

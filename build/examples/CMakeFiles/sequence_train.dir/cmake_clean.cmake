@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_train.dir/sequence_train.cpp.o"
+  "CMakeFiles/sequence_train.dir/sequence_train.cpp.o.d"
+  "sequence_train"
+  "sequence_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_train.dir/speech_train.cpp.o"
+  "CMakeFiles/speech_train.dir/speech_train.cpp.o.d"
+  "speech_train"
+  "speech_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

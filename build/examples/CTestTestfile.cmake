@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "hours=0.005" "iters=2")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_speech_train "/root/repo/build/examples/speech_train" "workers=2" "iters=2")
+set_tests_properties(example_speech_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sequence_train "/root/repo/build/examples/sequence_train" "workers=2" "iters=2")
+set_tests_properties(example_sequence_train PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_recognize "/root/repo/build/examples/recognize" "workers=2" "iters=2")
+set_tests_properties(example_recognize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pretrain_finetune "/root/repo/build/examples/pretrain_finetune" "iters=2")
+set_tests_properties(example_pretrain_finetune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scaling_explorer "/root/repo/build/examples/scaling_explorer" "ranks=1024" "rpn=1" "threads=64")
+set_tests_properties(example_scaling_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgq/comm_model.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/comm_model.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/comm_model.cpp.o.d"
+  "/root/repo/src/bgq/cycle_model.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/cycle_model.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/bgq/gemm_model.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/gemm_model.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/gemm_model.cpp.o.d"
+  "/root/repo/src/bgq/machine.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/machine.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/machine.cpp.o.d"
+  "/root/repo/src/bgq/perfsim.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/perfsim.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/perfsim.cpp.o.d"
+  "/root/repo/src/bgq/sgd_model.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/sgd_model.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/sgd_model.cpp.o.d"
+  "/root/repo/src/bgq/torus.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/torus.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/torus.cpp.o.d"
+  "/root/repo/src/bgq/workload.cpp" "src/bgq/CMakeFiles/bgqhf_bgq.dir/workload.cpp.o" "gcc" "src/bgq/CMakeFiles/bgqhf_bgq.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_bgq.dir/comm_model.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/comm_model.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/cycle_model.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/gemm_model.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/gemm_model.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/machine.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/machine.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/perfsim.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/perfsim.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/sgd_model.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/sgd_model.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/torus.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/torus.cpp.o.d"
+  "CMakeFiles/bgqhf_bgq.dir/workload.cpp.o"
+  "CMakeFiles/bgqhf_bgq.dir/workload.cpp.o.d"
+  "libbgqhf_bgq.a"
+  "libbgqhf_bgq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_bgq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_blas.dir/gemm.cpp.o"
+  "CMakeFiles/bgqhf_blas.dir/gemm.cpp.o.d"
+  "libbgqhf_blas.a"
+  "libbgqhf_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hf/async_sgd.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/async_sgd.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/async_sgd.cpp.o.d"
+  "/root/repo/src/hf/cg.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/cg.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/cg.cpp.o.d"
+  "/root/repo/src/hf/distributed_sgd.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/distributed_sgd.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/distributed_sgd.cpp.o.d"
+  "/root/repo/src/hf/ksd.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/ksd.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/ksd.cpp.o.d"
+  "/root/repo/src/hf/lbfgs.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/lbfgs.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/hf/linesearch.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/linesearch.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/linesearch.cpp.o.d"
+  "/root/repo/src/hf/master_compute.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/master_compute.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/master_compute.cpp.o.d"
+  "/root/repo/src/hf/optimizer.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/optimizer.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/optimizer.cpp.o.d"
+  "/root/repo/src/hf/phase_stats.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/phase_stats.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/phase_stats.cpp.o.d"
+  "/root/repo/src/hf/pretrain.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/pretrain.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/pretrain.cpp.o.d"
+  "/root/repo/src/hf/serial_compute.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/serial_compute.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/serial_compute.cpp.o.d"
+  "/root/repo/src/hf/sgd.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/sgd.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/sgd.cpp.o.d"
+  "/root/repo/src/hf/speech_workload.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/speech_workload.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/speech_workload.cpp.o.d"
+  "/root/repo/src/hf/trainer.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/trainer.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/trainer.cpp.o.d"
+  "/root/repo/src/hf/worker.cpp" "src/hf/CMakeFiles/bgqhf_hf.dir/worker.cpp.o" "gcc" "src/hf/CMakeFiles/bgqhf_hf.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/bgqhf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/bgqhf_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/bgqhf_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_hf.dir/async_sgd.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/async_sgd.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/cg.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/cg.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/distributed_sgd.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/distributed_sgd.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/ksd.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/ksd.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/lbfgs.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/linesearch.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/linesearch.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/master_compute.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/master_compute.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/optimizer.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/optimizer.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/phase_stats.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/phase_stats.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/pretrain.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/pretrain.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/serial_compute.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/serial_compute.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/sgd.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/sgd.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/speech_workload.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/speech_workload.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/trainer.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/trainer.cpp.o.d"
+  "CMakeFiles/bgqhf_hf.dir/worker.cpp.o"
+  "CMakeFiles/bgqhf_hf.dir/worker.cpp.o.d"
+  "libbgqhf_hf.a"
+  "libbgqhf_hf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_hf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/backprop.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/backprop.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/backprop.cpp.o.d"
+  "/root/repo/src/nn/gaussnewton.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/gaussnewton.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/gaussnewton.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/rbm.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/rbm.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/rbm.cpp.o.d"
+  "/root/repo/src/nn/sequence.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/sequence.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/sequence.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/bgqhf_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/bgqhf_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

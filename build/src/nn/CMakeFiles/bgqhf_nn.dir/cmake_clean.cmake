@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_nn.dir/activations.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/backprop.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/backprop.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/gaussnewton.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/gaussnewton.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/loss.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/network.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/network.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/rbm.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/rbm.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/sequence.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/sequence.cpp.o.d"
+  "CMakeFiles/bgqhf_nn.dir/serialize.cpp.o"
+  "CMakeFiles/bgqhf_nn.dir/serialize.cpp.o.d"
+  "libbgqhf_nn.a"
+  "libbgqhf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_simmpi.dir/communicator.cpp.o"
+  "CMakeFiles/bgqhf_simmpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/bgqhf_simmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/bgqhf_simmpi.dir/mailbox.cpp.o.d"
+  "libbgqhf_simmpi.a"
+  "libbgqhf_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

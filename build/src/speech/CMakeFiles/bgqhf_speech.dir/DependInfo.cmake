@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/speech/corpus.cpp" "src/speech/CMakeFiles/bgqhf_speech.dir/corpus.cpp.o" "gcc" "src/speech/CMakeFiles/bgqhf_speech.dir/corpus.cpp.o.d"
+  "/root/repo/src/speech/corpus_io.cpp" "src/speech/CMakeFiles/bgqhf_speech.dir/corpus_io.cpp.o" "gcc" "src/speech/CMakeFiles/bgqhf_speech.dir/corpus_io.cpp.o.d"
+  "/root/repo/src/speech/dataset.cpp" "src/speech/CMakeFiles/bgqhf_speech.dir/dataset.cpp.o" "gcc" "src/speech/CMakeFiles/bgqhf_speech.dir/dataset.cpp.o.d"
+  "/root/repo/src/speech/features.cpp" "src/speech/CMakeFiles/bgqhf_speech.dir/features.cpp.o" "gcc" "src/speech/CMakeFiles/bgqhf_speech.dir/features.cpp.o.d"
+  "/root/repo/src/speech/partition.cpp" "src/speech/CMakeFiles/bgqhf_speech.dir/partition.cpp.o" "gcc" "src/speech/CMakeFiles/bgqhf_speech.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_speech.dir/corpus.cpp.o"
+  "CMakeFiles/bgqhf_speech.dir/corpus.cpp.o.d"
+  "CMakeFiles/bgqhf_speech.dir/corpus_io.cpp.o"
+  "CMakeFiles/bgqhf_speech.dir/corpus_io.cpp.o.d"
+  "CMakeFiles/bgqhf_speech.dir/dataset.cpp.o"
+  "CMakeFiles/bgqhf_speech.dir/dataset.cpp.o.d"
+  "CMakeFiles/bgqhf_speech.dir/features.cpp.o"
+  "CMakeFiles/bgqhf_speech.dir/features.cpp.o.d"
+  "CMakeFiles/bgqhf_speech.dir/partition.cpp.o"
+  "CMakeFiles/bgqhf_speech.dir/partition.cpp.o.d"
+  "libbgqhf_speech.a"
+  "libbgqhf_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

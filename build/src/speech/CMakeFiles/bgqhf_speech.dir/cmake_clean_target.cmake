@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgqhf_speech.a"
+)

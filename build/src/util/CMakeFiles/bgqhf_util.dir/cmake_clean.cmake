@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgqhf_util.dir/config.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/config.cpp.o.d"
+  "CMakeFiles/bgqhf_util.dir/logging.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bgqhf_util.dir/memory_pool.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/memory_pool.cpp.o.d"
+  "CMakeFiles/bgqhf_util.dir/rng.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bgqhf_util.dir/table.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/table.cpp.o.d"
+  "CMakeFiles/bgqhf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bgqhf_util.dir/thread_pool.cpp.o.d"
+  "libbgqhf_util.a"
+  "libbgqhf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgqhf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgq_tests.dir/bgq/comm_model_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/comm_model_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/cycle_model_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/cycle_model_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/gemm_model_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/gemm_model_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/machine_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/machine_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/memory_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/memory_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/perfsim_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/perfsim_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/sgd_model_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/sgd_model_test.cpp.o.d"
+  "CMakeFiles/bgq_tests.dir/bgq/torus_test.cpp.o"
+  "CMakeFiles/bgq_tests.dir/bgq/torus_test.cpp.o.d"
+  "bgq_tests"
+  "bgq_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blas_tests.dir/blas/gemm_test.cpp.o"
+  "CMakeFiles/blas_tests.dir/blas/gemm_test.cpp.o.d"
+  "CMakeFiles/blas_tests.dir/blas/level1_test.cpp.o"
+  "CMakeFiles/blas_tests.dir/blas/level1_test.cpp.o.d"
+  "CMakeFiles/blas_tests.dir/blas/matrix_test.cpp.o"
+  "CMakeFiles/blas_tests.dir/blas/matrix_test.cpp.o.d"
+  "CMakeFiles/blas_tests.dir/blas/microkernel_test.cpp.o"
+  "CMakeFiles/blas_tests.dir/blas/microkernel_test.cpp.o.d"
+  "CMakeFiles/blas_tests.dir/blas/pack_test.cpp.o"
+  "CMakeFiles/blas_tests.dir/blas/pack_test.cpp.o.d"
+  "blas_tests"
+  "blas_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hf/async_sgd_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/async_sgd_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/async_sgd_test.cpp.o.d"
+  "/root/repo/tests/hf/baselines_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/baselines_test.cpp.o.d"
+  "/root/repo/tests/hf/cg_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/cg_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/cg_test.cpp.o.d"
+  "/root/repo/tests/hf/damping_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/damping_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/damping_test.cpp.o.d"
+  "/root/repo/tests/hf/distributed_sgd_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/distributed_sgd_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/distributed_sgd_test.cpp.o.d"
+  "/root/repo/tests/hf/equivalence_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/equivalence_test.cpp.o.d"
+  "/root/repo/tests/hf/failure_path_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/failure_path_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/failure_path_test.cpp.o.d"
+  "/root/repo/tests/hf/linesearch_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/linesearch_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/linesearch_test.cpp.o.d"
+  "/root/repo/tests/hf/optimizer_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/optimizer_test.cpp.o.d"
+  "/root/repo/tests/hf/paper_literal_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/paper_literal_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/paper_literal_test.cpp.o.d"
+  "/root/repo/tests/hf/preconditioner_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/preconditioner_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/preconditioner_test.cpp.o.d"
+  "/root/repo/tests/hf/pretrain_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/pretrain_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/pretrain_test.cpp.o.d"
+  "/root/repo/tests/hf/sgd_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/sgd_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/sgd_test.cpp.o.d"
+  "/root/repo/tests/hf/trainer_test.cpp" "tests/CMakeFiles/hf_tests.dir/hf/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/hf_tests.dir/hf/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hf/CMakeFiles/bgqhf_hf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/bgqhf_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bgqhf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/bgqhf_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/bgqhf_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

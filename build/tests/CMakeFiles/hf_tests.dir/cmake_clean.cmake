@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hf_tests.dir/hf/async_sgd_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/async_sgd_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/baselines_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/baselines_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/cg_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/cg_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/damping_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/damping_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/distributed_sgd_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/distributed_sgd_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/equivalence_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/equivalence_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/failure_path_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/failure_path_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/linesearch_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/linesearch_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/optimizer_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/optimizer_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/paper_literal_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/paper_literal_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/preconditioner_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/preconditioner_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/pretrain_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/pretrain_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/sgd_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/sgd_test.cpp.o.d"
+  "CMakeFiles/hf_tests.dir/hf/trainer_test.cpp.o"
+  "CMakeFiles/hf_tests.dir/hf/trainer_test.cpp.o.d"
+  "hf_tests"
+  "hf_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/decoder_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o.d"
+  "/root/repo/tests/nn/gaussnewton_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/gaussnewton_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gaussnewton_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/network_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/network_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/network_test.cpp.o.d"
+  "/root/repo/tests/nn/rbm_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/rbm_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/rbm_test.cpp.o.d"
+  "/root/repo/tests/nn/sequence_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/sequence_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/sequence_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hf/CMakeFiles/bgqhf_hf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/bgqhf_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bgqhf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/bgqhf_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/bgqhf_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/decoder_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gaussnewton_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gaussnewton_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/network_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/network_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/rbm_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/rbm_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/sequence_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/sequence_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

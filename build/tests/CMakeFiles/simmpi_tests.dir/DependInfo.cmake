@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi/collectives_test.cpp" "tests/CMakeFiles/simmpi_tests.dir/simmpi/collectives_test.cpp.o" "gcc" "tests/CMakeFiles/simmpi_tests.dir/simmpi/collectives_test.cpp.o.d"
+  "/root/repo/tests/simmpi/nonblocking_test.cpp" "tests/CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o" "gcc" "tests/CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o.d"
+  "/root/repo/tests/simmpi/ops_test.cpp" "tests/CMakeFiles/simmpi_tests.dir/simmpi/ops_test.cpp.o" "gcc" "tests/CMakeFiles/simmpi_tests.dir/simmpi/ops_test.cpp.o.d"
+  "/root/repo/tests/simmpi/p2p_test.cpp" "tests/CMakeFiles/simmpi_tests.dir/simmpi/p2p_test.cpp.o" "gcc" "tests/CMakeFiles/simmpi_tests.dir/simmpi/p2p_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hf/CMakeFiles/bgqhf_hf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/bgqhf_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bgqhf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/bgqhf_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/bgqhf_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmpi_tests.dir/simmpi/collectives_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/collectives_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/nonblocking_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/ops_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/ops_test.cpp.o.d"
+  "CMakeFiles/simmpi_tests.dir/simmpi/p2p_test.cpp.o"
+  "CMakeFiles/simmpi_tests.dir/simmpi/p2p_test.cpp.o.d"
+  "simmpi_tests"
+  "simmpi_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmpi_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/speech/corpus_io_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/corpus_io_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/corpus_io_test.cpp.o.d"
+  "/root/repo/tests/speech/corpus_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o.d"
+  "/root/repo/tests/speech/dataset_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/dataset_test.cpp.o.d"
+  "/root/repo/tests/speech/features_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/features_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/features_test.cpp.o.d"
+  "/root/repo/tests/speech/partition_test.cpp" "tests/CMakeFiles/speech_tests.dir/speech/partition_test.cpp.o" "gcc" "tests/CMakeFiles/speech_tests.dir/speech/partition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hf/CMakeFiles/bgqhf_hf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgq/CMakeFiles/bgqhf_bgq.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bgqhf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/speech/CMakeFiles/bgqhf_speech.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/bgqhf_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/bgqhf_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bgqhf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_tests.dir/speech/corpus_io_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/corpus_io_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/corpus_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/dataset_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/dataset_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/features_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/features_test.cpp.o.d"
+  "CMakeFiles/speech_tests.dir/speech/partition_test.cpp.o"
+  "CMakeFiles/speech_tests.dir/speech/partition_test.cpp.o.d"
+  "speech_tests"
+  "speech_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_tests "/root/repo/build/tests/util_tests")
+set_tests_properties(util_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(blas_tests "/root/repo/build/tests/blas_tests")
+set_tests_properties(blas_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(simmpi_tests "/root/repo/build/tests/simmpi_tests")
+set_tests_properties(simmpi_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;30;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(speech_tests "/root/repo/build/tests/speech_tests")
+set_tests_properties(speech_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;37;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_tests "/root/repo/build/tests/nn_tests")
+set_tests_properties(nn_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;45;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bgq_tests "/root/repo/build/tests/bgq_tests")
+set_tests_properties(bgq_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;56;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hf_tests "/root/repo/build/tests/hf_tests")
+set_tests_properties(hf_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;67;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_tests "/root/repo/build/tests/integration_tests")
+set_tests_properties(integration_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;84;bgqhf_add_test;/root/repo/tests/CMakeLists.txt;0;")
