@@ -1,0 +1,199 @@
+#include "hf/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/checksum.h"
+
+namespace bgqhf::hf {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'G', 'Q', 'H', 'F', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + sizeof(T));
+    std::memcpy(bytes_.data() + old, &v, sizeof(T));
+  }
+  template <typename T>
+  void pod_vector(const std::vector<T>& v) {
+    pod(static_cast<std::uint64_t>(v.size()));
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(bytes_.data() + old, v.data(), v.size() * sizeof(T));
+    }
+  }
+  std::vector<std::byte>& bytes() { return bytes_; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& bytes) : bytes_(bytes) {}
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::runtime_error("checkpoint: truncated file");
+    }
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> pod_vector() {
+    const auto n = static_cast<std::size_t>(pod<std::uint64_t>());
+    if (pos_ + n * sizeof(T) > bytes_.size()) {
+      throw std::runtime_error("checkpoint: truncated file");
+    }
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<std::byte>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_log(Writer& w, const HfIterationLog& log) {
+  w.pod(static_cast<std::uint64_t>(log.iteration));
+  w.pod(log.train_loss);
+  w.pod(log.grad_norm);
+  w.pod(static_cast<std::uint64_t>(log.cg_iterations));
+  w.pod(static_cast<std::uint64_t>(log.num_iterates));
+  w.pod(static_cast<std::uint64_t>(log.chosen_iterate));
+  w.pod(log.q_dn);
+  w.pod(log.rho);
+  w.pod(log.lambda);
+  w.pod(log.alpha);
+  w.pod(log.heldout_before);
+  w.pod(log.heldout_after);
+  w.pod(static_cast<std::uint8_t>(log.failed ? 1 : 0));
+  w.pod(static_cast<std::uint64_t>(log.heldout_evals));
+}
+
+HfIterationLog read_log(Reader& r) {
+  HfIterationLog log;
+  log.iteration = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  log.train_loss = r.pod<double>();
+  log.grad_norm = r.pod<double>();
+  log.cg_iterations = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  log.num_iterates = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  log.chosen_iterate = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  log.q_dn = r.pod<double>();
+  log.rho = r.pod<double>();
+  log.lambda = r.pod<double>();
+  log.alpha = r.pod<double>();
+  log.heldout_before = r.pod<double>();
+  log.heldout_after = r.pod<double>();
+  log.failed = r.pod<std::uint8_t>() != 0;
+  log.heldout_evals = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  return log;
+}
+
+}  // namespace
+
+void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path) {
+  Writer w;
+  for (const char c : kMagic) w.pod(c);
+  w.pod(kVersion);
+  w.pod(ckpt.completed_iterations);
+  w.pod(ckpt.hf_seed);
+  w.pod(ckpt.lambda);
+  w.pod(ckpt.loss_prev);
+  w.pod(ckpt.stall);
+  if (ckpt.theta.size() != ckpt.d0.size()) {
+    throw std::invalid_argument("checkpoint: theta/d0 size mismatch");
+  }
+  w.pod(static_cast<std::uint64_t>(ckpt.theta.size()));
+  for (const float v : ckpt.theta) w.pod(v);
+  for (const float v : ckpt.d0) w.pod(v);
+  w.pod(static_cast<std::uint64_t>(ckpt.logs.size()));
+  for (const auto& log : ckpt.logs) write_log(w, log);
+  const std::uint32_t crc = util::crc32(w.bytes().data(), w.bytes().size());
+  w.pod(crc);
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp);
+  }
+  const std::size_t written =
+      std::fwrite(w.bytes().data(), 1, w.bytes().size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != w.bytes().size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed");
+  }
+}
+
+TrainerCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  std::vector<std::byte> bytes;
+  std::byte buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+    throw std::runtime_error("checkpoint: file too short: " + path);
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (util::crc32(bytes.data(), bytes.size() - sizeof(stored_crc)) !=
+      stored_crc) {
+    throw std::runtime_error("checkpoint: CRC mismatch (corrupt file): " +
+                             path);
+  }
+
+  Reader r(bytes);
+  for (const char expected : kMagic) {
+    if (r.pod<char>() != expected) {
+      throw std::runtime_error("checkpoint: bad magic: " + path);
+    }
+  }
+  if (r.pod<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version: " + path);
+  }
+  TrainerCheckpoint ckpt;
+  ckpt.completed_iterations = r.pod<std::uint64_t>();
+  ckpt.hf_seed = r.pod<std::uint64_t>();
+  ckpt.lambda = r.pod<double>();
+  ckpt.loss_prev = r.pod<double>();
+  ckpt.stall = r.pod<std::uint64_t>();
+  const auto n_params = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  ckpt.theta.resize(n_params);
+  for (auto& v : ckpt.theta) v = r.pod<float>();
+  ckpt.d0.resize(n_params);
+  for (auto& v : ckpt.d0) v = r.pod<float>();
+  const auto n_logs = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  ckpt.logs.reserve(n_logs);
+  for (std::size_t i = 0; i < n_logs; ++i) ckpt.logs.push_back(read_log(r));
+  return ckpt;
+}
+
+}  // namespace bgqhf::hf

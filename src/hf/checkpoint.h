@@ -1,0 +1,52 @@
+// Trainer checkpoint/restart.
+//
+// Serializes everything Algorithm 1 carries across iterations — theta, the
+// Levenberg-Marquardt lambda, the CG-restart momentum direction d0, the
+// held-out loss driving backtracking, the early-stop stall counter, the
+// RNG draw position, and the per-iteration logs — so a run interrupted by
+// a master-observed failure resumes and, absent faults, reproduces the
+// bitwise-identical trajectory of an uninterrupted run.
+//
+// File layout (little-endian; see docs/MODEL.md for the full map):
+//   magic "BGQHFCKP" | u32 version |
+//   u64 completed_iterations | u64 hf_seed |
+//   f64 lambda | f64 loss_prev | u64 stall |
+//   u64 n | f32 theta[n] | f32 d0[n] |
+//   u64 num_logs | per log: fixed 14-field record |
+//   u32 crc32 footer over every preceding byte
+// Writes go to "<path>.tmp" then rename, so a crash mid-write never
+// clobbers the previous good checkpoint; loads verify magic, version, and
+// CRC and throw std::runtime_error on any mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hf/optimizer.h"
+
+namespace bgqhf::hf {
+
+struct TrainerCheckpoint {
+  /// Iterations fully executed (successful or failed) before the save.
+  std::uint64_t completed_iterations = 0;
+  /// HfOptions::seed of the saving run; resume refuses a mismatch, since
+  /// the curvature-sample stream would silently diverge otherwise.
+  std::uint64_t hf_seed = 0;
+  double lambda = 0.0;     // Levenberg-Marquardt damping
+  double loss_prev = 0.0;  // held-out loss at theta (backtracking anchor)
+  std::uint64_t stall = 0;  // early-stop patience counter
+  std::vector<float> theta;
+  std::vector<float> d0;  // beta * d_N CG-restart momentum
+  std::vector<HfIterationLog> logs;
+};
+
+/// Atomically write `ckpt` to `path` (tmp file + rename) with a CRC32
+/// footer. Throws std::runtime_error on I/O failure.
+void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path);
+
+/// Load a checkpoint written by save_checkpoint. Throws std::runtime_error
+/// on I/O failure, bad magic/version, or CRC mismatch.
+TrainerCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace bgqhf::hf

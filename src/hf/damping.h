@@ -35,6 +35,10 @@ class LevenbergMarquardt {
 
   double lambda() const { return lambda_; }
 
+  /// Restore a saved damping state (checkpoint restart); clamped to
+  /// [lambda_min, lambda_max] like every other update.
+  void set_lambda(double v) { set(v); }
+
   /// A backtracking pass found no improving iterate: raise damping.
   void on_failed_iteration() { set(lambda_ * options_.grow); }
 

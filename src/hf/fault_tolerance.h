@@ -1,0 +1,139 @@
+// Fault-tolerant master/worker protocol support.
+//
+// The baseline protocol (protocol.h) runs on tree collectives: fast, but a
+// single lost message or dead rank starves a subtree and deadlocks
+// Mailbox::pop forever. The fault-tolerant variant keeps the same command
+// set and the same rank-order fold arithmetic (so fault-free runs are
+// bitwise identical to the collective path) but moves every exchange onto
+// flat, CRC-framed point-to-point messages with deadlines:
+//
+//   * master -> worker: command headers and payloads are per-worker sends,
+//     each framed [crc | status | payload] (util::crc32);
+//   * worker -> master: one framed reply per command, so a worker's
+//     contribution and its loss statistics arrive atomically;
+//   * the master retries timed-out replies with backoff, then excludes the
+//     worker and reweights sums by the surviving data fraction;
+//   * workers validate every payload checksum and report corruption
+//     instead of silently training on garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "simmpi/communicator.h"
+#include "util/checksum.h"
+
+namespace bgqhf::hf {
+
+struct FtOptions {
+  /// Use the fault-tolerant flat protocol instead of tree collectives.
+  bool enabled = false;
+  /// Seconds the master waits for a worker reply before retrying.
+  double reply_timeout = 1.0;
+  /// Re-waits (with backoff) before a silent worker is declared dead.
+  int max_retries = 2;
+  /// Timeout multiplier per retry.
+  double backoff = 1.5;
+  /// Seconds a worker waits for the next command before concluding the
+  /// master is gone and exiting its loop.
+  double command_timeout = 30.0;
+  /// Log worker exclusions and retries (BGQHF_WARN).
+  bool verbose = true;
+};
+
+/// Status byte carried by every framed message.
+enum class FtStatus : std::uint32_t {
+  kOk = 0,
+  /// Sender detected a corrupt payload and is withdrawing from the job.
+  kCorruptPayload = 1,
+};
+
+/// A decoded framed message. `ok` is false when the CRC does not match or
+/// the frame is structurally invalid — the payload must not be trusted.
+template <typename T>
+struct FtFrame {
+  std::vector<T> data;
+  FtStatus status = FtStatus::kOk;
+  bool ok = false;
+};
+
+/// Frame layout: [u32 crc | u32 status | payload bytes]; crc covers
+/// everything after itself.
+inline constexpr std::size_t kFtFrameHeaderBytes = 2 * sizeof(std::uint32_t);
+
+template <typename T>
+void ft_send(simmpi::Comm& comm, std::span<const T> payload, int dest,
+             int tag, FtStatus status = FtStatus::kOk) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> frame(kFtFrameHeaderBytes + payload.size_bytes());
+  const auto status_raw = static_cast<std::uint32_t>(status);
+  std::memcpy(frame.data() + sizeof(std::uint32_t), &status_raw,
+              sizeof(status_raw));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFtFrameHeaderBytes, payload.data(),
+                payload.size_bytes());
+  }
+  const std::uint32_t crc =
+      util::crc32(frame.data() + sizeof(std::uint32_t),
+                  frame.size() - sizeof(std::uint32_t));
+  std::memcpy(frame.data(), &crc, sizeof(crc));
+  comm.send<std::byte>(frame, dest, tag);
+}
+
+/// Receive and validate one frame. Propagates simmpi::TimeoutError when
+/// nothing arrives within the deadline; a corrupt frame is *returned*
+/// (ok = false), not thrown, so the caller decides the recovery policy.
+template <typename T>
+FtFrame<T> ft_recv_for(simmpi::Comm& comm, int source, int tag,
+                       double timeout_seconds) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::vector<std::byte> frame =
+      comm.recv_for<std::byte>(source, tag, timeout_seconds);
+  FtFrame<T> out;
+  if (frame.size() < kFtFrameHeaderBytes) return out;
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, frame.data(), sizeof(crc));
+  if (util::crc32(frame.data() + sizeof(std::uint32_t),
+                  frame.size() - sizeof(std::uint32_t)) != crc) {
+    return out;
+  }
+  std::uint32_t status_raw = 0;
+  std::memcpy(&status_raw, frame.data() + sizeof(std::uint32_t),
+              sizeof(status_raw));
+  out.status = static_cast<FtStatus>(status_raw);
+  const std::size_t payload_bytes = frame.size() - kFtFrameHeaderBytes;
+  if (payload_bytes % sizeof(T) != 0) return out;
+  out.data.resize(payload_bytes / sizeof(T));
+  if (payload_bytes > 0) {
+    std::memcpy(out.data.data(), frame.data() + kFtFrameHeaderBytes,
+                payload_bytes);
+  }
+  out.ok = true;
+  return out;
+}
+
+// ---- mixed-type reply payloads (floats + double loss stats) ----
+
+template <typename T>
+void append_pod_span(std::vector<std::byte>& out, std::span<const T> v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t old = out.size();
+  out.resize(old + v.size_bytes());
+  if (!v.empty()) std::memcpy(out.data() + old, v.data(), v.size_bytes());
+}
+
+/// Consume sizeof(T)*out.size() bytes from the front of `in` into `out`;
+/// returns false (leaving `out` unspecified) if `in` is too short.
+template <typename T>
+bool consume_pod_span(std::span<const std::byte>& in, std::span<T> out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t need = out.size() * sizeof(T);
+  if (in.size() < need) return false;
+  if (need > 0) std::memcpy(out.data(), in.data(), need);
+  in = in.subspan(need);
+  return true;
+}
+
+}  // namespace bgqhf::hf

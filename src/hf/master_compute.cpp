@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace bgqhf::hf {
@@ -23,19 +24,96 @@ class PhaseTimer {
 
 MasterCompute::MasterCompute(simmpi::Comm& comm, std::size_t num_params,
                              std::size_t total_train_frames,
-                             PhaseStats* stats)
+                             PhaseStats* stats, FtOptions ft)
     : comm_(&comm),
       num_params_(num_params),
       train_frames_(total_train_frames),
-      stats_(stats) {
+      stats_(stats),
+      ft_(ft) {
   if (comm.rank() != 0) {
     throw std::logic_error("MasterCompute must run on rank 0");
+  }
+  alive_.assign(static_cast<std::size_t>(comm.size()), 1);
+  curvature_counts_.assign(static_cast<std::size_t>(comm.size()), 0);
+}
+
+int MasterCompute::live_workers() const {
+  int live = 0;
+  for (int r = 1; r < comm_->size(); ++r) {
+    if (alive_[static_cast<std::size_t>(r)]) ++live;
+  }
+  return live;
+}
+
+void MasterCompute::exclude(int rank, const char* reason) {
+  if (!alive_[static_cast<std::size_t>(rank)]) return;
+  alive_[static_cast<std::size_t>(rank)] = 0;
+  excluded_.push_back(rank);
+  // A worker that saw a corrupt payload withdraws and leaves a note; the
+  // note turns an anonymous timeout into an attributed corruption report.
+  if (comm_->probe(rank, kTagFtFailure)) {
+    const FtFrame<std::byte> note =
+        ft_recv_for<std::byte>(*comm_, rank, kTagFtFailure, /*timeout=*/0.05);
+    if (note.ok && note.status == FtStatus::kCorruptPayload) {
+      reason = "worker reported corrupt payload";
+    }
+  }
+  if (ft_.verbose) {
+    BGQHF_WARN << "master: excluding worker rank " << rank << " (" << reason
+               << "); " << live_workers() << " worker(s) remain";
   }
 }
 
 void MasterCompute::broadcast_command(Command cmd, std::uint64_t aux) {
   std::vector<std::uint64_t> header{static_cast<std::uint64_t>(cmd), aux};
-  comm_->bcast(header, 0);
+  if (!ft_.enabled) {
+    comm_->bcast(header, 0);
+    return;
+  }
+  for (int r = 1; r < comm_->size(); ++r) {
+    if (!alive_[static_cast<std::size_t>(r)]) continue;
+    ft_send<std::uint64_t>(*comm_, header, r, kTagFtCommand);
+  }
+}
+
+void MasterCompute::ft_send_all(std::span<const float> payload, int tag) {
+  for (int r = 1; r < comm_->size(); ++r) {
+    if (!alive_[static_cast<std::size_t>(r)]) continue;
+    ft_send<float>(*comm_, payload, r, tag);
+  }
+}
+
+std::vector<std::vector<std::byte>> MasterCompute::ft_collect_replies() {
+  std::vector<std::vector<std::byte>> replies(
+      static_cast<std::size_t>(comm_->size()));
+  for (int r = 1; r < comm_->size(); ++r) {
+    if (!alive_[static_cast<std::size_t>(r)]) continue;
+    double timeout = ft_.reply_timeout;
+    bool answered = false;
+    for (int attempt = 0; attempt <= ft_.max_retries; ++attempt) {
+      try {
+        FtFrame<std::byte> frame =
+            ft_recv_for<std::byte>(*comm_, r, kTagFtReply, timeout);
+        answered = true;
+        if (!frame.ok) {
+          exclude(r, "corrupt reply");
+        } else if (frame.status != FtStatus::kOk) {
+          exclude(r, "worker withdrew");
+        } else {
+          replies[static_cast<std::size_t>(r)] = std::move(frame.data);
+        }
+        break;
+      } catch (const simmpi::TimeoutError&) {
+        if (attempt < ft_.max_retries && ft_.verbose) {
+          BGQHF_WARN << "master: no reply from rank " << r << " within "
+                     << timeout << " s, retrying";
+        }
+        timeout *= ft_.backoff;
+      }
+    }
+    if (!answered) exclude(r, "reply timeout");
+  }
+  return replies;
 }
 
 void MasterCompute::gather_sum(std::span<float> out) {
@@ -64,6 +142,10 @@ nn::BatchLoss MasterCompute::gather_loss_stats() {
 void MasterCompute::set_params(std::span<const float> theta) {
   PhaseTimer timer(stats_, Phase::kSyncWeights);
   broadcast_command(Command::kSetParams);
+  if (ft_.enabled) {
+    ft_send_all(theta, kTagFtPayload);
+    return;
+  }
   std::vector<float> buf(theta.begin(), theta.end());
   comm_->bcast(buf, 0);  // the paper's sync_weights MPI_Bcast
 }
@@ -74,11 +156,39 @@ nn::BatchLoss MasterCompute::gradient(std::span<float> grad_out) {
   }
   PhaseTimer timer(stats_, Phase::kGradient);
   broadcast_command(Command::kGradient, /*aux=*/0);
-  gather_sum(grad_out);
-  const nn::BatchLoss total = gather_loss_stats();
-  if (total.frames == 0) {
-    throw std::logic_error("MasterCompute::gradient: no frames reported");
+  nn::BatchLoss total;
+  if (!ft_.enabled) {
+    gather_sum(grad_out);
+    total = gather_loss_stats();
+  } else {
+    std::fill(grad_out.begin(), grad_out.end(), 0.0f);
+    const auto replies = ft_collect_replies();
+    std::vector<float> slice(num_params_);
+    for (int r = 1; r < comm_->size(); ++r) {
+      const auto& reply = replies[static_cast<std::size_t>(r)];
+      if (reply.empty()) continue;
+      std::span<const std::byte> in(reply);
+      double stats_flat[kLossStatsLen];
+      if (!consume_pod_span<float>(in, slice) ||
+          !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+        exclude(r, "malformed gradient reply");
+        continue;
+      }
+      for (std::size_t i = 0; i < grad_out.size(); ++i) {
+        grad_out[i] += slice[i];
+      }
+      total.loss_sum += stats_flat[0];
+      total.frames += static_cast<std::size_t>(stats_flat[1]);
+      total.correct += static_cast<std::size_t>(stats_flat[2]);
+    }
   }
+  if (total.frames == 0) {
+    throw std::runtime_error(
+        "MasterCompute::gradient: no frames reported (all workers lost?)");
+  }
+  // Survivor reweighting: the sum only covers responding workers, and so
+  // does `frames` — dividing by the surviving frame count keeps this the
+  // exact mean gradient over the data that is still in the job.
   const float inv = 1.0f / static_cast<float>(total.frames);
   for (auto& g : grad_out) g *= inv;
   return total;
@@ -92,11 +202,40 @@ nn::BatchLoss MasterCompute::gradient_with_squares(
   }
   PhaseTimer timer(stats_, Phase::kGradient);
   broadcast_command(Command::kGradient, /*aux=*/1);
-  gather_sum(grad_out);
-  gather_sum(grad_sq_out);
-  const nn::BatchLoss total = gather_loss_stats();
+  nn::BatchLoss total;
+  if (!ft_.enabled) {
+    gather_sum(grad_out);
+    gather_sum(grad_sq_out);
+    total = gather_loss_stats();
+  } else {
+    std::fill(grad_out.begin(), grad_out.end(), 0.0f);
+    std::fill(grad_sq_out.begin(), grad_sq_out.end(), 0.0f);
+    const auto replies = ft_collect_replies();
+    std::vector<float> slice(num_params_);
+    std::vector<float> sq_slice(num_params_);
+    for (int r = 1; r < comm_->size(); ++r) {
+      const auto& reply = replies[static_cast<std::size_t>(r)];
+      if (reply.empty()) continue;
+      std::span<const std::byte> in(reply);
+      double stats_flat[kLossStatsLen];
+      if (!consume_pod_span<float>(in, slice) ||
+          !consume_pod_span<float>(in, sq_slice) ||
+          !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+        exclude(r, "malformed gradient reply");
+        continue;
+      }
+      for (std::size_t i = 0; i < grad_out.size(); ++i) {
+        grad_out[i] += slice[i];
+        grad_sq_out[i] += sq_slice[i];
+      }
+      total.loss_sum += stats_flat[0];
+      total.frames += static_cast<std::size_t>(stats_flat[1]);
+      total.correct += static_cast<std::size_t>(stats_flat[2]);
+    }
+  }
   if (total.frames == 0) {
-    throw std::logic_error("MasterCompute::gradient: no frames reported");
+    throw std::runtime_error(
+        "MasterCompute::gradient: no frames reported (all workers lost?)");
   }
   const float inv = 1.0f / static_cast<float>(total.frames);
   for (auto& g : grad_out) g *= inv;
@@ -106,11 +245,30 @@ nn::BatchLoss MasterCompute::gradient_with_squares(
 void MasterCompute::prepare_curvature(std::uint64_t seed) {
   PhaseTimer timer(stats_, Phase::kCurvaturePrepare);
   broadcast_command(Command::kPrepareCurvature, seed);
-  std::vector<double> zero(1, 0.0);
-  const std::vector<double> counts = comm_->gather<double>(zero, 0);
   curvature_frames_ = 0;
+  if (!ft_.enabled) {
+    std::vector<double> zero(1, 0.0);
+    const std::vector<double> counts = comm_->gather<double>(zero, 0);
+    for (int r = 1; r < comm_->size(); ++r) {
+      curvature_frames_ += static_cast<std::size_t>(counts[r]);
+    }
+    return;
+  }
+  std::fill(curvature_counts_.begin(), curvature_counts_.end(), 0);
+  const auto replies = ft_collect_replies();
   for (int r = 1; r < comm_->size(); ++r) {
-    curvature_frames_ += static_cast<std::size_t>(counts[r]);
+    const auto& reply = replies[static_cast<std::size_t>(r)];
+    if (reply.empty()) continue;
+    std::span<const std::byte> in(reply);
+    double count = 0.0;
+    if (!consume_pod_span<double>(in, std::span<double>(&count, 1)) ||
+        !in.empty()) {
+      exclude(r, "malformed curvature-count reply");
+      continue;
+    }
+    curvature_counts_[static_cast<std::size_t>(r)] =
+        static_cast<std::size_t>(count);
+    curvature_frames_ += static_cast<std::size_t>(count);
   }
 }
 
@@ -121,17 +279,66 @@ void MasterCompute::curvature_product(std::span<const float> v,
   }
   PhaseTimer timer(stats_, Phase::kCurvatureProduct);
   broadcast_command(Command::kCurvatureProduct);
-  std::vector<float> buf(v.begin(), v.end());
-  comm_->bcast(buf, 0);
-  gather_sum(out);
-  const float inv = 1.0f / static_cast<float>(curvature_frames_);
+  if (!ft_.enabled) {
+    std::vector<float> buf(v.begin(), v.end());
+    comm_->bcast(buf, 0);
+    gather_sum(out);
+    const float inv = 1.0f / static_cast<float>(curvature_frames_);
+    for (auto& g : out) g *= inv;
+    return;
+  }
+  ft_send_all(v, kTagFtPayload);
+  std::fill(out.begin(), out.end(), 0.0f);
+  const auto replies = ft_collect_replies();
+  std::vector<float> slice(num_params_);
+  std::size_t responding_frames = 0;
+  for (int r = 1; r < comm_->size(); ++r) {
+    const auto& reply = replies[static_cast<std::size_t>(r)];
+    if (reply.empty()) continue;
+    std::span<const std::byte> in(reply);
+    if (!consume_pod_span<float>(in, slice) || !in.empty()) {
+      exclude(r, "malformed curvature-product reply");
+      continue;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slice[i];
+    responding_frames += curvature_counts_[static_cast<std::size_t>(r)];
+  }
+  if (responding_frames == 0) {
+    throw std::runtime_error(
+        "MasterCompute::curvature_product: all workers lost");
+  }
+  // A worker lost mid-CG is subtracted from the denominator too, keeping
+  // the product the exact sample mean over surviving shards.
+  curvature_frames_ = responding_frames;
+  const float inv = 1.0f / static_cast<float>(responding_frames);
   for (auto& g : out) g *= inv;
 }
 
 nn::BatchLoss MasterCompute::heldout_loss() {
   PhaseTimer timer(stats_, Phase::kHeldoutLoss);
   broadcast_command(Command::kHeldoutLoss);
-  return gather_loss_stats();
+  if (!ft_.enabled) return gather_loss_stats();
+  nn::BatchLoss total;
+  const auto replies = ft_collect_replies();
+  for (int r = 1; r < comm_->size(); ++r) {
+    const auto& reply = replies[static_cast<std::size_t>(r)];
+    if (reply.empty()) continue;
+    std::span<const std::byte> in(reply);
+    double stats_flat[kLossStatsLen];
+    if (!consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+      exclude(r, "malformed held-out reply");
+      continue;
+    }
+    total.loss_sum += stats_flat[0];
+    total.frames += static_cast<std::size_t>(stats_flat[1]);
+    total.correct += static_cast<std::size_t>(stats_flat[2]);
+  }
+  if (total.frames == 0) {
+    throw std::runtime_error(
+        "MasterCompute::heldout_loss: no frames reported (all workers "
+        "lost?)");
+  }
+  return total;
 }
 
 void MasterCompute::shutdown() { broadcast_command(Command::kShutdown); }

@@ -3,11 +3,22 @@
 // Each primitive is one broadcast command plus payload collectives; worker
 // sums arrive through gathers and are folded in rank order, making the
 // aggregate arithmetic identical to SerialCompute over the same shards.
+//
+// With FtOptions::enabled the same primitives run over the flat,
+// CRC-framed, timeout-aware protocol (fault_tolerance.h): the master
+// tracks worker liveness, retries timed-out replies with backoff, then
+// excludes dead workers and reweights gradient/curvature sums by the
+// surviving data fraction — every sum stays a *mean over the data that
+// actually responded*, so the Gauss-Newton estimate remains unbiased
+// under worker loss. Fault-free, the fold order and arithmetic match the
+// collective path bitwise.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "hf/compute.h"
+#include "hf/fault_tolerance.h"
 #include "hf/phase_stats.h"
 #include "hf/protocol.h"
 #include "simmpi/communicator.h"
@@ -21,7 +32,7 @@ class MasterCompute : public HfCompute {
   /// time on the master side (the functional Figs. 2/4 instrumentation).
   MasterCompute(simmpi::Comm& comm, std::size_t num_params,
                 std::size_t total_train_frames,
-                PhaseStats* stats = nullptr);
+                PhaseStats* stats = nullptr, FtOptions ft = {});
 
   std::size_t num_params() const override { return num_params_; }
   std::size_t total_train_frames() const override { return train_frames_; }
@@ -35,9 +46,14 @@ class MasterCompute : public HfCompute {
                          std::span<float> out) override;
   nn::BatchLoss heldout_loss() override;
 
-  /// Tell all workers to exit their loops. Call exactly once, after the
-  /// optimizer finishes.
+  /// Tell all (live) workers to exit their loops. Call exactly once, after
+  /// the optimizer finishes.
   void shutdown();
+
+  /// Workers excluded so far (FT mode), in exclusion order.
+  const std::vector<int>& excluded_workers() const { return excluded_; }
+  /// Number of workers still participating.
+  int live_workers() const;
 
  private:
   void broadcast_command(Command cmd, std::uint64_t aux = 0);
@@ -46,11 +62,27 @@ class MasterCompute : public HfCompute {
   void gather_sum(std::span<float> out);
   nn::BatchLoss gather_loss_stats();
 
+  // ---- fault-tolerant path ----
+  /// Send the framed payload to every live worker.
+  void ft_send_all(std::span<const float> payload, int tag);
+  /// Collect one framed reply per live worker in rank order. Returns the
+  /// reply bytes per worker rank (empty entry = excluded this round);
+  /// timed-out / corrupt-reply workers are excluded and logged.
+  std::vector<std::vector<std::byte>> ft_collect_replies();
+  void exclude(int rank, const char* reason);
+
   simmpi::Comm* comm_;
   std::size_t num_params_;
   std::size_t train_frames_;
   std::size_t curvature_frames_ = 0;
   PhaseStats* stats_;
+
+  FtOptions ft_;
+  std::vector<char> alive_;  // by rank; [0] unused
+  std::vector<int> excluded_;
+  /// Per-rank curvature sample sizes from the last prepare_curvature, so a
+  /// worker lost mid-CG can be subtracted from the product denominator.
+  std::vector<std::size_t> curvature_counts_;
 };
 
 }  // namespace bgqhf::hf

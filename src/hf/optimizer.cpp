@@ -1,18 +1,21 @@
 #include "hf/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include <memory>
 
 #include "blas/level1.h"
+#include "hf/checkpoint.h"
 #include "hf/preconditioner.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace bgqhf::hf {
 
-HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta) {
+HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
+                          const TrainerCheckpoint* resume) {
   const std::size_t n = compute.num_params();
   if (theta.size() != n) {
     throw std::invalid_argument("HfOptimizer: theta size mismatch");
@@ -26,11 +29,61 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta) {
   std::vector<float> grad(n, 0.0f);
   std::vector<float> trial(n, 0.0f);
 
-  compute.set_params(theta);
-  double loss_prev = compute.heldout_loss().mean_loss();
+  double loss_prev = 0.0;
   std::size_t stall = 0;
+  std::size_t first_iter = 1;
+  if (resume != nullptr) {
+    if (resume->theta.size() != n || resume->d0.size() != n) {
+      throw std::invalid_argument(
+          "HfOptimizer: checkpoint parameter count mismatch");
+    }
+    if (resume->hf_seed != options_.seed) {
+      // A different seed would silently diverge the curvature-sample
+      // stream from the run that wrote the checkpoint.
+      throw std::invalid_argument("HfOptimizer: checkpoint seed mismatch");
+    }
+    std::copy(resume->theta.begin(), resume->theta.end(), theta.begin());
+    std::copy(resume->d0.begin(), resume->d0.end(), d0.begin());
+    lm.set_lambda(resume->lambda);
+    loss_prev = resume->loss_prev;
+    stall = static_cast<std::size_t>(resume->stall);
+    result.iterations = resume->logs;
+    // seed_rng draws exactly one u64 per iteration (prepare_curvature), so
+    // replaying the completed draws restores the exact stream position.
+    for (std::uint64_t i = 0; i < resume->completed_iterations; ++i) {
+      (void)seed_rng.next_u64();
+    }
+    first_iter = static_cast<std::size_t>(resume->completed_iterations) + 1;
+    compute.set_params(theta);
+  } else {
+    compute.set_params(theta);
+    loss_prev = compute.heldout_loss().mean_loss();
+  }
 
-  for (std::size_t iter = 1; iter <= options_.max_iterations; ++iter) {
+  // loss_prev always equals the held-out loss at the current theta, so
+  // saving it lets resume skip the initial evaluation without drift.
+  auto save_state = [&](std::size_t completed) {
+    if (options_.checkpoint_path.empty() || options_.checkpoint_every == 0) {
+      return;
+    }
+    if (completed % options_.checkpoint_every != 0 &&
+        completed != options_.max_iterations) {
+      return;
+    }
+    TrainerCheckpoint ckpt;
+    ckpt.completed_iterations = completed;
+    ckpt.hf_seed = options_.seed;
+    ckpt.lambda = lm.lambda();
+    ckpt.loss_prev = loss_prev;
+    ckpt.stall = stall;
+    ckpt.theta.assign(theta.begin(), theta.end());
+    ckpt.d0 = d0;
+    ckpt.logs = result.iterations;
+    save_checkpoint(ckpt, options_.checkpoint_path);
+  };
+
+  for (std::size_t iter = first_iter; iter <= options_.max_iterations;
+       ++iter) {
     HfIterationLog log;
     log.iteration = iter;
     log.lambda = lm.lambda();
@@ -110,6 +163,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta) {
         BGQHF_INFO << "hf iter " << iter << " FAILED lambda->"
                    << lm.lambda();
       }
+      save_state(iter);
       continue;
     }
 
@@ -138,6 +192,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta) {
       log.failed = true;
       log.heldout_after = loss_prev;
       result.iterations.push_back(log);
+      save_state(iter);
       continue;
     }
 
@@ -170,9 +225,11 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta) {
                                                                   : 0;
       if (stall >= options_.patience) {
         result.early_stopped = true;
+        save_state(iter);
         break;
       }
     }
+    save_state(iter);
   }
 
   compute.set_params(theta);

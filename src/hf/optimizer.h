@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hf/cg.h"
@@ -40,6 +41,12 @@ struct HfOptions {
   /// consecutive iterations (0 disables, run all iterations).
   double min_relative_improvement = 0.0;
   std::size_t patience = 3;
+  /// When non-empty, atomically save a TrainerCheckpoint here after every
+  /// `checkpoint_every`-th iteration (and after the final one), so a
+  /// master-observed failure can restart from the last completed
+  /// iteration instead of from scratch.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;
   bool verbose = false;
 };
 
@@ -67,12 +74,20 @@ struct HfResult {
   bool early_stopped = false;
 };
 
+struct TrainerCheckpoint;  // checkpoint.h
+
 class HfOptimizer {
  public:
   explicit HfOptimizer(HfOptions options) : options_(std::move(options)) {}
 
   /// Optimize theta in place. theta.size() must equal compute.num_params().
-  HfResult run(HfCompute& compute, std::span<float> theta);
+  /// When `resume` is given, theta is overwritten with the checkpointed
+  /// parameters and the run continues from the saved iteration with the
+  /// saved damping/momentum/RNG position — fault-free, the continuation
+  /// is bitwise identical to the uninterrupted run, and the returned
+  /// HfResult contains the full (pre- and post-resume) trajectory.
+  HfResult run(HfCompute& compute, std::span<float> theta,
+               const TrainerCheckpoint* resume = nullptr);
 
  private:
   HfOptions options_;

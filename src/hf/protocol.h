@@ -43,5 +43,15 @@ inline constexpr int kTagShardX = 102;
 inline constexpr int kTagShardHeldMeta = 103;
 inline constexpr int kTagShardHeldLabels = 104;
 inline constexpr int kTagShardHeldX = 105;
+/// Network/criterion config blob (flat p2p in fault-tolerant mode, where
+/// a dead rank must not be able to starve a broadcast tree).
+inline constexpr int kTagConfigBlob = 106;
+
+/// Tags for the fault-tolerant flat protocol (fault_tolerance.h). Every
+/// message on these tags is CRC-framed.
+inline constexpr int kTagFtCommand = 110;  // {command, aux} per worker
+inline constexpr int kTagFtPayload = 111;  // theta / CG vector per worker
+inline constexpr int kTagFtReply = 112;    // one framed reply per command
+inline constexpr int kTagFtFailure = 113;  // worker self-reported failure
 
 }  // namespace bgqhf::hf

@@ -1,9 +1,11 @@
 #include "hf/trainer.h"
 
 #include <bit>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
+#include "hf/checkpoint.h"
 #include "hf/master_compute.h"
 #include "hf/pretrain.h"
 #include "hf/protocol.h"
@@ -11,6 +13,8 @@
 #include "hf/worker.h"
 #include "nn/rbm.h"
 #include "simmpi/communicator.h"
+#include "simmpi/fault.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace bgqhf::hf {
@@ -26,6 +30,16 @@ std::vector<std::size_t> utterance_lengths(const speech::Corpus& corpus) {
 
 // ---- dataset wire format (load_data phase, p2p) ----
 
+// FT mode replaces indefinitely-blocking receives with deadlines so a
+// dropped shard message strands one worker (which withdraws) instead of
+// deadlocking the whole run; timeout <= 0 keeps the blocking path.
+template <typename T>
+std::vector<T> recv_maybe_for(simmpi::Comm& comm, int src, int tag,
+                              double timeout) {
+  if (timeout > 0.0) return comm.recv_for<T>(src, tag, timeout);
+  return comm.recv<T>(src, tag);
+}
+
 void send_dataset(simmpi::Comm& comm, int dest, const speech::Dataset& ds,
                   int meta_tag, int labels_tag, int x_tag) {
   std::vector<std::uint64_t> meta;
@@ -40,9 +54,10 @@ void send_dataset(simmpi::Comm& comm, int dest, const speech::Dataset& ds,
 }
 
 speech::Dataset recv_dataset(simmpi::Comm& comm, int src, int meta_tag,
-                             int labels_tag, int x_tag) {
+                             int labels_tag, int x_tag,
+                             double timeout = 0.0) {
   const std::vector<std::uint64_t> meta =
-      comm.recv<std::uint64_t>(src, meta_tag);
+      recv_maybe_for<std::uint64_t>(comm, src, meta_tag, timeout);
   if (meta.size() < 3) throw std::logic_error("recv_dataset: bad meta");
   speech::Dataset ds;
   const std::size_t rows = meta[0];
@@ -50,8 +65,9 @@ speech::Dataset recv_dataset(simmpi::Comm& comm, int src, int meta_tag,
   const std::size_t num_offsets = meta[2];
   ds.offsets.assign(meta.begin() + 3,
                     meta.begin() + 3 + static_cast<std::ptrdiff_t>(num_offsets));
-  ds.labels = comm.recv<int>(src, labels_tag);
-  const std::vector<float> x = comm.recv<float>(src, x_tag);
+  ds.labels = recv_maybe_for<int>(comm, src, labels_tag, timeout);
+  const std::vector<float> x =
+      recv_maybe_for<float>(comm, src, x_tag, timeout);
   if (x.size() != rows * cols || ds.labels.size() != rows) {
     throw std::logic_error("recv_dataset: size mismatch");
   }
@@ -219,8 +235,13 @@ TrainOutcome train_serial(const TrainerConfig& config) {
   out.theta.assign(shards.net.params().begin(), shards.net.params().end());
   out.num_params = shards.net.num_params();
   HfOptimizer optimizer(config.hf);
+  std::unique_ptr<TrainerCheckpoint> resume;
+  if (!config.resume_from.empty()) {
+    resume = std::make_unique<TrainerCheckpoint>(
+        load_checkpoint(config.resume_from));
+  }
   util::Timer timer;
-  out.hf = optimizer.run(compute, out.theta);
+  out.hf = optimizer.run(compute, out.theta, resume.get());
   out.seconds = timer.seconds();
   return out;
 }
@@ -230,12 +251,33 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
   out.worker_phases.assign(static_cast<std::size_t>(config.workers),
                            PhaseStats{});
   simmpi::World world(config.workers + 1);
+  world.install_faults(config.faults);
+  // Load (and CRC-validate) any resume checkpoint before spawning ranks: a
+  // corrupt or missing file must fail this call, not strand workers that
+  // are already blocked waiting for startup messages.
+  std::unique_ptr<TrainerCheckpoint> resume;
+  if (!config.resume_from.empty()) {
+    resume = std::make_unique<TrainerCheckpoint>(
+        load_checkpoint(config.resume_from));
+  }
+  // Under FT, startup distribution avoids tree collectives: a collective
+  // cannot attribute a stall to a peer, and a rank dead mid-tree starves
+  // its whole subtree. Point-to-point sends with receive deadlines keep
+  // failures local to the failed worker.
+  const double startup_timeout =
+      config.ft.enabled ? config.ft.command_timeout : 0.0;
   simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
     if (comm.rank() == 0) {
       // ---- master ----
       Shards shards = build_shards(config);
       std::vector<std::uint64_t> blob = encode_config(config, shards);
-      comm.bcast(blob, 0);
+      if (config.ft.enabled) {
+        for (int w = 0; w < config.workers; ++w) {
+          comm.send<std::uint64_t>(blob, w + 1, kTagConfigBlob);
+        }
+      } else {
+        comm.bcast(blob, 0);
+      }
       // load_data: ship each worker its shard over point-to-point sends
       // (the phase Figures 2/4 chart as load_data).
       util::Timer load_timer;
@@ -248,45 +290,78 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
       }
       out.master_phases.add(Phase::kLoadData, load_timer.seconds());
       MasterCompute compute(comm, shards.net.num_params(),
-                            shards.total_train_frames, &out.master_phases);
+                            shards.total_train_frames, &out.master_phases,
+                            config.ft);
       out.theta.assign(shards.net.params().begin(),
                        shards.net.params().end());
       out.num_params = shards.net.num_params();
       HfOptimizer optimizer(config.hf);
       util::Timer timer;
-      out.hf = optimizer.run(compute, out.theta);
+      try {
+        out.hf = optimizer.run(compute, out.theta, resume.get());
+      } catch (...) {
+        // Optimizer-side failure (e.g. checkpoint seed/size mismatch):
+        // release the workers before propagating, so run_ranks can join
+        // them instead of deadlocking on a master that never said goodbye.
+        try {
+          compute.shutdown();
+        } catch (...) {
+        }
+        throw;
+      }
       out.seconds = timer.seconds();
+      out.excluded_workers = compute.excluded_workers();
       compute.shutdown();
     } else {
       // ---- worker ----
-      std::vector<std::uint64_t> blob;
-      comm.bcast(blob, 0);
-      const DecodedConfig dc = decode_config(blob);
-      PhaseStats& phases =
-          out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)];
-      util::Timer load_timer;
-      speech::Dataset train = recv_dataset(comm, 0, kTagShardMeta,
-                                           kTagShardLabels, kTagShardX);
-      speech::Dataset heldout =
-          recv_dataset(comm, 0, kTagShardHeldMeta, kTagShardHeldLabels,
-                       kTagShardHeldX);
-      phases.add(Phase::kLoadData, load_timer.seconds());
-      nn::Network net =
-          nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);
-      SpeechWorkloadOptions wl_opts;
-      wl_opts.criterion = dc.criterion;
-      wl_opts.batch_frames = dc.batch_frames;
-      wl_opts.curvature_fraction = dc.curvature_fraction;
-      wl_opts.pool = nullptr;
-      if (dc.criterion == Criterion::kSequence) {
-        wl_opts.transitions = nn::TransitionModel::left_to_right(
-            dc.num_states, dc.advance_prob);
+      try {
+        std::vector<std::uint64_t> blob;
+        if (config.ft.enabled) {
+          blob = comm.recv_for<std::uint64_t>(0, kTagConfigBlob,
+                                              startup_timeout);
+        } else {
+          comm.bcast(blob, 0);
+        }
+        const DecodedConfig dc = decode_config(blob);
+        PhaseStats& phases =
+            out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)];
+        util::Timer load_timer;
+        speech::Dataset train =
+            recv_dataset(comm, 0, kTagShardMeta, kTagShardLabels, kTagShardX,
+                         startup_timeout);
+        speech::Dataset heldout =
+            recv_dataset(comm, 0, kTagShardHeldMeta, kTagShardHeldLabels,
+                         kTagShardHeldX, startup_timeout);
+        phases.add(Phase::kLoadData, load_timer.seconds());
+        nn::Network net =
+            nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);
+        SpeechWorkloadOptions wl_opts;
+        wl_opts.criterion = dc.criterion;
+        wl_opts.batch_frames = dc.batch_frames;
+        wl_opts.curvature_fraction = dc.curvature_fraction;
+        wl_opts.pool = nullptr;
+        if (dc.criterion == Criterion::kSequence) {
+          wl_opts.transitions = nn::TransitionModel::left_to_right(
+              dc.num_states, dc.advance_prob);
+        }
+        SpeechWorkload workload(std::move(net), std::move(train),
+                                std::move(heldout),
+                                static_cast<std::size_t>(comm.rank() - 1),
+                                wl_opts);
+        worker_loop(comm, workload, &phases, config.ft);
+      } catch (const simmpi::RankKilledError&) {
+        // Injected kill: exit the rank cleanly so run_ranks completes; the
+        // master observes the silence and excludes this worker at its next
+        // reply deadline.
+        BGQHF_WARN << "worker rank " << comm.rank()
+                   << ": killed by fault injection; exiting";
+      } catch (const simmpi::TimeoutError& e) {
+        // A startup message never arrived (dropped in transit): withdraw
+        // instead of stalling the whole run.
+        BGQHF_WARN << "worker rank " << comm.rank()
+                   << ": startup receive timed out (" << e.what()
+                   << "); withdrawing";
       }
-      SpeechWorkload workload(std::move(net), std::move(train),
-                              std::move(heldout),
-                              static_cast<std::size_t>(comm.rank() - 1),
-                              wl_opts);
-      worker_loop(comm, workload, &phases);
     }
   });
   out.comm = world.total_stats();

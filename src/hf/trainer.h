@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "hf/fault_tolerance.h"
 #include "hf/optimizer.h"
 #include "hf/phase_stats.h"
 #include "hf/speech_workload.h"
 #include "nn/network.h"
+#include "simmpi/fault.h"
 #include "simmpi/stats.h"
 #include "speech/corpus.h"
 #include "speech/partition.h"
@@ -55,6 +58,17 @@ struct TrainerConfig {
   /// Compute pool for GEMMs (shared across shards in serial mode; ignored
   /// in distributed mode where each worker rank is already a thread).
   util::ThreadPool* pool = nullptr;
+  /// Fault-tolerant master/worker protocol (checksummed point-to-point
+  /// frames, reply deadlines, survivor reweighting). Fault-free, the FT
+  /// trajectory is bitwise identical to the collective one.
+  FtOptions ft;
+  /// Fault injection installed into the simmpi World (distributed runs
+  /// only). With faults active, ft.enabled should be set too — the plain
+  /// collective protocol has no recovery path and may deadlock.
+  simmpi::FaultConfig faults;
+  /// When non-empty, load this checkpoint (written via hf.checkpoint_path)
+  /// and resume training from its completed iteration.
+  std::string resume_from;
 };
 
 /// Per-worker data shards plus the initialized network.
@@ -87,6 +101,8 @@ struct TrainOutcome {
   /// analogue of the paper's Figs. 2-5 instrumentation.
   PhaseStats master_phases;
   std::vector<PhaseStats> worker_phases;  // indexed by worker (rank - 1)
+  /// Worker ranks the master excluded mid-run (FT mode; empty otherwise).
+  std::vector<int> excluded_workers;
 };
 
 TrainOutcome train_serial(const TrainerConfig& config);

@@ -4,14 +4,15 @@
 #include <vector>
 
 #include "hf/protocol.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace bgqhf::hf {
 
-void worker_loop(simmpi::Comm& comm, Workload& workload, PhaseStats* stats) {
-  if (comm.rank() == 0) {
-    throw std::logic_error("worker_loop must not run on the master rank");
-  }
+namespace {
+
+void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
+                            PhaseStats* stats) {
   const std::size_t n = workload.num_params();
   std::vector<float> scratch(n);
 
@@ -85,6 +86,146 @@ void worker_loop(simmpi::Comm& comm, Workload& workload, PhaseStats* stats) {
         stamp(Phase::kShutdown, timer);
         return;
     }
+  }
+}
+
+void worker_loop_ft(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
+                    const FtOptions& ft) {
+  const std::size_t n = workload.num_params();
+  std::vector<float> scratch(n);
+
+  auto stamp = [&](Phase phase, const util::Timer& timer) {
+    if (stats != nullptr) stats->add(phase, timer.seconds());
+  };
+  auto append_loss_stats = [](std::vector<std::byte>& reply,
+                              const nn::BatchLoss& loss) {
+    const double flat[kLossStatsLen] = {loss.loss_sum,
+                                        static_cast<double>(loss.frames),
+                                        static_cast<double>(loss.correct)};
+    append_pod_span<double>(reply, flat);
+  };
+  // Checksum failed on an incoming payload: the worker's state can no
+  // longer be trusted to match the master's, so report and withdraw — the
+  // alternative is silently training on garbage.
+  auto withdraw_corrupt = [&](const char* what) {
+    if (ft.verbose) {
+      BGQHF_WARN << "worker rank " << comm.rank() << ": corrupt " << what
+                 << ", reporting and withdrawing";
+    }
+    ft_send<std::byte>(comm, {}, 0, kTagFtFailure,
+                       FtStatus::kCorruptPayload);
+  };
+
+  for (;;) {
+    FtFrame<std::uint64_t> header;
+    try {
+      header = ft_recv_for<std::uint64_t>(comm, 0, kTagFtCommand,
+                                          ft.command_timeout);
+    } catch (const simmpi::TimeoutError&) {
+      if (ft.verbose) {
+        BGQHF_WARN << "worker rank " << comm.rank()
+                   << ": no command within " << ft.command_timeout
+                   << " s, presuming master gone; exiting";
+      }
+      return;
+    }
+    if (!header.ok || header.data.size() != 2) {
+      withdraw_corrupt("command header");
+      return;
+    }
+    util::Timer timer;
+    try {
+      switch (static_cast<Command>(header.data[0])) {
+      case Command::kSetParams: {
+        const FtFrame<float> theta =
+            ft_recv_for<float>(comm, 0, kTagFtPayload, ft.command_timeout);
+        if (!theta.ok) {
+          withdraw_corrupt("theta payload");
+          return;
+        }
+        workload.set_params(theta.data);
+        stamp(Phase::kSyncWeights, timer);
+        break;
+      }
+      case Command::kGradient: {
+        std::fill(scratch.begin(), scratch.end(), 0.0f);
+        std::vector<std::byte> reply;
+        if (header.data[1] == 0) {
+          const nn::BatchLoss loss = workload.gradient(scratch);
+          append_pod_span<float>(reply, scratch);
+          append_loss_stats(reply, loss);
+        } else {
+          std::vector<float> squares(n, 0.0f);
+          const nn::BatchLoss loss =
+              workload.gradient_with_squares(scratch, squares);
+          append_pod_span<float>(reply, scratch);
+          append_pod_span<float>(reply, squares);
+          append_loss_stats(reply, loss);
+        }
+        ft_send<std::byte>(comm, reply, 0, kTagFtReply);
+        stamp(Phase::kGradient, timer);
+        break;
+      }
+      case Command::kPrepareCurvature: {
+        workload.prepare_curvature(header.data[1]);
+        const double count =
+            static_cast<double>(workload.curvature_frames());
+        std::vector<std::byte> reply;
+        append_pod_span<double>(reply, std::span<const double>(&count, 1));
+        ft_send<std::byte>(comm, reply, 0, kTagFtReply);
+        stamp(Phase::kCurvaturePrepare, timer);
+        break;
+      }
+      case Command::kCurvatureProduct: {
+        const FtFrame<float> v =
+            ft_recv_for<float>(comm, 0, kTagFtPayload, ft.command_timeout);
+        if (!v.ok) {
+          withdraw_corrupt("CG vector payload");
+          return;
+        }
+        std::fill(scratch.begin(), scratch.end(), 0.0f);
+        workload.curvature_product(v.data, scratch);
+        std::vector<std::byte> reply;
+        append_pod_span<float>(reply, scratch);
+        ft_send<std::byte>(comm, reply, 0, kTagFtReply);
+        stamp(Phase::kCurvatureProduct, timer);
+        break;
+      }
+      case Command::kHeldoutLoss: {
+        std::vector<std::byte> reply;
+        append_loss_stats(reply, workload.heldout_loss());
+        ft_send<std::byte>(comm, reply, 0, kTagFtReply);
+        stamp(Phase::kHeldoutLoss, timer);
+        break;
+      }
+      case Command::kShutdown:
+        stamp(Phase::kShutdown, timer);
+        return;
+      }
+    } catch (const simmpi::TimeoutError&) {
+      // A command arrived but its payload never did (dropped in transit):
+      // this worker is out of sync with the master; withdraw cleanly and
+      // let the master's reply deadline exclude it.
+      if (ft.verbose) {
+        BGQHF_WARN << "worker rank " << comm.rank()
+                   << ": command payload never arrived; exiting";
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void worker_loop(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
+                 const FtOptions& ft) {
+  if (comm.rank() == 0) {
+    throw std::logic_error("worker_loop must not run on the master rank");
+  }
+  if (ft.enabled) {
+    worker_loop_ft(comm, workload, stats, ft);
+  } else {
+    worker_loop_collective(comm, workload, stats);
   }
 }
 

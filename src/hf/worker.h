@@ -1,6 +1,7 @@
 // Worker-side command loop.
 #pragma once
 
+#include "hf/fault_tolerance.h"
 #include "hf/phase_stats.h"
 #include "hf/workload.h"
 #include "simmpi/communicator.h"
@@ -12,7 +13,14 @@ namespace bgqhf::hf {
 /// order. Must be called by every rank except 0, in lockstep with a
 /// MasterCompute on rank 0. `stats`, when given, accumulates per-phase
 /// wall time (compute + the gathers that conclude each phase).
+///
+/// With `ft.enabled` the loop speaks the flat CRC-framed protocol instead:
+/// commands and payloads arrive as framed point-to-point messages whose
+/// checksums are validated before use — a corrupt payload makes the worker
+/// report the failure to the master and withdraw rather than silently
+/// train on garbage — and a missing command past ft.command_timeout makes
+/// it conclude the master is gone and exit instead of hanging.
 void worker_loop(simmpi::Comm& comm, Workload& workload,
-                 PhaseStats* stats = nullptr);
+                 PhaseStats* stats = nullptr, const FtOptions& ft = {});
 
 }  // namespace bgqhf::hf

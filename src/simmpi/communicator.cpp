@@ -1,5 +1,6 @@
 #include "simmpi/communicator.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -20,8 +21,35 @@ CommStats World::total_stats() const {
   return total;
 }
 
+void World::install_faults(const FaultConfig& config) {
+  faults_ = config.any_active()
+                ? std::make_unique<FaultInjector>(config, size_)
+                : nullptr;
+}
+
+void Comm::deliver(Message m, int dest) {
+  FaultInjector* f = world_->faults();
+  if (f != nullptr) {
+    switch (f->on_send(rank_, m)) {
+      case FaultAction::kDrop:
+        return;  // lost in transit; only a deadline on the receiver sees it
+      case FaultAction::kDelay:
+        // Straggling sender: stall this rank's thread, preserving the
+        // per-(source, tag) delivery order the mailbox guarantees.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(f->delay_seconds()));
+        break;
+      case FaultAction::kCorrupt:
+      case FaultAction::kDeliver:
+        break;
+    }
+  }
+  world_->mailbox(dest).push(std::move(m));
+}
+
 void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
                       bool collective) {
+  fault_op();
   util::Timer t;
   Message m;
   m.source = rank_;
@@ -29,15 +57,27 @@ void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
   const std::size_t n = bytes.size();
   m.payload =
       std::make_shared<const std::vector<std::byte>>(std::move(bytes));
-  world_->mailbox(dest).push(std::move(m));
+  deliver(std::move(m), dest);
   if (!collective) stats().add_p2p(n, t.seconds());
 }
 
 Message Comm::recv_message(int source, int tag, bool collective) {
+  fault_op();
   util::Timer t;
   Message m = world_->mailbox(rank_).pop(source, tag);
   if (!collective) stats().add_p2p(m.size_bytes(), t.seconds());
   return m;
+}
+
+Message Comm::recv_message_for(int source, int tag, double timeout_seconds,
+                               bool collective) {
+  fault_op();
+  util::Timer t;
+  std::optional<Message> m = world_->mailbox(rank_).pop_for(
+      source, tag, std::chrono::duration<double>(timeout_seconds));
+  if (!m.has_value()) throw TimeoutError(rank_, source, tag);
+  if (!collective) stats().add_p2p(m->size_bytes(), t.seconds());
+  return std::move(*m);
 }
 
 void Comm::barrier() {
@@ -48,6 +88,7 @@ void Comm::barrier() {
 
 std::shared_ptr<const std::vector<std::byte>> Comm::bcast_bytes(
     std::shared_ptr<const std::vector<std::byte>> buf, int root) {
+  fault_op();
   util::Timer t;
   const int n = size();
   const int rel = (rank_ - root + n) % n;
@@ -71,7 +112,7 @@ std::shared_ptr<const std::vector<std::byte>> Comm::bcast_bytes(
       m.source = rank_;
       m.tag = kCollectiveTagBase - 4;
       m.payload = buf;
-      world_->mailbox(dest).push(std::move(m));
+      deliver(std::move(m), dest);
     }
     mask >>= 1;
   }
@@ -86,21 +127,40 @@ void run_ranks(World& world, const std::function<void(Comm&)>& fn) {
   const int n = world.size();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
-  std::exception_ptr first_error;
-  std::mutex err_mu;
+  // One slot per rank, written only by that rank's thread: every failure
+  // is kept, not just whichever rank lost the race to a shared slot.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, r);
       try {
         fn(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (first_error == nullptr) first_error = std::current_exception();
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  std::vector<RankErrors::Failure> failures;
+  std::exception_ptr sole;
+  for (int r = 0; r < n; ++r) {
+    const auto& err = errors[static_cast<std::size_t>(r)];
+    if (err == nullptr) continue;
+    sole = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const std::exception& e) {
+      failures.push_back({r, e.what()});
+    } catch (...) {
+      failures.push_back({r, "(non-std exception)"});
+    }
+  }
+  if (failures.empty()) return;
+  // A lone failure keeps its concrete type (tests and recovery code match
+  // on it); multiple failures aggregate into one rank-tagged error.
+  if (failures.size() == 1) std::rethrow_exception(sole);
+  throw RankErrors(std::move(failures));
 }
 
 void run_world(int size, const std::function<void(Comm&)>& fn) {

@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
 #include "simmpi/message.h"
 #include "simmpi/stats.h"
@@ -24,7 +25,8 @@
 
 namespace bgqhf::simmpi {
 
-/// Shared state of one job: mailboxes, barrier, per-rank statistics.
+/// Shared state of one job: mailboxes, barrier, per-rank statistics, and
+/// (optionally) a fault injector consulted on every communication op.
 class World {
  public:
   explicit World(int size);
@@ -37,11 +39,17 @@ class World {
   /// Sum of all ranks' stats (call after the job joins).
   CommStats total_stats() const;
 
+  /// Arm fault injection for this job. Call before run_ranks; a config
+  /// with no active faults leaves the world fault-free.
+  void install_faults(const FaultConfig& config);
+  FaultInjector* faults() noexcept { return faults_.get(); }
+
  private:
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   util::Barrier barrier_;
   std::vector<CommStats> stats_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 /// Reserved internal tag space for collectives (user tags must be >= 0,
@@ -96,6 +104,21 @@ class Comm {
     return n;
   }
 
+  /// Bounded-wait receive: like recv(), but throws TimeoutError carrying
+  /// (rank, source, tag) after `timeout_seconds` instead of blocking
+  /// forever on a lost message.
+  template <typename T>
+  std::vector<T> recv_for(int source, int tag, double timeout_seconds,
+                          Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m =
+        recv_message_for(source, tag, timeout_seconds, /*collective=*/false);
+    if (status != nullptr) {
+      *status = Status{m.source, m.tag, m.size_bytes()};
+    }
+    return from_bytes<T>(m);
+  }
+
   /// Non-destructive probe.
   bool probe(int source, int tag) const {
     return world_->mailbox(rank_).probe(source, tag);
@@ -124,7 +147,10 @@ class Comm {
       auto msg = comm_->world_->mailbox(comm_->rank_).try_pop(source_, tag_);
       if (!msg.has_value()) return false;
       data_ = Comm::from_bytes<T>(*msg);
-      comm_->stats().add_p2p(msg->size_bytes(), 0.0);
+      // Charge the elapsed time since the request was posted: a poll that
+      // finds data after 10 ms of overlap is 10 ms of latency the Fig. 4/5
+      // MPI-time split must see, not 0.
+      comm_->stats().add_p2p(msg->size_bytes(), posted_.seconds());
       done_ = true;
       return true;
     }
@@ -152,6 +178,7 @@ class Comm {
     int tag_;
     bool done_ = false;
     std::vector<T> data_;
+    util::Timer posted_;  // running since irecv() posted the request
   };
 
   /// Post a nonblocking receive matching (source, tag).
@@ -290,6 +317,76 @@ class Comm {
     return from_bytes<T>(m);
   }
 
+  // ---- timeout-aware collectives (fault-tolerant protocols) ----
+  //
+  // Flat (star) topology instead of the binomial/binary trees above: a
+  // dead rank in the middle of a tree silently starves its whole subtree,
+  // whereas a star attributes every stall to exactly one peer — which is
+  // what the TimeoutError (rank, source, tag) contract requires. The fold
+  // order on the root is still fixed rank order, so results remain
+  // bitwise deterministic.
+
+  /// bcast() with a deadline: non-roots throw TimeoutError if the root's
+  /// payload does not arrive within `timeout_seconds`.
+  template <typename T>
+  void bcast_for(std::vector<T>& data, int root, double timeout_seconds) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    if (rank_ == root) {
+      auto payload = std::make_shared<const std::vector<std::byte>>(
+          as_bytes_copy(std::span<const T>(data)));
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        Message m;
+        m.source = rank_;
+        m.tag = kCollectiveTagBase - 5;
+        m.payload = payload;
+        deliver(std::move(m), r);
+      }
+      stats().add_collective(payload->size(), t.seconds());
+      return;
+    }
+    const Message m = recv_message_for(root, kCollectiveTagBase - 5,
+                                       timeout_seconds, /*collective=*/true);
+    data = from_bytes<T>(m);
+    stats().add_collective(m.size_bytes(), t.seconds());
+  }
+
+  /// gather() with a deadline: the root throws TimeoutError naming the
+  /// first rank whose contribution fails to arrive in time.
+  template <typename T>
+  std::vector<T> gather_for(std::span<const T> mine, int root,
+                            double timeout_seconds) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    if (rank_ == root) {
+      std::vector<T> all(mine.size() * static_cast<std::size_t>(size()));
+      std::copy(mine.begin(), mine.end(),
+                all.begin() + static_cast<std::ptrdiff_t>(rank_ * mine.size()));
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        const Message m = recv_message_for(r, kCollectiveTagBase - 6,
+                                           timeout_seconds,
+                                           /*collective=*/true);
+        if (m.size_bytes() != mine.size() * sizeof(T)) {
+          throw std::length_error("simmpi: gather_for size mismatch");
+        }
+        if (m.size_bytes() > 0) {
+          std::memcpy(all.data() + static_cast<std::size_t>(r) * mine.size(),
+                      m.payload->data(), m.size_bytes());
+        }
+      }
+      stats().add_collective(all.size() * sizeof(T), t.seconds());
+      return all;
+    }
+    send_bytes(as_bytes_copy(mine), root, kCollectiveTagBase - 6,
+               /*collective=*/true);
+    stats().add_collective(mine.size() * sizeof(T), t.seconds());
+    return {};
+  }
+
  private:
   void check_rank(int r) const {
     if (r < 0 || r >= size()) {
@@ -320,6 +417,16 @@ class Comm {
   void send_bytes(std::vector<std::byte> bytes, int dest, int tag,
                   bool collective);
   Message recv_message(int source, int tag, bool collective);
+  /// recv_message with a deadline; throws TimeoutError on expiry.
+  Message recv_message_for(int source, int tag, double timeout_seconds,
+                           bool collective);
+  /// Route one message through the fault injector (if armed) into the
+  /// destination mailbox. All delivery paths funnel through here.
+  void deliver(Message m, int dest);
+  /// Count one op against this rank's fault schedule (kill injection).
+  void fault_op() {
+    if (FaultInjector* f = world_->faults()) f->on_op(rank_);
+  }
   std::shared_ptr<const std::vector<std::byte>> bcast_bytes(
       std::shared_ptr<const std::vector<std::byte>> buf, int root);
 
@@ -364,8 +471,9 @@ class Comm {
   int rank_;
 };
 
-/// Spawn `size` rank threads, each running fn(comm). Exceptions thrown by
-/// any rank are rethrown (first one) after all ranks join.
+/// Spawn `size` rank threads, each running fn(comm). After all ranks join,
+/// a single rank failure is rethrown with its original type; multiple
+/// failures are aggregated into one RankErrors tagged with rank ids.
 void run_ranks(World& world, const std::function<void(Comm&)>& fn);
 
 /// Convenience: build a World of `size` and run fn on every rank.

@@ -36,6 +36,34 @@ std::optional<Message> Mailbox::try_pop(int source, int tag) {
   return std::nullopt;
 }
 
+std::optional<Message> Mailbox::pop_for(int source, int tag,
+                                        std::chrono::duration<double> timeout) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(timeout);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One final scan: a push may have slipped in right at the deadline.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message m = std::move(*it);
+          queue_.erase(it);
+          return m;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+}
+
 bool Mailbox::probe(int source, int tag) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& m : queue_) {

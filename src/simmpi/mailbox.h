@@ -1,6 +1,7 @@
 // Per-rank incoming message queue with MPI-style envelope matching.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -23,6 +24,12 @@ class Mailbox {
 
   /// Non-blocking: return a matching message if one is queued.
   std::optional<Message> try_pop(int source, int tag);
+
+  /// Bounded wait: like pop(), but gives up after `timeout` and returns
+  /// nullopt — the primitive that lets the layers above turn a lost
+  /// message into a typed error instead of a deadlock.
+  std::optional<Message> pop_for(int source, int tag,
+                                 std::chrono::duration<double> timeout);
 
   /// Non-destructive test for a matching message.
   bool probe(int source, int tag) const;

@@ -1,0 +1,43 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used two ways: (i) the fault-tolerant master/worker protocol frames
+// every payload with a CRC so injected bit corruption is detected instead
+// of silently trained on, and (ii) trainer checkpoints carry a CRC footer
+// so a truncated or damaged file fails loudly at restart.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bgqhf::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `crc` to continue a
+/// running checksum over multiple buffers; start (and finish) with 0.
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t crc = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bgqhf::util

@@ -1,0 +1,248 @@
+// Checkpoint/restart: a resumed run must replay the uninterrupted
+// trajectory bitwise — same theta, same per-iteration logs — and a damaged
+// checkpoint file must fail loudly at load, never at iteration 40.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hf/checkpoint.h"
+#include "hf/trainer.h"
+#include "quadratic_compute.h"
+
+namespace bgqhf::hf {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TrainerCheckpoint sample_checkpoint() {
+  TrainerCheckpoint ckpt;
+  ckpt.completed_iterations = 5;
+  ckpt.hf_seed = 99;
+  ckpt.lambda = 0.125;
+  ckpt.loss_prev = 3.5;
+  ckpt.stall = 2;
+  ckpt.theta = {1.0f, -2.5f, 0.0f, 1e-20f};
+  ckpt.d0 = {0.5f, 0.25f, -0.125f, 4.0f};
+  HfIterationLog log;
+  log.iteration = 5;
+  log.train_loss = 1.25;
+  log.grad_norm = 0.75;
+  log.cg_iterations = 12;
+  log.num_iterates = 4;
+  log.chosen_iterate = 2;
+  log.q_dn = -0.5;
+  log.rho = 0.9;
+  log.lambda = 0.125;
+  log.alpha = 1.0;
+  log.heldout_before = 4.0;
+  log.heldout_after = 3.5;
+  log.failed = false;
+  log.heldout_evals = 7;
+  ckpt.logs.push_back(log);
+  log.failed = true;
+  ckpt.logs.push_back(log);
+  return ckpt;
+}
+
+TEST(Checkpoint, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  const TrainerCheckpoint saved = sample_checkpoint();
+  save_checkpoint(saved, path);
+  const TrainerCheckpoint loaded = load_checkpoint(path);
+  EXPECT_EQ(loaded.completed_iterations, saved.completed_iterations);
+  EXPECT_EQ(loaded.hf_seed, saved.hf_seed);
+  EXPECT_EQ(loaded.lambda, saved.lambda);
+  EXPECT_EQ(loaded.loss_prev, saved.loss_prev);
+  EXPECT_EQ(loaded.stall, saved.stall);
+  ASSERT_EQ(loaded.theta.size(), saved.theta.size());
+  ASSERT_EQ(loaded.d0.size(), saved.d0.size());
+  for (std::size_t i = 0; i < saved.theta.size(); ++i) {
+    EXPECT_EQ(loaded.theta[i], saved.theta[i]);
+    EXPECT_EQ(loaded.d0[i], saved.d0[i]);
+  }
+  ASSERT_EQ(loaded.logs.size(), saved.logs.size());
+  for (std::size_t i = 0; i < saved.logs.size(); ++i) {
+    EXPECT_EQ(loaded.logs[i].iteration, saved.logs[i].iteration);
+    EXPECT_EQ(loaded.logs[i].train_loss, saved.logs[i].train_loss);
+    EXPECT_EQ(loaded.logs[i].grad_norm, saved.logs[i].grad_norm);
+    EXPECT_EQ(loaded.logs[i].cg_iterations, saved.logs[i].cg_iterations);
+    EXPECT_EQ(loaded.logs[i].chosen_iterate, saved.logs[i].chosen_iterate);
+    EXPECT_EQ(loaded.logs[i].q_dn, saved.logs[i].q_dn);
+    EXPECT_EQ(loaded.logs[i].rho, saved.logs[i].rho);
+    EXPECT_EQ(loaded.logs[i].lambda, saved.logs[i].lambda);
+    EXPECT_EQ(loaded.logs[i].alpha, saved.logs[i].alpha);
+    EXPECT_EQ(loaded.logs[i].heldout_after, saved.logs[i].heldout_after);
+    EXPECT_EQ(loaded.logs[i].failed, saved.logs[i].failed);
+    EXPECT_EQ(loaded.logs[i].heldout_evals, saved.logs[i].heldout_evals);
+  }
+}
+
+TEST(Checkpoint, CrcCatchesCorruptedByte) {
+  const std::string path = temp_path("corrupt.ckpt");
+  save_checkpoint(sample_checkpoint(), path);
+  {
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(32);
+    char byte = 0;
+    f.seekg(32);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(32);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  const std::string path = temp_path("truncated.ckpt");
+  save_checkpoint(sample_checkpoint(), path);
+  std::vector<char> bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint(temp_path("does-not-exist.ckpt")),
+               std::runtime_error);
+}
+
+HfOptions quadratic_options(std::size_t max_iterations) {
+  HfOptions opts;
+  opts.max_iterations = max_iterations;
+  opts.cg.max_iters = 10;
+  opts.seed = 17;
+  return opts;
+}
+
+TEST(Checkpoint, ResumeReproducesUninterruptedRunBitwise) {
+  const std::string path = temp_path("resume.ckpt");
+  const std::size_t n = 6;
+
+  // Uninterrupted reference: 6 iterations straight through.
+  auto ref_compute = testing::QuadraticCompute::random(n, 0.5, 33);
+  std::vector<float> ref_theta(n, 0.0f);
+  HfOptimizer ref_opt(quadratic_options(6));
+  const HfResult ref = ref_opt.run(ref_compute, ref_theta);
+
+  // Interrupted run: 3 iterations, checkpointing each one...
+  auto first_compute = testing::QuadraticCompute::random(n, 0.5, 33);
+  std::vector<float> first_theta(n, 0.0f);
+  HfOptions first_opts = quadratic_options(3);
+  first_opts.checkpoint_path = path;
+  HfOptimizer first_opt(first_opts);
+  first_opt.run(first_compute, first_theta);
+
+  // ...then a fresh optimizer resumes from the file and finishes.
+  const TrainerCheckpoint ckpt = load_checkpoint(path);
+  EXPECT_EQ(ckpt.completed_iterations, 3u);
+  auto resumed_compute = testing::QuadraticCompute::random(n, 0.5, 33);
+  std::vector<float> resumed_theta(n, 0.0f);  // overwritten by the resume
+  HfOptimizer resumed_opt(quadratic_options(6));
+  const HfResult resumed =
+      resumed_opt.run(resumed_compute, resumed_theta, &ckpt);
+
+  ASSERT_EQ(resumed_theta.size(), ref_theta.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(resumed_theta[i], ref_theta[i]) << "param " << i;
+  }
+  ASSERT_EQ(resumed.iterations.size(), ref.iterations.size());
+  for (std::size_t i = 0; i < ref.iterations.size(); ++i) {
+    EXPECT_EQ(resumed.iterations[i].train_loss, ref.iterations[i].train_loss)
+        << "iter " << i;
+    EXPECT_EQ(resumed.iterations[i].heldout_after,
+              ref.iterations[i].heldout_after)
+        << "iter " << i;
+    EXPECT_EQ(resumed.iterations[i].alpha, ref.iterations[i].alpha)
+        << "iter " << i;
+    EXPECT_EQ(resumed.iterations[i].lambda, ref.iterations[i].lambda)
+        << "iter " << i;
+  }
+  EXPECT_EQ(resumed.final_heldout_loss, ref.final_heldout_loss);
+}
+
+TEST(Checkpoint, ResumeRejectsSeedMismatch) {
+  const std::size_t n = 4;
+  auto compute = testing::QuadraticCompute::random(n, 0.5, 33);
+  std::vector<float> theta(n, 0.0f);
+  TrainerCheckpoint ckpt;
+  ckpt.completed_iterations = 1;
+  ckpt.hf_seed = 12345;  // != options seed
+  ckpt.theta.assign(n, 0.0f);
+  ckpt.d0.assign(n, 0.0f);
+  HfOptimizer opt(quadratic_options(2));
+  EXPECT_THROW(opt.run(compute, theta, &ckpt), std::invalid_argument);
+}
+
+TEST(Checkpoint, ResumeRejectsSizeMismatch) {
+  const std::size_t n = 4;
+  auto compute = testing::QuadraticCompute::random(n, 0.5, 33);
+  std::vector<float> theta(n, 0.0f);
+  TrainerCheckpoint ckpt;
+  ckpt.completed_iterations = 1;
+  ckpt.hf_seed = 17;
+  ckpt.theta.assign(n + 1, 0.0f);
+  ckpt.d0.assign(n + 1, 0.0f);
+  HfOptimizer opt(quadratic_options(2));
+  EXPECT_THROW(opt.run(compute, theta, &ckpt), std::invalid_argument);
+}
+
+TEST(Checkpoint, DistributedResumeMatchesStraightRunBitwise) {
+  const std::string path = temp_path("distributed-resume.ckpt");
+  TrainerConfig cfg;
+  cfg.workers = 2;
+  cfg.corpus.hours = 0.002;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 303;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.heldout_every_kth = 4;
+  cfg.curvature_fraction = 0.15;
+  cfg.hf.cg.max_iters = 15;
+  cfg.hf.seed = 11;
+
+  cfg.hf.max_iterations = 4;
+  const TrainOutcome ref = train_distributed(cfg);
+
+  TrainerConfig partial = cfg;
+  partial.hf.max_iterations = 2;
+  partial.hf.checkpoint_path = path;
+  train_distributed(partial);
+
+  TrainerConfig rest = cfg;
+  rest.resume_from = path;
+  const TrainOutcome resumed = train_distributed(rest);
+
+  ASSERT_EQ(resumed.theta.size(), ref.theta.size());
+  for (std::size_t i = 0; i < ref.theta.size(); ++i) {
+    ASSERT_EQ(resumed.theta[i], ref.theta[i]) << "param " << i;
+  }
+  ASSERT_EQ(resumed.hf.iterations.size(), ref.hf.iterations.size());
+  for (std::size_t i = 0; i < ref.hf.iterations.size(); ++i) {
+    EXPECT_EQ(resumed.hf.iterations[i].heldout_after,
+              ref.hf.iterations[i].heldout_after)
+        << "iter " << i;
+  }
+  EXPECT_EQ(resumed.hf.final_heldout_loss, ref.hf.final_heldout_loss);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

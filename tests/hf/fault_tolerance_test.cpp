@@ -1,0 +1,210 @@
+// The fault-tolerant master/worker protocol: fault-free it is bitwise
+// identical to the collective path (and hence to serial training); under
+// injected failures it excludes the dead worker, reweights sums over the
+// survivors, and still converges — the degraded-mode contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "hf/fault_tolerance.h"
+#include "hf/master_compute.h"
+#include "hf/protocol.h"
+#include "hf/trainer.h"
+#include "hf/worker.h"
+#include "simmpi/communicator.h"
+#include "simmpi/fault.h"
+
+namespace bgqhf::hf {
+namespace {
+
+FtOptions fast_ft() {
+  FtOptions ft;
+  ft.enabled = true;
+  ft.reply_timeout = 0.5;
+  ft.max_retries = 2;
+  ft.backoff = 1.5;
+  ft.command_timeout = 10.0;
+  ft.verbose = false;
+  return ft;
+}
+
+TrainerConfig base_config(int workers) {
+  TrainerConfig cfg;
+  cfg.workers = workers;
+  cfg.corpus.hours = 0.01;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 303;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.heldout_every_kth = 4;
+  cfg.curvature_fraction = 0.15;
+  cfg.hf.max_iterations = 3;
+  cfg.hf.cg.max_iters = 15;
+  cfg.hf.seed = 11;
+  return cfg;
+}
+
+/// Workload with exactly known sums: gradient contribution g per frame,
+/// identity per-frame curvature. Makes survivor reweighting checkable in
+/// closed form.
+class StubWorkload : public Workload {
+ public:
+  StubWorkload(std::size_t n, std::size_t frames, float g)
+      : n_(n), frames_(frames), g_(g) {}
+
+  std::size_t num_params() const override { return n_; }
+  std::size_t train_frames() const override { return frames_; }
+  void set_params(std::span<const float>) override {}
+  nn::BatchLoss gradient(std::span<float> grad_accum) override {
+    for (auto& v : grad_accum) v += g_ * static_cast<float>(frames_);
+    nn::BatchLoss loss;
+    loss.frames = frames_;
+    loss.loss_sum = static_cast<double>(frames_) * g_;
+    return loss;
+  }
+  nn::BatchLoss gradient_with_squares(
+      std::span<float> grad_accum, std::span<float> grad_sq_accum) override {
+    for (auto& v : grad_sq_accum) v += g_ * g_ * static_cast<float>(frames_);
+    return gradient(grad_accum);
+  }
+  void prepare_curvature(std::uint64_t) override {}
+  std::size_t curvature_frames() const override { return frames_; }
+  void curvature_product(std::span<const float> v,
+                         std::span<float> out_accum) override {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out_accum[i] += static_cast<float>(frames_) * v[i];
+    }
+  }
+  nn::BatchLoss heldout_loss() override {
+    nn::BatchLoss loss;
+    loss.frames = frames_;
+    loss.loss_sum = static_cast<double>(frames_) * g_;
+    return loss;
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t frames_;
+  float g_;
+};
+
+TEST(FaultTolerance, FaultFreeFtTrajectoryBitwiseEqualsSerial) {
+  TrainerConfig cfg = base_config(3);
+  const TrainOutcome serial = train_serial(cfg);
+  cfg.ft = fast_ft();
+  const TrainOutcome ft = train_distributed(cfg);
+  EXPECT_TRUE(ft.excluded_workers.empty());
+  ASSERT_EQ(serial.theta.size(), ft.theta.size());
+  for (std::size_t i = 0; i < serial.theta.size(); ++i) {
+    ASSERT_EQ(serial.theta[i], ft.theta[i]) << "param " << i;
+  }
+  EXPECT_EQ(serial.hf.final_heldout_loss, ft.hf.final_heldout_loss);
+}
+
+TEST(FaultTolerance, MidRunWorkerKillCompletesAndStaysClose) {
+  TrainerConfig cfg = base_config(3);
+  cfg.ft = fast_ft();
+  const TrainOutcome clean = train_distributed(cfg);
+  ASSERT_TRUE(clean.excluded_workers.empty());
+
+  TrainerConfig faulty = cfg;
+  // Dies well after startup (config + 6 shard receives), mid-training.
+  faulty.faults.kills.push_back({/*rank=*/2, /*after_ops=*/40});
+  const TrainOutcome degraded = train_distributed(faulty);
+
+  // No deadlock: all iterations ran, the dead worker was excluded and the
+  // run reports it.
+  ASSERT_EQ(degraded.excluded_workers, std::vector<int>{2});
+  EXPECT_EQ(degraded.hf.iterations.size(), clean.hf.iterations.size());
+  // Degraded-mode quality: held-out loss within 5% of the fault-free run.
+  EXPECT_NEAR(degraded.hf.final_heldout_loss, clean.hf.final_heldout_loss,
+              0.05 * clean.hf.final_heldout_loss);
+}
+
+TEST(FaultTolerance, SurvivorReweightingIsExactMeanOverSurvivors) {
+  const std::size_t n = 4;
+  // Worker 1: 10 frames of gradient 0.5; worker 2: 30 frames of 1.5.
+  // All alive: (10*0.5 + 30*1.5) / 40 = 1.25. Worker 2 dead: 0.5 exactly.
+  for (const bool kill_worker2 : {false, true}) {
+    simmpi::World world(3);
+    FtOptions ft = fast_ft();
+    ft.reply_timeout = 0.1;
+    ft.max_retries = 1;
+    std::vector<float> grad(n, 0.0f);
+    std::atomic<std::size_t> frames{0};
+    std::vector<int> excluded;
+    simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
+      if (comm.rank() == 0) {
+        MasterCompute compute(comm, n, /*total_train_frames=*/40, nullptr,
+                              ft);
+        frames = compute.gradient(grad).frames;
+        excluded = compute.excluded_workers();
+        compute.shutdown();
+        return;
+      }
+      if (comm.rank() == 2 && kill_worker2) return;  // silent death
+      StubWorkload workload(n, comm.rank() == 1 ? 10 : 30,
+                            comm.rank() == 1 ? 0.5f : 1.5f);
+      worker_loop(comm, workload, nullptr, ft);
+    });
+    const float expected = kill_worker2 ? 0.5f : 1.25f;
+    const std::size_t expected_frames = kill_worker2 ? 10u : 40u;
+    EXPECT_EQ(frames.load(), expected_frames);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(grad[i], expected) << "kill=" << kill_worker2 << " i=" << i;
+    }
+    if (kill_worker2) {
+      EXPECT_EQ(excluded, std::vector<int>{2});
+    } else {
+      EXPECT_TRUE(excluded.empty());
+    }
+  }
+}
+
+TEST(FaultTolerance, ChecksumCatchesInjectedBitFlip) {
+  simmpi::World world(2);
+  simmpi::FaultConfig fc;
+  fc.seed = 9;
+  fc.corrupt_probability = 1.0;
+  world.install_faults(fc);
+  std::atomic<bool> frame_ok{true};
+  simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<float> payload{1.0f, 2.0f, 3.0f, 4.0f};
+      ft_send<float>(comm, payload, 1, /*tag=*/50);
+    } else {
+      frame_ok = ft_recv_for<float>(comm, 0, 50, 2.0).ok;
+    }
+  });
+  EXPECT_FALSE(frame_ok.load());
+}
+
+TEST(FaultTolerance, WorkerReportsCorruptCommandAndWithdraws) {
+  const FtOptions ft = fast_ft();
+  std::atomic<bool> note_ok{false};
+  std::atomic<bool> note_is_corruption_report{false};
+  simmpi::run_world(2, [&](simmpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      // A frame whose leading CRC does not match its contents.
+      std::vector<std::byte> bad(kFtFrameHeaderBytes + 8, std::byte{0x5A});
+      comm.send<std::byte>(bad, 1, kTagFtCommand);
+      const FtFrame<std::byte> note =
+          ft_recv_for<std::byte>(comm, 1, kTagFtFailure, 2.0);
+      note_ok = note.ok;
+      note_is_corruption_report =
+          note.status == FtStatus::kCorruptPayload;
+    } else {
+      StubWorkload workload(4, 10, 1.0f);
+      worker_loop(comm, workload, nullptr, ft);  // returns after withdrawing
+    }
+  });
+  EXPECT_TRUE(note_ok.load());
+  EXPECT_TRUE(note_is_corruption_report.load());
+}
+
+}  // namespace
+}  // namespace bgqhf::hf

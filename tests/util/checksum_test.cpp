@@ -1,0 +1,46 @@
+#include "util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace bgqhf::util {
+namespace {
+
+TEST(Checksum, MatchesKnownCrc32Vector) {
+  // The canonical IEEE 802.3 check value.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+TEST(Checksum, EmptyBufferIsZero) {
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Checksum, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t first = crc32(data.data(), split);
+    const std::uint32_t resumed =
+        crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(resumed, whole) << "split at " << split;
+  }
+}
+
+TEST(Checksum, DetectsSingleBitFlip) {
+  std::string data = "checkpoint payload bytes";
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      EXPECT_NE(crc32(data.data(), data.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bgqhf::util
