@@ -1,0 +1,155 @@
+#include "blas/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "blas/kernels_avx2.h"
+#include "blas/kernels_sse2.h"
+#include "blas/microkernel.h"
+#include "util/logging.h"
+
+namespace bgqhf::blas {
+
+namespace {
+
+// Scalar level-1 reference implementations (the float specializations the
+// table falls back to; templates in level1.h route through the table).
+double sdot_scalar(const float* x, const float* y, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+void saxpy_scalar(float alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void sscal_scalar(float alpha, float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+constexpr KernelTable kScalarTable{KernelKind::kScalar, &microkernel<float>,
+                                   &sdot_scalar, &saxpy_scalar,
+                                   &sscal_scalar};
+
+#if defined(BGQHF_HAVE_SSE2_KERNELS)
+constexpr KernelTable kSse2Table{KernelKind::kSse2, &sgemm_microkernel_sse2,
+                                 &sdot_sse2, &saxpy_sse2, &sscal_sse2};
+#endif
+
+#if defined(BGQHF_HAVE_AVX2_TU)
+constexpr KernelTable kAvx2Table{KernelKind::kAvx2, &sgemm_microkernel_avx2,
+                                 &sdot_avx2, &saxpy_avx2, &sscal_avx2};
+#endif
+
+const KernelTable* table_for(KernelKind k) {
+  switch (k) {
+    case KernelKind::kScalar:
+      return &kScalarTable;
+    case KernelKind::kSse2:
+#if defined(BGQHF_HAVE_SSE2_KERNELS)
+      return &kSse2Table;
+#else
+      return nullptr;
+#endif
+    case KernelKind::kAvx2:
+#if defined(BGQHF_HAVE_AVX2_TU)
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(BGQHF_HAVE_AVX2_TU)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelKind resolve_from_env() {
+  KernelKind chosen = detect_best_kernel();
+  const char* force = std::getenv("BGQHF_FORCE_KERNEL");
+  if (force != nullptr && std::strcmp(force, "auto") != 0 &&
+      force[0] != '\0') {
+    KernelKind requested = chosen;
+    bool known = true;
+    if (std::strcmp(force, "scalar") == 0) {
+      requested = KernelKind::kScalar;
+    } else if (std::strcmp(force, "sse2") == 0) {
+      requested = KernelKind::kSse2;
+    } else if (std::strcmp(force, "avx2") == 0) {
+      requested = KernelKind::kAvx2;
+    } else {
+      known = false;
+      BGQHF_WARN << "BGQHF_FORCE_KERNEL=" << force
+                 << " not recognized; using " << to_string(chosen);
+    }
+    if (known) {
+      if (kernel_supported(requested)) {
+        chosen = requested;
+      } else {
+        BGQHF_WARN << "BGQHF_FORCE_KERNEL=" << force
+                   << " unsupported on this CPU/build; falling back to "
+                   << to_string(chosen);
+      }
+    }
+  }
+  return chosen;
+}
+
+// Resolved once at first use; set_kernel_override swaps it for tests.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const char* to_string(KernelKind k) {
+  switch (k) {
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kSse2:
+      return "sse2";
+    case KernelKind::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool kernel_supported(KernelKind k) {
+  if (table_for(k) == nullptr) return false;
+  if (k == KernelKind::kAvx2) return cpu_has_avx2_fma();
+  return true;  // scalar always; sse2 is x86-64 baseline when compiled in
+}
+
+KernelKind detect_best_kernel() {
+  if (kernel_supported(KernelKind::kAvx2)) return KernelKind::kAvx2;
+  if (kernel_supported(KernelKind::kSse2)) return KernelKind::kSse2;
+  return KernelKind::kScalar;
+}
+
+const KernelTable& active_kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = table_for(resolve_from_env());
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+bool set_kernel_override(KernelKind k) {
+  if (!kernel_supported(k)) return false;
+  g_active.store(table_for(k), std::memory_order_release);
+  return true;
+}
+
+void reset_kernel_dispatch() {
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace bgqhf::blas

@@ -1,0 +1,134 @@
+// Compiled with -mavx2 -mfma (see CMakeLists.txt); nothing in here may be
+// called before the runtime dispatcher has verified CPU support.
+#include "blas/kernels_avx2.h"
+
+#if defined(BGQHF_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+#include "blas/pack.h"
+
+namespace bgqhf::blas {
+
+void sgemm_microkernel_avx2(std::size_t kc, const float* a_panel,
+                            const float* b_panel, float alpha, float beta,
+                            float* c, std::size_t ldc, std::size_t mr,
+                            std::size_t nr) {
+  // Full 8x8 tile in eight ymm accumulators; eight independent FMA chains
+  // hide the FMA latency without software pipelining.
+  __m256 r0 = _mm256_setzero_ps(), r1 = _mm256_setzero_ps();
+  __m256 r2 = _mm256_setzero_ps(), r3 = _mm256_setzero_ps();
+  __m256 r4 = _mm256_setzero_ps(), r5 = _mm256_setzero_ps();
+  __m256 r6 = _mm256_setzero_ps(), r7 = _mm256_setzero_ps();
+  const float* a = a_panel;
+  const float* b = b_panel;
+  for (std::size_t k = 0; k < kc; ++k, a += kMR, b += kNR) {
+    const __m256 bv = _mm256_loadu_ps(b);
+    r0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 0), bv, r0);
+    r1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 1), bv, r1);
+    r2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 2), bv, r2);
+    r3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 3), bv, r3);
+    r4 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 4), bv, r4);
+    r5 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 5), bv, r5);
+    r6 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 6), bv, r6);
+    r7 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 7), bv, r7);
+  }
+
+  const __m256 av = _mm256_set1_ps(alpha);
+  if (mr == kMR && nr == kNR) {
+    // Full-tile fast path: vector writeback straight into C.
+    __m256 rows[kMR] = {r0, r1, r2, r3, r4, r5, r6, r7};
+    if (beta == 0.0f) {
+      for (std::size_t i = 0; i < kMR; ++i) {
+        _mm256_storeu_ps(c + i * ldc, _mm256_mul_ps(av, rows[i]));
+      }
+    } else {
+      const __m256 bv = _mm256_set1_ps(beta);
+      for (std::size_t i = 0; i < kMR; ++i) {
+        _mm256_storeu_ps(c + i * ldc,
+                         _mm256_fmadd_ps(bv, _mm256_loadu_ps(c + i * ldc),
+                                         _mm256_mul_ps(av, rows[i])));
+      }
+    }
+    return;
+  }
+
+  // Fringe tile: spill the accumulators and write the valid region.
+  alignas(32) float acc[kMR * kNR];
+  _mm256_store_ps(acc + 0 * kNR, r0);
+  _mm256_store_ps(acc + 1 * kNR, r1);
+  _mm256_store_ps(acc + 2 * kNR, r2);
+  _mm256_store_ps(acc + 3 * kNR, r3);
+  _mm256_store_ps(acc + 4 * kNR, r4);
+  _mm256_store_ps(acc + 5 * kNR, r5);
+  _mm256_store_ps(acc + 6 * kNR, r6);
+  _mm256_store_ps(acc + 7 * kNR, r7);
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        c[i * ldc + j] = alpha * acc[i * kNR + j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        c[i * ldc + j] = alpha * acc[i * kNR + j] + beta * c[i * ldc + j];
+      }
+    }
+  }
+}
+
+double sdot_avx2(const float* x, const float* y, std::size_t n) {
+  // Promote to double before accumulating (CG stability contract); four
+  // independent double FMA chains.
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d x0 = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d y0 = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    const __m256d x1 = _mm256_cvtps_pd(_mm_loadu_ps(x + i + 4));
+    const __m256d y1 = _mm256_cvtps_pd(_mm_loadu_ps(y + i + 4));
+    acc0 = _mm256_fmadd_pd(x0, y0, acc0);
+    acc1 = _mm256_fmadd_pd(x1, y1, acc1);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, _mm256_add_pd(acc0, acc1));
+  double acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+void saxpy_avx2(float alpha, const float* x, float* y, std::size_t n) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+    _mm256_storeu_ps(
+        y + i + 8, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i + 8),
+                                   _mm256_loadu_ps(y + i + 8)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void sscal_avx2(float alpha, float* x, std::size_t n) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+}  // namespace bgqhf::blas
+
+#endif  // BGQHF_HAVE_AVX2_TU

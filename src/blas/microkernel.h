@@ -1,4 +1,4 @@
-// Register-blocked GEMM micro-kernel.
+// Register-blocked GEMM micro-kernel (portable scalar reference).
 //
 // Portable analogue of the paper's assembly inner kernel: an 8x8 C update
 // accumulated in registers by a sequence of rank-1 outer products over
@@ -6,6 +6,17 @@
 // array and fixed trip counts let GCC fully unroll and vectorize the body;
 // fringes are handled by zero-padding during packing, never by branches
 // here.
+//
+// This scalar kernel is the reference implementation behind the runtime
+// kernel dispatch (dispatch.h); SIMD variants live in kernels_sse2.h /
+// kernels_avx2.h. All kernels share one contract:
+//
+//   C(0:mr, 0:nr) = alpha * sum_k a_panel[k] (outer) b_panel[k]
+//                   + beta * C(0:mr, 0:nr)
+//
+// with beta == 0 meaning "write, do not read C" (NaN in C must not
+// propagate). Folding beta into the kernel lets the blocked driver apply it
+// on the first k-block instead of sweeping all of C in a serial pre-pass.
 #pragma once
 
 #include <cstddef>
@@ -14,12 +25,11 @@
 
 namespace bgqhf::blas {
 
-/// acc[MR][NR] += sum_k a_panel[k] (outer) b_panel[k], then
-/// C(0:mr, 0:nr) += alpha * acc. a_panel points at kc*MR packed values,
-/// b_panel at kc*NR.
+/// Scalar reference kernel; a_panel points at kc*MR packed values, b_panel
+/// at kc*NR. See the contract above.
 template <typename T>
 inline void microkernel(std::size_t kc, const T* __restrict a_panel,
-                        const T* __restrict b_panel, T alpha,
+                        const T* __restrict b_panel, T alpha, T beta,
                         T* __restrict c, std::size_t ldc, std::size_t mr,
                         std::size_t nr) {
   T acc[kMR][kNR] = {};
@@ -33,16 +43,30 @@ inline void microkernel(std::size_t kc, const T* __restrict a_panel,
       }
     }
   }
-  if (mr == kMR && nr == kNR) {
+  if (beta == T{}) {
+    if (mr == kMR && nr == kNR) {
+      for (std::size_t i = 0; i < kMR; ++i) {
+        for (std::size_t j = 0; j < kNR; ++j) {
+          c[i * ldc + j] = alpha * acc[i][j];
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < mr; ++i) {
+        for (std::size_t j = 0; j < nr; ++j) {
+          c[i * ldc + j] = alpha * acc[i][j];
+        }
+      }
+    }
+  } else if (mr == kMR && nr == kNR) {
     for (std::size_t i = 0; i < kMR; ++i) {
       for (std::size_t j = 0; j < kNR; ++j) {
-        c[i * ldc + j] += alpha * acc[i][j];
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
       }
     }
   } else {
     for (std::size_t i = 0; i < mr; ++i) {
       for (std::size_t j = 0; j < nr; ++j) {
-        c[i * ldc + j] += alpha * acc[i][j];
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
       }
     }
   }

@@ -19,6 +19,20 @@ std::string to_string(Activation a) {
   throw std::invalid_argument("unknown activation");
 }
 
+blas::EpilogueAct to_epilogue(Activation a) {
+  switch (a) {
+    case Activation::kSigmoid:
+      return blas::EpilogueAct::kSigmoid;
+    case Activation::kTanh:
+      return blas::EpilogueAct::kTanh;
+    case Activation::kReLU:
+      return blas::EpilogueAct::kReLU;
+    case Activation::kLinear:
+      return blas::EpilogueAct::kNone;
+  }
+  throw std::invalid_argument("unknown activation");
+}
+
 void apply_activation(Activation act, blas::MatrixView<float> z) {
   switch (act) {
     case Activation::kLinear:

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "blas/epilogue.h"
 #include "blas/matrix.h"
 
 namespace bgqhf::nn {
@@ -14,6 +15,12 @@ namespace bgqhf::nn {
 enum class Activation { kSigmoid, kTanh, kReLU, kLinear };
 
 std::string to_string(Activation a);
+
+/// Map onto the fused GEMM epilogue's activation enum (kLinear -> kNone).
+/// The epilogue applies the exact same scalar formulas as
+/// apply_activation / multiply_by_derivative below, so fused and unfused
+/// paths agree bitwise.
+blas::EpilogueAct to_epilogue(Activation a);
 
 /// In-place elementwise activation.
 void apply_activation(Activation act, blas::MatrixView<float> z);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "blas/gemm.h"
+#include "blas/level1.h"
 
 namespace bgqhf::nn {
 
@@ -20,24 +21,29 @@ void accumulate_gradient(const Network& net, blas::ConstMatrixView<float> x,
     const blas::ConstMatrixView<float> a_prev =
         l == 0 ? x : cache.acts[l - 1].view();
 
+    // db_l += column sums of delta_l. Only the loss-layer delta (handed in
+    // by the caller) needs a standalone sweep; every propagated delta gets
+    // its column reduction fused into the GEMM epilogue below.
+    if (l == L - 1) blas::add_col_sums<float>(delta.view(), gl.b);
+
     // dW_l += delta^T (N x out) * a_prev (N x in)  -> out x in
     blas::gemm<float>(blas::Trans::kYes, blas::Trans::kNo, 1.0f, delta.view(),
                       a_prev, 1.0f, gl.w, pool);
-    // db_l += column sums of delta
-    for (std::size_t r = 0; r < delta.rows(); ++r) {
-      for (std::size_t c = 0; c < delta.cols(); ++c) {
-        gl.b[c] += delta(r, c);
-      }
-    }
     if (l == 0) break;
 
-    // delta_{l-1} = (delta * W_l) .* act'(a_{l-1})
+    // delta_{l-1} = (delta * W_l) .* act'(a_{l-1}), with the derivative
+    // mask and db_{l-1} += colsum(delta_{l-1}) applied tile-by-tile in the
+    // GEMM epilogue instead of two extra sweeps over the delta matrix.
     auto wl = net.layer(l);
+    auto gprev = net.layer_params(grad, l - 1);
     blas::Matrix<float> prev_delta(delta.rows(), wl.w.cols);
-    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kNo, 1.0f, delta.view(),
-                      wl.w, 0.0f, prev_delta.view(), pool);
-    multiply_by_derivative(net.layers()[l - 1].act, cache.acts[l - 1].view(),
-                           prev_delta.view());
+    blas::GemmEpilogue<float> ep;
+    ep.deriv_aux = cache.acts[l - 1].view();
+    ep.deriv_act = to_epilogue(net.layers()[l - 1].act);
+    ep.col_sums = gprev.b.data();
+    blas::gemm_fused<float>(blas::Trans::kNo, blas::Trans::kNo, 1.0f,
+                            delta.view(), wl.w, 0.0f, prev_delta.view(), ep,
+                            pool);
     delta = std::move(prev_delta);
   }
 }

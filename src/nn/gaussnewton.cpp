@@ -28,22 +28,28 @@ blas::Matrix<float> r_forward(const Network& net,
     const blas::ConstMatrixView<float> a_prev =
         l == 0 ? x : cache.acts[l - 1].view();
 
-    r_z = blas::Matrix<float>(x.rows, net.layers()[l].out);
-    // a_prev * V_l^T
-    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, a_prev, vl.w,
-                      0.0f, r_z.view(), pool);
-    // + R{a_{l-1}} * W_l^T (skipped for the input layer where R{a} = 0)
-    if (l > 0) {
-      blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f,
-                        r_act.view(), wl.w, 1.0f, r_z.view(), pool);
+    // The rb_l broadcast and the act' mask ride the epilogue of whichever
+    // GEMM finishes the R{z_l} accumulation (the second one when l > 0).
+    blas::GemmEpilogue<float> ep;
+    ep.bias = vl.b.data();
+    if (l + 1 < L) {
+      ep.deriv_aux = cache.acts[l].view();
+      ep.deriv_act = to_epilogue(net.layers()[l].act);
     }
-    // + rb_l broadcast
-    for (std::size_t r = 0; r < r_z.rows(); ++r) {
-      for (std::size_t c = 0; c < r_z.cols(); ++c) r_z(r, c) += vl.b[c];
+
+    r_z = blas::Matrix<float>(x.rows, net.layers()[l].out);
+    if (l == 0) {
+      // R{z_0} = x * V_0^T + rb_0
+      blas::gemm_fused<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f,
+                              a_prev, vl.w, 0.0f, r_z.view(), ep, pool);
+    } else {
+      // R{z_l} = a_prev * V_l^T + R{a_{l-1}} * W_l^T + rb_l
+      blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, a_prev,
+                        vl.w, 0.0f, r_z.view(), pool);
+      blas::gemm_fused<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f,
+                              r_act.view(), wl.w, 1.0f, r_z.view(), ep, pool);
     }
     if (l + 1 < L) {
-      multiply_by_derivative(net.layers()[l].act, cache.acts[l].view(),
-                             r_z.view());
       r_act = std::move(r_z);
     }
   }

@@ -84,17 +84,17 @@ void Network::init_glorot(util::Rng& rng) {
 
 namespace {
 
-/// out = act(in * W^T + b), for one layer.
+/// out = act(in * W^T + b), for one layer. Bias add and activation are
+/// fused into the GEMM's last k-block tile updates (one fewer full sweep
+/// over the activation matrix per layer).
 void affine_forward(blas::ConstMatrixView<float> in, ConstLayerParams lp,
                     Activation act, blas::MatrixView<float> out,
                     util::ThreadPool* pool) {
-  blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, in, lp.w, 0.0f,
-                    out, pool);
-  for (std::size_t r = 0; r < out.rows; ++r) {
-    float* row = out.data + r * out.ld;
-    for (std::size_t c = 0; c < out.cols; ++c) row[c] += lp.b[c];
-  }
-  apply_activation(act, out);
+  blas::GemmEpilogue<float> ep;
+  ep.bias = lp.b.data();
+  ep.act = to_epilogue(act);
+  blas::gemm_fused<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, in, lp.w,
+                          0.0f, out, ep, pool);
 }
 
 }  // namespace

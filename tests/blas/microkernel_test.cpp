@@ -2,18 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace bgqhf::blas {
 namespace {
 
 TEST(Microkernel, ComputesRankOneUpdate) {
-  // kc = 1: C += alpha * a (outer) b on an 8x8 tile.
+  // kc = 1: C = 1 * C + alpha * a (outer) b on an 8x8 tile.
   std::vector<float> a(kMR), b(kNR);
   for (std::size_t i = 0; i < kMR; ++i) a[i] = static_cast<float>(i + 1);
   for (std::size_t j = 0; j < kNR; ++j) b[j] = static_cast<float>(10 + j);
   std::vector<float> c(kMR * kNR, 1.0f);
-  microkernel<float>(1, a.data(), b.data(), 2.0f, c.data(), kNR, kMR, kNR);
+  microkernel<float>(1, a.data(), b.data(), 2.0f, 1.0f, c.data(), kNR, kMR,
+                     kNR);
   for (std::size_t i = 0; i < kMR; ++i) {
     for (std::size_t j = 0; j < kNR; ++j) {
       EXPECT_FLOAT_EQ(c[i * kNR + j],
@@ -27,15 +29,34 @@ TEST(Microkernel, AccumulatesOverK) {
   const std::size_t kc = 3;
   std::vector<float> a(kc * kMR, 1.0f), b(kc * kNR, 1.0f);
   std::vector<float> c(kMR * kNR, 0.0f);
-  microkernel<float>(kc, a.data(), b.data(), 1.0f, c.data(), kNR, kMR, kNR);
+  microkernel<float>(kc, a.data(), b.data(), 1.0f, 1.0f, c.data(), kNR, kMR,
+                     kNR);
   for (const float v : c) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(Microkernel, BetaZeroOverwritesWithoutReadingC) {
+  // The beta-folding contract: on the first k-block the kernel writes C
+  // outright, so pre-existing NaN must not propagate.
+  std::vector<float> a(kMR, 1.0f), b(kNR, 1.0f);
+  std::vector<float> c(kMR * kNR, std::nanf(""));
+  microkernel<float>(1, a.data(), b.data(), 2.0f, 0.0f, c.data(), kNR, kMR,
+                     kNR);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Microkernel, FractionalBetaScalesExistingC) {
+  std::vector<float> a(kMR, 1.0f), b(kNR, 1.0f);
+  std::vector<float> c(kMR * kNR, 4.0f);
+  microkernel<float>(1, a.data(), b.data(), 1.0f, 0.5f, c.data(), kNR, kMR,
+                     kNR);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 1.0f + 2.0f);
 }
 
 TEST(Microkernel, PartialTileOnlyTouchesValidRegion) {
   const std::size_t kc = 2;
   std::vector<float> a(kc * kMR, 1.0f), b(kc * kNR, 1.0f);
   std::vector<float> c(kMR * kNR, -5.0f);
-  microkernel<float>(kc, a.data(), b.data(), 1.0f, c.data(), kNR,
+  microkernel<float>(kc, a.data(), b.data(), 1.0f, 1.0f, c.data(), kNR,
                      /*mr=*/3, /*nr=*/2);
   for (std::size_t i = 0; i < kMR; ++i) {
     for (std::size_t j = 0; j < kNR; ++j) {
@@ -48,12 +69,25 @@ TEST(Microkernel, PartialTileOnlyTouchesValidRegion) {
   }
 }
 
+TEST(Microkernel, PartialTileWithBetaZero) {
+  std::vector<float> a(kMR, 1.0f), b(kNR, 1.0f);
+  std::vector<float> c(kMR * kNR, -5.0f);
+  microkernel<float>(1, a.data(), b.data(), 1.0f, 0.0f, c.data(), kNR,
+                     /*mr=*/5, /*nr=*/7);
+  for (std::size_t i = 0; i < kMR; ++i) {
+    for (std::size_t j = 0; j < kNR; ++j) {
+      EXPECT_FLOAT_EQ(c[i * kNR + j], (i < 5 && j < 7) ? 1.0f : -5.0f);
+    }
+  }
+}
+
 TEST(Microkernel, RespectsLeadingDimension) {
   // C tile embedded in a wider row: ldc > NR must skip the gap.
   const std::size_t ldc = kNR + 4;
   std::vector<float> a(kMR, 1.0f), b(kNR, 1.0f);
   std::vector<float> c(kMR * ldc, 0.0f);
-  microkernel<float>(1, a.data(), b.data(), 1.0f, c.data(), ldc, kMR, kNR);
+  microkernel<float>(1, a.data(), b.data(), 1.0f, 1.0f, c.data(), ldc, kMR,
+                     kNR);
   for (std::size_t i = 0; i < kMR; ++i) {
     for (std::size_t j = 0; j < ldc; ++j) {
       EXPECT_FLOAT_EQ(c[i * ldc + j], j < kNR ? 1.0f : 0.0f);
@@ -61,17 +95,22 @@ TEST(Microkernel, RespectsLeadingDimension) {
   }
 }
 
-TEST(Microkernel, ZeroKcLeavesCUntouched) {
+TEST(Microkernel, ZeroKcAppliesOnlyBeta) {
   std::vector<float> a(kMR), b(kNR);
   std::vector<float> c(kMR * kNR, 7.0f);
-  microkernel<float>(0, a.data(), b.data(), 1.0f, c.data(), kNR, kMR, kNR);
+  microkernel<float>(0, a.data(), b.data(), 1.0f, 1.0f, c.data(), kNR, kMR,
+                     kNR);
   for (const float v : c) EXPECT_FLOAT_EQ(v, 7.0f);
+  microkernel<float>(0, a.data(), b.data(), 1.0f, 0.5f, c.data(), kNR, kMR,
+                     kNR);
+  for (const float v : c) EXPECT_FLOAT_EQ(v, 3.5f);
 }
 
 TEST(Microkernel, DoubleVariant) {
   std::vector<double> a(kMR, 2.0), b(kNR, 3.0);
   std::vector<double> c(kMR * kNR, 0.0);
-  microkernel<double>(1, a.data(), b.data(), 0.5, c.data(), kNR, kMR, kNR);
+  microkernel<double>(1, a.data(), b.data(), 0.5, 1.0, c.data(), kNR, kMR,
+                      kNR);
   for (const double v : c) EXPECT_DOUBLE_EQ(v, 3.0);
 }
 

@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "blas/gemm.h"
+#include "util/rng.h"
+
 namespace bgqhf::nn {
 namespace {
 
@@ -186,6 +189,47 @@ TEST(Activations, DerivativeOfTanhFromOutput) {
   m(0, 0) = 1.0f;
   multiply_by_derivative(Activation::kTanh, a.view(), m.view());
   EXPECT_FLOAT_EQ(m(0, 0), 0.75f);
+}
+
+TEST(Network, FusedForwardMatchesUnfusedReference) {
+  // Network::forward fuses bias add + activation into the GEMM epilogue;
+  // the result must match the unfused formulation (separate gemm, bias
+  // sweep, activation sweep) to well under 1e-5.
+  util::Rng rng(123);
+  Network net = Network::mlp(9, {13, 11}, 5, Activation::kTanh);
+  net.init_glorot(rng);
+  const std::size_t batch = 21;
+  blas::Matrix<float> x(batch, 9);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      x(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+  }
+
+  const ForwardCache cache = net.forward(x.view());
+
+  blas::ConstMatrixView<float> in = x.view();
+  blas::Matrix<float> cur;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    auto lp = net.layer(l);
+    blas::Matrix<float> out(batch, net.layers()[l].out);
+    blas::gemm<float>(blas::Trans::kNo, blas::Trans::kYes, 1.0f, in, lp.w,
+                      0.0f, out.view());
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += lp.b[c];
+    }
+    apply_activation(net.layers()[l].act, out.view());
+    cur = std::move(out);
+    in = cur.view();
+
+    const auto& fused = cache.acts[l];
+    for (std::size_t r = 0; r < cur.rows(); ++r) {
+      for (std::size_t c = 0; c < cur.cols(); ++c) {
+        ASSERT_NEAR(fused(r, c), cur(r, c), 1e-5)
+            << "layer " << l << " at " << r << "," << c;
+      }
+    }
+  }
 }
 
 }  // namespace
