@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "figures_common.h"
+#include "hf/trainer.h"
 
 int main() {
   using namespace bgqhf;
@@ -27,5 +28,23 @@ int main() {
     }
     std::printf("%s", table.render().c_str());
   }
+
+  // Measured counterpart: the collective mix of a really-executed
+  // functional HF job, by op type. The reduce row replacing gather is the
+  // gather->reduce_sum aggregation migration; weight sync is the bcast row.
+  hf::TrainerConfig cfg;
+  cfg.workers = 4;
+  cfg.corpus.hours = 0.02;
+  cfg.corpus.feature_dim = 12;
+  cfg.corpus.num_states = 5;
+  cfg.corpus.mean_utt_seconds = 1.5;
+  cfg.corpus.seed = 7;
+  cfg.context = 2;
+  cfg.hidden = {24};
+  cfg.hf.max_iterations = 2;
+  cfg.hf.cg.max_iters = 10;
+  const hf::TrainOutcome out = hf::train_distributed(cfg);
+  print_header("Measured collective mix, functional run (4 workers)");
+  std::printf("%s", per_op_table(out.comm).render().c_str());
   return 0;
 }

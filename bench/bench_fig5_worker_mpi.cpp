@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "figures_common.h"
+#include "hf/trainer.h"
 
 int main() {
   using namespace bgqhf;
@@ -27,6 +28,27 @@ int main() {
                      util::Table::fmt(fn.mpi_p2p_seconds, 2)});
     }
     std::printf("%s", table.render().c_str());
+  }
+
+  // Measured counterpart at two scales: worker traffic is almost entirely
+  // collective, and doubling the workers leaves per-op byte totals nearly
+  // flat (tree reduce carries one vector per rank, not P at the master).
+  for (const int workers : {4, 8}) {
+    hf::TrainerConfig cfg;
+    cfg.workers = workers;
+    cfg.corpus.hours = 0.02;
+    cfg.corpus.feature_dim = 12;
+    cfg.corpus.num_states = 5;
+    cfg.corpus.mean_utt_seconds = 1.5;
+    cfg.corpus.seed = 7;
+    cfg.context = 2;
+    cfg.hidden = {24};
+    cfg.hf.max_iterations = 2;
+    cfg.hf.cg.max_iters = 10;
+    const hf::TrainOutcome out = hf::train_distributed(cfg);
+    print_header("Measured collective mix, functional run (" +
+                 std::to_string(workers) + " workers)");
+    std::printf("%s", per_op_table(out.comm).render().c_str());
   }
   return 0;
 }

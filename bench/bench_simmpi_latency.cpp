@@ -3,14 +3,89 @@
 // host measurements of simmpi itself (the functional layer), useful for
 // judging how much of a small functional run's wall time is runtime
 // overhead versus compute.
+// `--json` switches to a machine-readable seed-vs-PR comparison: bcast and
+// allreduce wall time per call for the naive (seed) algorithms versus auto
+// selection, over the rank/size grid BENCH_comm.json records.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "simmpi/collective.h"
 #include "simmpi/communicator.h"
 #include "util/table.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+using namespace bgqhf;
+
+double time_collective(int ranks, std::size_t floats, bool naive,
+                       bool allreduce) {
+  const int reps = floats >= 10'000'000 ? 4 : (floats >= 1'000'000 ? 15 : 100);
+  simmpi::World world(ranks);
+  world.set_tuning(naive ? simmpi::CollectiveTuning::naive()
+                         : simmpi::CollectiveTuning{});
+  double seconds = 0.0;
+  simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
+    // All-zero contributions: the running sums stay bounded across reps,
+    // so nothing but the collective itself sits in the timed region.
+    std::vector<float> data(floats, 0.0f);
+    const auto once = [&] {
+      if (allreduce) {
+        comm.allreduce_sum(data);
+      } else {
+        comm.bcast(data, 0);
+      }
+    };
+    once();  // warmup: first-touch of payload buffers and mailboxes
+    comm.barrier();
+    util::Timer timer;
+    for (int i = 0; i < reps; ++i) once();
+    comm.barrier();
+    if (comm.rank() == 0) seconds = timer.seconds();
+  });
+  return seconds / reps;
+}
+
+int run_json() {
+  std::printf("{\n  \"bench\": \"bench_simmpi_latency --json\",\n");
+  std::printf(
+      "  \"note\": \"in-process shared-memory runtime on this host; "
+      "seconds per call at the root, closing barrier included\",\n");
+  std::printf("  \"runs\": [\n");
+  bool first = true;
+  for (const char* op : {"bcast", "allreduce"}) {
+    const bool allreduce = std::strcmp(op, "allreduce") == 0;
+    for (const int ranks : {4, 16, 64}) {
+      for (const std::size_t floats :
+           {std::size_t{1'000}, std::size_t{1'000'000},
+            std::size_t{40'000'000}}) {
+        for (const bool naive : {true, false}) {
+          const double s = time_collective(ranks, floats, naive, allreduce);
+          const double mb =
+              floats * sizeof(float) / 1048576.0;
+          std::printf(
+              "%s    {\"op\": \"%s\", \"ranks\": %d, \"floats\": %zu, "
+              "\"tuning\": \"%s\", \"seconds_per_call\": %.6g, "
+              "\"effective_mb_per_s\": %.1f}",
+              first ? "" : ",\n", op, ranks, floats,
+              naive ? "naive" : "auto", s, mb / s);
+          first = false;
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  std::printf("\n  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace bgqhf;
+  if (argc > 1 && std::string(argv[1]) == "--json") return run_json();
 
   std::printf("\n=== simmpi point-to-point throughput (2 ranks) ===\n");
   util::Table p2p({"message bytes", "round trips/s", "MB/s (one way)"});

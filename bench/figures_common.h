@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "bgq/perfsim.h"
+#include "simmpi/stats.h"
 #include "util/table.h"
 
 namespace bgqhf::bench {
@@ -53,6 +54,22 @@ inline std::string label(const ConfigTriple& c) {
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// The measured per-collective breakdown (calls, bytes, blocked wall time
+/// by op type) of a really-executed functional run — the small-scale
+/// measured counterpart of the analytic "collective" column in Figs. 4/5.
+inline util::Table per_op_table(const simmpi::CommStats& comm) {
+  util::Table table({"collective", "calls", "MB", "blocked (s)"});
+  for (std::size_t i = 0; i < simmpi::kNumCollOps; ++i) {
+    const auto op = static_cast<simmpi::CollOp>(i);
+    const simmpi::OpStats& s = comm.op(op);
+    if (s.calls == 0) continue;
+    table.add_row({simmpi::to_string(op), std::to_string(s.calls),
+                   util::Table::fmt(s.bytes / 1048576.0, 2),
+                   util::Table::fmt(s.seconds, 3)});
+  }
+  return table;
 }
 
 /// Optional CSV output: pass `csv=<dir>` on a bench's command line and

@@ -86,6 +86,80 @@ double CommModel::reduce_seconds(std::size_t bytes) const {
   return bcast_seconds(bytes) + combine;
 }
 
+double CommModel::reduce_scatter_seconds(std::size_t bytes) const {
+  const auto& net = machine_.network;
+  const int depth = tree_depth();
+  double total = 0.0;
+  double piece = static_cast<double>(bytes);
+  // Round k exchanges piece/2^k with a partner and combines it at host
+  // memory bandwidth; every participant is busy every round, so on a
+  // switched fabric half the machine contends for the switch.
+  for (int level = 0; level < depth; ++level) {
+    piece /= 2.0;
+    const double wire =
+        net.kind == NetworkKind::kTorus5D
+            ? piece / (net.link_bw_gb * 0.9e9) + net.hop_latency_us * 1e-6
+            : piece / (net.link_bw_gb * 1e9) *
+                  contention_factor(std::max(1, participants_ / 2));
+    const double combine = piece / (machine_.node.mem_bw_gb * 1e9);
+    total += net.sw_latency_us * 1e-6 + wire + combine;
+  }
+  return total;
+}
+
+double CommModel::allgather_seconds(std::size_t bytes) const {
+  const auto& net = machine_.network;
+  const int depth = tree_depth();
+  double total = 0.0;
+  double piece = static_cast<double>(bytes);
+  for (int level = 0; level < depth; ++level) {
+    piece /= 2.0;
+    const double wire =
+        net.kind == NetworkKind::kTorus5D
+            ? piece / (net.link_bw_gb * 0.9e9) + net.hop_latency_us * 1e-6
+            : piece / (net.link_bw_gb * 1e9) *
+                  contention_factor(std::max(1, participants_ / 2));
+    total += net.sw_latency_us * 1e-6 + wire;
+  }
+  return total;
+}
+
+double CommModel::recursive_doubling_seconds(std::size_t bytes) const {
+  // log2(P) rounds, each exchanging and combining the *full* vector:
+  // latency-optimal (half the alpha count of any reduce-then-broadcast
+  // composition) but bandwidth-hungry, so it only wins short messages.
+  const auto& net = machine_.network;
+  const int depth = tree_depth();
+  const double wire =
+      net.kind == NetworkKind::kTorus5D
+          ? link_seconds(bytes, net.link_bw_gb * 0.9) +
+                net.hop_latency_us * 1e-6
+          : link_seconds(bytes, net.link_bw_gb) *
+                contention_factor(std::max(1, participants_ / 2));
+  const double combine =
+      static_cast<double>(bytes) / (machine_.node.mem_bw_gb * 1e9);
+  return depth * (net.sw_latency_us * 1e-6 + wire + combine);
+}
+
+double CommModel::allreduce_seconds(std::size_t bytes) const {
+  const double tree = reduce_seconds(bytes) + bcast_seconds(bytes);
+  const double doubling = recursive_doubling_seconds(bytes);
+  const double rabenseifner =
+      reduce_scatter_seconds(bytes) + allgather_seconds(bytes);
+  return std::min({tree, doubling, rabenseifner});
+}
+
+const char* CommModel::allreduce_algorithm(std::size_t bytes) const {
+  const double tree = reduce_seconds(bytes) + bcast_seconds(bytes);
+  const double doubling = recursive_doubling_seconds(bytes);
+  const double rabenseifner =
+      reduce_scatter_seconds(bytes) + allgather_seconds(bytes);
+  const double best = std::min({tree, doubling, rabenseifner});
+  if (best == tree) return "tree+bcast";
+  if (best == doubling) return "recursive-doubling";
+  return "rabenseifner";
+}
+
 double CommModel::barrier_seconds() const {
   const auto& net = machine_.network;
   if (net.kind == NetworkKind::kTorus5D) {

@@ -27,6 +27,29 @@ class CommModel {
   /// combine arithmetic, which the torus offloads to the network logic).
   double reduce_seconds(std::size_t bytes) const;
 
+  /// MPI_Reduce_scatter via recursive halving: ceil(log2 P) exchange
+  /// rounds, round k moving and combining half the remaining vector, for
+  /// ~bytes*(P-1)/P total wire traffic — the bandwidth-optimal half of a
+  /// Rabenseifner allreduce.
+  double reduce_scatter_seconds(std::size_t bytes) const;
+
+  /// MPI_Allgather via recursive doubling (the same wire pattern as the
+  /// halving reduce_scatter, mirrored, with no combine arithmetic).
+  double allgather_seconds(std::size_t bytes) const;
+
+  /// MPI_Allreduce via recursive doubling: log2(P) full-vector exchange
+  /// rounds — the fewest latency terms of any allreduce, linear bandwidth.
+  double recursive_doubling_seconds(std::size_t bytes) const;
+
+  /// MPI_Allreduce: the cheapest of reduce+bcast (hardware-assisted on the
+  /// torus), recursive doubling (latency-optimal), and Rabenseifner's
+  /// reduce_scatter+allgather (bandwidth-optimal), per message size — the
+  /// same size-based selection the simmpi runtime's CollectiveTuning does.
+  double allreduce_seconds(std::size_t bytes) const;
+  /// Which algorithm allreduce_seconds() picks for this size: "tree+bcast",
+  /// "recursive-doubling", or "rabenseifner" (the DESIGN.md table).
+  const char* allreduce_algorithm(std::size_t bytes) const;
+
   /// Barrier (latency-only collective).
   double barrier_seconds() const;
 

@@ -184,10 +184,15 @@ RunReport simulate(const RunConfig& config) {
                                                               workers);
   const double t_reduce_theta = comm.reduce_seconds(param_bytes);
   const double t_small_reduce = comm.reduce_seconds(64);
-  // Full-gradient aggregation: per-node partial sums gathered by the
-  // single master (the one-layer architecture of Sec. IV).
+  // Full-gradient aggregation. With MPI collectives this is a tree
+  // MPI_Reduce: only O(N) bytes reach the master regardless of scale. The
+  // pre-migration scheme drains per-node partial sums through the master's
+  // injection port (the one-layer architecture of Sec. IV), which grows
+  // with the partition and is part of what sockets-mode gives up.
   const double t_grad_gather =
-      comm.hierarchical_gather_seconds(param_bytes, workers);
+      config.use_mpi_collectives
+          ? comm.reduce_seconds(param_bytes)
+          : comm.hierarchical_gather_seconds(param_bytes, workers);
 
   // ---- per-iteration data staging / exchange (corpus-size bound) ----
   const double staging_bytes =

@@ -116,26 +116,22 @@ std::vector<std::vector<std::byte>> MasterCompute::ft_collect_replies() {
   return replies;
 }
 
-void MasterCompute::gather_sum(std::span<float> out) {
-  std::vector<float> zero(out.size(), 0.0f);
-  const std::vector<float> all = comm_->gather<float>(zero, 0);
-  std::fill(out.begin(), out.end(), 0.0f);
-  for (int r = 1; r < comm_->size(); ++r) {
-    const float* slice = all.data() + static_cast<std::size_t>(r) * out.size();
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slice[i];
-  }
+void MasterCompute::reduce_sum(std::span<float> out) {
+  // The master contributes the identity; the tree reduce folds worker
+  // partials in log depth and only O(N) bytes ever reach rank 0, versus
+  // the P*N the gather-then-sum it replaced buffered at the root.
+  std::vector<float> buf(out.size(), 0.0f);
+  comm_->reduce_sum(buf, 0);
+  std::copy(buf.begin(), buf.end(), out.begin());
 }
 
-nn::BatchLoss MasterCompute::gather_loss_stats() {
-  std::vector<double> zero(kLossStatsLen, 0.0);
-  const std::vector<double> all = comm_->gather<double>(zero, 0);
+nn::BatchLoss MasterCompute::reduce_loss_stats() {
+  std::vector<double> flat(kLossStatsLen, 0.0);
+  comm_->reduce_sum(flat, 0);
   nn::BatchLoss total;
-  for (int r = 1; r < comm_->size(); ++r) {
-    const double* s = all.data() + static_cast<std::size_t>(r) * kLossStatsLen;
-    total.loss_sum += s[0];
-    total.frames += static_cast<std::size_t>(s[1]);
-    total.correct += static_cast<std::size_t>(s[2]);
-  }
+  total.loss_sum = flat[0];
+  total.frames = static_cast<std::size_t>(flat[1]);
+  total.correct = static_cast<std::size_t>(flat[2]);
   return total;
 }
 
@@ -158,29 +154,40 @@ nn::BatchLoss MasterCompute::gradient(std::span<float> grad_out) {
   broadcast_command(Command::kGradient, /*aux=*/0);
   nn::BatchLoss total;
   if (!ft_.enabled) {
-    gather_sum(grad_out);
-    total = gather_loss_stats();
+    reduce_sum(grad_out);
+    total = reduce_loss_stats();
   } else {
-    std::fill(grad_out.begin(), grad_out.end(), 0.0f);
+    // Fold replies with the reduce tree's association: one slot per rank
+    // (slot 0 = the master's zero contribution; lost or malformed workers
+    // contribute the identity), so fault-free this is bitwise identical to
+    // the collective path.
     const auto replies = ft_collect_replies();
-    std::vector<float> slice(num_params_);
+    simmpi::PairwiseFold<float> fold;
+    simmpi::PairwiseFold<double> loss_fold;
+    fold.push(std::vector<float>(num_params_, 0.0f));
+    loss_fold.push(std::vector<double>(kLossStatsLen, 0.0));
     for (int r = 1; r < comm_->size(); ++r) {
       const auto& reply = replies[static_cast<std::size_t>(r)];
-      if (reply.empty()) continue;
-      std::span<const std::byte> in(reply);
-      double stats_flat[kLossStatsLen];
-      if (!consume_pod_span<float>(in, slice) ||
-          !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
-        exclude(r, "malformed gradient reply");
-        continue;
+      std::vector<float> slice(num_params_, 0.0f);
+      std::vector<double> stats_flat(kLossStatsLen, 0.0);
+      if (!reply.empty()) {
+        std::span<const std::byte> in(reply);
+        if (!consume_pod_span<float>(in, slice) ||
+            !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+          exclude(r, "malformed gradient reply");
+          slice.assign(num_params_, 0.0f);
+          stats_flat.assign(kLossStatsLen, 0.0);
+        }
       }
-      for (std::size_t i = 0; i < grad_out.size(); ++i) {
-        grad_out[i] += slice[i];
-      }
-      total.loss_sum += stats_flat[0];
-      total.frames += static_cast<std::size_t>(stats_flat[1]);
-      total.correct += static_cast<std::size_t>(stats_flat[2]);
+      fold.push(std::move(slice));
+      loss_fold.push(std::move(stats_flat));
     }
+    const std::vector<float> sum = fold.finish();
+    std::copy(sum.begin(), sum.end(), grad_out.begin());
+    const std::vector<double> lf = loss_fold.finish();
+    total.loss_sum = lf[0];
+    total.frames = static_cast<std::size_t>(lf[1]);
+    total.correct = static_cast<std::size_t>(lf[2]);
   }
   if (total.frames == 0) {
     throw std::runtime_error(
@@ -204,34 +211,45 @@ nn::BatchLoss MasterCompute::gradient_with_squares(
   broadcast_command(Command::kGradient, /*aux=*/1);
   nn::BatchLoss total;
   if (!ft_.enabled) {
-    gather_sum(grad_out);
-    gather_sum(grad_sq_out);
-    total = gather_loss_stats();
+    reduce_sum(grad_out);
+    reduce_sum(grad_sq_out);
+    total = reduce_loss_stats();
   } else {
-    std::fill(grad_out.begin(), grad_out.end(), 0.0f);
-    std::fill(grad_sq_out.begin(), grad_sq_out.end(), 0.0f);
     const auto replies = ft_collect_replies();
-    std::vector<float> slice(num_params_);
-    std::vector<float> sq_slice(num_params_);
+    simmpi::PairwiseFold<float> fold;
+    simmpi::PairwiseFold<float> sq_fold;
+    simmpi::PairwiseFold<double> loss_fold;
+    fold.push(std::vector<float>(num_params_, 0.0f));
+    sq_fold.push(std::vector<float>(num_params_, 0.0f));
+    loss_fold.push(std::vector<double>(kLossStatsLen, 0.0));
     for (int r = 1; r < comm_->size(); ++r) {
       const auto& reply = replies[static_cast<std::size_t>(r)];
-      if (reply.empty()) continue;
-      std::span<const std::byte> in(reply);
-      double stats_flat[kLossStatsLen];
-      if (!consume_pod_span<float>(in, slice) ||
-          !consume_pod_span<float>(in, sq_slice) ||
-          !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
-        exclude(r, "malformed gradient reply");
-        continue;
+      std::vector<float> slice(num_params_, 0.0f);
+      std::vector<float> sq_slice(num_params_, 0.0f);
+      std::vector<double> stats_flat(kLossStatsLen, 0.0);
+      if (!reply.empty()) {
+        std::span<const std::byte> in(reply);
+        if (!consume_pod_span<float>(in, slice) ||
+            !consume_pod_span<float>(in, sq_slice) ||
+            !consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+          exclude(r, "malformed gradient reply");
+          slice.assign(num_params_, 0.0f);
+          sq_slice.assign(num_params_, 0.0f);
+          stats_flat.assign(kLossStatsLen, 0.0);
+        }
       }
-      for (std::size_t i = 0; i < grad_out.size(); ++i) {
-        grad_out[i] += slice[i];
-        grad_sq_out[i] += sq_slice[i];
-      }
-      total.loss_sum += stats_flat[0];
-      total.frames += static_cast<std::size_t>(stats_flat[1]);
-      total.correct += static_cast<std::size_t>(stats_flat[2]);
+      fold.push(std::move(slice));
+      sq_fold.push(std::move(sq_slice));
+      loss_fold.push(std::move(stats_flat));
     }
+    const std::vector<float> sum = fold.finish();
+    std::copy(sum.begin(), sum.end(), grad_out.begin());
+    const std::vector<float> sq_sum = sq_fold.finish();
+    std::copy(sq_sum.begin(), sq_sum.end(), grad_sq_out.begin());
+    const std::vector<double> lf = loss_fold.finish();
+    total.loss_sum = lf[0];
+    total.frames = static_cast<std::size_t>(lf[1]);
+    total.correct = static_cast<std::size_t>(lf[2]);
   }
   if (total.frames == 0) {
     throw std::runtime_error(
@@ -247,11 +265,10 @@ void MasterCompute::prepare_curvature(std::uint64_t seed) {
   broadcast_command(Command::kPrepareCurvature, seed);
   curvature_frames_ = 0;
   if (!ft_.enabled) {
-    std::vector<double> zero(1, 0.0);
-    const std::vector<double> counts = comm_->gather<double>(zero, 0);
-    for (int r = 1; r < comm_->size(); ++r) {
-      curvature_frames_ += static_cast<std::size_t>(counts[r]);
-    }
+    // Frame counts are integers carried in double; any sum order is exact.
+    std::vector<double> count(1, 0.0);
+    comm_->reduce_sum(count, 0);
+    curvature_frames_ = static_cast<std::size_t>(count[0]);
     return;
   }
   std::fill(curvature_counts_.begin(), curvature_counts_.end(), 0);
@@ -282,27 +299,32 @@ void MasterCompute::curvature_product(std::span<const float> v,
   if (!ft_.enabled) {
     std::vector<float> buf(v.begin(), v.end());
     comm_->bcast(buf, 0);
-    gather_sum(out);
+    reduce_sum(out);
     const float inv = 1.0f / static_cast<float>(curvature_frames_);
     for (auto& g : out) g *= inv;
     return;
   }
   ft_send_all(v, kTagFtPayload);
-  std::fill(out.begin(), out.end(), 0.0f);
   const auto replies = ft_collect_replies();
-  std::vector<float> slice(num_params_);
+  simmpi::PairwiseFold<float> fold;
+  fold.push(std::vector<float>(num_params_, 0.0f));
   std::size_t responding_frames = 0;
   for (int r = 1; r < comm_->size(); ++r) {
     const auto& reply = replies[static_cast<std::size_t>(r)];
-    if (reply.empty()) continue;
-    std::span<const std::byte> in(reply);
-    if (!consume_pod_span<float>(in, slice) || !in.empty()) {
-      exclude(r, "malformed curvature-product reply");
-      continue;
+    std::vector<float> slice(num_params_, 0.0f);
+    if (!reply.empty()) {
+      std::span<const std::byte> in(reply);
+      if (!consume_pod_span<float>(in, slice) || !in.empty()) {
+        exclude(r, "malformed curvature-product reply");
+        slice.assign(num_params_, 0.0f);
+      } else {
+        responding_frames += curvature_counts_[static_cast<std::size_t>(r)];
+      }
     }
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slice[i];
-    responding_frames += curvature_counts_[static_cast<std::size_t>(r)];
+    fold.push(std::move(slice));
   }
+  const std::vector<float> sum = fold.finish();
+  std::copy(sum.begin(), sum.end(), out.begin());
   if (responding_frames == 0) {
     throw std::runtime_error(
         "MasterCompute::curvature_product: all workers lost");
@@ -317,22 +339,27 @@ void MasterCompute::curvature_product(std::span<const float> v,
 nn::BatchLoss MasterCompute::heldout_loss() {
   PhaseTimer timer(stats_, Phase::kHeldoutLoss);
   broadcast_command(Command::kHeldoutLoss);
-  if (!ft_.enabled) return gather_loss_stats();
+  if (!ft_.enabled) return reduce_loss_stats();
   nn::BatchLoss total;
   const auto replies = ft_collect_replies();
+  simmpi::PairwiseFold<double> loss_fold;
+  loss_fold.push(std::vector<double>(kLossStatsLen, 0.0));
   for (int r = 1; r < comm_->size(); ++r) {
     const auto& reply = replies[static_cast<std::size_t>(r)];
-    if (reply.empty()) continue;
-    std::span<const std::byte> in(reply);
-    double stats_flat[kLossStatsLen];
-    if (!consume_pod_span<double>(in, stats_flat) || !in.empty()) {
-      exclude(r, "malformed held-out reply");
-      continue;
+    std::vector<double> stats_flat(kLossStatsLen, 0.0);
+    if (!reply.empty()) {
+      std::span<const std::byte> in(reply);
+      if (!consume_pod_span<double>(in, stats_flat) || !in.empty()) {
+        exclude(r, "malformed held-out reply");
+        stats_flat.assign(kLossStatsLen, 0.0);
+      }
     }
-    total.loss_sum += stats_flat[0];
-    total.frames += static_cast<std::size_t>(stats_flat[1]);
-    total.correct += static_cast<std::size_t>(stats_flat[2]);
+    loss_fold.push(std::move(stats_flat));
   }
+  const std::vector<double> lf = loss_fold.finish();
+  total.loss_sum = lf[0];
+  total.frames = static_cast<std::size_t>(lf[1]);
+  total.correct = static_cast<std::size_t>(lf[2]);
   if (total.frames == 0) {
     throw std::runtime_error(
         "MasterCompute::heldout_loss: no frames reported (all workers "

@@ -1,8 +1,11 @@
 // HfCompute implementation for the distributed master (rank 0).
 //
 // Each primitive is one broadcast command plus payload collectives; worker
-// sums arrive through gathers and are folded in rank order, making the
-// aggregate arithmetic identical to SerialCompute over the same shards.
+// sums arrive through tree reduce_sum collectives (the master contributes a
+// zero vector as slot 0), so only O(N) bytes ever reach rank 0 — the
+// gather-then-sum it replaces buffered P*N at the root. SerialCompute folds
+// the same slots through simmpi::PairwiseFold, making the aggregate
+// arithmetic identical over the same shards.
 //
 // With FtOptions::enabled the same primitives run over the flat,
 // CRC-framed, timeout-aware protocol (fault_tolerance.h): the master
@@ -10,8 +13,9 @@
 // excludes dead workers and reweights gradient/curvature sums by the
 // surviving data fraction — every sum stays a *mean over the data that
 // actually responded*, so the Gauss-Newton estimate remains unbiased
-// under worker loss. Fault-free, the fold order and arithmetic match the
-// collective path bitwise.
+// under worker loss. Replies fold through PairwiseFold over the same rank
+// slots the reduce tree pairs (lost workers contribute the identity), so
+// fault-free the arithmetic matches the collective path bitwise.
 #pragma once
 
 #include <cstdint>
@@ -57,10 +61,10 @@ class MasterCompute : public HfCompute {
 
  private:
   void broadcast_command(Command cmd, std::uint64_t aux = 0);
-  /// Gather per-rank vectors of length n and fold worker slices (rank
-  /// order) into out; master's own contribution is zero.
-  void gather_sum(std::span<float> out);
-  nn::BatchLoss gather_loss_stats();
+  /// Tree-reduce the workers' equal-length vectors into `out`; the
+  /// master's own contribution (slot 0 of the tree) is zero.
+  void reduce_sum(std::span<float> out);
+  nn::BatchLoss reduce_loss_stats();
 
   // ---- fault-tolerant path ----
   /// Send the framed payload to every live worker.

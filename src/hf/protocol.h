@@ -8,8 +8,8 @@
 //
 // Commands are broadcast from rank 0 (the master) as a small fixed-size
 // header, optionally followed by payload collectives; workers reply
-// through gathers, which the master folds in rank order so the arithmetic
-// matches SerialCompute exactly.
+// through tree reduce_sum collectives whose fixed combine order
+// SerialCompute mirrors (PairwiseFold), so the arithmetic matches exactly.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +18,11 @@ namespace bgqhf::hf {
 
 enum class Command : std::uint64_t {
   kSetParams = 1,         // followed by bcast of theta (sync_weights)
-  kGradient = 2,          // workers gather grad sums + loss stats;
-                          // aux=1 additionally gathers squared-grad sums
-  kPrepareCurvature = 3,  // aux = sample seed; workers gather sample frames
-  kCurvatureProduct = 4,  // followed by bcast of v; workers gather products
-  kHeldoutLoss = 5,       // workers gather held-out loss stats
+  kGradient = 2,          // workers reduce grad sums + loss stats;
+                          // aux=1 additionally reduces squared-grad sums
+  kPrepareCurvature = 3,  // aux = sample seed; workers reduce sample frames
+  kCurvatureProduct = 4,  // followed by bcast of v; workers reduce products
+  kHeldoutLoss = 5,       // workers reduce held-out loss stats
   kShutdown = 6,          // workers exit their loop
 };
 
@@ -33,7 +33,7 @@ struct CommandHeader {
 };
 
 /// Loss statistics exchanged as a flat double triple so they ride a plain
-/// gather: {loss_sum, frames, correct}.
+/// reduce_sum: {loss_sum, frames, correct}.
 inline constexpr std::size_t kLossStatsLen = 3;
 
 /// Tags for the load_data point-to-point shard distribution phase.

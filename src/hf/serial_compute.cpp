@@ -2,7 +2,36 @@
 
 #include <stdexcept>
 
+#include "hf/protocol.h"
+#include "simmpi/collective.h"
+
 namespace bgqhf::hf {
+
+namespace {
+// The distributed master reduces over P slots: slot 0 is its own zero
+// vector, slots 1..P-1 are the worker partials. Mirroring that shape here
+// (zero first, then one slot per shard, folded with PairwiseFold's tree
+// association) keeps serial == distributed bitwise.
+template <typename T>
+simmpi::PairwiseFold<T> fold_with_zero_slot(std::size_t n) {
+  simmpi::PairwiseFold<T> fold;
+  fold.push(std::vector<T>(n, T{}));
+  return fold;
+}
+
+std::vector<double> flat_loss(const nn::BatchLoss& loss) {
+  return {loss.loss_sum, static_cast<double>(loss.frames),
+          static_cast<double>(loss.correct)};
+}
+
+nn::BatchLoss unflatten_loss(const std::vector<double>& flat) {
+  nn::BatchLoss total;
+  total.loss_sum = flat[0];
+  total.frames = static_cast<std::size_t>(flat[1]);
+  total.correct = static_cast<std::size_t>(flat[2]);
+  return total;
+}
+}  // namespace
 
 SerialCompute::SerialCompute(std::vector<std::unique_ptr<Workload>> shards)
     : shards_(std::move(shards)) {
@@ -27,17 +56,16 @@ void SerialCompute::set_params(std::span<const float> theta) {
 }
 
 nn::BatchLoss SerialCompute::gradient(std::span<float> grad_out) {
-  std::fill(grad_out.begin(), grad_out.end(), 0.0f);
-  nn::BatchLoss total;
-  // Sum per-shard contributions in shard order — the same order the
-  // distributed master applies gathered worker sums.
+  auto fold = fold_with_zero_slot<float>(grad_out.size());
+  auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
   for (auto& s : shards_) {
     std::fill(scratch_.begin(), scratch_.end(), 0.0f);
-    total += s->gradient(scratch_);
-    for (std::size_t i = 0; i < grad_out.size(); ++i) {
-      grad_out[i] += scratch_[i];
-    }
+    loss_fold.push(flat_loss(s->gradient(scratch_)));
+    fold.push(scratch_);
   }
+  const std::vector<float> sum = fold.finish();
+  std::copy(sum.begin(), sum.end(), grad_out.begin());
+  const nn::BatchLoss total = unflatten_loss(loss_fold.finish());
   const float inv = 1.0f / static_cast<float>(total.frames);
   for (auto& g : grad_out) g *= inv;
   return total;
@@ -45,19 +73,22 @@ nn::BatchLoss SerialCompute::gradient(std::span<float> grad_out) {
 
 nn::BatchLoss SerialCompute::gradient_with_squares(
     std::span<float> grad_out, std::span<float> grad_sq_out) {
-  std::fill(grad_out.begin(), grad_out.end(), 0.0f);
-  std::fill(grad_sq_out.begin(), grad_sq_out.end(), 0.0f);
+  auto fold = fold_with_zero_slot<float>(grad_out.size());
+  auto sq_fold = fold_with_zero_slot<float>(grad_sq_out.size());
+  auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
   std::vector<float> sq_scratch(grad_sq_out.size());
-  nn::BatchLoss total;
   for (auto& s : shards_) {
     std::fill(scratch_.begin(), scratch_.end(), 0.0f);
     std::fill(sq_scratch.begin(), sq_scratch.end(), 0.0f);
-    total += s->gradient_with_squares(scratch_, sq_scratch);
-    for (std::size_t i = 0; i < grad_out.size(); ++i) {
-      grad_out[i] += scratch_[i];
-      grad_sq_out[i] += sq_scratch[i];
-    }
+    loss_fold.push(flat_loss(s->gradient_with_squares(scratch_, sq_scratch)));
+    fold.push(scratch_);
+    sq_fold.push(sq_scratch);
   }
+  const std::vector<float> sum = fold.finish();
+  std::copy(sum.begin(), sum.end(), grad_out.begin());
+  const std::vector<float> sq_sum = sq_fold.finish();
+  std::copy(sq_sum.begin(), sq_sum.end(), grad_sq_out.begin());
+  const nn::BatchLoss total = unflatten_loss(loss_fold.finish());
   const float inv = 1.0f / static_cast<float>(total.frames);
   for (auto& g : grad_out) g *= inv;
   return total;
@@ -73,12 +104,14 @@ void SerialCompute::prepare_curvature(std::uint64_t seed) {
 
 void SerialCompute::curvature_product(std::span<const float> v,
                                       std::span<float> out) {
-  std::fill(out.begin(), out.end(), 0.0f);
+  auto fold = fold_with_zero_slot<float>(out.size());
   for (auto& s : shards_) {
     std::fill(scratch_.begin(), scratch_.end(), 0.0f);
     s->curvature_product(v, scratch_);
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += scratch_[i];
+    fold.push(scratch_);
   }
+  const std::vector<float> sum = fold.finish();
+  std::copy(sum.begin(), sum.end(), out.begin());
   if (curvature_frames_ == 0) {
     throw std::logic_error("curvature_product before prepare_curvature");
   }
@@ -87,9 +120,9 @@ void SerialCompute::curvature_product(std::span<const float> v,
 }
 
 nn::BatchLoss SerialCompute::heldout_loss() {
-  nn::BatchLoss total;
-  for (auto& s : shards_) total += s->heldout_loss();
-  return total;
+  auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
+  for (auto& s : shards_) loss_fold.push(flat_loss(s->heldout_loss()));
+  return unflatten_loss(loss_fold.finish());
 }
 
 }  // namespace bgqhf::hf

@@ -2,7 +2,7 @@
 //
 // train_serial() and train_distributed() run the *same* Algorithm-1
 // optimizer over the *same* shards; the only difference is whether shard
-// sums are folded locally (SerialCompute) or gathered over simmpi
+// sums are folded locally (SerialCompute) or tree-reduced over simmpi
 // (MasterCompute + worker_loop). Their training trajectories are bitwise
 // identical, which is the reproducible form of the paper's "no loss in
 // accuracy" scaling claim.

@@ -17,10 +17,10 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
   std::vector<float> scratch(n);
 
   auto reply_loss_stats = [&](const nn::BatchLoss& loss) {
-    const std::vector<double> flat{loss.loss_sum,
-                                   static_cast<double>(loss.frames),
-                                   static_cast<double>(loss.correct)};
-    comm.gather<double>(flat, 0);
+    std::vector<double> flat{loss.loss_sum,
+                             static_cast<double>(loss.frames),
+                             static_cast<double>(loss.correct)};
+    comm.reduce_sum(flat, 0);
   };
   auto stamp = [&](Phase phase, const util::Timer& timer) {
     if (stats != nullptr) stats->add(phase, timer.seconds());
@@ -45,7 +45,7 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
         std::fill(scratch.begin(), scratch.end(), 0.0f);
         if (header[1] == 0) {
           const nn::BatchLoss loss = workload.gradient(scratch);
-          comm.gather<float>(scratch, 0);
+          comm.reduce_sum(scratch, 0);
           reply_loss_stats(loss);
         } else {
           // aux == 1: the master also wants squared-gradient sums for the
@@ -53,8 +53,8 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
           std::vector<float> squares(n, 0.0f);
           const nn::BatchLoss loss =
               workload.gradient_with_squares(scratch, squares);
-          comm.gather<float>(scratch, 0);
-          comm.gather<float>(squares, 0);
+          comm.reduce_sum(scratch, 0);
+          comm.reduce_sum(squares, 0);
           reply_loss_stats(loss);
         }
         stamp(Phase::kGradient, timer);
@@ -62,9 +62,9 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
       }
       case Command::kPrepareCurvature: {
         workload.prepare_curvature(header[1]);
-        const std::vector<double> count{
+        std::vector<double> count{
             static_cast<double>(workload.curvature_frames())};
-        comm.gather<double>(count, 0);
+        comm.reduce_sum(count, 0);
         stamp(Phase::kCurvaturePrepare, timer);
         break;
       }
@@ -73,7 +73,7 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
         comm.bcast(v, 0);
         std::fill(scratch.begin(), scratch.end(), 0.0f);
         workload.curvature_product(v, scratch);
-        comm.gather<float>(scratch, 0);
+        comm.reduce_sum(scratch, 0);
         stamp(Phase::kCurvatureProduct, timer);
         break;
       }

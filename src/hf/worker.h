@@ -9,10 +9,11 @@
 namespace bgqhf::hf {
 
 /// Serve master commands until kShutdown. The workload computes local
-/// unnormalized sums; every reply is a gather the master folds in rank
-/// order. Must be called by every rank except 0, in lockstep with a
-/// MasterCompute on rank 0. `stats`, when given, accumulates per-phase
-/// wall time (compute + the gathers that conclude each phase).
+/// unnormalized sums; every reply is a tree reduce_sum the master joins
+/// with a zero contribution. Must be called by every rank except 0, in
+/// lockstep with a MasterCompute on rank 0. `stats`, when given,
+/// accumulates per-phase wall time (compute + the reductions that conclude
+/// each phase).
 ///
 /// With `ft.enabled` the loop speaks the flat CRC-framed protocol instead:
 /// commands and payloads arrive as framed point-to-point messages whose

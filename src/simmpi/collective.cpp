@@ -1,0 +1,105 @@
+#include "simmpi/collective.h"
+
+namespace bgqhf::simmpi {
+
+const char* to_string(BcastAlgo a) {
+  switch (a) {
+    case BcastAlgo::kAuto: return "auto";
+    case BcastAlgo::kBinomial: return "binomial";
+    case BcastAlgo::kPipelined: return "pipelined";
+    case BcastAlgo::kFlat: return "flat";
+  }
+  return "?";
+}
+
+const char* to_string(ReduceAlgo a) {
+  switch (a) {
+    case ReduceAlgo::kAuto: return "auto";
+    case ReduceAlgo::kNaive: return "naive";
+    case ReduceAlgo::kTree: return "tree";
+    case ReduceAlgo::kRabenseifner: return "rabenseifner";
+  }
+  return "?";
+}
+
+const char* to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kNaive: return "naive";
+    case AllreduceAlgo::kTreeBcast: return "tree+bcast";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllreduceAlgo::kRabenseifner: return "rabenseifner";
+  }
+  return "?";
+}
+
+const char* to_string(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::kAuto: return "auto";
+    case AllgatherAlgo::kNaive: return "naive";
+    case AllgatherAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case AllgatherAlgo::kRing: return "ring";
+  }
+  return "?";
+}
+
+const char* to_string(ReduceScatterAlgo a) {
+  switch (a) {
+    case ReduceScatterAlgo::kAuto: return "auto";
+    case ReduceScatterAlgo::kNaive: return "naive";
+    case ReduceScatterAlgo::kHalving: return "halving";
+    case ReduceScatterAlgo::kPairwise: return "pairwise";
+  }
+  return "?";
+}
+
+// The in-process runtime is threads sharing one memory system, so the
+// auto policies minimize total copies, not per-rank critical path (see the
+// header comment). The analytic CommModel carries the real-network policy;
+// DESIGN.md tabulates both.
+
+BcastAlgo select_bcast(const CollectiveTuning& t, int ranks,
+                       std::size_t bytes) {
+  if (t.bcast != BcastAlgo::kAuto) return t.bcast;
+  if (ranks > 2 && bytes >= t.bcast_pipeline_bytes) {
+    return BcastAlgo::kPipelined;
+  }
+  return BcastAlgo::kBinomial;
+}
+
+ReduceAlgo select_reduce(const CollectiveTuning& t, int /*ranks*/,
+                         std::size_t /*bytes*/) {
+  if (t.reduce != ReduceAlgo::kAuto) return t.reduce;
+  // Zero-copy tree: partials move into payloads and combines read them in
+  // place, so it does the least memory traffic at every size in-process.
+  return ReduceAlgo::kTree;
+}
+
+AllreduceAlgo select_allreduce(const CollectiveTuning& t, int /*ranks*/,
+                               std::size_t /*bytes*/) {
+  if (t.allreduce != AllreduceAlgo::kAuto) return t.allreduce;
+  return AllreduceAlgo::kTreeBcast;
+}
+
+AllgatherAlgo select_allgather(const CollectiveTuning& t, int ranks,
+                               std::size_t bytes) {
+  if (t.allgather != AllgatherAlgo::kAuto) return t.allgather;
+  if (bytes < t.allgather_exchange_bytes) {
+    // Latency regime: log/linear-depth exchanges beat the star gather the
+    // naive composition serializes through the root.
+    return is_pow2(ranks) ? AllgatherAlgo::kRecursiveDoubling
+                          : AllgatherAlgo::kRing;
+  }
+  // Bandwidth regime in shared memory: gather + shared-payload bcast
+  // serializes each block once and fans the result out copy-free.
+  return AllgatherAlgo::kNaive;
+}
+
+ReduceScatterAlgo select_reduce_scatter(const CollectiveTuning& t, int ranks,
+                                        std::size_t /*bytes*/) {
+  if (t.reduce_scatter != ReduceScatterAlgo::kAuto) return t.reduce_scatter;
+  return is_pow2(ranks) ? ReduceScatterAlgo::kHalving
+                        : ReduceScatterAlgo::kPairwise;
+}
+
+}  // namespace bgqhf::simmpi

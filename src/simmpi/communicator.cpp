@@ -47,17 +47,20 @@ void Comm::deliver(Message m, int dest) {
   world_->mailbox(dest).push(std::move(m));
 }
 
-void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
-                      bool collective) {
+void Comm::send_payload(Payload p, int dest, int tag) {
   fault_op();
-  util::Timer t;
   Message m;
   m.source = rank_;
   m.tag = tag;
-  const std::size_t n = bytes.size();
-  m.payload =
-      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  m.payload = std::move(p);
   deliver(std::move(m), dest);
+}
+
+void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
+                      bool collective) {
+  util::Timer t;
+  const std::size_t n = bytes.size();
+  send_payload(Payload(std::move(bytes)), dest, tag);
   if (!collective) stats().add_p2p(n, t.seconds());
 }
 
@@ -80,47 +83,15 @@ Message Comm::recv_message_for(int source, int tag, double timeout_seconds,
   return std::move(*m);
 }
 
+Message Comm::recv_coll(int source, int tag, const Deadline& dl) {
+  if (!dl.finite()) return recv_message(source, tag, /*collective=*/true);
+  return recv_message_for(source, tag, dl.remaining(), /*collective=*/true);
+}
+
 void Comm::barrier() {
   util::Timer t;
   world_->barrier().arrive_and_wait();
-  stats().add_collective(0, t.seconds());
-}
-
-std::shared_ptr<const std::vector<std::byte>> Comm::bcast_bytes(
-    std::shared_ptr<const std::vector<std::byte>> buf, int root) {
-  fault_op();
-  util::Timer t;
-  const int n = size();
-  const int rel = (rank_ - root + n) % n;
-  // Binomial tree: receive from the parent (clear lowest set bit), then
-  // forward to children. Payloads are shared, so fan-out costs no copies.
-  int mask = 1;
-  while (mask < n) {
-    if ((rel & mask) != 0) {
-      const int src = ((rel - mask) + root) % n;
-      Message m = world_->mailbox(rank_).pop(src, kCollectiveTagBase - 4);
-      buf = m.payload;
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < n) {
-      const int dest = (rel + mask + root) % n;
-      Message m;
-      m.source = rank_;
-      m.tag = kCollectiveTagBase - 4;
-      m.payload = buf;
-      deliver(std::move(m), dest);
-    }
-    mask >>= 1;
-  }
-  stats().add_collective(buf == nullptr ? 0 : buf->size(), t.seconds());
-  if (buf == nullptr) {
-    throw std::logic_error("simmpi: bcast produced no payload");
-  }
-  return buf;
+  stats().add_op(CollOp::kBarrier, 0, t.seconds());
 }
 
 void run_ranks(World& world, const std::function<void(Comm&)>& fn) {

@@ -2,20 +2,28 @@
 //
 // Ranks are threads sharing a World; point-to-point operations are buffered
 // (standard-mode) sends into the destination mailbox, so a send never
-// deadlocks against a matching receive. Collectives are implemented as
-// binomial/binary trees with a *fixed* combine order, which makes every
-// reduction bitwise deterministic — the property behind the paper's "no
-// loss in accuracy" claim for the distributed implementation.
+// deadlocks against a matching receive. Collectives route through an
+// algorithm-selecting engine (collective.h): binomial-tree and
+// chunked-pipelined broadcast, zero-copy tree reduce, recursive-halving
+// reduce_scatter, recursive-doubling / ring allgather, and Rabenseifner
+// allreduce — the catalogue the paper's Sec. IV sockets->MPI migration
+// leans on. Every algorithm has a *fixed* combine order, which keeps every
+// reduction bitwise deterministic at a given rank count — the property
+// behind the paper's "no loss in accuracy" claim for the distributed
+// implementation.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
+#include "simmpi/collective.h"
 #include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
 #include "simmpi/message.h"
@@ -25,8 +33,9 @@
 
 namespace bgqhf::simmpi {
 
-/// Shared state of one job: mailboxes, barrier, per-rank statistics, and
-/// (optionally) a fault injector consulted on every communication op.
+/// Shared state of one job: mailboxes, barrier, per-rank statistics, the
+/// collective tuning policy, and (optionally) a fault injector consulted on
+/// every communication op.
 class World {
  public:
   explicit World(int size);
@@ -44,17 +53,55 @@ class World {
   void install_faults(const FaultConfig& config);
   FaultInjector* faults() noexcept { return faults_.get(); }
 
+  /// Collective algorithm policy shared by every rank (set before
+  /// run_ranks; all ranks must select identically for a collective to
+  /// match up). Defaults honour BGQHF_COLL=naive.
+  const CollectiveTuning& tuning() const noexcept { return tuning_; }
+  void set_tuning(const CollectiveTuning& t) { tuning_ = t; }
+
  private:
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   util::Barrier barrier_;
   std::vector<CommStats> stats_;
   std::unique_ptr<FaultInjector> faults_;
+  CollectiveTuning tuning_ = CollectiveTuning::from_env();
 };
 
 /// Reserved internal tag space for collectives (user tags must be >= 0,
 /// matching MPI's requirement).
 inline constexpr int kCollectiveTagBase = -1000;
+inline constexpr int kTagGather = kCollectiveTagBase - 1;
+inline constexpr int kTagScatter = kCollectiveTagBase - 2;
+inline constexpr int kTagReduce = kCollectiveTagBase - 3;
+inline constexpr int kTagBcastTree = kCollectiveTagBase - 4;
+inline constexpr int kTagBcastFlat = kCollectiveTagBase - 5;
+inline constexpr int kTagGatherFor = kCollectiveTagBase - 6;
+inline constexpr int kTagBcastChunk = kCollectiveTagBase - 7;
+inline constexpr int kTagReduceScatter = kCollectiveTagBase - 8;
+inline constexpr int kTagAllgather = kCollectiveTagBase - 9;
+inline constexpr int kTagRedistribute = kCollectiveTagBase - 10;
+inline constexpr int kTagPairwise = kCollectiveTagBase - 11;
+
+/// Binomial-tree neighbourhood of `rank` for a tree rooted at `root`:
+/// the parent (or -1 at the root) and the children in the order the seed
+/// broadcast forwards to them (descending subtree size).
+struct TreeShape {
+  int parent = -1;
+  std::vector<int> children;
+};
+
+inline TreeShape binomial_shape(int rank, int root, int n) {
+  TreeShape s;
+  const int rel = ((rank - root) % n + n) % n;
+  int mask = 1;
+  while (mask < n && (rel & mask) == 0) mask <<= 1;
+  if (rel != 0) s.parent = (rel - mask + root) % n;
+  for (int m = mask >> 1; m > 0; m >>= 1) {
+    if (rel + m < n) s.children.push_back((rel + m + root) % n);
+  }
+  return s;
+}
 
 class Comm {
  public:
@@ -63,6 +110,7 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return world_->size(); }
   CommStats& stats() { return world_->stats(rank_); }
+  const CollectiveTuning& tuning() const { return world_->tuning(); }
 
   // ---- point to point ----
 
@@ -100,7 +148,7 @@ class Comm {
     if (n > out.size()) {
       throw std::length_error("simmpi: recv_into buffer too small");
     }
-    if (n > 0) std::memcpy(out.data(), m.payload->data(), n * sizeof(T));
+    if (n > 0) std::memcpy(out.data(), m.payload.data(), n * sizeof(T));
     return n;
   }
 
@@ -191,64 +239,102 @@ class Comm {
 
   void barrier();
 
-  /// Broadcast `data` (resized on non-roots) via a binomial tree rooted at
-  /// `root` — the MPI_Bcast path the paper migrated weight sync onto.
+  /// Broadcast `data` (resized on non-roots). The root picks binomial or
+  /// chunked-pipelined from the payload size (tuning thresholds) and
+  /// announces the choice in a small header that flows down the same tree,
+  /// so non-roots never need to know the size in advance.
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    check_rank(root);
-    std::shared_ptr<const std::vector<std::byte>> buf;
-    if (rank_ == root) {
-      buf = std::make_shared<const std::vector<std::byte>>(
-          as_bytes_copy(std::span<const T>(data)));
-    }
-    buf = bcast_bytes(std::move(buf), root);
-    if (rank_ != root) {
-      data.resize(buf->size() / sizeof(T));
-      if (!data.empty()) {
-        std::memcpy(data.data(), buf->data(), buf->size());
-      }
-    }
+    util::Timer t;
+    bcast_impl(data, root, Deadline::never(), tuning().bcast);
+    stats().add_op(CollOp::kBcast, data.size() * sizeof(T), t.seconds());
+  }
+
+  /// bcast() with a deadline: receivers throw TimeoutError if their
+  /// upstream payload does not arrive within `timeout_seconds`. Defaults
+  /// to the flat star topology: a dead rank in the middle of a tree
+  /// silently starves its whole subtree, whereas a star attributes every
+  /// stall to exactly one peer — which is what the TimeoutError
+  /// (rank, source, tag) contract requires. Forcing a tree algorithm in
+  /// the tuning keeps the deadline but attributes a timeout to the tree
+  /// parent instead.
+  template <typename T>
+  void bcast_for(std::vector<T>& data, int root, double timeout_seconds) {
+    util::Timer t;
+    const BcastAlgo algo = tuning().bcast == BcastAlgo::kAuto
+                               ? BcastAlgo::kFlat
+                               : tuning().bcast;
+    bcast_impl(data, root, Deadline::in(timeout_seconds), algo);
+    stats().add_op(CollOp::kBcast, data.size() * sizeof(T), t.seconds());
   }
 
   /// Element-wise sum reduction to `root`. All ranks pass vectors of equal
-  /// length; on root, `inout` holds the result afterwards. The combine
-  /// order is fixed by the tree (children in increasing stride), so the
-  /// result is independent of thread timing.
+  /// length; on root, `inout` holds the result afterwards (non-roots are
+  /// zero-filled so accidental reads are loud in tests). Every algorithm
+  /// uses a fixed combine order, so the result is independent of thread
+  /// timing; the tree algorithms share one association, mirrored serially
+  /// by PairwiseFold.
   template <typename T>
   void reduce_sum(std::vector<T>& inout, int root) {
-    reduce_impl(inout, root,
-                [](T& a, const T& b) { a += b; });
+    reduce_op<SumOp>(inout, root, Deadline::never(), tuning().reduce);
+  }
+  /// reduce_sum() with a deadline on every internal receive.
+  template <typename T>
+  void reduce_sum_for(std::vector<T>& inout, int root,
+                      double timeout_seconds) {
+    reduce_op<SumOp>(inout, root, Deadline::in(timeout_seconds),
+                     tuning().reduce);
   }
 
-  /// Element-wise max/min reductions (same deterministic tree).
+  /// Element-wise max/min reductions (same deterministic trees).
   template <typename T>
   void reduce_max(std::vector<T>& inout, int root) {
-    reduce_impl(inout, root, [](T& a, const T& b) {
-      if (b > a) a = b;
-    });
+    reduce_op<MaxOp>(inout, root, Deadline::never(), tuning().reduce);
   }
   template <typename T>
   void reduce_min(std::vector<T>& inout, int root) {
-    reduce_impl(inout, root, [](T& a, const T& b) {
-      if (b < a) a = b;
-    });
+    reduce_op<MinOp>(inout, root, Deadline::never(), tuning().reduce);
   }
 
-  /// Allreduce = reduce to rank `root`=0 + bcast.
+  /// Allreduce: every rank ends with the identical elementwise sum.
   template <typename T>
   void allreduce_sum(std::vector<T>& inout) {
-    reduce_sum(inout, 0);
-    bcast(inout, 0);
+    allreduce_op<SumOp>(inout, Deadline::never(), tuning().allreduce);
+  }
+  /// allreduce_sum() with a deadline on every internal receive.
+  template <typename T>
+  void allreduce_sum_for(std::vector<T>& inout, double timeout_seconds) {
+    allreduce_op<SumOp>(inout, Deadline::in(timeout_seconds),
+                        tuning().allreduce);
+  }
+
+  /// Reduce-scatter: element-wise sum of every rank's `contrib`, with rank
+  /// i receiving segment i of the result (SegmentLayout{n, size()}).
+  template <typename T>
+  std::vector<T> reduce_scatter_sum(const std::vector<T>& contrib) {
+    return reduce_scatter_op<SumOp>(contrib, Deadline::never(),
+                                    tuning().reduce_scatter);
+  }
+  /// reduce_scatter_sum() with a deadline on every internal receive.
+  template <typename T>
+  std::vector<T> reduce_scatter_sum_for(const std::vector<T>& contrib,
+                                        double timeout_seconds) {
+    return reduce_scatter_op<SumOp>(contrib, Deadline::in(timeout_seconds),
+                                    tuning().reduce_scatter);
   }
 
   /// Allgather: every rank contributes `mine` (equal sizes) and receives
-  /// the rank-ordered concatenation (gather to 0 + bcast).
+  /// the rank-ordered concatenation.
   template <typename T>
   std::vector<T> allgather(std::span<const T> mine) {
-    std::vector<T> all = gather(mine, 0);
-    bcast(all, 0);
-    return all;
+    return allgather_op(mine, Deadline::never(), tuning().allgather);
+  }
+  /// allgather() with a deadline on every internal receive.
+  template <typename T>
+  std::vector<T> allgather_for(std::span<const T> mine,
+                               double timeout_seconds) {
+    return allgather_op(mine, Deadline::in(timeout_seconds),
+                        tuning().allgather);
   }
 
   /// Gather equal-size contributions to root; root receives them
@@ -258,29 +344,12 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
     util::Timer t;
-    if (rank_ == root) {
-      std::vector<T> all(mine.size() * size());
-      std::copy(mine.begin(), mine.end(),
-                all.begin() + static_cast<std::ptrdiff_t>(rank_ * mine.size()));
-      for (int r = 0; r < size(); ++r) {
-        if (r == rank_) continue;
-        const Message m =
-            recv_message(r, kCollectiveTagBase - 1, /*collective=*/true);
-        if (m.size_bytes() != mine.size() * sizeof(T)) {
-          throw std::length_error("simmpi: gather size mismatch");
-        }
-        if (m.size_bytes() > 0) {
-          std::memcpy(all.data() + static_cast<std::size_t>(r) * mine.size(),
-                      m.payload->data(), m.size_bytes());
-        }
-      }
-      stats().add_collective(all.size() * sizeof(T), t.seconds());
-      return all;
-    }
-    send_bytes(as_bytes_copy(mine), root, kCollectiveTagBase - 1,
-               /*collective=*/true);
-    stats().add_collective(mine.size() * sizeof(T), t.seconds());
-    return {};
+    std::vector<T> all =
+        gather_core(mine, root, Deadline::never(), kTagGather);
+    const std::size_t bytes =
+        (rank_ == root ? all.size() : mine.size()) * sizeof(T);
+    stats().add_op(CollOp::kGather, bytes, t.seconds());
+    return all;
   }
 
   /// Scatter: root holds size()*per elements; each rank gets its slice.
@@ -298,7 +367,7 @@ class Comm {
         if (r == rank_) continue;
         std::span<const T> slice(all.data() + static_cast<std::size_t>(r) * per,
                                  per);
-        send_bytes(as_bytes_copy(slice), r, kCollectiveTagBase - 2,
+        send_bytes(as_bytes_copy(slice), r, kTagScatter,
                    /*collective=*/true);
       }
       std::vector<T> mine(all.begin() + static_cast<std::ptrdiff_t>(
@@ -308,83 +377,30 @@ class Comm {
                                             (static_cast<std::size_t>(rank_) +
                                              1) *
                                             per));
-      stats().add_collective(all.size() * sizeof(T), t.seconds());
+      stats().add_op(CollOp::kScatter, all.size() * sizeof(T), t.seconds());
       return mine;
     }
-    const Message m =
-        recv_message(root, kCollectiveTagBase - 2, /*collective=*/true);
-    stats().add_collective(m.size_bytes(), t.seconds());
+    const Message m = recv_message(root, kTagScatter, /*collective=*/true);
+    stats().add_op(CollOp::kScatter, m.size_bytes(), t.seconds());
     return from_bytes<T>(m);
   }
 
-  // ---- timeout-aware collectives (fault-tolerant protocols) ----
-  //
-  // Flat (star) topology instead of the binomial/binary trees above: a
-  // dead rank in the middle of a tree silently starves its whole subtree,
-  // whereas a star attributes every stall to exactly one peer — which is
-  // what the TimeoutError (rank, source, tag) contract requires. The fold
-  // order on the root is still fixed rank order, so results remain
-  // bitwise deterministic.
-
-  /// bcast() with a deadline: non-roots throw TimeoutError if the root's
-  /// payload does not arrive within `timeout_seconds`.
-  template <typename T>
-  void bcast_for(std::vector<T>& data, int root, double timeout_seconds) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    check_rank(root);
-    util::Timer t;
-    if (rank_ == root) {
-      auto payload = std::make_shared<const std::vector<std::byte>>(
-          as_bytes_copy(std::span<const T>(data)));
-      for (int r = 0; r < size(); ++r) {
-        if (r == rank_) continue;
-        Message m;
-        m.source = rank_;
-        m.tag = kCollectiveTagBase - 5;
-        m.payload = payload;
-        deliver(std::move(m), r);
-      }
-      stats().add_collective(payload->size(), t.seconds());
-      return;
-    }
-    const Message m = recv_message_for(root, kCollectiveTagBase - 5,
-                                       timeout_seconds, /*collective=*/true);
-    data = from_bytes<T>(m);
-    stats().add_collective(m.size_bytes(), t.seconds());
-  }
-
   /// gather() with a deadline: the root throws TimeoutError naming the
-  /// first rank whose contribution fails to arrive in time.
+  /// first rank whose contribution fails to arrive in time. Flat star so
+  /// the stall attributes to exactly one peer (see bcast_for).
   template <typename T>
   std::vector<T> gather_for(std::span<const T> mine, int root,
                             double timeout_seconds) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
     util::Timer t;
-    if (rank_ == root) {
-      std::vector<T> all(mine.size() * static_cast<std::size_t>(size()));
-      std::copy(mine.begin(), mine.end(),
-                all.begin() + static_cast<std::ptrdiff_t>(rank_ * mine.size()));
-      for (int r = 0; r < size(); ++r) {
-        if (r == rank_) continue;
-        const Message m = recv_message_for(r, kCollectiveTagBase - 6,
-                                           timeout_seconds,
-                                           /*collective=*/true);
-        if (m.size_bytes() != mine.size() * sizeof(T)) {
-          throw std::length_error("simmpi: gather_for size mismatch");
-        }
-        if (m.size_bytes() > 0) {
-          std::memcpy(all.data() + static_cast<std::size_t>(r) * mine.size(),
-                      m.payload->data(), m.size_bytes());
-        }
-      }
-      stats().add_collective(all.size() * sizeof(T), t.seconds());
-      return all;
-    }
-    send_bytes(as_bytes_copy(mine), root, kCollectiveTagBase - 6,
-               /*collective=*/true);
-    stats().add_collective(mine.size() * sizeof(T), t.seconds());
-    return {};
+    std::vector<T> all = gather_core(mine, root,
+                                     Deadline::in(timeout_seconds),
+                                     kTagGatherFor);
+    const std::size_t bytes =
+        (rank_ == root ? all.size() : mine.size()) * sizeof(T);
+    stats().add_op(CollOp::kGather, bytes, t.seconds());
+    return all;
   }
 
  private:
@@ -410,16 +426,20 @@ class Comm {
       throw std::length_error("simmpi: payload not a multiple of sizeof(T)");
     }
     std::vector<T> out(nbytes / sizeof(T));
-    if (nbytes > 0) std::memcpy(out.data(), m.payload->data(), nbytes);
+    if (nbytes > 0) std::memcpy(out.data(), m.payload.data(), nbytes);
     return out;
   }
 
   void send_bytes(std::vector<std::byte> bytes, int dest, int tag,
                   bool collective);
+  /// Enqueue a payload (no per-message stats; collective internals).
+  void send_payload(Payload p, int dest, int tag);
   Message recv_message(int source, int tag, bool collective);
   /// recv_message with a deadline; throws TimeoutError on expiry.
   Message recv_message_for(int source, int tag, double timeout_seconds,
                            bool collective);
+  /// Collective-internal receive honouring a (possibly infinite) deadline.
+  Message recv_coll(int source, int tag, const Deadline& dl);
   /// Route one message through the fault injector (if armed) into the
   /// destination mailbox. All delivery paths funnel through here.
   void deliver(Message m, int dest);
@@ -427,44 +447,669 @@ class Comm {
   void fault_op() {
     if (FaultInjector* f = world_->faults()) f->on_op(rank_);
   }
-  std::shared_ptr<const std::vector<std::byte>> bcast_bytes(
-      std::shared_ptr<const std::vector<std::byte>> buf, int root);
 
-  template <typename T, typename Combine>
-  void reduce_impl(std::vector<T>& inout, int root, Combine combine) {
+  // ---- broadcast engine ----
+
+  template <typename T>
+  void bcast_impl(std::vector<T>& data, int root, const Deadline& dl,
+                  BcastAlgo forced) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
-    util::Timer t;
-    // Binary-tree reduce on ranks relative to root.
+    const int n = size();
+    if (n == 1) return;
+
+    if (forced == BcastAlgo::kFlat) {
+      if (rank_ == root) {
+        Payload p(as_bytes_copy(std::span<const T>(data)));
+        for (int r = 0; r < n; ++r) {
+          if (r != rank_) send_payload(p, r, kTagBcastFlat);
+        }
+      } else {
+        const Message m = recv_coll(root, kTagBcastFlat, dl);
+        data = from_bytes<T>(m);
+      }
+      return;
+    }
+
+    // Tree algorithms share one wire shape: a 16-byte header (total bytes,
+    // chunk bytes) flows down the binomial tree, then ceil(total/chunk)
+    // payload chunks follow on the same tree. Binomial is the one-chunk
+    // special case; only the root needs the size to pick the algorithm.
+    const TreeShape shape = binomial_shape(rank_, root, n);
+    Payload whole;
+    std::uint64_t hdr[2] = {0, 0};
+    Payload hdr_payload;
+    if (rank_ == root) {
+      whole = Payload(as_bytes_copy(std::span<const T>(data)));
+      BcastAlgo algo = forced;
+      if (algo == BcastAlgo::kAuto) {
+        algo = select_bcast(tuning(), n, whole.size());
+      }
+      std::size_t chunk = whole.size();
+      if (algo == BcastAlgo::kPipelined) {
+        chunk = tuning().bcast_chunk_bytes;
+      }
+      if (chunk == 0) chunk = 1;
+      hdr[0] = whole.size();
+      hdr[1] = chunk;
+      std::vector<std::byte> hb(sizeof(hdr));
+      std::memcpy(hb.data(), hdr, sizeof(hdr));
+      hdr_payload = Payload(std::move(hb));
+    } else {
+      const Message m = recv_coll(shape.parent, kTagBcastTree, dl);
+      if (m.size_bytes() != sizeof(hdr)) {
+        throw std::length_error("simmpi: bcast header size mismatch");
+      }
+      std::memcpy(hdr, m.payload.data(), sizeof(hdr));
+      hdr_payload = m.payload;
+    }
+    for (int child : shape.children) {
+      send_payload(hdr_payload, child, kTagBcastTree);
+    }
+
+    const std::size_t total = hdr[0];
+    const std::size_t chunk = hdr[1] == 0 ? 1 : hdr[1];
+    if (rank_ != root) {
+      if (total % sizeof(T) != 0) {
+        throw std::length_error(
+            "simmpi: payload not a multiple of sizeof(T)");
+      }
+      data.resize(total / sizeof(T));
+    }
+    std::byte* dest = reinterpret_cast<std::byte*>(data.data());
+    for (std::size_t off = 0; off < total; off += chunk) {
+      const std::size_t len = total - off < chunk ? total - off : chunk;
+      Payload piece;
+      if (rank_ == root) {
+        piece = whole.view(off, len);
+      } else {
+        const Message m = recv_coll(shape.parent, kTagBcastChunk, dl);
+        if (m.size_bytes() != len) {
+          throw std::length_error("simmpi: bcast chunk size mismatch");
+        }
+        piece = m.payload;
+      }
+      for (int child : shape.children) {
+        send_payload(piece, child, kTagBcastChunk);
+      }
+      if (rank_ != root && len > 0) {
+        std::memcpy(dest + off, piece.data(), len);
+      }
+    }
+  }
+
+  // ---- reduce engine ----
+
+  /// Seed-faithful binary-tree reduce: serialize the partial on every
+  /// hop, deserialize on receive, scalar elementwise combine. Kept as the
+  /// parity reference and the honest pre-PR benchmark baseline.
+  template <typename Op, typename T>
+  void reduce_naive(std::vector<T>& inout, int root, const Deadline& dl) {
     const int n = size();
     const int rel = (rank_ - root + n) % n;
-    const std::size_t bytes = inout.size() * sizeof(T);
     for (int stride = 1; stride < n; stride <<= 1) {
       if (rel % (2 * stride) == stride) {
         const int dest = (rel - stride + root) % n;
         send_bytes(as_bytes_copy(std::span<const T>(inout)), dest,
-                   kCollectiveTagBase - 3, /*collective=*/true);
+                   kTagReduce, /*collective=*/true);
         break;
       }
       if (rel % (2 * stride) == 0 && rel + stride < n) {
         const int src = (rel + stride + root) % n;
-        const Message m =
-            recv_message(src, kCollectiveTagBase - 3, /*collective=*/true);
+        const Message m = recv_coll(src, kTagReduce, dl);
         const std::vector<T> other = from_bytes<T>(m);
         if (other.size() != inout.size()) {
           throw std::length_error("simmpi: reduce size mismatch");
         }
         for (std::size_t i = 0; i < inout.size(); ++i) {
-          combine(inout[i], other[i]);
+          Op::combine_scalar(inout[i], other[i]);
         }
       }
     }
     if (rel != 0) {
-      // Non-roots return with their partial garbage cleared to zero so
-      // accidental reads are loud in tests.
       std::fill(inout.begin(), inout.end(), T{});
     }
-    stats().add_collective(bytes, t.seconds());
+  }
+
+  /// Zero-copy variant of the same tree: the partial *moves* into the
+  /// outgoing payload (no serialization copy) and receivers combine
+  /// straight out of the incoming payload with the dispatched SIMD
+  /// kernels. Identical association to reduce_naive, so bitwise-equal
+  /// results. Returns the total on the root, nullopt elsewhere (the
+  /// caller decides whether to zero-fill; allreduce overwrites instead).
+  template <typename Op, typename T>
+  std::optional<std::vector<T>> tree_reduce_consume(std::vector<T> mine,
+                                                    int root,
+                                                    const Deadline& dl) {
+    const int n = size();
+    const int rel = (rank_ - root + n) % n;
+    const std::size_t count = mine.size();
+    for (int stride = 1; stride < n; stride <<= 1) {
+      if (rel % (2 * stride) == stride) {
+        const int dest = (rel - stride + root) % n;
+        send_payload(Payload::adopt(std::move(mine)), dest, kTagReduce);
+        return std::nullopt;
+      }
+      if (rel % (2 * stride) == 0 && rel + stride < n) {
+        const int src = (rel + stride + root) % n;
+        const Message m = recv_coll(src, kTagReduce, dl);
+        if (m.size_bytes() != count * sizeof(T)) {
+          throw std::length_error("simmpi: reduce size mismatch");
+        }
+        if (count > 0) {
+          Op::combine(mine.data(), m.payload.template as<T>(), count);
+        }
+      }
+    }
+    return mine;
+  }
+
+  /// Non-power-of-two pre-fold shared by the halving/doubling algorithms:
+  /// the first 2*rem even ranks fold their vector into their odd
+  /// neighbour, leaving pof2 active participants with compacted ids.
+  struct PrefoldInfo {
+    bool active = true;
+    int newrank = 0;
+    int pof2 = 1;
+    int rem = 0;
+  };
+  static int rab_real_rank(int newrank, int rem) {
+    return newrank < rem ? 2 * newrank + 1 : newrank + rem;
+  }
+  template <typename Op, typename T>
+  PrefoldInfo prefold_to_pof2(std::vector<T>& mine, const Deadline& dl,
+                              int tag) {
+    const int p = size();
+    PrefoldInfo info;
+    while (info.pof2 * 2 <= p) info.pof2 <<= 1;
+    info.rem = p - info.pof2;
+    if (rank_ < 2 * info.rem) {
+      if ((rank_ & 1) == 0) {
+        send_payload(Payload::adopt(std::move(mine)), rank_ + 1, tag);
+        mine.clear();
+        info.active = false;
+        info.newrank = -1;
+        return info;
+      }
+      const Message m = recv_coll(rank_ - 1, tag, dl);
+      if (m.size_bytes() != mine.size() * sizeof(T)) {
+        throw std::length_error("simmpi: reduce size mismatch");
+      }
+      // The lower slot is the accumulator, matching the convention used
+      // everywhere else in the engine.
+      std::vector<T> acc = from_bytes<T>(m);
+      if (!acc.empty()) Op::combine(acc.data(), mine.data(), acc.size());
+      mine = std::move(acc);
+      info.newrank = rank_ / 2;
+      return info;
+    }
+    info.newrank = rank_ - info.rem;
+    return info;
+  }
+
+  /// Recursive-halving reduce-scatter over `nseg` segments among `nseg`
+  /// participants with ids 0..nseg-1 (nseg a power of two; `rank_of` maps
+  /// ids to real ranks). On exit this id's segment of `buf` is fully
+  /// reduced; returns the owned segment index (== myid).
+  template <typename Op, typename T, typename RankOf>
+  int halving_scatter(std::vector<T>& buf, const SegmentLayout& layout,
+                      int nseg, int myid, RankOf rank_of, const Deadline& dl,
+                      int tag) {
+    int lo = 0;
+    int hi = nseg;
+    for (int dist = nseg / 2; dist >= 1; dist >>= 1) {
+      const int partner = rank_of(myid ^ dist);
+      const int half = (hi - lo) / 2;
+      const bool lower = (myid & dist) == 0;
+      const int keep_lo = lower ? lo : lo + half;
+      const int keep_hi = lower ? lo + half : hi;
+      const int send_lo = lower ? lo + half : lo;
+      const int send_hi = lower ? hi : lo + half;
+      send_payload(
+          Payload::adopt(std::vector<T>(
+              buf.begin() + static_cast<std::ptrdiff_t>(layout.start(send_lo)),
+              buf.begin() +
+                  static_cast<std::ptrdiff_t>(layout.start(send_hi)))),
+          partner, tag);
+      const Message m = recv_coll(partner, tag, dl);
+      const std::size_t len = layout.start(keep_hi) - layout.start(keep_lo);
+      if (m.size_bytes() != len * sizeof(T)) {
+        throw std::length_error("simmpi: reduce_scatter size mismatch");
+      }
+      if (len > 0) {
+        Op::combine(buf.data() + layout.start(keep_lo),
+                    m.payload.template as<T>(), len);
+      }
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+    return lo;
+  }
+
+  /// Recursive-doubling allgather over the same segment space: block
+  /// exchanges double the owned range each round until every participant
+  /// holds all `nseg` segments of `buf`.
+  template <typename T, typename RankOf>
+  void doubling_allgather(std::vector<T>& buf, const SegmentLayout& layout,
+                          int nseg, int myid, RankOf rank_of,
+                          const Deadline& dl, int tag) {
+    for (int dist = 1; dist < nseg; dist <<= 1) {
+      const int partner = rank_of(myid ^ dist);
+      const int my_start = myid & ~(dist - 1);
+      const int p_start = my_start ^ dist;
+      send_payload(
+          Payload::adopt(std::vector<T>(
+              buf.begin() + static_cast<std::ptrdiff_t>(layout.start(my_start)),
+              buf.begin() + static_cast<std::ptrdiff_t>(
+                                layout.start(my_start + dist)))),
+          partner, tag);
+      const Message m = recv_coll(partner, tag, dl);
+      const std::size_t off = layout.start(p_start);
+      const std::size_t len = layout.start(p_start + dist) - off;
+      if (m.size_bytes() != len * sizeof(T)) {
+        throw std::length_error("simmpi: allgather size mismatch");
+      }
+      if (len > 0) {
+        std::memcpy(buf.data() + off, m.payload.data(), len * sizeof(T));
+      }
+    }
+  }
+
+  /// Rabenseifner reduce-to-root: pre-fold to a power of two, recursive
+  /// halving so each active participant owns one fully-reduced segment,
+  /// then gather the segments to the root.
+  template <typename Op, typename T>
+  void reduce_rabenseifner(std::vector<T>& inout, int root,
+                           const Deadline& dl) {
+    const std::size_t count = inout.size();
+    std::vector<T> buf = std::move(inout);
+    const PrefoldInfo info =
+        prefold_to_pof2<Op>(buf, dl, kTagReduceScatter);
+    const SegmentLayout layout{count, info.pof2};
+    const int rem = info.rem;
+    int seg = -1;
+    if (info.active) {
+      seg = halving_scatter<Op>(buf, layout, info.pof2, info.newrank,
+                                [rem](int id) { return rab_real_rank(id, rem); },
+                                dl, kTagReduceScatter);
+    }
+    if (rank_ == root) {
+      inout.assign(count, T{});
+      for (int s = 0; s < info.pof2; ++s) {
+        const int owner = rab_real_rank(s, rem);
+        const std::size_t off = layout.start(s);
+        const std::size_t len = layout.start(s + 1) - off;
+        if (owner == rank_) {
+          if (len > 0) {
+            std::memcpy(inout.data() + off, buf.data() + off,
+                        len * sizeof(T));
+          }
+          continue;
+        }
+        const Message m = recv_coll(owner, kTagRedistribute, dl);
+        if (m.size_bytes() != len * sizeof(T)) {
+          throw std::length_error("simmpi: reduce segment size mismatch");
+        }
+        if (len > 0) {
+          std::memcpy(inout.data() + off, m.payload.data(), len * sizeof(T));
+        }
+      }
+    } else {
+      if (info.active && seg >= 0) {
+        send_payload(Payload::adopt(std::vector<T>(
+                         buf.begin() + static_cast<std::ptrdiff_t>(
+                                           layout.start(seg)),
+                         buf.begin() + static_cast<std::ptrdiff_t>(
+                                           layout.start(seg + 1)))),
+                     root, kTagRedistribute);
+      }
+      inout.assign(count, T{});
+    }
+  }
+
+  /// Rabenseifner allreduce: pre-fold, halving reduce-scatter, doubling
+  /// allgather among the active participants, then hand the full result
+  /// back to the folded-away even ranks.
+  template <typename Op, typename T>
+  void allreduce_rabenseifner(std::vector<T>& inout, const Deadline& dl) {
+    const std::size_t count = inout.size();
+    const PrefoldInfo info =
+        prefold_to_pof2<Op>(inout, dl, kTagReduceScatter);
+    const SegmentLayout layout{count, info.pof2};
+    const int rem = info.rem;
+    if (info.active) {
+      const auto rank_of = [rem](int id) { return rab_real_rank(id, rem); };
+      halving_scatter<Op>(inout, layout, info.pof2, info.newrank, rank_of,
+                          dl, kTagReduceScatter);
+      doubling_allgather(inout, layout, info.pof2, info.newrank, rank_of,
+                         dl, kTagAllgather);
+    }
+    if (rank_ < 2 * info.rem) {
+      if ((rank_ & 1) != 0) {
+        send_payload(Payload(as_bytes_copy(std::span<const T>(inout))),
+                     rank_ - 1, kTagRedistribute);
+      } else {
+        const Message m = recv_coll(rank_ + 1, kTagRedistribute, dl);
+        inout = from_bytes<T>(m);
+        if (inout.size() != count) {
+          throw std::length_error("simmpi: allreduce size mismatch");
+        }
+      }
+    }
+  }
+
+  /// Recursive-doubling allreduce: pre-fold to a power of two, then log P
+  /// full-vector exchange rounds. Both partners combine with the same
+  /// pairing, so (IEEE addition being bitwise commutative) every rank
+  /// finishes with identical bits.
+  template <typename Op, typename T>
+  void allreduce_doubling(std::vector<T>& inout, const Deadline& dl) {
+    const std::size_t count = inout.size();
+    const PrefoldInfo info =
+        prefold_to_pof2<Op>(inout, dl, kTagReduceScatter);
+    if (info.active) {
+      const int rem = info.rem;
+      for (int dist = 1; dist < info.pof2; dist <<= 1) {
+        const int partner = rab_real_rank(info.newrank ^ dist, rem);
+        send_payload(Payload(as_bytes_copy(std::span<const T>(inout))),
+                     partner, kTagAllgather);
+        const Message m = recv_coll(partner, kTagAllgather, dl);
+        if (m.size_bytes() != count * sizeof(T)) {
+          throw std::length_error("simmpi: allreduce size mismatch");
+        }
+        if (count > 0) {
+          Op::combine(inout.data(), m.payload.template as<T>(), count);
+        }
+      }
+    }
+    if (rank_ < 2 * info.rem) {
+      if ((rank_ & 1) != 0) {
+        send_payload(Payload(as_bytes_copy(std::span<const T>(inout))),
+                     rank_ - 1, kTagRedistribute);
+      } else {
+        const Message m = recv_coll(rank_ + 1, kTagRedistribute, dl);
+        inout = from_bytes<T>(m);
+      }
+    }
+  }
+
+  template <typename Op, typename T>
+  void reduce_op(std::vector<T>& inout, int root, const Deadline& dl,
+                 ReduceAlgo forced) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(root);
+    util::Timer t;
+    const std::size_t bytes = inout.size() * sizeof(T);
+    if (size() > 1) {
+      const ReduceAlgo algo =
+          select_reduce(with_reduce(forced), size(), bytes);
+      switch (algo) {
+        case ReduceAlgo::kNaive:
+          reduce_naive<Op>(inout, root, dl);
+          break;
+        case ReduceAlgo::kRabenseifner:
+          reduce_rabenseifner<Op>(inout, root, dl);
+          break;
+        case ReduceAlgo::kTree:
+        case ReduceAlgo::kAuto: {
+          const std::size_t count = inout.size();
+          auto total = tree_reduce_consume<Op>(std::move(inout), root, dl);
+          if (total.has_value()) {
+            inout = std::move(*total);
+          } else {
+            inout.assign(count, T{});
+          }
+          break;
+        }
+      }
+    }
+    stats().add_op(CollOp::kReduce, bytes, t.seconds());
+  }
+
+  template <typename Op, typename T>
+  void allreduce_op(std::vector<T>& inout, const Deadline& dl,
+                    AllreduceAlgo forced) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    util::Timer t;
+    const std::size_t bytes = inout.size() * sizeof(T);
+    if (size() > 1) {
+      const AllreduceAlgo algo =
+          select_allreduce(with_allreduce(forced), size(), bytes);
+      switch (algo) {
+        case AllreduceAlgo::kNaive:
+          reduce_naive<Op>(inout, 0, dl);
+          bcast_impl(inout, 0, dl, BcastAlgo::kBinomial);
+          break;
+        case AllreduceAlgo::kRecursiveDoubling:
+          allreduce_doubling<Op>(inout, dl);
+          break;
+        case AllreduceAlgo::kRabenseifner:
+          allreduce_rabenseifner<Op>(inout, dl);
+          break;
+        case AllreduceAlgo::kTreeBcast:
+        case AllreduceAlgo::kAuto: {
+          auto total = tree_reduce_consume<Op>(std::move(inout), 0, dl);
+          if (total.has_value()) inout = std::move(*total);
+          // Non-roots arrive empty and are resized by the broadcast; the
+          // zero-fill a plain reduce performs would be dead stores here.
+          bcast_impl(inout, 0, dl, BcastAlgo::kBinomial);
+          break;
+        }
+      }
+    }
+    stats().add_op(CollOp::kAllreduce, bytes, t.seconds());
+  }
+
+  template <typename Op, typename T>
+  std::vector<T> reduce_scatter_op(const std::vector<T>& contrib,
+                                   const Deadline& dl,
+                                   ReduceScatterAlgo forced) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    util::Timer t;
+    const int p = size();
+    const SegmentLayout layout{contrib.size(), p};
+    std::vector<T> mine;
+    if (p == 1) {
+      mine = contrib;
+    } else {
+      ReduceScatterAlgo algo = select_reduce_scatter(
+          with_reduce_scatter(forced), p, contrib.size() * sizeof(T));
+      if (algo == ReduceScatterAlgo::kHalving && !is_pow2(p)) {
+        throw std::invalid_argument(
+            "simmpi: halving reduce_scatter needs power-of-two ranks");
+      }
+      switch (algo) {
+        case ReduceScatterAlgo::kNaive: {
+          std::vector<T> tmp = contrib;
+          reduce_naive<Op>(tmp, 0, dl);
+          mine = scatter_segments(tmp, layout, dl);
+          break;
+        }
+        case ReduceScatterAlgo::kHalving: {
+          std::vector<T> buf = contrib;
+          const int seg = halving_scatter<Op>(buf, layout, p, rank_,
+                                              [](int id) { return id; }, dl,
+                                              kTagReduceScatter);
+          mine.assign(buf.begin() + static_cast<std::ptrdiff_t>(
+                                        layout.start(seg)),
+                      buf.begin() + static_cast<std::ptrdiff_t>(
+                                        layout.start(seg + 1)));
+          break;
+        }
+        case ReduceScatterAlgo::kPairwise:
+        case ReduceScatterAlgo::kAuto: {
+          // Pairwise exchange: in round k send the segment owned by
+          // (rank+k) from my contribution and fold in the contribution
+          // from (rank-k). Works for any rank count; the combine order
+          // for my segment is the fixed sequence rank-1, rank-2, ...
+          mine.assign(contrib.begin() + static_cast<std::ptrdiff_t>(
+                                            layout.start(rank_)),
+                      contrib.begin() + static_cast<std::ptrdiff_t>(
+                                            layout.start(rank_ + 1)));
+          for (int k = 1; k < p; ++k) {
+            const int dst = (rank_ + k) % p;
+            const int src = (rank_ - k + p) % p;
+            send_payload(
+                Payload::adopt(std::vector<T>(
+                    contrib.begin() + static_cast<std::ptrdiff_t>(
+                                          layout.start(dst)),
+                    contrib.begin() + static_cast<std::ptrdiff_t>(
+                                          layout.start(dst + 1)))),
+                dst, kTagPairwise);
+            const Message m = recv_coll(src, kTagPairwise, dl);
+            if (m.size_bytes() != mine.size() * sizeof(T)) {
+              throw std::length_error(
+                  "simmpi: reduce_scatter size mismatch");
+            }
+            if (!mine.empty()) {
+              Op::combine(mine.data(), m.payload.template as<T>(),
+                          mine.size());
+            }
+          }
+          break;
+        }
+      }
+    }
+    stats().add_op(CollOp::kReduceScatter, contrib.size() * sizeof(T),
+                   t.seconds());
+    return mine;
+  }
+
+  /// Root distributes the (possibly unequal) segments of `reduced`; every
+  /// rank returns its own segment. Companion of the naive reduce_scatter.
+  template <typename T>
+  std::vector<T> scatter_segments(const std::vector<T>& reduced,
+                                  const SegmentLayout& layout,
+                                  const Deadline& dl) {
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r) {
+        send_payload(
+            Payload::adopt(std::vector<T>(
+                reduced.begin() + static_cast<std::ptrdiff_t>(
+                                      layout.start(r)),
+                reduced.begin() + static_cast<std::ptrdiff_t>(
+                                      layout.start(r + 1)))),
+            r, kTagRedistribute);
+      }
+      return std::vector<T>(reduced.begin(),
+                            reduced.begin() + static_cast<std::ptrdiff_t>(
+                                                  layout.start(1)));
+    }
+    const Message m = recv_coll(0, kTagRedistribute, dl);
+    return from_bytes<T>(m);
+  }
+
+  template <typename T>
+  std::vector<T> allgather_op(std::span<const T> mine, const Deadline& dl,
+                              AllgatherAlgo forced) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    util::Timer t;
+    const int p = size();
+    const std::size_t m = mine.size();
+    std::vector<T> all;
+    if (p == 1) {
+      all.assign(mine.begin(), mine.end());
+    } else {
+      AllgatherAlgo algo =
+          select_allgather(with_allgather(forced), p, m * sizeof(T));
+      if (algo == AllgatherAlgo::kRecursiveDoubling && !is_pow2(p)) {
+        throw std::invalid_argument(
+            "simmpi: recursive-doubling allgather needs power-of-two ranks");
+      }
+      switch (algo) {
+        case AllgatherAlgo::kNaive:
+          all = gather_core(mine, 0, dl, kTagGather);
+          bcast_impl(all, 0, dl, BcastAlgo::kBinomial);
+          break;
+        case AllgatherAlgo::kRecursiveDoubling: {
+          const SegmentLayout layout{m * static_cast<std::size_t>(p), p};
+          all.assign(m * static_cast<std::size_t>(p), T{});
+          std::copy(mine.begin(), mine.end(),
+                    all.begin() + static_cast<std::ptrdiff_t>(
+                                      layout.start(rank_)));
+          doubling_allgather(all, layout, p, rank_,
+                             [](int id) { return id; }, dl, kTagAllgather);
+          break;
+        }
+        case AllgatherAlgo::kRing:
+        case AllgatherAlgo::kAuto: {
+          // Ring: P-1 neighbour shifts. The received payload is relayed
+          // onward untouched, so each block is serialized exactly once.
+          all.assign(m * static_cast<std::size_t>(p), T{});
+          std::copy(mine.begin(), mine.end(),
+                    all.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(rank_) * m));
+          const int next = (rank_ + 1) % p;
+          const int prev = (rank_ - 1 + p) % p;
+          Payload relay =
+              Payload::adopt(std::vector<T>(mine.begin(), mine.end()));
+          for (int k = 0; k < p - 1; ++k) {
+            send_payload(relay, next, kTagAllgather);
+            const Message msg = recv_coll(prev, kTagAllgather, dl);
+            if (msg.size_bytes() != m * sizeof(T)) {
+              throw std::length_error("simmpi: allgather size mismatch");
+            }
+            const int block = (rank_ - 1 - k + 2 * p) % p;
+            if (m > 0) {
+              std::memcpy(all.data() + static_cast<std::size_t>(block) * m,
+                          msg.payload.data(), m * sizeof(T));
+            }
+            relay = msg.payload;
+          }
+          break;
+        }
+      }
+    }
+    stats().add_op(CollOp::kAllgather, all.size() * sizeof(T), t.seconds());
+    return all;
+  }
+
+  /// Star gather used by gather()/gather_for() and the naive allgather.
+  template <typename T>
+  std::vector<T> gather_core(std::span<const T> mine, int root,
+                             const Deadline& dl, int tag) {
+    if (rank_ == root) {
+      std::vector<T> all(mine.size() * static_cast<std::size_t>(size()));
+      std::copy(mine.begin(), mine.end(),
+                all.begin() + static_cast<std::ptrdiff_t>(rank_ * mine.size()));
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        const Message m = recv_coll(r, tag, dl);
+        if (m.size_bytes() != mine.size() * sizeof(T)) {
+          throw std::length_error("simmpi: gather size mismatch");
+        }
+        if (m.size_bytes() > 0) {
+          std::memcpy(all.data() + static_cast<std::size_t>(r) * mine.size(),
+                      m.payload.data(), m.size_bytes());
+        }
+      }
+      return all;
+    }
+    send_bytes(as_bytes_copy(mine), root, tag, /*collective=*/true);
+    return {};
+  }
+
+  // Merge a per-call forced algorithm into this world's tuning so the
+  // select_* helpers see exactly one source of truth.
+  CollectiveTuning with_reduce(ReduceAlgo a) const {
+    CollectiveTuning t = tuning();
+    if (a != ReduceAlgo::kAuto) t.reduce = a;
+    return t;
+  }
+  CollectiveTuning with_allreduce(AllreduceAlgo a) const {
+    CollectiveTuning t = tuning();
+    if (a != AllreduceAlgo::kAuto) t.allreduce = a;
+    return t;
+  }
+  CollectiveTuning with_allgather(AllgatherAlgo a) const {
+    CollectiveTuning t = tuning();
+    if (a != AllgatherAlgo::kAuto) t.allgather = a;
+    return t;
+  }
+  CollectiveTuning with_reduce_scatter(ReduceScatterAlgo a) const {
+    CollectiveTuning t = tuning();
+    if (a != ReduceScatterAlgo::kAuto) t.reduce_scatter = a;
+    return t;
   }
 
   World* world_;

@@ -55,14 +55,16 @@ FaultAction FaultInjector::on_send(int source, Message& m) {
     action = FaultAction::kCorrupt;
     ++state.log.corruptions;
     // Flip one bit at a seeded offset in a private copy: payloads are
-    // shared between mailboxes (bcast fan-out), so mutating in place
-    // would corrupt every recipient instead of this delivery.
-    auto corrupted = std::make_shared<std::vector<std::byte>>(*m.payload);
+    // shared between mailboxes (bcast fan-out and tree-reduce views), so
+    // mutating in place would corrupt every recipient instead of this
+    // delivery.
+    std::vector<std::byte> corrupted(m.payload.data(),
+                                     m.payload.data() + m.size_bytes());
     const std::size_t bit =
         static_cast<std::size_t>(offset_draw *
                                  static_cast<double>(m.size_bytes() * 8));
-    (*corrupted)[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
-    m.payload = std::move(corrupted);
+    corrupted[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    m.payload = Payload(std::move(corrupted));
   } else if (delay_draw < config_.delay_probability) {
     action = FaultAction::kDelay;
     ++state.log.delays;

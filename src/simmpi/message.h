@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace bgqhf::simmpi {
@@ -11,17 +14,81 @@ namespace bgqhf::simmpi {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Immutable, type-erased byte buffer with shared ownership.
+///
+/// Three properties the collective engine needs that a plain
+/// shared_ptr<vector<byte>> cannot give:
+///   * adopt(): a rank's vector<T> moves into the payload without a
+///     serialization copy — tree reduces forward their partials for free;
+///   * shared fan-out: a broadcast enqueues one buffer to many mailboxes;
+///   * view(): a sub-range aliases the owner, so a chunked pipelined bcast
+///     slices one buffer into segments without copying per chunk.
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Take ownership of raw bytes (the classic serialize-then-send path).
+  explicit Payload(std::vector<std::byte> bytes) {
+    auto owned = std::make_shared<std::vector<std::byte>>(std::move(bytes));
+    data_ = owned->data();
+    size_ = owned->size();
+    owner_ = std::move(owned);
+  }
+
+  /// Move a typed vector into the payload with no copy. T must be
+  /// trivially copyable; the bytes are the vector's object representation.
+  template <typename T>
+  static Payload adopt(std::vector<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Payload p;
+    auto owned = std::make_shared<std::vector<T>>(std::move(data));
+    p.data_ = reinterpret_cast<const std::byte*>(owned->data());
+    p.size_ = owned->size() * sizeof(T);
+    p.owner_ = std::move(owned);
+    return p;
+  }
+
+  const std::byte* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// A payload aliasing [offset, offset + bytes) of this one. Shares the
+  /// owner, so the parent buffer stays alive as long as any view does.
+  Payload view(std::size_t offset, std::size_t bytes) const {
+    if (offset + bytes > size_) {
+      throw std::length_error("simmpi: payload view out of range");
+    }
+    Payload p;
+    p.owner_ = owner_;
+    p.data_ = data_ + offset;
+    p.size_ = bytes;
+    return p;
+  }
+
+  /// Reinterpret the bytes as a T array (size() / sizeof(T) elements).
+  /// Valid for trivially copyable T; buffers originate from vector<T> or
+  /// vector<byte>, both of which operator new aligns for any scalar type.
+  template <typename T>
+  const T* as() const noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// A buffered message: payload bytes plus the envelope used for matching.
-/// Payloads are shared_ptr so a broadcast can enqueue one buffer to many
+/// Payloads are shared so a broadcast can enqueue one buffer to many
 /// mailboxes without copying per destination.
 struct Message {
   int source = 0;
   int tag = 0;
-  std::shared_ptr<const std::vector<std::byte>> payload;
+  Payload payload;
 
-  std::size_t size_bytes() const {
-    return payload == nullptr ? 0 : payload->size();
-  }
+  std::size_t size_bytes() const { return payload.size(); }
 };
 
 /// Receive status (source/tag of the matched message, byte count).

@@ -3,13 +3,57 @@
 // The paper's Figures 4–5 split MPI time into collective vs. point-to-point
 // per function; the functional runtime keeps the same split (bytes, calls,
 // blocked wall time) so small functional runs can be cross-checked against
-// the analytic communication model.
+// the analytic communication model. Collective time is additionally broken
+// down by operation type (bcast/reduce/allreduce/...), which is what the
+// measured Fig. 4/5 MPI breakdowns report.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <string>
 
 namespace bgqhf::simmpi {
+
+/// Collective operation classes tracked separately in CommStats.
+enum class CollOp {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kReduceScatter,
+  kAllgather,
+  kGather,
+  kScatter,
+};
+inline constexpr std::size_t kNumCollOps = 8;
+
+inline const char* to_string(CollOp op) {
+  switch (op) {
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kReduceScatter: return "reduce_scatter";
+    case CollOp::kAllgather: return "allgather";
+    case CollOp::kGather: return "gather";
+    case CollOp::kScatter: return "scatter";
+  }
+  return "?";
+}
+
+/// Accounting for one collective op class.
+struct OpStats {
+  std::size_t calls = 0;
+  std::size_t bytes = 0;
+  double seconds = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    calls += o.calls;
+    bytes += o.bytes;
+    seconds += o.seconds;
+    return *this;
+  }
+};
 
 struct CommStats {
   std::size_t p2p_messages = 0;
@@ -19,6 +63,8 @@ struct CommStats {
   std::size_t collective_calls = 0;
   std::size_t collective_bytes = 0;
   double collective_seconds = 0;
+
+  std::array<OpStats, kNumCollOps> per_op{};
 
   void add_p2p(std::size_t bytes, double seconds) {
     ++p2p_messages;
@@ -30,6 +76,18 @@ struct CommStats {
     collective_bytes += bytes;
     collective_seconds += seconds;
   }
+  /// One collective call attributed to its op class (also counted in the
+  /// aggregate collective_* fields).
+  void add_op(CollOp op, std::size_t bytes, double seconds) {
+    add_collective(bytes, seconds);
+    OpStats& s = per_op[static_cast<std::size_t>(op)];
+    ++s.calls;
+    s.bytes += bytes;
+    s.seconds += seconds;
+  }
+  const OpStats& op(CollOp o) const {
+    return per_op[static_cast<std::size_t>(o)];
+  }
 
   CommStats& operator+=(const CommStats& o) {
     p2p_messages += o.p2p_messages;
@@ -38,6 +96,7 @@ struct CommStats {
     collective_calls += o.collective_calls;
     collective_bytes += o.collective_bytes;
     collective_seconds += o.collective_seconds;
+    for (std::size_t i = 0; i < kNumCollOps; ++i) per_op[i] += o.per_op[i];
     return *this;
   }
 };

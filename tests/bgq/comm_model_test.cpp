@@ -72,6 +72,56 @@ TEST(CommModel, HierarchicalGatherGrowsWithScaleSublinearly) {
   EXPECT_LT(g2, 8.5 * g1);    // but 2-level aggregation keeps it bounded
 }
 
+TEST(CommModel, AllreduceSelectsTreeSmallRabenseifnerLarge) {
+  // The size-based selection table: latency-optimal algorithms for short
+  // vectors (the torus' hardware tree, a software cluster's recursive
+  // doubling), bandwidth-optimal reduce_scatter+allgather for long ones —
+  // matching the simmpi engine's CollectiveTuning story.
+  const CommModel torus(bgq_racks(1), 1024, 1);
+  EXPECT_STREQ(torus.allreduce_algorithm(64), "tree+bcast");
+  EXPECT_STREQ(torus.allreduce_algorithm(kWeights), "rabenseifner");
+  const CommModel ethernet(intel_cluster(1024), 1024, 1);
+  EXPECT_STREQ(ethernet.allreduce_algorithm(64), "recursive-doubling");
+  EXPECT_STREQ(ethernet.allreduce_algorithm(kWeights), "rabenseifner");
+}
+
+TEST(CommModel, AllreduceNeverWorseThanTreeComposition) {
+  const CommModel comm(bgq_racks(1), 1024, 1);
+  for (const std::size_t bytes : {std::size_t{64}, std::size_t{1} << 16,
+                                  std::size_t{1} << 22, kWeights}) {
+    EXPECT_LE(comm.allreduce_seconds(bytes),
+              comm.reduce_seconds(bytes) + comm.bcast_seconds(bytes));
+  }
+}
+
+TEST(CommModel, RabenseifnerAdvantageBiggerOnEthernet) {
+  // The store-and-forward binomial tree moves depth*N bytes; halving +
+  // doubling move ~2N. The torus tree is hardware-pipelined, so the
+  // relative win there is modest.
+  const CommModel torus(bgq_racks(1), 1024, 1);
+  MachineSpec eth = intel_cluster(1024);
+  const CommModel ethernet(eth, 1024, 1);
+  const double torus_gain =
+      (torus.reduce_seconds(kWeights) + torus.bcast_seconds(kWeights)) /
+      torus.allreduce_seconds(kWeights);
+  const double eth_gain = (ethernet.reduce_seconds(kWeights) +
+                           ethernet.bcast_seconds(kWeights)) /
+                          ethernet.allreduce_seconds(kWeights);
+  EXPECT_GT(eth_gain, torus_gain);
+  EXPECT_GT(eth_gain, 2.0);
+}
+
+TEST(CommModel, ReduceScatterAndAllgatherGrowWithPayload) {
+  const CommModel comm(bgq_racks(1), 1024, 1);
+  EXPECT_LT(comm.reduce_scatter_seconds(1 << 10),
+            comm.reduce_scatter_seconds(kWeights));
+  EXPECT_LT(comm.allgather_seconds(1 << 10),
+            comm.allgather_seconds(kWeights));
+  // reduce_scatter pays the combine arithmetic allgather does not.
+  EXPECT_GT(comm.reduce_scatter_seconds(kWeights),
+            comm.allgather_seconds(kWeights));
+}
+
 TEST(CommModel, BarrierIsLatencyOnly) {
   const CommModel comm(bgq_racks(1), 1024, 1);
   EXPECT_LT(comm.barrier_seconds(), comm.bcast_seconds(kWeights));

@@ -32,7 +32,7 @@ TEST(Fault, PopForReturnsQueuedMessage) {
   Message m;
   m.source = 0;
   m.tag = 3;
-  m.payload = std::make_shared<const std::vector<std::byte>>(4, std::byte{1});
+  m.payload = Payload(std::vector<std::byte>(4, std::byte{1}));
   world.mailbox(0).push(std::move(m));
   const auto got =
       world.mailbox(0).pop_for(0, 3, std::chrono::duration<double>(1.0));
