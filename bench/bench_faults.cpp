@@ -9,11 +9,14 @@
 #include <cstdio>
 #include <string>
 
+#include "figures_common.h"
 #include "hf/trainer.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgqhf;
+  using namespace bgqhf::bench;
+  const ObsCli obs_cli = ObsCli::from_args(argc, argv);
 
   hf::TrainerConfig base;
   base.workers = 4;
@@ -39,6 +42,8 @@ int main() {
   collective.ft = hf::FtOptions{};
   const hf::TrainOutcome reference = hf::train_distributed(collective);
 
+  obs_cli.begin();
+  obs::Registry run_metrics;
   util::Table table({"injected kills", "excluded", "total (s)",
                      "s / iteration", "final heldout loss"});
   for (const int kills : {0, 1, 2}) {
@@ -48,6 +53,7 @@ int main() {
     if (kills >= 1) cfg.faults.kills.push_back({/*rank=*/2, /*after_ops=*/40});
     if (kills >= 2) cfg.faults.kills.push_back({/*rank=*/4, /*after_ops=*/70});
     const hf::TrainOutcome out = hf::train_distributed(cfg);
+    run_metrics += run_registry(out);
 
     std::string excluded;
     for (const int r : out.excluded_workers) {
@@ -74,5 +80,6 @@ int main() {
       "and removes that worker's shard; survivor reweighting keeps the\n"
       "remaining sums unbiased, so the loss degrades only with the lost\n"
       "data fraction, not with protocol corruption.\n");
+  obs_cli.finish(run_metrics);
   return 0;
 }

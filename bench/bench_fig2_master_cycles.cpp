@@ -9,9 +9,10 @@
 
 #include "figures_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgqhf;
   using namespace bgqhf::bench;
+  const ObsCli obs_cli = ObsCli::from_args(argc, argv);
 
   const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
   for (const ConfigTriple& c : breakdown_configs()) {
@@ -45,5 +46,14 @@ int main() {
              1)});
   }
   std::printf("%s", trend.render().c_str());
+
+  // Measured counterpart: a really-executed small HF run, with the master's
+  // per-phase wall time read back from the obs registry under the same row
+  // labels the model tables chart.
+  obs_cli.begin();
+  const hf::TrainOutcome out = hf::train_distributed(measured_run_config(4));
+  print_header("Measured master phases, functional run (4 workers)");
+  std::printf("%s", phase_table(out.master_phases).render().c_str());
+  obs_cli.finish(run_registry(out));
   return 0;
 }

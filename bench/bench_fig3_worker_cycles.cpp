@@ -10,9 +10,10 @@
 
 #include "figures_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgqhf;
   using namespace bgqhf::bench;
+  const ObsCli obs_cli = ObsCli::from_args(argc, argv);
 
   const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
   for (const ConfigTriple& c : breakdown_configs()) {
@@ -48,5 +49,15 @@ int main() {
                           1)});
   }
   std::printf("%s", trend.render().c_str());
+
+  // Measured counterpart: summed worker-side phase wall time from a
+  // really-executed small HF run, via the registry behind PhaseStats.
+  obs_cli.begin();
+  const hf::TrainOutcome out = hf::train_distributed(measured_run_config(4));
+  hf::PhaseStats workers_total;
+  for (const auto& w : out.worker_phases) workers_total += w;
+  print_header("Measured worker phases, summed (4 workers)");
+  std::printf("%s", phase_table(workers_total).render().c_str());
+  obs_cli.finish(run_registry(out));
   return 0;
 }

@@ -9,9 +9,10 @@
 #include "figures_common.h"
 #include "hf/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgqhf;
   using namespace bgqhf::bench;
+  const ObsCli obs_cli = ObsCli::from_args(argc, argv);
 
   const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
   for (const ConfigTriple& c : breakdown_configs()) {
@@ -32,19 +33,12 @@ int main() {
   // Measured counterpart: the collective mix of a really-executed
   // functional HF job, by op type. The reduce row replacing gather is the
   // gather->reduce_sum aggregation migration; weight sync is the bcast row.
-  hf::TrainerConfig cfg;
-  cfg.workers = 4;
-  cfg.corpus.hours = 0.02;
-  cfg.corpus.feature_dim = 12;
-  cfg.corpus.num_states = 5;
-  cfg.corpus.mean_utt_seconds = 1.5;
-  cfg.corpus.seed = 7;
-  cfg.context = 2;
-  cfg.hidden = {24};
-  cfg.hf.max_iterations = 2;
-  cfg.hf.cg.max_iters = 10;
-  const hf::TrainOutcome out = hf::train_distributed(cfg);
+  obs_cli.begin();
+  const hf::TrainOutcome out = hf::train_distributed(measured_run_config(4));
   print_header("Measured collective mix, functional run (4 workers)");
   std::printf("%s", per_op_table(out.comm).render().c_str());
+  print_header("Measured master phases, functional run (4 workers)");
+  std::printf("%s", phase_table(out.master_phases).render().c_str());
+  obs_cli.finish(run_registry(out));
   return 0;
 }

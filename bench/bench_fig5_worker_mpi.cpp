@@ -10,9 +10,10 @@
 #include "figures_common.h"
 #include "hf/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgqhf;
   using namespace bgqhf::bench;
+  const ObsCli obs_cli = ObsCli::from_args(argc, argv);
 
   const bgq::HfWorkload workload = bgq::HfWorkload::paper_50h_ce();
   for (const ConfigTriple& c : breakdown_configs()) {
@@ -33,22 +34,21 @@ int main() {
   // Measured counterpart at two scales: worker traffic is almost entirely
   // collective, and doubling the workers leaves per-op byte totals nearly
   // flat (tree reduce carries one vector per rank, not P at the master).
+  obs_cli.begin();
+  obs::Registry run_metrics;
   for (const int workers : {4, 8}) {
-    hf::TrainerConfig cfg;
-    cfg.workers = workers;
-    cfg.corpus.hours = 0.02;
-    cfg.corpus.feature_dim = 12;
-    cfg.corpus.num_states = 5;
-    cfg.corpus.mean_utt_seconds = 1.5;
-    cfg.corpus.seed = 7;
-    cfg.context = 2;
-    cfg.hidden = {24};
-    cfg.hf.max_iterations = 2;
-    cfg.hf.cg.max_iters = 10;
-    const hf::TrainOutcome out = hf::train_distributed(cfg);
+    const hf::TrainOutcome out =
+        hf::train_distributed(measured_run_config(workers));
     print_header("Measured collective mix, functional run (" +
                  std::to_string(workers) + " workers)");
     std::printf("%s", per_op_table(out.comm).render().c_str());
+    hf::PhaseStats workers_total;
+    for (const auto& w : out.worker_phases) workers_total += w;
+    print_header("Measured worker phases, summed (" +
+                 std::to_string(workers) + " workers)");
+    std::printf("%s", phase_table(workers_total).render().c_str());
+    run_metrics += run_registry(out);
   }
+  obs_cli.finish(run_metrics);
   return 0;
 }

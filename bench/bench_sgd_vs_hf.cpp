@@ -86,7 +86,7 @@ int main() {
     dist.add_row({std::to_string(workers),
                   util::Table::fmt(out.sgd.final_heldout_loss, 4),
                   std::to_string(out.sgd.updates),
-                  util::Table::fmt(out.comm.collective_bytes / 1048576.0, 1),
+                  util::Table::fmt(out.comm.collective_bytes() / 1048576.0, 1),
                   util::Table::fmt(out.seconds, 2)});
   }
   std::printf("%s", dist.render().c_str());
@@ -109,7 +109,7 @@ int main() {
     async.add_row({std::to_string(workers),
                    util::Table::fmt(out.final_heldout_loss, 4),
                    std::to_string(out.updates_applied),
-                   std::to_string(out.comm.p2p_messages),
+                   std::to_string(out.comm.p2p_messages()),
                    util::Table::fmt(out.seconds, 2)});
   }
   std::printf("%s", async.render().c_str());

@@ -60,10 +60,10 @@ int main(int argc, char** argv) {
   std::printf(
       "\nCommunication: %zu p2p msgs (%.2f MB, load_data), %zu collective "
       "calls (%.2f MB, sync_weights + gathers)\n",
-      distributed.comm.p2p_messages,
-      distributed.comm.p2p_bytes / 1048576.0,
-      distributed.comm.collective_calls,
-      distributed.comm.collective_bytes / 1048576.0);
+      distributed.comm.p2p_messages(),
+      distributed.comm.p2p_bytes() / 1048576.0,
+      distributed.comm.collective_calls(),
+      distributed.comm.collective_bytes() / 1048576.0);
 
   // "No loss in accuracy": the serial trajectory over the same shards is
   // bitwise identical.

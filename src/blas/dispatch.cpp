@@ -1,12 +1,12 @@
 #include "blas/dispatch.h"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
+#include <string>
 
 #include "blas/kernels_avx2.h"
 #include "blas/kernels_sse2.h"
 #include "blas/microkernel.h"
+#include "util/config.h"
 #include "util/logging.h"
 
 namespace bgqhf::blas {
@@ -75,16 +75,15 @@ bool cpu_has_avx2_fma() {
 
 KernelKind resolve_from_env() {
   KernelKind chosen = detect_best_kernel();
-  const char* force = std::getenv("BGQHF_FORCE_KERNEL");
-  if (force != nullptr && std::strcmp(force, "auto") != 0 &&
-      force[0] != '\0') {
+  const std::string& force = util::RuntimeEnv::get().force_kernel;
+  if (!force.empty() && force != "auto") {
     KernelKind requested = chosen;
     bool known = true;
-    if (std::strcmp(force, "scalar") == 0) {
+    if (force == "scalar") {
       requested = KernelKind::kScalar;
-    } else if (std::strcmp(force, "sse2") == 0) {
+    } else if (force == "sse2") {
       requested = KernelKind::kSse2;
-    } else if (std::strcmp(force, "avx2") == 0) {
+    } else if (force == "avx2") {
       requested = KernelKind::kAvx2;
     } else {
       known = false;

@@ -8,7 +8,10 @@
 #include "blas/dispatch.h"
 #include "blas/microkernel.h"
 #include "blas/pack.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/memory_pool.h"
+#include "util/timer.h"
 
 namespace bgqhf::blas {
 
@@ -56,6 +59,31 @@ void run_tasks(util::ThreadPool* pool, std::size_t count,
   }
 }
 
+// GEMM scheduler metrics for the measured Table I / Fig. 3 sections:
+// "blas.gemm.seconds" is (calls, accumulated wall time), flops is the
+// nominal 2mnk count. Accumulated through the per-thread global registries
+// because GEMM has no per-rank stats owner.
+obs::HistogramId gemm_seconds_metric() {
+  static const obs::HistogramId id =
+      obs::Schema::global().histogram("blas.gemm.seconds");
+  return id;
+}
+obs::CounterId gemm_flops_metric() {
+  static const obs::CounterId id =
+      obs::Schema::global().counter("blas.gemm.flops");
+  return id;
+}
+
+struct GemmMetricsScope {
+  explicit GemmMetricsScope(std::uint64_t f) : flops(f) {}
+  ~GemmMetricsScope() {
+    obs::global_add(gemm_flops_metric(), flops);
+    obs::global_observe(gemm_seconds_metric(), timer.seconds());
+  }
+  std::uint64_t flops;
+  util::Timer timer;
+};
+
 /// Micro-kernel selection: float goes through the runtime-dispatched
 /// function-pointer table, double through the scalar reference.
 template <typename T>
@@ -82,6 +110,9 @@ void gemm_engine(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
   assert(c.rows == m && c.cols == n);
 
   if (m == 0 || n == 0) return;
+
+  BGQHF_SPAN("gemm", "gemm_engine");
+  GemmMetricsScope metrics(2ull * m * n * k);
 
   if (k == 0 || alpha == T{}) {
     // Degenerate: no k-loop to fold beta into; fall back to a C sweep, then

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/checksum.h"
 
 namespace bgqhf::hf {
@@ -108,6 +110,8 @@ HfIterationLog read_log(Reader& r) {
 }  // namespace
 
 void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path) {
+  BGQHF_SPAN("fault", "checkpoint_save");
+  obs::global_add(obs::Schema::global().counter("hf.checkpoint.saves"));
   Writer w;
   for (const char c : kMagic) w.pod(c);
   w.pod(kVersion);
@@ -146,6 +150,8 @@ void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path) {
 }
 
 TrainerCheckpoint load_checkpoint(const std::string& path) {
+  BGQHF_SPAN("fault", "checkpoint_load");
+  obs::global_add(obs::Schema::global().counter("hf.checkpoint.loads"));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw std::runtime_error("checkpoint: cannot open " + path);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -10,7 +12,8 @@ namespace bgqhf::hf {
 namespace {
 class PhaseTimer {
  public:
-  PhaseTimer(PhaseStats* stats, Phase phase) : stats_(stats), phase_(phase) {}
+  PhaseTimer(PhaseStats* stats, Phase phase)
+      : stats_(stats), phase_(phase), span_(phase_label(phase), "master") {}
   ~PhaseTimer() {
     if (stats_ != nullptr) stats_->add(phase_, timer_.seconds());
   }
@@ -18,8 +21,22 @@ class PhaseTimer {
  private:
   PhaseStats* stats_;
   Phase phase_;
+  obs::Span span_;
   util::Timer timer_;
 };
+
+// FT bookkeeping the fig-4/faults benches report: how often the master
+// waited out a reply, retried, or gave a worker up.
+obs::CounterId ft_retries_metric() {
+  static const obs::CounterId id =
+      obs::Schema::global().counter("hf.ft.retries");
+  return id;
+}
+obs::CounterId ft_excluded_metric() {
+  static const obs::CounterId id =
+      obs::Schema::global().counter("hf.ft.excluded_workers");
+  return id;
+}
 }  // namespace
 
 MasterCompute::MasterCompute(simmpi::Comm& comm, std::size_t num_params,
@@ -49,6 +66,7 @@ void MasterCompute::exclude(int rank, const char* reason) {
   if (!alive_[static_cast<std::size_t>(rank)]) return;
   alive_[static_cast<std::size_t>(rank)] = 0;
   excluded_.push_back(rank);
+  obs::global_add(ft_excluded_metric());
   // A worker that saw a corrupt payload withdraws and leaves a note; the
   // note turns an anonymous timeout into an attributed corruption report.
   if (comm_->probe(rank, kTagFtFailure)) {
@@ -84,6 +102,7 @@ void MasterCompute::ft_send_all(std::span<const float> payload, int tag) {
 }
 
 std::vector<std::vector<std::byte>> MasterCompute::ft_collect_replies() {
+  BGQHF_SPAN("fault", "ft_collect_replies");
   std::vector<std::vector<std::byte>> replies(
       static_cast<std::size_t>(comm_->size()));
   for (int r = 1; r < comm_->size(); ++r) {
@@ -104,9 +123,12 @@ std::vector<std::vector<std::byte>> MasterCompute::ft_collect_replies() {
         }
         break;
       } catch (const simmpi::TimeoutError&) {
-        if (attempt < ft_.max_retries && ft_.verbose) {
-          BGQHF_WARN << "master: no reply from rank " << r << " within "
-                     << timeout << " s, retrying";
+        if (attempt < ft_.max_retries) {
+          obs::global_add(ft_retries_metric());
+          if (ft_.verbose) {
+            BGQHF_WARN << "master: no reply from rank " << r << " within "
+                       << timeout << " s, retrying";
+          }
         }
         timeout *= ft_.backoff;
       }

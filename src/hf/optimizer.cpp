@@ -9,6 +9,7 @@
 #include "blas/level1.h"
 #include "hf/checkpoint.h"
 #include "hf/preconditioner.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -84,6 +85,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
 
   for (std::size_t iter = first_iter; iter <= options_.max_iterations;
        ++iter) {
+    BGQHF_SPAN("hf", "outer_iteration");
     HfIterationLog log;
     log.iteration = iter;
     log.lambda = lm.lambda();
@@ -120,9 +122,12 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
           options_.preconditioner_exponent);
       apply_minv = precond->as_matvec();
     }
-    const CgResult cg =
-        cg_minimize(apply_a, grad, d0, options_.cg,
-                    precond ? &apply_minv : nullptr);
+    CgResult cg;
+    {
+      BGQHF_SPAN("hf", "cg_minimize");
+      cg = cg_minimize(apply_a, grad, d0, options_.cg,
+                       precond ? &apply_minv : nullptr);
+    }
     log.cg_iterations = cg.iterations;
     log.num_iterates = cg.iterates.size();
     log.q_dn = cg.q_values.back();

@@ -6,11 +6,17 @@
 // functional layer: MasterCompute and worker_loop stamp every phase, so
 // small real runs produce measured tables with the same row labels the
 // model-based benches predict at scale.
+//
+// PhaseStats is a thin view over an obs::Registry — each phase is the
+// histogram "hf.phase.<label>" whose (sum, count) is the (seconds, calls)
+// pair the accessors report, and operator+= is Registry::merge. The method
+// API and row labels are unchanged from the struct-of-slots version.
 #pragma once
 
-#include <array>
 #include <cstddef>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace bgqhf::hf {
 
@@ -25,42 +31,39 @@ enum class Phase {
   kCount
 };
 
+/// Stable row label ("load_data", ...) — also the trace-span category and
+/// the suffix of the phase's registry metric name.
+const char* phase_label(Phase phase);
+
 std::string to_string(Phase phase);
 
 class PhaseStats {
  public:
   void add(Phase phase, double seconds) {
-    auto& slot = slots_[index(phase)];
-    slot.seconds += seconds;
-    ++slot.calls;
+    registry_.observe(handle(phase), seconds);
   }
 
-  double seconds(Phase phase) const { return slots_[index(phase)].seconds; }
-  std::size_t calls(Phase phase) const { return slots_[index(phase)].calls; }
-
-  double total_seconds() const {
-    double total = 0.0;
-    for (const auto& slot : slots_) total += slot.seconds;
-    return total;
+  double seconds(Phase phase) const {
+    return registry_.histogram(handle(phase)).sum;
   }
+  std::size_t calls(Phase phase) const {
+    return registry_.histogram(handle(phase)).count;
+  }
+
+  double total_seconds() const;
 
   PhaseStats& operator+=(const PhaseStats& o) {
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      slots_[i].seconds += o.slots_[i].seconds;
-      slots_[i].calls += o.slots_[i].calls;
-    }
+    registry_ += o.registry_;
     return *this;
   }
 
+  /// Underlying metric bundle (named "hf.phase.<label>" histograms) for
+  /// export alongside other registry-sourced measurements.
+  const obs::Registry& registry() const { return registry_; }
+
  private:
-  static std::size_t index(Phase phase) {
-    return static_cast<std::size_t>(phase);
-  }
-  struct Slot {
-    double seconds = 0.0;
-    std::size_t calls = 0;
-  };
-  std::array<Slot, static_cast<std::size_t>(Phase::kCount)> slots_{};
+  static obs::HistogramId handle(Phase phase);
+  obs::Registry registry_;
 };
 
 }  // namespace bgqhf::hf

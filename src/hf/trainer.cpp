@@ -12,6 +12,7 @@
 #include "hf/serial_compute.h"
 #include "hf/worker.h"
 #include "nn/rbm.h"
+#include "obs/span.h"
 #include "simmpi/communicator.h"
 #include "simmpi/fault.h"
 #include "util/logging.h"
@@ -280,15 +281,18 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
       }
       // load_data: ship each worker its shard over point-to-point sends
       // (the phase Figures 2/4 chart as load_data).
-      util::Timer load_timer;
-      for (int w = 0; w < config.workers; ++w) {
-        const auto shard = static_cast<std::size_t>(w);
-        send_dataset(comm, w + 1, shards.train[shard], kTagShardMeta,
-                     kTagShardLabels, kTagShardX);
-        send_dataset(comm, w + 1, shards.heldout[shard], kTagShardHeldMeta,
-                     kTagShardHeldLabels, kTagShardHeldX);
+      {
+        BGQHF_SPAN(phase_label(Phase::kLoadData), "master");
+        util::Timer load_timer;
+        for (int w = 0; w < config.workers; ++w) {
+          const auto shard = static_cast<std::size_t>(w);
+          send_dataset(comm, w + 1, shards.train[shard], kTagShardMeta,
+                       kTagShardLabels, kTagShardX);
+          send_dataset(comm, w + 1, shards.heldout[shard], kTagShardHeldMeta,
+                       kTagShardHeldLabels, kTagShardHeldX);
+        }
+        out.master_phases.add(Phase::kLoadData, load_timer.seconds());
       }
-      out.master_phases.add(Phase::kLoadData, load_timer.seconds());
       MasterCompute compute(comm, shards.net.num_params(),
                             shards.total_train_frames, &out.master_phases,
                             config.ft);
@@ -326,12 +330,15 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
         PhaseStats& phases =
             out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)];
         util::Timer load_timer;
-        speech::Dataset train =
-            recv_dataset(comm, 0, kTagShardMeta, kTagShardLabels, kTagShardX,
-                         startup_timeout);
-        speech::Dataset heldout =
-            recv_dataset(comm, 0, kTagShardHeldMeta, kTagShardHeldLabels,
-                         kTagShardHeldX, startup_timeout);
+        speech::Dataset train, heldout;
+        {
+          BGQHF_SPAN(phase_label(Phase::kLoadData), "worker");
+          train = recv_dataset(comm, 0, kTagShardMeta, kTagShardLabels,
+                               kTagShardX, startup_timeout);
+          heldout = recv_dataset(comm, 0, kTagShardHeldMeta,
+                                 kTagShardHeldLabels, kTagShardHeldX,
+                                 startup_timeout);
+        }
         phases.add(Phase::kLoadData, load_timer.seconds());
         nn::Network net =
             nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);

@@ -4,12 +4,33 @@
 #include <vector>
 
 #include "hf/protocol.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace bgqhf::hf {
 
 namespace {
+
+/// The phase a command's handling is charged to (for both the PhaseStats
+/// stamp and the trace span's category/row label).
+Phase command_phase(Command cmd) {
+  switch (cmd) {
+    case Command::kSetParams:
+      return Phase::kSyncWeights;
+    case Command::kGradient:
+      return Phase::kGradient;
+    case Command::kPrepareCurvature:
+      return Phase::kCurvaturePrepare;
+    case Command::kCurvatureProduct:
+      return Phase::kCurvatureProduct;
+    case Command::kHeldoutLoss:
+      return Phase::kHeldoutLoss;
+    case Command::kShutdown:
+      return Phase::kShutdown;
+  }
+  throw std::logic_error("worker_loop: unknown command");
+}
 
 void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
                             PhaseStats* stats) {
@@ -32,8 +53,10 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
     if (header.size() != 2) {
       throw std::logic_error("worker_loop: malformed command header");
     }
+    const auto cmd = static_cast<Command>(header[0]);
+    obs::Span span(phase_label(command_phase(cmd)), "worker");
     util::Timer timer;
-    switch (static_cast<Command>(header[0])) {
+    switch (cmd) {
       case Command::kSetParams: {
         std::vector<float> theta;
         comm.bcast(theta, 0);
@@ -133,9 +156,11 @@ void worker_loop_ft(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
       withdraw_corrupt("command header");
       return;
     }
+    const auto cmd = static_cast<Command>(header.data[0]);
+    obs::Span span(phase_label(command_phase(cmd)), "worker");
     util::Timer timer;
     try {
-      switch (static_cast<Command>(header.data[0])) {
+      switch (cmd) {
       case Command::kSetParams: {
         const FtFrame<float> theta =
             ft_recv_for<float>(comm, 0, kTagFtPayload, ft.command_timeout);

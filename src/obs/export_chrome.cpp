@@ -1,0 +1,432 @@
+#include "obs/export_chrome.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace bgqhf::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Microseconds with ns precision: Chrome's ts/dur unit is µs and accepts
+// fractions.
+std::string micros(std::int64_t ns) {
+  std::ostringstream os;
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10)
+     << static_cast<char>('0' + ns % 10);
+  return os.str();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+
+  // One process_name metadata event per rank labels the swimlanes.
+  std::set<int> ranks;
+  for (const TraceEvent& e : events) ranks.insert(e.rank);
+  for (const int rank : ranks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(rank);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    out += rank < 0 ? "external" : "rank " + std::to_string(rank);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"X\",\"name\":\"";
+    append_escaped(out, e.name == nullptr ? "?" : e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.category == nullptr ? "?" : e.category);
+    out += "\",\"ts\":";
+    out += micros(e.start_ns);
+    out += ",\"dur\":";
+    out += micros(e.end_ns - e.start_ns);
+    out += ",\"pid\":";
+    out += std::to_string(e.rank);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  f << chrome_trace_json(events);
+  if (!f) {
+    throw std::runtime_error("write_chrome_trace: write failed: " + path);
+  }
+}
+
+// ---- mini JSON parser / validator ----
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is(Type t) const { return type == t; }
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    pos_ = 0;
+    error_.clear();
+    if (!parse_value(out)) {
+      error = error_.empty() ? "malformed JSON" : error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_keyword(out);
+    if (c == 'n') return parse_keyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !parse_string(key)) {
+        return fail("expected object key string");
+      }
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                0) {
+              return fail("bad \\u escape");
+            }
+          }
+          // Validation only: keep the escape verbatim rather than decoding
+          // UTF-16.
+          out += "\\u";
+          out.append(text_, pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      return fail("malformed number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("malformed fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+        return fail("malformed exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_keyword(JsonValue& out) {
+    const auto match = [&](const char* kw) {
+      const std::size_t n = std::string(kw).size();
+      if (text_.compare(pos_, n, kw) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail("unknown keyword");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+ChromeTraceSummary invalid(std::string error) {
+  ChromeTraceSummary s;
+  s.error = std::move(error);
+  return s;
+}
+
+}  // namespace
+
+bool json_is_valid(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  return JsonParser(text).parse(value, error);
+}
+
+ChromeTraceSummary validate_chrome_trace(const std::string& text) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).parse(root, error)) {
+    return invalid("not valid JSON: " + error);
+  }
+  if (!root.is(JsonValue::Type::kObject)) {
+    return invalid("top level is not an object");
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is(JsonValue::Type::kArray)) {
+    return invalid("missing traceEvents array");
+  }
+
+  ChromeTraceSummary s;
+  for (const JsonValue& e : events->array) {
+    if (!e.is(JsonValue::Type::kObject)) {
+      return invalid("traceEvents entry is not an object");
+    }
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* name = e.find("name");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (ph == nullptr || !ph->is(JsonValue::Type::kString)) {
+      return invalid("event missing string ph");
+    }
+    if (name == nullptr || !name->is(JsonValue::Type::kString)) {
+      return invalid("event missing string name");
+    }
+    if (pid == nullptr || !pid->is(JsonValue::Type::kNumber) ||
+        tid == nullptr || !tid->is(JsonValue::Type::kNumber)) {
+      return invalid("event missing numeric pid/tid");
+    }
+    if (ph->str == "X") {
+      const JsonValue* ts = e.find("ts");
+      const JsonValue* dur = e.find("dur");
+      if (ts == nullptr || !ts->is(JsonValue::Type::kNumber) ||
+          dur == nullptr || !dur->is(JsonValue::Type::kNumber)) {
+        return invalid("X event missing numeric ts/dur");
+      }
+      if (dur->number < 0) return invalid("X event with negative dur");
+      ++s.num_events;
+      s.pids.insert(static_cast<std::int64_t>(std::llround(pid->number)));
+      s.names.insert(name->str);
+      const JsonValue* cat = e.find("cat");
+      if (cat != nullptr && cat->is(JsonValue::Type::kString)) {
+        s.categories.insert(cat->str);
+      }
+    }
+  }
+  s.valid = true;
+  return s;
+}
+
+ChromeTraceSummary validate_chrome_trace_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return invalid("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return validate_chrome_trace(buf.str());
+}
+
+}  // namespace bgqhf::obs

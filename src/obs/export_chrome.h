@@ -1,0 +1,56 @@
+// Chrome trace-event exporter.
+//
+// Serializes collected spans into the Trace Event Format consumed by
+// about://tracing / Perfetto: one JSON object {"traceEvents": [...]} of
+// "X" (complete) events. simmpi ranks share one process clock, so events
+// from every rank land on a single timeline; rank maps to Chrome's pid and
+// the recording thread to tid, giving one swimlane per rank with a
+// "rank N" label. A small validator (recursive-descent JSON parser plus
+// trace-shape checks) backs the exporter tests and the CI trace leg
+// without any external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bgqhf::obs {
+
+/// Render spans as a Chrome trace-event JSON document. Events keep the
+/// order given (collect_trace() returns start-time order); rank -1 events
+/// (threads outside run_ranks, e.g. the GEMM pool) appear under pid -1.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Write chrome_trace_json() to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// True when `text` is one syntactically valid JSON value (objects,
+/// arrays, strings with escapes, numbers, true/false/null).
+bool json_is_valid(const std::string& text);
+
+/// What the validator saw in a parsed trace document.
+struct ChromeTraceSummary {
+  bool valid = false;        // parsed as JSON *and* shaped like a trace
+  std::string error;         // first failure, empty when valid
+  std::size_t num_events = 0;
+  std::set<std::int64_t> pids;     // distinct pid values (ranks)
+  std::set<std::string> names;     // distinct event names
+  std::set<std::string> categories;
+};
+
+/// Parse and shape-check a Chrome trace document: syntactically valid
+/// JSON, top-level object with a "traceEvents" array, every event an
+/// object carrying string "ph"/"name" and numeric "pid"/"tid", and "X"
+/// events carrying numeric "ts"/"dur".
+ChromeTraceSummary validate_chrome_trace(const std::string& text);
+
+/// validate_chrome_trace() over a file's contents; invalid summary with an
+/// error message if the file cannot be read.
+ChromeTraceSummary validate_chrome_trace_file(const std::string& path);
+
+}  // namespace bgqhf::obs

@@ -1,0 +1,108 @@
+#include "obs/export_table.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace bgqhf::obs {
+
+namespace {
+
+std::string full_precision(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+util::Table metrics_table(const Registry& registry) {
+  util::Table table({"metric", "kind", "count", "value", "min", "max"});
+  for (const MetricSample& s : registry.samples()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        table.add_row({s.name, "counter", std::to_string(s.count), "", "",
+                       ""});
+        break;
+      case MetricKind::kGauge:
+        table.add_row(
+            {s.name, "gauge", "", util::Table::fmt(s.value, 6), "", ""});
+        break;
+      case MetricKind::kHistogram:
+        table.add_row({s.name, "histogram", std::to_string(s.count),
+                       util::Table::fmt(s.value, 6),
+                       util::Table::fmt(s.min, 6),
+                       util::Table::fmt(s.max, 6)});
+        break;
+    }
+  }
+  return table;
+}
+
+std::string metrics_json(const Registry& registry) {
+  std::string out = "{\"metrics\":{";
+  bool first = true;
+  for (const MetricSample& s : registry.samples()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, s.name);
+    out += ":{\"kind\":\"";
+    out += to_string(s.kind);
+    out += '"';
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\"count\":" + std::to_string(s.count);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + full_precision(s.value);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"count\":" + std::to_string(s.count);
+        out += ",\"sum\":" + full_precision(s.value);
+        out += ",\"min\":" + full_precision(s.min);
+        out += ",\"max\":" + full_precision(s.max);
+        break;
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+void write_metrics_json(const std::string& path, const Registry& registry) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    throw std::runtime_error("write_metrics_json: cannot open " + path);
+  }
+  f << metrics_json(registry);
+  if (!f) {
+    throw std::runtime_error("write_metrics_json: write failed: " + path);
+  }
+}
+
+}  // namespace bgqhf::obs

@@ -1,0 +1,26 @@
+// Metrics exporters: aligned text table (bench "measured" sections) and a
+// flat JSON document (--metrics-json) for scripted consumers.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+#include "util/table.h"
+
+namespace bgqhf::obs {
+
+/// Render every touched metric as a util::Table with columns
+/// {"metric", "kind", "count", "value", "min", "max"} in samples() order
+/// (deterministic). Counters leave value/min/max blank; gauges leave
+/// count/min/max blank.
+util::Table metrics_table(const Registry& registry);
+
+/// Flat JSON object: metric name -> {"kind":..., "count":..., ...}.
+/// Keys appear in samples() order; numeric fields use max round-trip
+/// precision so dumps are diffable across runs of identical work.
+std::string metrics_json(const Registry& registry);
+
+/// Write metrics_json() to `path`; throws std::runtime_error on failure.
+void write_metrics_json(const std::string& path, const Registry& registry);
+
+}  // namespace bgqhf::obs

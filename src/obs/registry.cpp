@@ -1,0 +1,299 @@
+#include "obs/registry.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace bgqhf::obs {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---- Schema ----
+
+struct Schema::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::pair<MetricKind, std::uint32_t>, std::less<>>
+      by_name;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+
+  std::uint32_t intern(std::string_view name, MetricKind kind) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) {
+      if (it->second.first != kind) {
+        throw std::logic_error("obs::Schema: metric '" + std::string(name) +
+                               "' already interned as " +
+                               to_string(it->second.first));
+      }
+      return it->second.second;
+    }
+    std::vector<std::string>* names = nullptr;
+    switch (kind) {
+      case MetricKind::kCounter:
+        names = &counter_names;
+        break;
+      case MetricKind::kGauge:
+        names = &gauge_names;
+        break;
+      case MetricKind::kHistogram:
+        names = &histogram_names;
+        break;
+    }
+    const auto index = static_cast<std::uint32_t>(names->size());
+    names->push_back(std::string(name));
+    by_name.emplace(std::string(name), std::make_pair(kind, index));
+    return index;
+  }
+
+  std::string name_of(const std::vector<std::string>& names,
+                      std::uint32_t index) const {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index >= names.size()) {
+      throw std::out_of_range("obs::Schema: unknown metric handle");
+    }
+    return names[index];
+  }
+};
+
+Schema& Schema::global() {
+  // Leaked intentionally: metric handles interned in static initializers
+  // and thread registries flushed at exit must outlive everything.
+  static Schema* schema = new Schema();
+  return *schema;
+}
+
+Schema::Impl& Schema::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+CounterId Schema::counter(std::string_view name) {
+  return CounterId{impl().intern(name, MetricKind::kCounter)};
+}
+GaugeId Schema::gauge(std::string_view name) {
+  return GaugeId{impl().intern(name, MetricKind::kGauge)};
+}
+HistogramId Schema::histogram(std::string_view name) {
+  return HistogramId{impl().intern(name, MetricKind::kHistogram)};
+}
+
+std::string Schema::counter_name(CounterId id) const {
+  return impl().name_of(impl().counter_names, id.index);
+}
+std::string Schema::gauge_name(GaugeId id) const {
+  return impl().name_of(impl().gauge_names, id.index);
+}
+std::string Schema::histogram_name(HistogramId id) const {
+  return impl().name_of(impl().histogram_names, id.index);
+}
+
+std::size_t Schema::num_counters() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().counter_names.size();
+}
+std::size_t Schema::num_gauges() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().gauge_names.size();
+}
+std::size_t Schema::num_histograms() const {
+  std::lock_guard<std::mutex> lock(impl().mu);
+  return impl().histogram_names.size();
+}
+
+// ---- Registry ----
+
+namespace {
+template <typename V>
+void ensure_size(std::vector<V>& v, std::uint32_t index) {
+  if (index >= v.size()) v.resize(index + 1);
+}
+}  // namespace
+
+void Registry::add(CounterId id, std::uint64_t delta) {
+  ensure_size(counters_, id.index);
+  counters_[id.index] += delta;
+}
+
+void Registry::set(GaugeId id, double value) {
+  ensure_size(gauges_, id.index);
+  gauges_[id.index] = GaugeCell{value, true};
+}
+
+void Registry::observe(HistogramId id, double value) {
+  ensure_size(histograms_, id.index);
+  HistogramCell& cell = histograms_[id.index];
+  ++cell.count;
+  cell.sum += value;
+  if (value < cell.min) cell.min = value;
+  if (value > cell.max) cell.max = value;
+}
+
+std::uint64_t Registry::counter(CounterId id) const {
+  return id.index < counters_.size() ? counters_[id.index] : 0;
+}
+
+double Registry::gauge(GaugeId id) const {
+  return id.index < gauges_.size() ? gauges_[id.index].value : 0.0;
+}
+
+bool Registry::gauge_set(GaugeId id) const {
+  return id.index < gauges_.size() && gauges_[id.index].set;
+}
+
+HistogramCell Registry::histogram(HistogramId id) const {
+  return id.index < histograms_.size() ? histograms_[id.index]
+                                       : HistogramCell{};
+}
+
+Registry& Registry::merge(const Registry& other) {
+  if (counters_.size() < other.counters_.size()) {
+    counters_.resize(other.counters_.size());
+  }
+  for (std::size_t i = 0; i < other.counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  for (std::size_t i = 0; i < other.gauges_.size(); ++i) {
+    if (!other.gauges_[i].set) continue;
+    ensure_size(gauges_, static_cast<std::uint32_t>(i));
+    gauges_[i] = other.gauges_[i];
+  }
+  for (std::size_t i = 0; i < other.histograms_.size(); ++i) {
+    const HistogramCell& o = other.histograms_[i];
+    if (o.count == 0) continue;
+    ensure_size(histograms_, static_cast<std::uint32_t>(i));
+    HistogramCell& cell = histograms_[i];
+    cell.count += o.count;
+    cell.sum += o.sum;
+    if (o.min < cell.min) cell.min = o.min;
+    if (o.max > cell.max) cell.max = o.max;
+  }
+  return *this;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::vector<MetricSample> Registry::samples() const {
+  std::vector<MetricSample> out;
+  const Schema& schema = Schema::global();
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] == 0) continue;
+    MetricSample s;
+    s.name = schema.counter_name(CounterId{static_cast<std::uint32_t>(i)});
+    s.kind = MetricKind::kCounter;
+    s.count = counters_[i];
+    out.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (!gauges_[i].set) continue;
+    MetricSample s;
+    s.name = schema.gauge_name(GaugeId{static_cast<std::uint32_t>(i)});
+    s.kind = MetricKind::kGauge;
+    s.value = gauges_[i].value;
+    out.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramCell& cell = histograms_[i];
+    if (cell.count == 0) continue;
+    MetricSample s;
+    s.name =
+        schema.histogram_name(HistogramId{static_cast<std::uint32_t>(i)});
+    s.kind = MetricKind::kHistogram;
+    s.count = cell.count;
+    s.value = cell.sum;
+    s.min = cell.min;
+    s.max = cell.max;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---- per-thread global registries ----
+
+namespace {
+
+// shared_ptr keeps a thread's entry alive after the thread exits, so
+// collect_global() after run_ranks joins still sees every rank's cells.
+struct ThreadEntry {
+  std::mutex mu;
+  Registry reg;
+};
+
+struct GlobalCollector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadEntry>> entries;
+
+  static GlobalCollector& instance() {
+    static GlobalCollector* c = new GlobalCollector();
+    return *c;
+  }
+};
+
+ThreadEntry& thread_entry() {
+  thread_local std::shared_ptr<ThreadEntry> local = [] {
+    auto entry = std::make_shared<ThreadEntry>();
+    GlobalCollector& c = GlobalCollector::instance();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.entries.push_back(entry);
+    return entry;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+void global_add(CounterId id, std::uint64_t delta) {
+  ThreadEntry& e = thread_entry();
+  std::lock_guard<std::mutex> lock(e.mu);
+  e.reg.add(id, delta);
+}
+
+void global_set(GaugeId id, double value) {
+  ThreadEntry& e = thread_entry();
+  std::lock_guard<std::mutex> lock(e.mu);
+  e.reg.set(id, value);
+}
+
+void global_observe(HistogramId id, double value) {
+  ThreadEntry& e = thread_entry();
+  std::lock_guard<std::mutex> lock(e.mu);
+  e.reg.observe(id, value);
+}
+
+Registry collect_global() {
+  GlobalCollector& c = GlobalCollector::instance();
+  std::lock_guard<std::mutex> lock(c.mu);
+  Registry total;
+  for (const auto& entry : c.entries) {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    total.merge(entry->reg);
+  }
+  return total;
+}
+
+void clear_global() {
+  GlobalCollector& c = GlobalCollector::instance();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& entry : c.entries) {
+    std::lock_guard<std::mutex> elock(entry->mu);
+    entry->reg.clear();
+  }
+}
+
+}  // namespace bgqhf::obs

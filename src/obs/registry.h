@@ -1,0 +1,150 @@
+// Process-wide metrics registry: named counters / gauges / histograms with
+// typed handles.
+//
+// The paper's evaluation (Figs. 2-5, Table I) is built entirely on named
+// per-function measurements; this registry is the single source those
+// measured tables now flow through. Names are interned once into a global
+// Schema (a handle is a dense index), while the *values* live in Registry
+// instances — cheap mergeable value types, one per rank / thread / stats
+// struct — so accumulation is a vector-indexed add with no locking, and
+// cross-rank aggregation is Registry::merge (exact for counters and
+// histogram counts; histogram sums merge in the caller's fold order).
+//
+// hf::PhaseStats and simmpi::CommStats are thin views over a Registry:
+// their row labels are the metric names, their operator+= is merge().
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgqhf::obs {
+
+// ---- typed handles ----
+//
+// A handle is a dense index into the global Schema for its kind. Handles
+// are interned once (usually into a function-local static) and copied
+// freely; resolving a name costs a mutex + map lookup, using a handle
+// costs a vector index.
+
+struct CounterId {
+  std::uint32_t index = 0;
+};
+struct GaugeId {
+  std::uint32_t index = 0;
+};
+struct HistogramId {
+  std::uint32_t index = 0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Global name interner. Re-interning an existing name returns the same
+/// handle; interning the same name under two kinds throws.
+class Schema {
+ public:
+  static Schema& global();
+
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  HistogramId histogram(std::string_view name);
+
+  std::string counter_name(CounterId id) const;
+  std::string gauge_name(GaugeId id) const;
+  std::string histogram_name(HistogramId id) const;
+
+  std::size_t num_counters() const;
+  std::size_t num_gauges() const;
+  std::size_t num_histograms() const;
+
+ private:
+  Schema() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// ---- cells ----
+
+/// Histogram summary cell: calls + accumulated value + extrema. `sum` with
+/// `count` is exactly the (seconds, calls) pair the per-phase and per-op
+/// stats tables report.
+struct HistogramCell {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+/// One named metric materialized for export.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value, or histogram call count
+  double value = 0.0;       // gauge value, or histogram sum
+  double min = 0.0;         // histograms only
+  double max = 0.0;         // histograms only
+};
+
+/// Mergeable bundle of metric values. NOT thread-safe: each rank/thread
+/// owns its Registry and aggregation happens by merge() after the fact
+/// (or through the per-thread global registries below).
+class Registry {
+ public:
+  // -- accumulation (lazily grows storage to the handle's index) --
+  void add(CounterId id, std::uint64_t delta = 1);
+  void set(GaugeId id, double value);
+  void observe(HistogramId id, double value);
+
+  // -- reads (untouched cells read as zero / empty) --
+  std::uint64_t counter(CounterId id) const;
+  double gauge(GaugeId id) const;  // 0.0 if never set
+  bool gauge_set(GaugeId id) const;
+  HistogramCell histogram(HistogramId id) const;
+
+  /// Element-wise merge: counters and histogram counts/sums add, extrema
+  /// widen, gauges take `other`'s value when it was set (last write wins).
+  /// Counter and count merges are exact and associative; double sums merge
+  /// with the fold order the caller chooses.
+  Registry& merge(const Registry& other);
+  Registry& operator+=(const Registry& other) { return merge(other); }
+
+  void clear();
+
+  /// Materialize every touched cell with its schema name (counters, then
+  /// gauges, then histograms, each in handle order — deterministic).
+  std::vector<MetricSample> samples() const;
+
+ private:
+  struct GaugeCell {
+    double value = 0.0;
+    bool set = false;
+  };
+  std::vector<std::uint64_t> counters_;
+  std::vector<GaugeCell> gauges_;
+  std::vector<HistogramCell> histograms_;
+};
+
+// ---- per-thread global registries ----
+//
+// Instrumentation that has no natural owner (the GEMM scheduler, checkpoint
+// and FT retry paths) accumulates into a thread-local Registry guarded by a
+// per-thread mutex (uncontended except while a collector snapshot is in
+// flight, so an accumulate is a cheap lock + vector-indexed add). The
+// collector keeps every thread's registry alive past thread exit so
+// collect_global() can merge them after ranks join.
+
+void global_add(CounterId id, std::uint64_t delta = 1);
+void global_set(GaugeId id, double value);
+void global_observe(HistogramId id, double value);
+
+/// Merge of every thread's global registry, in thread-registration order.
+Registry collect_global();
+
+/// Zero every thread's global registry (tests/benches isolating runs).
+void clear_global();
+
+}  // namespace bgqhf::obs

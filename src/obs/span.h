@@ -1,0 +1,60 @@
+// RAII trace spans.
+//
+// BGQHF_SPAN("gemm", "sgemm") stamps the enclosing scope onto the shared
+// timeline when tracing is on; when it is off, constructing a span is one
+// relaxed atomic load and destruction is a null check — no clock reads, no
+// allocations (tests assert zero). Compiling with -DBGQHF_NO_TRACING
+// removes even that: Span becomes an empty type the optimizer deletes.
+#pragma once
+
+#include "obs/trace.h"
+
+namespace bgqhf::obs {
+
+#if defined(BGQHF_NO_TRACING)
+
+class Span {
+ public:
+  Span(const char*, const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#else
+
+class Span {
+ public:
+  /// `category` and `name` must be string literals (or otherwise outlive
+  /// trace collection); spans never copy them.
+  Span(const char* category, const char* name) noexcept {
+    if (tracing_enabled()) {
+      category_ = category;
+      name_ = name;
+      start_ns_ = trace_now_ns();
+    }
+  }
+
+  ~Span() {
+    if (category_ != nullptr) {
+      record_span(category_, name_, start_ns_, trace_now_ns());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+#endif  // BGQHF_NO_TRACING
+
+}  // namespace bgqhf::obs
+
+// Scope macro: BGQHF_SPAN("collective", "bcast");
+#define BGQHF_SPAN_CONCAT2(a, b) a##b
+#define BGQHF_SPAN_CONCAT(a, b) BGQHF_SPAN_CONCAT2(a, b)
+#define BGQHF_SPAN(category, name) \
+  ::bgqhf::obs::Span BGQHF_SPAN_CONCAT(bgqhf_span_, __LINE__)(category, name)

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "util/config.h"
+
+namespace bgqhf::obs {
+
+namespace detail {
+std::atomic<int> g_tracing{-1};
+
+bool tracing_enabled_slow() {
+  // First query resolves BGQHF_TRACE; races are benign (same value).
+  const bool enabled = util::RuntimeEnv::get().trace;
+  int expected = -1;
+  g_tracing.compare_exchange_strong(expected, enabled ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_tracing.load(std::memory_order_relaxed) != 0;
+}
+}  // namespace detail
+
+void set_tracing(bool enabled) {
+  detail::g_tracing.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::int64_t trace_now_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+namespace {
+
+thread_local int t_rank = -1;
+
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // reserved to kTraceCapacity on first push
+  std::size_t dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct TraceCollector {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+
+  static TraceCollector& instance() {
+    static TraceCollector* c = new TraceCollector();
+    return *c;
+  }
+};
+
+ThreadRing& thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> local = [] {
+    auto ring = std::make_shared<ThreadRing>();
+    TraceCollector& c = TraceCollector::instance();
+    std::lock_guard<std::mutex> lock(c.mu);
+    ring->tid = static_cast<std::uint32_t>(c.rings.size());
+    c.rings.push_back(ring);
+    return ring;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+void set_thread_rank(int rank) { t_rank = rank; }
+int thread_rank() { return t_rank; }
+
+void record_span(const char* category, const char* name,
+                 std::int64_t start_ns, std::int64_t end_ns) {
+  ThreadRing& ring = thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() >= kTraceCapacity) {
+    ++ring.dropped;
+    return;
+  }
+  if (ring.events.capacity() == 0) ring.events.reserve(1024);
+  TraceEvent e;
+  e.category = category;
+  e.name = name;
+  e.start_ns = start_ns;
+  e.end_ns = end_ns;
+  e.rank = t_rank;
+  e.tid = ring.tid;
+  ring.events.push_back(e);
+}
+
+std::vector<TraceEvent> collect_trace() {
+  TraceCollector& c = TraceCollector::instance();
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (const auto& ring : c.rings) {
+      std::lock_guard<std::mutex> rlock(ring->mu);
+      all.insert(all.end(), ring->events.begin(), ring->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.tid < b.tid;
+            });
+  return all;
+}
+
+std::size_t trace_dropped() {
+  TraceCollector& c = TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(c.mu);
+  std::size_t total = 0;
+  for (const auto& ring : c.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+void clear_trace() {
+  TraceCollector& c = TraceCollector::instance();
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (const auto& ring : c.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    ring->events.clear();
+    ring->dropped = 0;
+  }
+}
+
+}  // namespace bgqhf::obs

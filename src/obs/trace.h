@@ -1,0 +1,70 @@
+// Low-overhead scoped trace recording.
+//
+// Every thread owns a bounded ring of completed span events; recording is a
+// per-thread mutex (uncontended except during collection) plus a vector
+// write, and when tracing is disabled a span costs exactly one relaxed
+// atomic load — no clock read, no allocation (asserted by test). simmpi
+// ranks are threads sharing one steady clock, so every rank's events live
+// on a single shared timeline and the Chrome exporter just tags them with
+// pid = rank.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace bgqhf::obs {
+
+/// One completed span. `name`/`category` point at string literals supplied
+/// by the instrumentation sites (never freed, never allocated).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;  // relative to the process trace epoch
+  std::int64_t end_ns = 0;
+  int rank = -1;              // simmpi rank, -1 outside run_ranks
+  std::uint32_t tid = 0;      // dense per-thread id (registration order)
+};
+
+namespace detail {
+extern std::atomic<int> g_tracing;  // -1 unresolved, 0 off, 1 on
+bool tracing_enabled_slow();
+}  // namespace detail
+
+/// True when spans should record. Resolves BGQHF_TRACE on first call;
+/// set_tracing() overrides.
+inline bool tracing_enabled() {
+  const int s = detail::g_tracing.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::tracing_enabled_slow();
+}
+
+void set_tracing(bool enabled);
+
+/// Nanoseconds since the process trace epoch (steady clock).
+std::int64_t trace_now_ns();
+
+/// Rank attribution for this thread's subsequent events (run_ranks sets it
+/// on every rank thread; -1 elsewhere, e.g. shared GEMM pool threads).
+void set_thread_rank(int rank);
+int thread_rank();
+
+/// Append a completed span to this thread's ring. Per-thread rings hold
+/// kTraceCapacity events; once full, further events are dropped (and
+/// counted), keeping the head of the run — which is deterministic and
+/// bounded — rather than a moving window.
+inline constexpr std::size_t kTraceCapacity = 1u << 16;
+void record_span(const char* category, const char* name,
+                 std::int64_t start_ns, std::int64_t end_ns);
+
+/// Snapshot of every thread's recorded events, sorted by start time (ties
+/// by rank, tid). Safe to call while other threads record.
+std::vector<TraceEvent> collect_trace();
+
+/// Total events dropped to ring-capacity limits since the last clear.
+std::size_t trace_dropped();
+
+/// Drop all recorded events (benches/tests isolating runs).
+void clear_trace();
+
+}  // namespace bgqhf::obs

@@ -1,6 +1,13 @@
 #include "simmpi/collective.h"
 
+#include "util/config.h"
+
 namespace bgqhf::simmpi {
+
+CollectiveTuning CollectiveTuning::from_env() {
+  if (util::RuntimeEnv::get().coll == "naive") return naive();
+  return CollectiveTuning{};
+}
 
 const char* to_string(BcastAlgo a) {
   switch (a) {

@@ -110,13 +110,10 @@ struct CollectiveTuning {
     return t;
   }
 
-  /// BGQHF_COLL=naive pins the seed algorithms (CI/debug escape hatch);
-  /// anything else (or unset) keeps auto selection.
-  static CollectiveTuning from_env() {
-    const char* v = std::getenv("BGQHF_COLL");
-    if (v != nullptr && std::string(v) == "naive") return naive();
-    return CollectiveTuning{};
-  }
+  /// BGQHF_COLL=naive (via util::RuntimeEnv) pins the seed algorithms
+  /// (CI/debug escape hatch); anything else (or unset) keeps auto
+  /// selection.
+  static CollectiveTuning from_env();
 };
 
 /// Resolve kAuto to a concrete algorithm for this call shape. All ranks

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/span.h"
+
 namespace bgqhf::simmpi {
 
 World::World(int size)
@@ -89,6 +91,7 @@ Message Comm::recv_coll(int source, int tag, const Deadline& dl) {
 }
 
 void Comm::barrier() {
+  BGQHF_SPAN("collective", "barrier");
   util::Timer t;
   world_->barrier().arrive_and_wait();
   stats().add_op(CollOp::kBarrier, 0, t.seconds());
@@ -103,6 +106,7 @@ void run_ranks(World& world, const std::function<void(Comm&)>& fn) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_thread_rank(r);  // attributes this thread's trace events
       Comm comm(world, r);
       try {
         fn(comm);

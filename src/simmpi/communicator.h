@@ -23,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/span.h"
 #include "simmpi/collective.h"
 #include "simmpi/fault.h"
 #include "simmpi/mailbox.h"
@@ -245,6 +246,7 @@ class Comm {
   /// so non-roots never need to know the size in advance.
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
+    BGQHF_SPAN("collective", "bcast");
     util::Timer t;
     bcast_impl(data, root, Deadline::never(), tuning().bcast);
     stats().add_op(CollOp::kBcast, data.size() * sizeof(T), t.seconds());
@@ -260,6 +262,7 @@ class Comm {
   /// parent instead.
   template <typename T>
   void bcast_for(std::vector<T>& data, int root, double timeout_seconds) {
+    BGQHF_SPAN("collective", "bcast");
     util::Timer t;
     const BcastAlgo algo = tuning().bcast == BcastAlgo::kAuto
                                ? BcastAlgo::kFlat
@@ -343,6 +346,7 @@ class Comm {
   std::vector<T> gather(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
+    BGQHF_SPAN("collective", "gather");
     util::Timer t;
     std::vector<T> all =
         gather_core(mine, root, Deadline::never(), kTagGather);
@@ -358,6 +362,7 @@ class Comm {
                          int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
+    BGQHF_SPAN("collective", "scatter");
     util::Timer t;
     if (rank_ == root) {
       if (all.size() != per * static_cast<std::size_t>(size())) {
@@ -393,6 +398,7 @@ class Comm {
                             double timeout_seconds) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
+    BGQHF_SPAN("collective", "gather");
     util::Timer t;
     std::vector<T> all = gather_core(mine, root,
                                      Deadline::in(timeout_seconds),
@@ -838,6 +844,7 @@ class Comm {
                  ReduceAlgo forced) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(root);
+    BGQHF_SPAN("collective", "reduce");
     util::Timer t;
     const std::size_t bytes = inout.size() * sizeof(T);
     if (size() > 1) {
@@ -870,6 +877,7 @@ class Comm {
   void allreduce_op(std::vector<T>& inout, const Deadline& dl,
                     AllreduceAlgo forced) {
     static_assert(std::is_trivially_copyable_v<T>);
+    BGQHF_SPAN("collective", "allreduce");
     util::Timer t;
     const std::size_t bytes = inout.size() * sizeof(T);
     if (size() > 1) {
@@ -905,6 +913,7 @@ class Comm {
                                    const Deadline& dl,
                                    ReduceScatterAlgo forced) {
     static_assert(std::is_trivially_copyable_v<T>);
+    BGQHF_SPAN("collective", "reduce_scatter");
     util::Timer t;
     const int p = size();
     const SegmentLayout layout{contrib.size(), p};
@@ -1003,6 +1012,7 @@ class Comm {
   std::vector<T> allgather_op(std::span<const T> mine, const Deadline& dl,
                               AllgatherAlgo forced) {
     static_assert(std::is_trivially_copyable_v<T>);
+    BGQHF_SPAN("collective", "allgather");
     util::Timer t;
     const int p = size();
     const std::size_t m = mine.size();

@@ -1,0 +1,87 @@
+#include "simmpi/stats.h"
+
+#include <array>
+#include <string>
+
+namespace bgqhf::simmpi {
+
+namespace {
+
+struct CommHandles {
+  obs::HistogramId p2p_seconds;
+  obs::CounterId p2p_bytes;
+  obs::HistogramId coll_seconds;
+  obs::CounterId coll_bytes;
+  std::array<obs::HistogramId, kNumCollOps> op_seconds;
+  std::array<obs::CounterId, kNumCollOps> op_bytes;
+};
+
+const CommHandles& handles() {
+  static const CommHandles h = [] {
+    obs::Schema& schema = obs::Schema::global();
+    CommHandles out;
+    out.p2p_seconds = schema.histogram("simmpi.p2p.seconds");
+    out.p2p_bytes = schema.counter("simmpi.p2p.bytes");
+    out.coll_seconds = schema.histogram("simmpi.coll.seconds");
+    out.coll_bytes = schema.counter("simmpi.coll.bytes");
+    for (std::size_t i = 0; i < kNumCollOps; ++i) {
+      const std::string base =
+          std::string("simmpi.coll.") + to_string(static_cast<CollOp>(i));
+      out.op_seconds[i] = schema.histogram(base + ".seconds");
+      out.op_bytes[i] = schema.counter(base + ".bytes");
+    }
+    return out;
+  }();
+  return h;
+}
+
+}  // namespace
+
+void CommStats::add_p2p(std::size_t bytes, double seconds) {
+  registry_.observe(handles().p2p_seconds, seconds);
+  registry_.add(handles().p2p_bytes, bytes);
+}
+
+void CommStats::add_collective(std::size_t bytes, double seconds) {
+  registry_.observe(handles().coll_seconds, seconds);
+  registry_.add(handles().coll_bytes, bytes);
+}
+
+void CommStats::add_op(CollOp op, std::size_t bytes, double seconds) {
+  add_collective(bytes, seconds);
+  const auto i = static_cast<std::size_t>(op);
+  registry_.observe(handles().op_seconds[i], seconds);
+  registry_.add(handles().op_bytes[i], bytes);
+}
+
+std::size_t CommStats::p2p_messages() const {
+  return registry_.histogram(handles().p2p_seconds).count;
+}
+std::size_t CommStats::p2p_bytes() const {
+  return registry_.counter(handles().p2p_bytes);
+}
+double CommStats::p2p_seconds() const {
+  return registry_.histogram(handles().p2p_seconds).sum;
+}
+
+std::size_t CommStats::collective_calls() const {
+  return registry_.histogram(handles().coll_seconds).count;
+}
+std::size_t CommStats::collective_bytes() const {
+  return registry_.counter(handles().coll_bytes);
+}
+double CommStats::collective_seconds() const {
+  return registry_.histogram(handles().coll_seconds).sum;
+}
+
+OpStats CommStats::op(CollOp o) const {
+  const auto i = static_cast<std::size_t>(o);
+  const obs::HistogramCell cell = registry_.histogram(handles().op_seconds[i]);
+  OpStats out;
+  out.calls = cell.count;
+  out.bytes = registry_.counter(handles().op_bytes[i]);
+  out.seconds = cell.sum;
+  return out;
+}
+
+}  // namespace bgqhf::simmpi

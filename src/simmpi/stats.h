@@ -6,11 +6,18 @@
 // the analytic communication model. Collective time is additionally broken
 // down by operation type (bcast/reduce/allreduce/...), which is what the
 // measured Fig. 4/5 MPI breakdowns report.
+//
+// CommStats is a thin view over an obs::Registry: the p2p split is the
+// "simmpi.p2p.*" metrics, the collective aggregate is "simmpi.coll.*", and
+// each op class is "simmpi.coll.<op>.*" — histograms carry (seconds, calls)
+// as (sum, count), counters carry bytes. Cross-rank aggregation
+// (operator+=) is Registry::merge; the old hand-rolled field-by-field
+// accumulate code is gone.
 #pragma once
 
-#include <array>
 #include <cstddef>
-#include <string>
+
+#include "obs/registry.h"
 
 namespace bgqhf::simmpi {
 
@@ -41,64 +48,44 @@ inline const char* to_string(CollOp op) {
   return "?";
 }
 
-/// Accounting for one collective op class.
+/// Snapshot of one collective op class (returned by value from op()).
 struct OpStats {
   std::size_t calls = 0;
   std::size_t bytes = 0;
   double seconds = 0;
-
-  OpStats& operator+=(const OpStats& o) {
-    calls += o.calls;
-    bytes += o.bytes;
-    seconds += o.seconds;
-    return *this;
-  }
 };
 
-struct CommStats {
-  std::size_t p2p_messages = 0;
-  std::size_t p2p_bytes = 0;
-  double p2p_seconds = 0;  // wall time blocked in send/recv
-
-  std::size_t collective_calls = 0;
-  std::size_t collective_bytes = 0;
-  double collective_seconds = 0;
-
-  std::array<OpStats, kNumCollOps> per_op{};
-
-  void add_p2p(std::size_t bytes, double seconds) {
-    ++p2p_messages;
-    p2p_bytes += bytes;
-    p2p_seconds += seconds;
-  }
-  void add_collective(std::size_t bytes, double seconds) {
-    ++collective_calls;
-    collective_bytes += bytes;
-    collective_seconds += seconds;
-  }
+class CommStats {
+ public:
+  void add_p2p(std::size_t bytes, double seconds);
+  /// One collective call not attributed to an op class (rare internal
+  /// steps); add_op() is the normal entry point.
+  void add_collective(std::size_t bytes, double seconds);
   /// One collective call attributed to its op class (also counted in the
-  /// aggregate collective_* fields).
-  void add_op(CollOp op, std::size_t bytes, double seconds) {
-    add_collective(bytes, seconds);
-    OpStats& s = per_op[static_cast<std::size_t>(op)];
-    ++s.calls;
-    s.bytes += bytes;
-    s.seconds += seconds;
-  }
-  const OpStats& op(CollOp o) const {
-    return per_op[static_cast<std::size_t>(o)];
-  }
+  /// aggregate collective_* metrics).
+  void add_op(CollOp op, std::size_t bytes, double seconds);
+
+  std::size_t p2p_messages() const;
+  std::size_t p2p_bytes() const;
+  double p2p_seconds() const;  // wall time blocked in send/recv
+
+  std::size_t collective_calls() const;
+  std::size_t collective_bytes() const;
+  double collective_seconds() const;
+
+  OpStats op(CollOp o) const;
 
   CommStats& operator+=(const CommStats& o) {
-    p2p_messages += o.p2p_messages;
-    p2p_bytes += o.p2p_bytes;
-    p2p_seconds += o.p2p_seconds;
-    collective_calls += o.collective_calls;
-    collective_bytes += o.collective_bytes;
-    collective_seconds += o.collective_seconds;
-    for (std::size_t i = 0; i < kNumCollOps; ++i) per_op[i] += o.per_op[i];
+    registry_ += o.registry_;
     return *this;
   }
+
+  /// Underlying metric bundle ("simmpi.*" names) for export alongside
+  /// other registry-sourced measurements.
+  const obs::Registry& registry() const { return registry_; }
+
+ private:
+  obs::Registry registry_;
 };
 
 }  // namespace bgqhf::simmpi

@@ -1,6 +1,8 @@
 #include "util/config.h"
 
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace bgqhf::util {
@@ -79,6 +81,63 @@ std::vector<std::string> Config::unused_keys() const {
     if (used_.count(k) == 0) out.push_back(k);
   }
   return out;
+}
+
+// ---- RuntimeEnv ----
+
+namespace {
+
+std::string env_string(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return !(s.empty() || s == "0" || s == "false" || s == "no" || s == "off");
+}
+
+std::mutex& runtime_env_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unique_ptr<RuntimeEnv>& runtime_env_slot() {
+  static std::unique_ptr<RuntimeEnv>* slot =
+      new std::unique_ptr<RuntimeEnv>();
+  return *slot;
+}
+
+}  // namespace
+
+RuntimeEnv RuntimeEnv::from_process_env() {
+  RuntimeEnv env;
+  env.coll = env_string("BGQHF_COLL");
+  env.force_kernel = env_string("BGQHF_FORCE_KERNEL");
+  env.trace = env_flag("BGQHF_TRACE");
+  env.trace_file = env_string("BGQHF_TRACE_FILE");
+  return env;
+}
+
+const RuntimeEnv& RuntimeEnv::get() {
+  std::lock_guard<std::mutex> lock(runtime_env_mutex());
+  auto& slot = runtime_env_slot();
+  if (slot == nullptr) {
+    slot = std::make_unique<RuntimeEnv>(from_process_env());
+  }
+  return *slot;
+}
+
+void RuntimeEnv::set_for_tests(RuntimeEnv env) {
+  std::lock_guard<std::mutex> lock(runtime_env_mutex());
+  runtime_env_slot() = std::make_unique<RuntimeEnv>(std::move(env));
+}
+
+void RuntimeEnv::reset_for_tests() {
+  std::lock_guard<std::mutex> lock(runtime_env_mutex());
+  runtime_env_slot().reset();
 }
 
 }  // namespace bgqhf::util

@@ -42,4 +42,36 @@ class Config {
   mutable std::set<std::string> used_;
 };
 
+/// Typed snapshot of every BGQHF_* environment knob, read once.
+///
+/// Scattered std::getenv calls made knob behaviour depend on *when* each
+/// subsystem first ran and were impossible to inject in tests. All knobs
+/// now resolve here: get() caches the process environment on first use,
+/// and tests swap the whole snapshot with set_for_tests().
+struct RuntimeEnv {
+  /// BGQHF_COLL — collective algorithm family ("naive", "tree", ...).
+  /// Empty means auto-select.
+  std::string coll;
+  /// BGQHF_FORCE_KERNEL — GEMM kernel override ("scalar", "simd", ...).
+  /// Empty means dispatch by CPU feature.
+  std::string force_kernel;
+  /// BGQHF_TRACE — enable trace-span recording (obs::tracing_enabled()).
+  bool trace = false;
+  /// BGQHF_TRACE_FILE — default Chrome trace output path ("" = none).
+  std::string trace_file;
+
+  /// Cached process snapshot (first call reads the environment).
+  static const RuntimeEnv& get();
+
+  /// Fresh, uncached read of the process environment.
+  static RuntimeEnv from_process_env();
+
+  /// Replace the cached snapshot (tests). Pair with reset_for_tests().
+  static void set_for_tests(RuntimeEnv env);
+
+  /// Drop any cached/injected snapshot; next get() re-reads the process
+  /// environment.
+  static void reset_for_tests();
+};
+
 }  // namespace bgqhf::util

@@ -71,9 +71,9 @@ TEST(AsyncSgd, ReportsCommunicationTraffic) {
   const AsyncSgdOutcome out = train_sgd_async(config(2), options(20));
   // Pulls + pushes are all point-to-point: (pull req + resp + push) per
   // step per worker, plus the final exchanges.
-  EXPECT_GT(out.comm.p2p_messages, 2u * 20u * 2u);
-  EXPECT_GT(out.comm.p2p_bytes, 0u);
-  EXPECT_EQ(out.comm.collective_bytes, 0u);  // no collectives in Downpour
+  EXPECT_GT(out.comm.p2p_messages(), 2u * 20u * 2u);
+  EXPECT_GT(out.comm.p2p_bytes(), 0u);
+  EXPECT_EQ(out.comm.collective_bytes(), 0u);  // no collectives in Downpour
 }
 
 TEST(AsyncSgd, FinalThetaHasNetworkSize) {

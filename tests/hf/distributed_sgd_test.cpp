@@ -67,8 +67,8 @@ TEST(DistributedSgd, CommunicationVolumeScalesWithUpdates) {
       train_sgd_distributed(cfg, short_opts);
   const DistributedSgdOutcome long_run =
       train_sgd_distributed(cfg, long_opts);
-  EXPECT_GT(long_run.comm.collective_bytes,
-            2 * short_run.comm.collective_bytes);
+  EXPECT_GT(long_run.comm.collective_bytes(),
+            2 * short_run.comm.collective_bytes());
 }
 
 TEST(DistributedSgd, MoreWorkersStillTrain) {

@@ -81,10 +81,10 @@ TEST(Equivalence, DistributedRunReportsCommunication) {
   const TrainOutcome out = train_distributed(cfg);
   // load_data p2p traffic plus sync_weights/gather collectives must both
   // be visible in the stats, mirroring the paper's Fig. 4/5 split.
-  EXPECT_GT(out.comm.p2p_messages, 0u);
-  EXPECT_GT(out.comm.p2p_bytes, 0u);
-  EXPECT_GT(out.comm.collective_calls, 0u);
-  EXPECT_GT(out.comm.collective_bytes, 0u);
+  EXPECT_GT(out.comm.p2p_messages(), 0u);
+  EXPECT_GT(out.comm.p2p_bytes(), 0u);
+  EXPECT_GT(out.comm.collective_calls(), 0u);
+  EXPECT_GT(out.comm.collective_bytes(), 0u);
 }
 
 TEST(Equivalence, WorkerCountDoesNotChangeResultEither) {

@@ -1,0 +1,149 @@
+#include "obs/export_chrome.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hf/trainer.h"
+#include "obs/export_table.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace bgqhf::obs {
+namespace {
+
+TEST(JsonValidator, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_is_valid("{}"));
+  EXPECT_TRUE(json_is_valid("[]"));
+  EXPECT_TRUE(json_is_valid(R"({"a": [1, -2.5, 3e4], "b": "x\n\"y\""})"));
+  EXPECT_TRUE(json_is_valid(R"({"u": "é", "t": true, "n": null})"));
+}
+
+TEST(JsonValidator, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_is_valid(""));
+  EXPECT_FALSE(json_is_valid("{"));
+  EXPECT_FALSE(json_is_valid("{} trailing"));
+  EXPECT_FALSE(json_is_valid(R"({"a": 01})"));
+  EXPECT_FALSE(json_is_valid(R"({"a": 1,})"));
+  EXPECT_FALSE(json_is_valid(R"({'a': 1})"));
+  EXPECT_FALSE(json_is_valid("\"unterminated"));
+}
+
+TEST(ChromeExport, EmitsValidTraceShape) {
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.category = "cat_a";
+  e.name = "span \"quoted\" \\ name";  // exercises string escaping
+  e.start_ns = 1500;
+  e.end_ns = 4750;
+  e.rank = 0;
+  e.tid = 1;
+  events.push_back(e);
+  e.category = "cat_b";
+  e.name = "other";
+  e.rank = 2;
+  events.push_back(e);
+
+  const std::string json = chrome_trace_json(events);
+  const ChromeTraceSummary summary = validate_chrome_trace(json);
+  EXPECT_TRUE(summary.valid) << summary.error;
+  // Two X events plus per-rank process_name metadata.
+  EXPECT_GE(summary.num_events, 2u);
+  EXPECT_EQ(summary.pids, (std::set<std::int64_t>{0, 2}));
+  EXPECT_TRUE(summary.names.count("span \"quoted\" \\ name"));
+  EXPECT_TRUE(summary.categories.count("cat_a"));
+  EXPECT_TRUE(summary.categories.count("cat_b"));
+}
+
+TEST(ChromeExport, ValidatorRejectsNonTraceJson) {
+  EXPECT_FALSE(validate_chrome_trace("[]").valid);
+  EXPECT_FALSE(validate_chrome_trace(R"({"traceEvents": 3})").valid);
+  EXPECT_FALSE(
+      validate_chrome_trace(R"({"traceEvents": [{"ph": "X"}]})").valid);
+  EXPECT_FALSE(validate_chrome_trace("not json at all").valid);
+}
+
+TEST(ChromeExport, WriteAndValidateFileRoundTrip) {
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.category = "cat";
+  e.name = "roundtrip";
+  e.start_ns = 0;
+  e.end_ns = 1000;
+  e.rank = 0;
+  e.tid = 0;
+  events.push_back(e);
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_roundtrip.json";
+  write_chrome_trace(path, events);
+  const ChromeTraceSummary summary = validate_chrome_trace_file(path);
+  EXPECT_TRUE(summary.valid) << summary.error;
+  EXPECT_TRUE(summary.names.count("roundtrip"));
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExport, TableAndJsonCarryEveryTouchedMetric) {
+  Schema& schema = Schema::global();
+  Registry r;
+  r.add(schema.counter("test.export.c"), 5);
+  r.observe(schema.histogram("test.export.h"), 0.25);
+
+  const std::string table = metrics_table(r).render();
+  EXPECT_NE(table.find("test.export.c"), std::string::npos);
+  EXPECT_NE(table.find("test.export.h"), std::string::npos);
+
+  const std::string json = metrics_json(r);
+  EXPECT_TRUE(json_is_valid(json));
+  EXPECT_NE(json.find("\"test.export.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export.h\""), std::string::npos);
+}
+
+// End to end: an instrumented distributed HF run produces a Chrome trace
+// that validates and shows master and worker phases from every rank on the
+// one shared timeline.
+TEST(ChromeExport, InstrumentedTrainingRunExportsAllRanks) {
+  set_tracing(true);
+  clear_trace();
+
+  hf::TrainerConfig cfg;
+  cfg.workers = 2;
+  cfg.corpus.hours = 0.01;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 11;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.hf.max_iterations = 1;
+  cfg.hf.cg.max_iters = 4;
+  const hf::TrainOutcome out = hf::train_distributed(cfg);
+  (void)out;
+
+  const std::string json = chrome_trace_json(collect_trace());
+  set_tracing(false);
+  clear_trace();
+
+  const ChromeTraceSummary summary = validate_chrome_trace(json);
+  ASSERT_TRUE(summary.valid) << summary.error;
+  EXPECT_GT(summary.num_events, 0u);
+  // Master (rank 0) and both workers share the timeline.
+  EXPECT_TRUE(summary.pids.count(0));
+  EXPECT_TRUE(summary.pids.count(1));
+  EXPECT_TRUE(summary.pids.count(2));
+  // Both sides of the protocol appear, under paper row-label categories.
+  EXPECT_TRUE(summary.names.count("master"));
+  EXPECT_TRUE(summary.names.count("worker"));
+  EXPECT_TRUE(summary.categories.count("gradient_loss"));
+  EXPECT_TRUE(summary.categories.count("sync_weights"));
+  EXPECT_TRUE(summary.categories.count("collective"));
+}
+
+}  // namespace
+}  // namespace bgqhf::obs

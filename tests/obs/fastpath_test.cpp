@@ -1,0 +1,87 @@
+// Disabled-tracing fast path: constructing and destroying a Span while
+// tracing is off must not allocate. This lives in its own test binary
+// because it replaces the global allocator with a counting one, which
+// would skew any other suite sharing the process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace bgqhf::obs {
+namespace {
+
+TEST(FastPathTest, DisabledSpanDoesNotAllocate) {
+  set_tracing(false);
+  ASSERT_FALSE(tracing_enabled());
+
+  // Warm up any lazily-built thread state outside the measured window.
+  { BGQHF_SPAN("test_cat", "warmup"); }
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    BGQHF_SPAN("test_cat", "disabled");
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(FastPathTest, EnabledSpanReachesRingWithoutPerSpanGrowth) {
+  set_tracing(true);
+  clear_trace();
+
+  // First spans may grow the ring's backing storage; afterwards the ring
+  // is warm and recording must be allocation-free too.
+  for (int i = 0; i < 64; ++i) {
+    BGQHF_SPAN("test_cat", "warm");
+  }
+  const std::size_t warm_size = collect_trace().size();
+  ASSERT_GE(warm_size, 64u);
+
+  clear_trace();
+  for (int i = 0; i < 64; ++i) {
+    BGQHF_SPAN("test_cat", "warm");
+  }
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) {
+    BGQHF_SPAN("test_cat", "steady");
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+
+  set_tracing(false);
+  clear_trace();
+}
+
+}  // namespace
+}  // namespace bgqhf::obs

@@ -1,0 +1,186 @@
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bgqhf::obs {
+namespace {
+
+TEST(Schema, InternIsIdempotent) {
+  Schema& schema = Schema::global();
+  const CounterId a = schema.counter("test.schema.counter");
+  const CounterId b = schema.counter("test.schema.counter");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(schema.counter_name(a), "test.schema.counter");
+
+  const HistogramId h = schema.histogram("test.schema.histogram");
+  EXPECT_EQ(schema.histogram("test.schema.histogram").index, h.index);
+}
+
+TEST(Schema, KindConflictThrows) {
+  Schema& schema = Schema::global();
+  schema.counter("test.schema.conflict");
+  EXPECT_THROW(schema.gauge("test.schema.conflict"), std::logic_error);
+  EXPECT_THROW(schema.histogram("test.schema.conflict"), std::logic_error);
+}
+
+TEST(Registry, UntouchedCellsReadAsZero) {
+  Schema& schema = Schema::global();
+  Registry r;
+  EXPECT_EQ(r.counter(schema.counter("test.reg.zero.c")), 0u);
+  EXPECT_EQ(r.gauge(schema.gauge("test.reg.zero.g")), 0.0);
+  EXPECT_FALSE(r.gauge_set(schema.gauge("test.reg.zero.g")));
+  EXPECT_EQ(r.histogram(schema.histogram("test.reg.zero.h")).count, 0u);
+}
+
+TEST(Registry, AccumulatesAndMerges) {
+  Schema& schema = Schema::global();
+  const CounterId c = schema.counter("test.reg.acc.c");
+  const GaugeId g = schema.gauge("test.reg.acc.g");
+  const HistogramId h = schema.histogram("test.reg.acc.h");
+
+  Registry a;
+  a.add(c, 3);
+  a.set(g, 1.5);
+  a.observe(h, 2.0);
+  a.observe(h, 6.0);
+
+  Registry b;
+  b.add(c);
+  b.observe(h, 1.0);
+
+  a += b;
+  EXPECT_EQ(a.counter(c), 4u);
+  EXPECT_DOUBLE_EQ(a.gauge(g), 1.5);  // b never set g: a's value survives
+  const HistogramCell cell = a.histogram(h);
+  EXPECT_EQ(cell.count, 3u);
+  EXPECT_DOUBLE_EQ(cell.sum, 9.0);
+  EXPECT_DOUBLE_EQ(cell.min, 1.0);
+  EXPECT_DOUBLE_EQ(cell.max, 6.0);
+
+  Registry overwrite;
+  overwrite.set(g, -2.0);
+  a += overwrite;
+  EXPECT_DOUBLE_EQ(a.gauge(g), -2.0);  // last write wins when other set it
+}
+
+TEST(Registry, SamplesSkipUntouchedAndKeepSchemaOrder) {
+  Schema& schema = Schema::global();
+  const CounterId c = schema.counter("test.reg.samples.c");
+  const HistogramId h = schema.histogram("test.reg.samples.h");
+  Registry r;
+  r.add(c, 7);
+  r.observe(h, 0.5);
+  const std::vector<MetricSample> samples = r.samples();
+  bool saw_counter = false, saw_histogram = false;
+  for (const MetricSample& s : samples) {
+    if (s.name == "test.reg.samples.c") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_EQ(s.count, 7u);
+    }
+    if (s.name == "test.reg.samples.h") {
+      saw_histogram = true;
+      EXPECT_EQ(s.kind, MetricKind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_DOUBLE_EQ(s.value, 0.5);
+    }
+    EXPECT_NE(s.name, "test.reg.zero.c");  // untouched in this registry
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+}
+
+// The cross-rank aggregation the stats adapters rely on: per-thread
+// registries merged in any grouping give identical counters and histogram
+// counts. (Integer-valued observations keep the double sums exact too, so
+// the assertion can be equality rather than tolerance.)
+TEST(Registry, MergeIsAssociativeAcrossThreads) {
+  Schema& schema = Schema::global();
+  const CounterId c = schema.counter("test.reg.assoc.c");
+  const HistogramId h = schema.histogram("test.reg.assoc.h");
+
+  constexpr int kThreads = 8;
+  std::vector<Registry> parts(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&parts, t, c, h] {
+        Registry& r = parts[static_cast<std::size_t>(t)];
+        for (int i = 0; i < 100 * (t + 1); ++i) {
+          r.add(c, static_cast<std::uint64_t>(t + 1));
+          r.observe(h, static_cast<double>(i % 7));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Left fold: ((p0 + p1) + p2) + ...
+  Registry left;
+  for (const Registry& p : parts) left += p;
+
+  // Pairwise tree fold: (p0+p1) + (p2+p3) + ...
+  std::vector<Registry> level = parts;
+  while (level.size() > 1) {
+    std::vector<Registry> next;
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      Registry m = level[i];
+      if (i + 1 < level.size()) m += level[i + 1];
+      next.push_back(m);
+    }
+    level = next;
+  }
+  const Registry& tree = level.front();
+
+  EXPECT_EQ(left.counter(c), tree.counter(c));
+  const HistogramCell lc = left.histogram(h);
+  const HistogramCell tc = tree.histogram(h);
+  EXPECT_EQ(lc.count, tc.count);
+  EXPECT_DOUBLE_EQ(lc.sum, tc.sum);
+  EXPECT_DOUBLE_EQ(lc.min, tc.min);
+  EXPECT_DOUBLE_EQ(lc.max, tc.max);
+
+  std::uint64_t expect_counter = 0;
+  std::uint64_t expect_count = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expect_counter += 100ull * static_cast<std::uint64_t>((t + 1) * (t + 1));
+    expect_count += 100ull * static_cast<std::uint64_t>(t + 1);
+  }
+  EXPECT_EQ(left.counter(c), expect_counter);
+  EXPECT_EQ(lc.count, expect_count);
+}
+
+TEST(GlobalRegistry, CollectMergesEveryThread) {
+  Schema& schema = Schema::global();
+  const CounterId c = schema.counter("test.global.c");
+  const HistogramId h = schema.histogram("test.global.h");
+  clear_global();
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h] {
+      for (int i = 0; i < 50; ++i) {
+        global_add(c);
+        global_observe(h, 1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const Registry merged = collect_global();
+  EXPECT_EQ(merged.counter(c), 200u);
+  EXPECT_EQ(merged.histogram(h).count, 200u);
+  EXPECT_DOUBLE_EQ(merged.histogram(h).sum, 200.0);
+
+  clear_global();
+  EXPECT_EQ(collect_global().counter(c), 0u);
+}
+
+}  // namespace
+}  // namespace bgqhf::obs

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace bgqhf::obs {
+namespace {
+
+// One binary-wide fixture: every test arms tracing explicitly and starts
+// from an empty ring, so ordering between tests cannot leak events.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing(true);
+    clear_trace();
+  }
+  void TearDown() override {
+    clear_trace();
+    set_tracing(false);
+  }
+};
+
+std::vector<TraceEvent> events_named(const std::vector<TraceEvent>& events,
+                                     const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, SpanRecordsIntervalAndLabels) {
+  {
+    Span span("test_cat", "test_span");
+  }
+  const std::vector<TraceEvent> events = collect_trace();
+  const auto mine = events_named(events, "test_span");
+  ASSERT_EQ(mine.size(), 1u);
+  EXPECT_STREQ(mine[0].category, "test_cat");
+  EXPECT_LE(mine[0].start_ns, mine[0].end_ns);
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedAndOrdered) {
+  {
+    BGQHF_SPAN("test_cat", "outer");
+    {
+      BGQHF_SPAN("test_cat", "inner");
+    }
+  }
+  const std::vector<TraceEvent> events = collect_trace();
+  const auto outer = events_named(events, "outer");
+  const auto inner = events_named(events, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  // The inner interval nests inside the outer one.
+  EXPECT_LE(outer[0].start_ns, inner[0].start_ns);
+  EXPECT_GE(outer[0].end_ns, inner[0].end_ns);
+  // collect_trace() returns start-time order: outer starts first.
+  const auto outer_pos = std::find_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return std::string("outer") == e.name; });
+  const auto inner_pos = std::find_if(
+      events.begin(), events.end(),
+      [](const TraceEvent& e) { return std::string("inner") == e.name; });
+  EXPECT_LT(outer_pos, inner_pos);
+}
+
+TEST_F(TraceTest, EventsCarryThreadAndRankAttribution) {
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_rank(10 + t);
+      BGQHF_SPAN("test_cat", "per_thread");
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto mine = events_named(collect_trace(), "per_thread");
+  ASSERT_EQ(mine.size(), static_cast<std::size_t>(kThreads));
+  std::set<int> ranks;
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : mine) {
+    ranks.insert(e.rank);
+    tids.insert(e.tid);
+  }
+  EXPECT_EQ(ranks, (std::set<int>{10, 11, 12}));
+  // Each recording thread got its own dense tid.
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  set_tracing(false);
+  EXPECT_FALSE(tracing_enabled());
+  {
+    BGQHF_SPAN("test_cat", "invisible");
+  }
+  EXPECT_TRUE(events_named(collect_trace(), "invisible").empty());
+}
+
+TEST_F(TraceTest, ReenablingResumesRecording) {
+  set_tracing(false);
+  { BGQHF_SPAN("test_cat", "off"); }
+  set_tracing(true);
+  { BGQHF_SPAN("test_cat", "on"); }
+  const std::vector<TraceEvent> events = collect_trace();
+  EXPECT_TRUE(events_named(events, "off").empty());
+  EXPECT_EQ(events_named(events, "on").size(), 1u);
+}
+
+TEST_F(TraceTest, ClearTraceDropsEverything) {
+  { BGQHF_SPAN("test_cat", "gone"); }
+  clear_trace();
+  EXPECT_TRUE(collect_trace().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(TraceTest, RingCapsAndCountsDrops) {
+  // Overfill one thread's ring; the head of the run is kept, the tail
+  // counted as dropped.
+  std::thread([] {
+    for (std::size_t i = 0; i < kTraceCapacity + 100; ++i) {
+      record_span("test_cat", "flood", 0, 1);
+    }
+  }).join();
+  EXPECT_EQ(events_named(collect_trace(), "flood").size(), kTraceCapacity);
+  EXPECT_EQ(trace_dropped(), 100u);
+}
+
+}  // namespace
+}  // namespace bgqhf::obs

@@ -526,7 +526,7 @@ TEST(CollectiveStats, PerOpCountersTrackCallsAndBytes) {
   EXPECT_EQ(total.op(CollOp::kBarrier).calls, 4u);
   EXPECT_GE(total.op(CollOp::kAllreduce).seconds, 0.0);
   // The aggregate collective counters still see every op.
-  EXPECT_GE(total.collective_calls, 16u);
+  EXPECT_GE(total.collective_calls(), 16u);
 }
 
 TEST(CollectiveStats, OpNamesAreStable) {

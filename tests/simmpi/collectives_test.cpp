@@ -146,8 +146,8 @@ TEST(Collectives, StatsSplitCollectiveFromP2P) {
     comm.allreduce_sum(v);
   });
   for (int r = 0; r < 4; ++r) {
-    EXPECT_GT(world.stats(r).collective_calls, 0u);
-    EXPECT_EQ(world.stats(r).p2p_messages, 0u);
+    EXPECT_GT(world.stats(r).collective_calls(), 0u);
+    EXPECT_EQ(world.stats(r).p2p_messages(), 0u);
   }
 }
 

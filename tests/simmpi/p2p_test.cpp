@@ -109,9 +109,9 @@ TEST(P2P, StatsCountP2PTraffic) {
       comm.recv<float>(0, 1);
     }
   });
-  EXPECT_EQ(world.stats(0).p2p_messages, 1u);
-  EXPECT_EQ(world.stats(0).p2p_bytes, 400u);
-  EXPECT_EQ(world.stats(1).p2p_bytes, 400u);
+  EXPECT_EQ(world.stats(0).p2p_messages(), 1u);
+  EXPECT_EQ(world.stats(0).p2p_bytes(), 400u);
+  EXPECT_EQ(world.stats(1).p2p_bytes(), 400u);
 }
 
 TEST(P2P, NegativeUserTagRejected) {
