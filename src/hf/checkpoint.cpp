@@ -4,11 +4,30 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/network.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "util/checksum.h"
 
 namespace bgqhf::hf {
+
+const char* to_string(CheckpointFault fault) {
+  switch (fault) {
+    case CheckpointFault::kIo:
+      return "checkpoint i/o error";
+    case CheckpointFault::kCorrupt:
+      return "checkpoint corrupt";
+    case CheckpointFault::kBadMagic:
+      return "checkpoint bad magic";
+    case CheckpointFault::kBadVersion:
+      return "checkpoint bad version";
+    case CheckpointFault::kShapeMismatch:
+      return "checkpoint shape mismatch";
+    case CheckpointFault::kSeedMismatch:
+      return "checkpoint seed mismatch";
+  }
+  return "checkpoint error";
+}
 
 namespace {
 
@@ -47,7 +66,7 @@ class Reader {
     static_assert(std::is_trivially_copyable_v<T>);
     T v;
     if (pos_ + sizeof(T) > bytes_.size()) {
-      throw std::runtime_error("checkpoint: truncated file");
+      throw CheckpointError(CheckpointFault::kCorrupt, "truncated file");
     }
     std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -57,12 +76,20 @@ class Reader {
   std::vector<T> pod_vector() {
     const auto n = static_cast<std::size_t>(pod<std::uint64_t>());
     if (pos_ + n * sizeof(T) > bytes_.size()) {
-      throw std::runtime_error("checkpoint: truncated file");
+      throw CheckpointError(CheckpointFault::kCorrupt, "truncated file");
     }
     std::vector<T> v(n);
     if (n > 0) std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
+  }
+  /// Advance past `count` elements of T without materializing them.
+  template <typename T>
+  void skip(std::size_t count) {
+    if (pos_ + count * sizeof(T) > bytes_.size()) {
+      throw CheckpointError(CheckpointFault::kCorrupt, "truncated file");
+    }
+    pos_ += count * sizeof(T);
   }
   std::size_t pos() const { return pos_; }
 
@@ -86,6 +113,50 @@ void write_log(Writer& w, const HfIterationLog& log) {
   w.pod(log.heldout_after);
   w.pod(static_cast<std::uint8_t>(log.failed ? 1 : 0));
   w.pod(static_cast<std::uint64_t>(log.heldout_evals));
+}
+
+/// Read the whole file, verify the CRC32 footer, and consume the magic and
+/// version header; the returned Reader points at the first payload field.
+std::vector<std::byte> read_validated(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw CheckpointError(CheckpointFault::kIo, "cannot open " + path);
+  }
+  std::vector<std::byte> bytes;
+  std::byte buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
+    throw CheckpointError(CheckpointFault::kCorrupt,
+                          "file too short: " + path);
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (util::crc32(bytes.data(), bytes.size() - sizeof(stored_crc)) !=
+      stored_crc) {
+    throw CheckpointError(CheckpointFault::kCorrupt,
+                          "CRC mismatch (corrupt file): " + path);
+  }
+  return bytes;
+}
+
+void read_header(Reader& r, const std::string& path) {
+  for (const char expected : kMagic) {
+    if (r.pod<char>() != expected) {
+      throw CheckpointError(CheckpointFault::kBadMagic, path);
+    }
+  }
+  if (const auto v = r.pod<std::uint32_t>(); v != kVersion) {
+    throw CheckpointError(
+        CheckpointFault::kBadVersion,
+        "version " + std::to_string(v) + " in " + path + " (want " +
+            std::to_string(kVersion) + ")");
+  }
 }
 
 HfIterationLog read_log(Reader& r) {
@@ -152,39 +223,9 @@ void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path) {
 TrainerCheckpoint load_checkpoint(const std::string& path) {
   BGQHF_SPAN("fault", "checkpoint_load");
   obs::global_add(obs::Schema::global().counter("hf.checkpoint.loads"));
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    throw std::runtime_error("checkpoint: cannot open " + path);
-  }
-  std::vector<std::byte> bytes;
-  std::byte buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.insert(bytes.end(), buf, buf + n);
-  }
-  std::fclose(f);
-
-  if (bytes.size() < sizeof(kMagic) + sizeof(std::uint32_t) * 2) {
-    throw std::runtime_error("checkpoint: file too short: " + path);
-  }
-  std::uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
-              sizeof(stored_crc));
-  if (util::crc32(bytes.data(), bytes.size() - sizeof(stored_crc)) !=
-      stored_crc) {
-    throw std::runtime_error("checkpoint: CRC mismatch (corrupt file): " +
-                             path);
-  }
-
+  const std::vector<std::byte> bytes = read_validated(path);
   Reader r(bytes);
-  for (const char expected : kMagic) {
-    if (r.pod<char>() != expected) {
-      throw std::runtime_error("checkpoint: bad magic: " + path);
-    }
-  }
-  if (r.pod<std::uint32_t>() != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version: " + path);
-  }
+  read_header(r, path);
   TrainerCheckpoint ckpt;
   ckpt.completed_iterations = r.pod<std::uint64_t>();
   ckpt.hf_seed = r.pod<std::uint64_t>();
@@ -200,6 +241,36 @@ TrainerCheckpoint load_checkpoint(const std::string& path) {
   ckpt.logs.reserve(n_logs);
   for (std::size_t i = 0; i < n_logs; ++i) ckpt.logs.push_back(read_log(r));
   return ckpt;
+}
+
+CheckpointWeights load_checkpoint_weights(const std::string& path) {
+  BGQHF_SPAN("serve", "checkpoint_load_weights");
+  obs::global_add(
+      obs::Schema::global().counter("hf.checkpoint.weight_loads"));
+  const std::vector<std::byte> bytes = read_validated(path);
+  Reader r(bytes);
+  read_header(r, path);
+  CheckpointWeights w;
+  w.completed_iterations = r.pod<std::uint64_t>();
+  w.hf_seed = r.pod<std::uint64_t>();
+  r.pod<double>();         // lambda
+  r.pod<double>();         // loss_prev
+  r.pod<std::uint64_t>();  // stall
+  const auto n_params = static_cast<std::size_t>(r.pod<std::uint64_t>());
+  w.theta.resize(n_params);
+  for (auto& v : w.theta) v = r.pod<float>();
+  r.skip<float>(n_params);  // d0: CG-restart momentum, training-only
+  return w;
+}
+
+void install_weights(const CheckpointWeights& weights, nn::Network& net) {
+  if (weights.theta.size() != net.num_params()) {
+    throw CheckpointError(
+        CheckpointFault::kShapeMismatch,
+        "checkpoint has " + std::to_string(weights.theta.size()) +
+            " parameters, network wants " + std::to_string(net.num_params()));
+  }
+  net.set_params(weights.theta);
 }
 
 }  // namespace bgqhf::hf

@@ -20,12 +20,44 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "hf/optimizer.h"
 
+namespace bgqhf::nn {
+class Network;
+}
+
 namespace bgqhf::hf {
+
+/// What a checkpoint load rejected. Callers (the serving engine's hot-swap
+/// path in particular) branch on this instead of parsing what() text.
+enum class CheckpointFault {
+  kIo,             // cannot open / short read / short write
+  kCorrupt,        // footer CRC mismatch or truncated payload
+  kBadMagic,       // not a BGQHFCKP file
+  kBadVersion,     // written by an incompatible format revision
+  kShapeMismatch,  // parameter count does not match the target network
+  kSeedMismatch,   // resume with a different HfOptions::seed
+};
+
+const char* to_string(CheckpointFault fault);
+
+/// Typed checkpoint error: every load/validate failure throws this rather
+/// than asserting, so a serving process survives a bad file on disk.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointFault fault, const std::string& detail)
+      : std::runtime_error(std::string(to_string(fault)) + ": " + detail),
+        fault_(fault) {}
+
+  CheckpointFault fault() const noexcept { return fault_; }
+
+ private:
+  CheckpointFault fault_;
+};
 
 struct TrainerCheckpoint {
   /// Iterations fully executed (successful or failed) before the save.
@@ -45,8 +77,28 @@ struct TrainerCheckpoint {
 /// footer. Throws std::runtime_error on I/O failure.
 void save_checkpoint(const TrainerCheckpoint& ckpt, const std::string& path);
 
-/// Load a checkpoint written by save_checkpoint. Throws std::runtime_error
-/// on I/O failure, bad magic/version, or CRC mismatch.
+/// Load a checkpoint written by save_checkpoint. Throws CheckpointError
+/// (a std::runtime_error) on I/O failure, bad magic/version, or CRC
+/// mismatch.
 TrainerCheckpoint load_checkpoint(const std::string& path);
+
+/// Weights-only view of a checkpoint: just what inference needs, none of
+/// the optimizer trajectory (d0, lambda, logs) a training resume carries.
+struct CheckpointWeights {
+  std::uint64_t completed_iterations = 0;
+  std::uint64_t hf_seed = 0;
+  std::vector<float> theta;
+};
+
+/// Load only the weights from a checkpoint written by save_checkpoint. The
+/// whole file is still CRC-validated (the footer covers every byte), but
+/// the CG-restart direction and iteration logs are never materialized.
+/// Throws CheckpointError on I/O failure, corruption, or format mismatch.
+CheckpointWeights load_checkpoint_weights(const std::string& path);
+
+/// Validate that `weights` fits `net` (parameter count) and install them.
+/// Throws CheckpointError{kShapeMismatch} with both sizes in the message
+/// when the checkpoint was trained on a different topology.
+void install_weights(const CheckpointWeights& weights, nn::Network& net);
 
 }  // namespace bgqhf::hf

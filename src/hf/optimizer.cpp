@@ -35,13 +35,20 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
   std::size_t first_iter = 1;
   if (resume != nullptr) {
     if (resume->theta.size() != n || resume->d0.size() != n) {
-      throw std::invalid_argument(
-          "HfOptimizer: checkpoint parameter count mismatch");
+      throw CheckpointError(
+          CheckpointFault::kShapeMismatch,
+          "HfOptimizer: checkpoint has " +
+              std::to_string(resume->theta.size()) +
+              " parameters, network wants " + std::to_string(n));
     }
     if (resume->hf_seed != options_.seed) {
       // A different seed would silently diverge the curvature-sample
       // stream from the run that wrote the checkpoint.
-      throw std::invalid_argument("HfOptimizer: checkpoint seed mismatch");
+      throw CheckpointError(CheckpointFault::kSeedMismatch,
+                            "HfOptimizer: checkpoint seed " +
+                                std::to_string(resume->hf_seed) +
+                                " != configured seed " +
+                                std::to_string(options_.seed));
     }
     std::copy(resume->theta.begin(), resume->theta.end(), theta.begin());
     std::copy(resume->d0.begin(), resume->d0.end(), d0.begin());

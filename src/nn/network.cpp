@@ -1,5 +1,6 @@
 #include "nn/network.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -130,6 +131,38 @@ blas::Matrix<float> Network::forward_logits(blas::ConstMatrixView<float> x,
     in = cur.view();
   }
   return cur;
+}
+
+blas::MatrixView<float> ForwardScratch::ensure(bool which, std::size_t rows,
+                                               std::size_t cols) {
+  blas::Matrix<float>& m = which ? pong : ping;
+  if (m.rows() < rows || m.cols() < cols) {
+    m = blas::Matrix<float>(std::max(rows, m.rows()),
+                            std::max(cols, m.cols()));
+  }
+  return m.view().block(0, 0, rows, cols);
+}
+
+void Network::forward_logits_into(blas::ConstMatrixView<float> x,
+                                  blas::MatrixView<float> out,
+                                  ForwardScratch& scratch,
+                                  util::ThreadPool* pool) const {
+  if (x.cols != input_dim()) {
+    throw std::invalid_argument(
+        "forward_logits_into: input dimension mismatch");
+  }
+  if (out.rows != x.rows || out.cols != output_dim()) {
+    throw std::invalid_argument(
+        "forward_logits_into: output shape mismatch");
+  }
+  blas::ConstMatrixView<float> in = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = l + 1 == layers_.size();
+    const blas::MatrixView<float> dst =
+        last ? out : scratch.ensure(l % 2 == 1, x.rows, layers_[l].out);
+    affine_forward(in, layer(l), layers_[l].act, dst, pool);
+    in = dst;
+  }
 }
 
 }  // namespace bgqhf::nn

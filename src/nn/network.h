@@ -42,6 +42,20 @@ struct ForwardCache {
   blas::ConstMatrixView<float> logits() const { return acts.back().view(); }
 };
 
+/// Reusable activation scratch for forward_logits_into: two ping-pong
+/// buffers that grow monotonically to the widest layer and largest batch
+/// seen, so a long-lived scorer (a serving worker) allocates nothing in
+/// steady state. Not thread-safe; keep one per scoring thread.
+struct ForwardScratch {
+  blas::Matrix<float> ping;
+  blas::Matrix<float> pong;
+
+  /// View of `which ? pong : ping` with at least rows x cols, growing the
+  /// backing matrix if needed (values are unspecified on entry).
+  blas::MatrixView<float> ensure(bool which, std::size_t rows,
+                                 std::size_t cols);
+};
+
 class Network {
  public:
   Network() = default;
@@ -83,6 +97,15 @@ class Network {
   /// Forward pass discarding hidden activations (loss evaluation only).
   blas::Matrix<float> forward_logits(blas::ConstMatrixView<float> x,
                                      util::ThreadPool* pool = nullptr) const;
+
+  /// Forward pass writing the logits into caller-owned `out`
+  /// (x.rows x output_dim) through reusable `scratch` — the serving hot
+  /// path: bitwise identical to forward_logits, zero allocations once the
+  /// scratch has warmed up. Hidden activations are not retained.
+  void forward_logits_into(blas::ConstMatrixView<float> x,
+                           blas::MatrixView<float> out,
+                           ForwardScratch& scratch,
+                           util::ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<LayerSpec> layers_;

@@ -42,21 +42,25 @@ void append_json_string(std::string& out, const std::string& s) {
 }  // namespace
 
 util::Table metrics_table(const Registry& registry) {
-  util::Table table({"metric", "kind", "count", "value", "min", "max"});
+  util::Table table({"metric", "kind", "count", "value", "min", "p50", "p90",
+                     "p99", "max"});
   for (const MetricSample& s : registry.samples()) {
     switch (s.kind) {
       case MetricKind::kCounter:
         table.add_row({s.name, "counter", std::to_string(s.count), "", "",
-                       ""});
+                       "", "", "", ""});
         break;
       case MetricKind::kGauge:
-        table.add_row(
-            {s.name, "gauge", "", util::Table::fmt(s.value, 6), "", ""});
+        table.add_row({s.name, "gauge", "", util::Table::fmt(s.value, 6), "",
+                       "", "", "", ""});
         break;
       case MetricKind::kHistogram:
         table.add_row({s.name, "histogram", std::to_string(s.count),
                        util::Table::fmt(s.value, 6),
                        util::Table::fmt(s.min, 6),
+                       util::Table::fmt(s.p50, 6),
+                       util::Table::fmt(s.p90, 6),
+                       util::Table::fmt(s.p99, 6),
                        util::Table::fmt(s.max, 6)});
         break;
     }
@@ -85,6 +89,9 @@ std::string metrics_json(const Registry& registry) {
         out += ",\"count\":" + std::to_string(s.count);
         out += ",\"sum\":" + full_precision(s.value);
         out += ",\"min\":" + full_precision(s.min);
+        out += ",\"p50\":" + full_precision(s.p50);
+        out += ",\"p90\":" + full_precision(s.p90);
+        out += ",\"p99\":" + full_precision(s.p99);
         out += ",\"max\":" + full_precision(s.max);
         break;
     }

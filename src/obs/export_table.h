@@ -10,14 +10,16 @@
 namespace bgqhf::obs {
 
 /// Render every touched metric as a util::Table with columns
-/// {"metric", "kind", "count", "value", "min", "max"} in samples() order
-/// (deterministic). Counters leave value/min/max blank; gauges leave
-/// count/min/max blank.
+/// {"metric", "kind", "count", "value", "min", "p50", "p90", "p99", "max"}
+/// in samples() order (deterministic). Counters and gauges leave the
+/// distribution columns blank; histogram percentiles are bucket estimates
+/// (see HistogramBuckets).
 util::Table metrics_table(const Registry& registry);
 
 /// Flat JSON object: metric name -> {"kind":..., "count":..., ...}.
-/// Keys appear in samples() order; numeric fields use max round-trip
-/// precision so dumps are diffable across runs of identical work.
+/// Histograms carry count/sum/min/max plus estimated p50/p90/p99. Keys
+/// appear in samples() order; numeric fields use max round-trip precision
+/// so dumps are diffable across runs of identical work.
 std::string metrics_json(const Registry& registry);
 
 /// Write metrics_json() to `path`; throws std::runtime_error on failure.

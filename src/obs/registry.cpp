@@ -1,5 +1,7 @@
 #include "obs/registry.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,6 +115,52 @@ std::size_t Schema::num_histograms() const {
   return impl().histogram_names.size();
 }
 
+// ---- histogram buckets ----
+
+std::size_t HistogramBuckets::index(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the underflow bucket
+  const double decades = std::log10(value) - kMinDecade;
+  const double slot = std::floor(decades * kPerDecade);
+  if (slot < 0.0) return 0;
+  const auto regular = static_cast<std::size_t>(slot);
+  const std::size_t num_regular = kCount - 2;
+  if (regular >= num_regular) return kCount - 1;  // overflow
+  return regular + 1;
+}
+
+double HistogramBuckets::lower_edge(std::size_t b) {
+  return std::pow(10.0, kMinDecade + static_cast<double>(b - 1) / kPerDecade);
+}
+
+double HistogramBuckets::midpoint(std::size_t b) {
+  return std::pow(10.0,
+                  kMinDecade + (static_cast<double>(b - 1) + 0.5) / kPerDecade);
+}
+
+double HistogramCell::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the q-quantile observation, 1-based (nearest-rank definition).
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum < rank) continue;
+    double estimate;
+    if (b == 0) {
+      estimate = min;  // underflow: everything here is <= 1e-9
+    } else if (b == buckets.size() - 1) {
+      estimate = max;  // overflow: no upper edge to interpolate against
+    } else {
+      estimate = HistogramBuckets::midpoint(b);
+    }
+    return std::clamp(estimate, min, max);
+  }
+  return max;  // unreachable when bucket counts and `count` agree
+}
+
 // ---- Registry ----
 
 namespace {
@@ -139,6 +187,7 @@ void Registry::observe(HistogramId id, double value) {
   cell.sum += value;
   if (value < cell.min) cell.min = value;
   if (value > cell.max) cell.max = value;
+  ++cell.buckets[HistogramBuckets::index(value)];
 }
 
 std::uint64_t Registry::counter(CounterId id) const {
@@ -179,6 +228,9 @@ Registry& Registry::merge(const Registry& other) {
     cell.sum += o.sum;
     if (o.min < cell.min) cell.min = o.min;
     if (o.max > cell.max) cell.max = o.max;
+    for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+      cell.buckets[b] += o.buckets[b];
+    }
   }
   return *this;
 }
@@ -219,6 +271,9 @@ std::vector<MetricSample> Registry::samples() const {
     s.value = cell.sum;
     s.min = cell.min;
     s.max = cell.max;
+    s.p50 = cell.percentile(0.50);
+    s.p90 = cell.percentile(0.90);
+    s.p99 = cell.percentile(0.99);
     out.push_back(std::move(s));
   }
   return out;

@@ -14,6 +14,7 @@
 // their row labels are the metric names, their operator+= is merge().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -69,14 +70,41 @@ class Schema {
 
 // ---- cells ----
 
-/// Histogram summary cell: calls + accumulated value + extrema. `sum` with
-/// `count` is exactly the (seconds, calls) pair the per-phase and per-op
-/// stats tables report.
+/// Fixed geometric bucket layout shared by every histogram: `kPerDecade`
+/// buckets per decade over [1e-9, 1e11) — fine enough that a bucket-midpoint
+/// percentile estimate is within ~±15% — plus an underflow bucket (index 0,
+/// catches <= 0 too) and an overflow bucket (last index). One static layout
+/// keeps cells POD and bucket merges exact and associative across ranks.
+struct HistogramBuckets {
+  static constexpr int kPerDecade = 8;
+  static constexpr int kMinDecade = -9;  // first regular edge: 1e-9
+  static constexpr int kMaxDecade = 11;  // last regular edge: 1e11
+  static constexpr std::size_t kCount =
+      static_cast<std::size_t>((kMaxDecade - kMinDecade) * kPerDecade) + 2;
+
+  /// Bucket index receiving `value`.
+  static std::size_t index(double value);
+  /// Lower edge of regular bucket `b` (b in [1, kCount-2]).
+  static double lower_edge(std::size_t b);
+  /// Geometric midpoint of regular bucket `b` — the percentile estimate.
+  static double midpoint(std::size_t b);
+};
+
+/// Histogram summary cell: calls + accumulated value + extrema + geometric
+/// bucket counts. `sum` with `count` is exactly the (seconds, calls) pair
+/// the per-phase and per-op stats tables report; the buckets estimate tail
+/// quantiles (serving latency p50/p99) without storing samples.
 struct HistogramCell {
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
+
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts: geometric
+  /// bucket midpoint clamped to the observed [min, max]. Returns 0 for an
+  /// empty cell. Exact for q=0 (min) and q=1 (max).
+  double percentile(double q) const;
 };
 
 /// One named metric materialized for export.
@@ -87,6 +115,9 @@ struct MetricSample {
   double value = 0.0;       // gauge value, or histogram sum
   double min = 0.0;         // histograms only
   double max = 0.0;         // histograms only
+  double p50 = 0.0;         // histograms only: estimated quantiles
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Mergeable bundle of metric values. NOT thread-safe: each rank/thread

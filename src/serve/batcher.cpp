@@ -1,0 +1,73 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <exception>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "serve/error.h"
+
+namespace bgqhf::serve {
+
+namespace {
+
+struct BatchMetrics {
+  obs::HistogramId queue_wait_us;
+  obs::HistogramId batch_frames;
+  obs::HistogramId batch_requests;
+  obs::CounterId rejects_deadline;
+};
+
+const BatchMetrics& batch_metrics() {
+  static const BatchMetrics m = [] {
+    obs::Schema& s = obs::Schema::global();
+    return BatchMetrics{
+        s.histogram("serve.queue_wait_us"),
+        s.histogram("serve.batch_frames"),
+        s.histogram("serve.batch_requests"),
+        s.counter("serve.rejects.deadline"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
+
+std::vector<Request> DynamicBatcher::next_batch() {
+  BGQHF_SPAN("serve", "batch_form");
+  for (;;) {
+    std::vector<Request> batch = queue_.pop_batch(
+        options_.max_batch_frames,
+        std::chrono::microseconds(options_.batch_timeout_us));
+    if (batch.empty()) return batch;  // closed and drained
+
+    const Clock::time_point now = Clock::now();
+    const BatchMetrics& m = batch_metrics();
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    std::size_t frames = 0;
+    for (Request& r : batch) {
+      obs::global_observe(
+          m.queue_wait_us,
+          std::chrono::duration<double, std::micro>(now - r.enqueued)
+              .count());
+      if (r.has_deadline() && now > r.deadline) {
+        obs::global_add(m.rejects_deadline);
+        r.reply.set_exception(
+            std::make_exception_ptr(DeadlineExceeded()));
+        continue;
+      }
+      frames += r.frames();
+      live.push_back(std::move(r));
+    }
+    // Every request in the batch may have expired; go wait for the next
+    // batch rather than handing the scorer nothing to do.
+    if (live.empty()) continue;
+    obs::global_observe(m.batch_frames, static_cast<double>(frames));
+    obs::global_observe(m.batch_requests,
+                        static_cast<double>(live.size()));
+    return live;
+  }
+}
+
+}  // namespace bgqhf::serve

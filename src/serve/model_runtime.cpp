@@ -1,0 +1,44 @@
+#include "serve/model_runtime.h"
+
+#include "hf/checkpoint.h"
+#include "nn/serialize.h"
+#include "obs/span.h"
+
+namespace bgqhf::serve {
+
+ModelRuntime::ModelRuntime(nn::Network net) : net_(std::move(net)) {}
+
+std::shared_ptr<const ModelRuntime> ModelRuntime::from_checkpoint(
+    const std::string& path, const nn::Network& topology) {
+  BGQHF_SPAN("serve", "model_load");
+  const hf::CheckpointWeights weights = hf::load_checkpoint_weights(path);
+  nn::Network net = topology;
+  hf::install_weights(weights, net);
+  auto runtime = std::make_shared<ModelRuntime>(std::move(net));
+  runtime->trained_iterations_ = weights.completed_iterations;
+  return runtime;
+}
+
+std::shared_ptr<const ModelRuntime> ModelRuntime::from_network_file(
+    const std::string& path) {
+  BGQHF_SPAN("serve", "model_load");
+  return std::make_shared<const ModelRuntime>(nn::load_network(path));
+}
+
+void ModelRuntime::score(blas::ConstMatrixView<float> x,
+                         blas::MatrixView<float> out,
+                         nn::ForwardScratch& scratch,
+                         util::ThreadPool* pool) const {
+  BGQHF_SPAN("serve", "score");
+  net_.forward_logits_into(x, out, scratch, pool);
+}
+
+blas::Matrix<float> ModelRuntime::score(blas::ConstMatrixView<float> x,
+                                        util::ThreadPool* pool) const {
+  blas::Matrix<float> out(x.rows, output_dim());
+  nn::ForwardScratch scratch;
+  score(x, out.view(), scratch, pool);
+  return out;
+}
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,19 @@
+#include "serve/options.h"
+
+#include "util/config.h"
+
+namespace bgqhf::serve {
+
+ServeOptions ServeOptions::from_env() {
+  ServeOptions opts;
+  const util::RuntimeEnv& env = util::RuntimeEnv::get();
+  if (env.serve_batch > 0) {
+    opts.max_batch_frames = static_cast<std::size_t>(env.serve_batch);
+  }
+  if (env.serve_timeout_us > 0) {
+    opts.batch_timeout_us = env.serve_timeout_us;
+  }
+  return opts;
+}
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,35 @@
+// Serving engine configuration.
+//
+// The batching policy (target batch size, max wait) is the latency /
+// throughput dial the paper's decoding story turns on: larger batches
+// amortize streaming the weight matrices through the GEMM engine, longer
+// waits trade p50 latency for fuller batches. Both resolve through
+// util::RuntimeEnv (BGQHF_SERVE_BATCH, BGQHF_SERVE_TIMEOUT_US) so a
+// deployment retunes without a rebuild and tests inject policies via
+// RuntimeEnv::set_for_tests without process-global setenv races.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bgqhf::serve {
+
+struct ServeOptions {
+  /// Target batch size in frames; a batch is dispatched as soon as the
+  /// queued frames reach this. 1 disables batching (single-request mode).
+  std::size_t max_batch_frames = 128;
+  /// Max time the oldest queued request waits for a full batch before a
+  /// partial batch is dispatched anyway.
+  std::uint64_t batch_timeout_us = 1000;
+  /// Admission limit: requests queued beyond this are rejected with
+  /// Overloaded (bounded queue = bounded tail latency).
+  std::size_t queue_capacity = 256;
+  /// Scoring worker threads, each pulling whole batches.
+  std::size_t threads = 1;
+
+  /// Defaults overlaid with the BGQHF_SERVE_* knobs from RuntimeEnv::get()
+  /// (0/unset knobs keep the defaults above).
+  static ServeOptions from_env();
+};
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,42 @@
+// Request/response types shared by the queue, batcher, and engine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "blas/matrix.h"
+
+namespace bgqhf::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// A scored request: per-utterance logits plus where its time went.
+struct Response {
+  std::uint64_t id = 0;
+  blas::Matrix<float> logits;  // frames x output_dim
+  /// Engine model version (bumped by every hot swap) that scored this.
+  std::uint64_t model_version = 0;
+  double queue_wait_us = 0.0;  // enqueue -> batch formation
+  double total_us = 0.0;       // enqueue -> promise fulfilled
+};
+
+/// One queued scoring request. `features` rows are frames (context-stacked
+/// like training batches); every row is scored independently, which is what
+/// makes concatenating requests into one GEMM batch legal.
+struct Request {
+  std::uint64_t id = 0;
+  blas::Matrix<float> features;  // frames x input_dim
+  /// Zero (epoch) means no deadline; otherwise the batcher rejects the
+  /// request with DeadlineExceeded if it is still queued past this point.
+  Clock::time_point deadline{};
+  Clock::time_point enqueued{};  // stamped by RequestQueue::push
+  std::promise<Response> reply;
+
+  std::size_t frames() const noexcept { return features.rows(); }
+  bool has_deadline() const noexcept {
+    return deadline != Clock::time_point{};
+  }
+};
+
+}  // namespace bgqhf::serve

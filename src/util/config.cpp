@@ -99,6 +99,18 @@ bool env_flag(const char* name) {
   return !(s.empty() || s == "0" || s == "false" || s == "no" || s == "off");
 }
 
+std::uint64_t env_u64(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument(std::string(name) +
+                                ": not an unsigned integer: " + v);
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
 std::mutex& runtime_env_mutex() {
   static std::mutex* mu = new std::mutex();
   return *mu;
@@ -118,6 +130,8 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   env.force_kernel = env_string("BGQHF_FORCE_KERNEL");
   env.trace = env_flag("BGQHF_TRACE");
   env.trace_file = env_string("BGQHF_TRACE_FILE");
+  env.serve_batch = env_u64("BGQHF_SERVE_BATCH");
+  env.serve_timeout_us = env_u64("BGQHF_SERVE_TIMEOUT_US");
   return env;
 }
 

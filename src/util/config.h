@@ -59,6 +59,12 @@ struct RuntimeEnv {
   bool trace = false;
   /// BGQHF_TRACE_FILE — default Chrome trace output path ("" = none).
   std::string trace_file;
+  /// BGQHF_SERVE_BATCH — serving batcher's target batch size in frames
+  /// (0 = keep the ServeOptions default).
+  std::uint64_t serve_batch = 0;
+  /// BGQHF_SERVE_TIMEOUT_US — serving batcher's max wait for a full batch,
+  /// in microseconds (0 = keep the ServeOptions default).
+  std::uint64_t serve_timeout_us = 0;
 
   /// Cached process snapshot (first call reads the environment).
   static const RuntimeEnv& get();

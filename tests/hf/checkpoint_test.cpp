@@ -11,7 +11,9 @@
 
 #include "hf/checkpoint.h"
 #include "hf/trainer.h"
+#include "nn/network.h"
 #include "quadratic_compute.h"
+#include "util/checksum.h"
 
 namespace bgqhf::hf {
 namespace {
@@ -122,6 +124,94 @@ TEST(Checkpoint, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(CheckpointWeightsOnly, LoadsThetaAndMetadataOnly) {
+  const std::string path = temp_path("weights_only.ckpt");
+  const TrainerCheckpoint saved = sample_checkpoint();
+  save_checkpoint(saved, path);
+  const CheckpointWeights w = load_checkpoint_weights(path);
+  EXPECT_EQ(w.completed_iterations, saved.completed_iterations);
+  EXPECT_EQ(w.hf_seed, saved.hf_seed);
+  ASSERT_EQ(w.theta.size(), saved.theta.size());
+  for (std::size_t i = 0; i < saved.theta.size(); ++i) {
+    EXPECT_EQ(w.theta[i], saved.theta[i]);
+  }
+}
+
+TEST(CheckpointWeightsOnly, CorruptFileThrowsTypedCorruptError) {
+  const std::string path = temp_path("weights_corrupt.ckpt");
+  save_checkpoint(sample_checkpoint(), path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    char byte = 0;
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  try {
+    load_checkpoint_weights(path);
+    FAIL() << "corrupt checkpoint not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kCorrupt);
+  }
+}
+
+TEST(CheckpointWeightsOnly, MissingFileThrowsTypedIoError) {
+  try {
+    load_checkpoint_weights(temp_path("nope.ckpt"));
+    FAIL() << "missing checkpoint not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kIo);
+  }
+}
+
+TEST(CheckpointWeightsOnly, BadMagicThrowsTypedError) {
+  const std::string path = temp_path("not_a_ckpt.ckpt");
+  {
+    // Valid CRC framing but wrong magic: build a small file whose footer
+    // matches its payload so only the magic check can object.
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const char payload[44] = "XYZHFCKP notachkpt padding padding padding";
+    f.write(payload, sizeof(payload));
+    const std::uint32_t crc = util::crc32(payload, sizeof(payload));
+    f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  }
+  try {
+    load_checkpoint_weights(path);
+    FAIL() << "bad magic not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kBadMagic);
+  }
+}
+
+TEST(CheckpointWeightsOnly, InstallRejectsShapeMismatchTyped) {
+  CheckpointWeights w;
+  w.theta.assign(10, 0.5f);
+  nn::Network net = nn::Network::mlp(3, {4}, 2);  // != 10 params
+  try {
+    install_weights(w, net);
+    FAIL() << "shape mismatch not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kShapeMismatch);
+  }
+}
+
+TEST(CheckpointWeightsOnly, InstallSetsNetworkParameters) {
+  nn::Network net = nn::Network::mlp(3, {4}, 2);
+  CheckpointWeights w;
+  w.theta.assign(net.num_params(), 0.0f);
+  for (std::size_t i = 0; i < w.theta.size(); ++i) {
+    w.theta[i] = static_cast<float>(i) * 0.25f;
+  }
+  install_weights(w, net);
+  const auto params = net.params();
+  for (std::size_t i = 0; i < w.theta.size(); ++i) {
+    EXPECT_EQ(params[i], w.theta[i]);
+  }
+}
+
 HfOptions quadratic_options(std::size_t max_iterations) {
   HfOptions opts;
   opts.max_iterations = max_iterations;
@@ -186,7 +276,12 @@ TEST(Checkpoint, ResumeRejectsSeedMismatch) {
   ckpt.theta.assign(n, 0.0f);
   ckpt.d0.assign(n, 0.0f);
   HfOptimizer opt(quadratic_options(2));
-  EXPECT_THROW(opt.run(compute, theta, &ckpt), std::invalid_argument);
+  try {
+    opt.run(compute, theta, &ckpt);
+    FAIL() << "seed mismatch not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kSeedMismatch);
+  }
 }
 
 TEST(Checkpoint, ResumeRejectsSizeMismatch) {
@@ -199,7 +294,12 @@ TEST(Checkpoint, ResumeRejectsSizeMismatch) {
   ckpt.theta.assign(n + 1, 0.0f);
   ckpt.d0.assign(n + 1, 0.0f);
   HfOptimizer opt(quadratic_options(2));
-  EXPECT_THROW(opt.run(compute, theta, &ckpt), std::invalid_argument);
+  try {
+    opt.run(compute, theta, &ckpt);
+    FAIL() << "size mismatch not rejected";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kShapeMismatch);
+  }
 }
 
 TEST(Checkpoint, DistributedResumeMatchesStraightRunBitwise) {

@@ -105,6 +105,30 @@ TEST(MetricsExport, TableAndJsonCarryEveryTouchedMetric) {
   EXPECT_NE(json.find("\"test.export.h\""), std::string::npos);
 }
 
+TEST(MetricsExport, HistogramRowsSurfacePercentiles) {
+  Schema& schema = Schema::global();
+  Registry r;
+  const HistogramId h = schema.histogram("test.export.pct");
+  for (int i = 0; i < 99; ++i) r.observe(h, 100.0);
+  r.observe(h, 50000.0);
+
+  // Table gains p50/p90/p99 columns for histogram rows.
+  const std::string table = metrics_table(r).render();
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p90"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+
+  // JSON histogram objects carry machine-readable percentile fields.
+  const std::string json = metrics_json(r);
+  ASSERT_TRUE(json_is_valid(json));
+  const std::size_t at = json.find("\"test.export.pct\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string obj = json.substr(at, json.find('}', at) - at);
+  EXPECT_NE(obj.find("\"p50\""), std::string::npos);
+  EXPECT_NE(obj.find("\"p90\""), std::string::npos);
+  EXPECT_NE(obj.find("\"p99\""), std::string::npos);
+}
+
 // End to end: an instrumented distributed HF run produces a Chrome trace
 // that validates and shows master and worker phases from every rank on the
 // one shared timeline.

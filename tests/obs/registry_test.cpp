@@ -182,5 +182,117 @@ TEST(GlobalRegistry, CollectMergesEveryThread) {
   EXPECT_EQ(collect_global().counter(c), 0u);
 }
 
+TEST(HistogramPercentiles, EmptyHistogramReportsZero) {
+  HistogramCell cell;
+  EXPECT_EQ(cell.percentile(0.5), 0.0);
+  EXPECT_EQ(cell.percentile(0.99), 0.0);
+}
+
+TEST(HistogramPercentiles, ExtremeQuantilesAreExactMinMax) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.exact.h");
+  Registry r;
+  r.observe(h, 3.7);
+  r.observe(h, 120.0);
+  r.observe(h, 0.004);
+  const HistogramCell cell = r.histogram(h);
+  EXPECT_DOUBLE_EQ(cell.percentile(0.0), 0.004);
+  EXPECT_DOUBLE_EQ(cell.percentile(1.0), 120.0);
+}
+
+TEST(HistogramPercentiles, EstimatesWithinBucketResolution) {
+  // 8 buckets per decade -> a bucket spans 10^(1/8) ~ 1.33x, so the
+  // geometric-midpoint estimate is within ~15% of the true value when all
+  // observations share a value.
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.res.h");
+  Registry r;
+  for (int i = 0; i < 1000; ++i) r.observe(h, 250.0);
+  const HistogramCell cell = r.histogram(h);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double est = cell.percentile(q);
+    EXPECT_GT(est, 250.0 / 1.2) << "q=" << q;
+    EXPECT_LT(est, 250.0 * 1.2) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentiles, SeparatesSpreadDistribution) {
+  // 90 fast observations at 100us, 10 slow at 10000us: p50 must report
+  // the fast mode and p99 the slow tail -- the whole point of exporting
+  // percentiles instead of the mean.
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.spread.h");
+  Registry r;
+  for (int i = 0; i < 90; ++i) r.observe(h, 100.0);
+  for (int i = 0; i < 10; ++i) r.observe(h, 10000.0);
+  const HistogramCell cell = r.histogram(h);
+  const double p50 = cell.percentile(0.50);
+  const double p99 = cell.percentile(0.99);
+  EXPECT_GT(p50, 100.0 / 1.2);
+  EXPECT_LT(p50, 100.0 * 1.2);
+  EXPECT_GT(p99, 10000.0 / 1.2);
+  EXPECT_LT(p99, 10000.0 * 1.2);
+  EXPECT_LE(cell.percentile(0.5), cell.percentile(0.9));
+  EXPECT_LE(cell.percentile(0.9), cell.percentile(0.99));
+}
+
+TEST(HistogramPercentiles, NonPositiveValuesLandInUnderflowBucket) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.neg.h");
+  Registry r;
+  r.observe(h, -5.0);
+  r.observe(h, 0.0);
+  r.observe(h, 2.0);
+  const HistogramCell cell = r.histogram(h);
+  EXPECT_EQ(cell.count, 3u);
+  EXPECT_DOUBLE_EQ(cell.percentile(0.0), -5.0);
+  // Underflow-bucket hits report the exact observed minimum.
+  EXPECT_DOUBLE_EQ(cell.percentile(0.2), -5.0);
+}
+
+TEST(HistogramPercentiles, MergePreservesBucketCountsExactly) {
+  // Bucket merges are exact and associative, so percentiles computed on a
+  // merged registry equal percentiles over the union of observations --
+  // what makes cross-thread collection trustworthy.
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.merge.h");
+  Registry a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.observe(h, 10.0);
+    all.observe(h, 10.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    b.observe(h, 5000.0);
+    all.observe(h, 5000.0);
+  }
+  a += b;
+  const HistogramCell merged = a.histogram(h);
+  const HistogramCell direct = all.histogram(h);
+  EXPECT_EQ(merged.buckets, direct.buckets);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(q), direct.percentile(q)) << q;
+  }
+}
+
+TEST(HistogramPercentiles, SamplesCarryPercentileFields) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.sample.h");
+  Registry r;
+  // Nearest-rank p99 over 100 observations is rank 99: with 95 fast and
+  // 5 slow observations it lands in the slow tail.
+  for (int i = 0; i < 95; ++i) r.observe(h, 1.0);
+  for (int i = 0; i < 5; ++i) r.observe(h, 900.0);
+  bool found = false;
+  for (const MetricSample& s : r.samples()) {
+    if (s.name != "test.pct.sample.h") continue;
+    found = true;
+    EXPECT_LT(s.p50, 2.0);
+    EXPECT_LE(s.p50, s.p90);
+    EXPECT_LE(s.p90, s.p99);
+    EXPECT_GT(s.p99, 500.0);
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace
 }  // namespace bgqhf::obs

@@ -1,0 +1,93 @@
+// The serving observability contract: every request leaves a metric
+// trail (counters, queue-wait / batch-shape / latency histograms) that
+// the bench and dashboards read from the global registry.
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "serve/engine.h"
+#include "serve/error.h"
+#include "serve/loadgen.h"
+#include "util/rng.h"
+
+namespace bgqhf::serve {
+namespace {
+
+std::shared_ptr<const ModelRuntime> make_model() {
+  nn::Network net = nn::Network::mlp(4, {5}, 2);
+  util::Rng rng(1);
+  net.init_glorot(rng);
+  return std::make_shared<ModelRuntime>(std::move(net));
+}
+
+TEST(ServeMetrics, EngineRecordsCountersAndHistograms) {
+  obs::Schema& schema = obs::Schema::global();
+  const obs::CounterId requests = schema.counter("serve.requests");
+  const obs::CounterId responses = schema.counter("serve.responses");
+  const obs::HistogramId queue_wait =
+      schema.histogram("serve.queue_wait_us");
+  const obs::HistogramId batch_frames =
+      schema.histogram("serve.batch_frames");
+  const obs::HistogramId latency = schema.histogram("serve.latency_us");
+  obs::clear_global();
+
+  constexpr std::size_t kRequests = 24;
+  {
+    ServeOptions options;
+    options.max_batch_frames = 8;
+    options.batch_timeout_us = 200;
+    options.queue_capacity = 256;
+    options.threads = 2;
+    Engine engine(make_model(), options);
+    LoadGenOptions load;
+    load.num_requests = kRequests;
+    load.seed = 3;
+    const LoadGenReport report = run_load(engine, load);
+    ASSERT_EQ(report.completed, kRequests);
+    engine.stop();
+  }
+
+  const obs::Registry merged = obs::collect_global();
+  EXPECT_EQ(merged.counter(requests), kRequests);
+  EXPECT_EQ(merged.counter(responses), kRequests);
+  EXPECT_EQ(merged.histogram(queue_wait).count, kRequests);
+  EXPECT_EQ(merged.histogram(latency).count, kRequests);
+  const obs::HistogramCell frames = merged.histogram(batch_frames);
+  EXPECT_GE(frames.count, 1u);
+  // Every request is 1 frame; total batched frames must equal requests.
+  EXPECT_DOUBLE_EQ(frames.sum, static_cast<double>(kRequests));
+  obs::clear_global();
+}
+
+TEST(ServeMetrics, RejectionsCountedByCause) {
+  obs::Schema& schema = obs::Schema::global();
+  const obs::CounterId overloaded =
+      schema.counter("serve.rejects.overloaded");
+  obs::clear_global();
+  {
+    ServeOptions options;
+    options.queue_capacity = 0;
+    options.threads = 1;
+    Engine engine(make_model(), options);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_THROW(engine.submit(blas::Matrix<float>(1, 4)), Overloaded);
+    }
+  }
+  EXPECT_EQ(obs::collect_global().counter(overloaded), 5u);
+  obs::clear_global();
+}
+
+TEST(ServeMetrics, SwapBumpsVersionGaugeAndCounter) {
+  obs::Schema& schema = obs::Schema::global();
+  const obs::CounterId swaps = schema.counter("serve.swaps");
+  obs::clear_global();
+  {
+    Engine engine(make_model(), ServeOptions{});
+    engine.swap_model(make_model());
+    engine.swap_model(make_model());
+  }
+  EXPECT_EQ(obs::collect_global().counter(swaps), 2u);
+  obs::clear_global();
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

@@ -1,0 +1,49 @@
+// ServeOptions environment resolution: the batching policy knobs come
+// through util::RuntimeEnv, so tests inject them with set_for_tests —
+// no setenv races, no process-global leakage between tests.
+#include <gtest/gtest.h>
+
+#include "serve/options.h"
+#include "util/config.h"
+
+namespace bgqhf::serve {
+namespace {
+
+class ServeOptionsEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { util::RuntimeEnv::reset_for_tests(); }
+};
+
+TEST_F(ServeOptionsEnv, UnsetKnobsKeepDefaults) {
+  util::RuntimeEnv::set_for_tests(util::RuntimeEnv{});
+  const ServeOptions defaults;
+  const ServeOptions resolved = ServeOptions::from_env();
+  EXPECT_EQ(resolved.max_batch_frames, defaults.max_batch_frames);
+  EXPECT_EQ(resolved.batch_timeout_us, defaults.batch_timeout_us);
+  EXPECT_EQ(resolved.queue_capacity, defaults.queue_capacity);
+  EXPECT_EQ(resolved.threads, defaults.threads);
+}
+
+TEST_F(ServeOptionsEnv, InjectedKnobsOverrideBatchPolicy) {
+  util::RuntimeEnv env;
+  env.serve_batch = 64;
+  env.serve_timeout_us = 250;
+  util::RuntimeEnv::set_for_tests(env);
+  const ServeOptions resolved = ServeOptions::from_env();
+  EXPECT_EQ(resolved.max_batch_frames, 64u);
+  EXPECT_EQ(resolved.batch_timeout_us, 250u);
+  // Non-policy fields are untouched by the env knobs.
+  EXPECT_EQ(resolved.queue_capacity, ServeOptions{}.queue_capacity);
+}
+
+TEST_F(ServeOptionsEnv, PartialOverrideLeavesOtherKnobAtDefault) {
+  util::RuntimeEnv env;
+  env.serve_batch = 7;
+  util::RuntimeEnv::set_for_tests(env);
+  const ServeOptions resolved = ServeOptions::from_env();
+  EXPECT_EQ(resolved.max_batch_frames, 7u);
+  EXPECT_EQ(resolved.batch_timeout_us, ServeOptions{}.batch_timeout_us);
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

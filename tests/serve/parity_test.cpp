@@ -1,0 +1,142 @@
+// The batching correctness contract: scoring N utterances as one batch
+// must be BITWISE identical to N batch-of-1 calls. Rows of the forward
+// GEMM accumulate independently (the k-loop order does not depend on M or
+// the leading dimension), so dynamic batching may never change a single
+// output bit — this is what lets the serving engine batch aggressively
+// without an accuracy sign-off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "nn/network.h"
+#include "serve/model_runtime.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace bgqhf::serve {
+namespace {
+
+nn::Network make_net(std::uint64_t seed) {
+  nn::Network net = nn::Network::mlp(6, {9, 5}, 4);
+  util::Rng rng(seed);
+  net.init_glorot(rng);
+  return net;
+}
+
+// Utterances of varying length so batch row offsets exercise every
+// alignment (ld of a sub-view vs a batch-of-1 matrix).
+std::vector<blas::Matrix<float>> make_utterances(std::size_t n,
+                                                 std::size_t input_dim,
+                                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<blas::Matrix<float>> utts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t frames = 1 + rng.below(4);
+    blas::Matrix<float> m(frames, input_dim);
+    for (std::size_t r = 0; r < frames; ++r) {
+      for (std::size_t c = 0; c < input_dim; ++c) {
+        m(r, c) = static_cast<float>(rng.uniform(-2.0, 2.0));
+      }
+    }
+    utts.push_back(std::move(m));
+  }
+  return utts;
+}
+
+blas::Matrix<float> concat(const std::vector<blas::Matrix<float>>& utts) {
+  std::size_t rows = 0;
+  for (const auto& u : utts) rows += u.rows();
+  blas::Matrix<float> all(rows, utts.front().cols());
+  std::size_t at = 0;
+  for (const auto& u : utts) {
+    for (std::size_t r = 0; r < u.rows(); ++r, ++at) {
+      for (std::size_t c = 0; c < u.cols(); ++c) all(at, c) = u(r, c);
+    }
+  }
+  return all;
+}
+
+void expect_bitwise_rows(const blas::Matrix<float>& batched,
+                         std::size_t row_offset,
+                         const blas::Matrix<float>& single) {
+  ASSERT_EQ(batched.cols(), single.cols());
+  for (std::size_t r = 0; r < single.rows(); ++r) {
+    for (std::size_t c = 0; c < single.cols(); ++c) {
+      const float a = batched(row_offset + r, c);
+      const float b = single(r, c);
+      std::uint32_t ba = 0, bb = 0;
+      std::memcpy(&ba, &a, sizeof(ba));
+      std::memcpy(&bb, &b, sizeof(bb));
+      ASSERT_EQ(ba, bb) << "row " << row_offset + r << " col " << c
+                        << ": batched=" << a << " single=" << b;
+    }
+  }
+}
+
+TEST(BatchParity, BatchOfNBitwiseEqualsNBatchOfOneSerial) {
+  const ModelRuntime rt(make_net(7));
+  const auto utts = make_utterances(9, rt.input_dim(), 11);
+  const blas::Matrix<float> all = concat(utts);
+
+  const blas::Matrix<float> batched = rt.score(all.view());
+  std::size_t at = 0;
+  for (const auto& u : utts) {
+    const blas::Matrix<float> single = rt.score(u.view());
+    expect_bitwise_rows(batched, at, single);
+    at += u.rows();
+  }
+}
+
+TEST(BatchParity, ThreadedBatchBitwiseEqualsSerialSingles) {
+  const ModelRuntime rt(make_net(7));
+  const auto utts = make_utterances(9, rt.input_dim(), 13);
+  const blas::Matrix<float> all = concat(utts);
+  util::ThreadPool pool(4);
+
+  // Threaded batch vs serial batch-of-1: the threaded GEMM partitions
+  // rows, never the k accumulation, so even this cross combination is
+  // bitwise.
+  const blas::Matrix<float> batched = rt.score(all.view(), &pool);
+  std::size_t at = 0;
+  for (const auto& u : utts) {
+    const blas::Matrix<float> serial_single = rt.score(u.view());
+    const blas::Matrix<float> threaded_single = rt.score(u.view(), &pool);
+    expect_bitwise_rows(batched, at, serial_single);
+    expect_bitwise_rows(batched, at, threaded_single);
+    at += u.rows();
+  }
+}
+
+TEST(BatchParity, ScratchPathMatchesAllocatingPath) {
+  const ModelRuntime rt(make_net(3));
+  const auto utts = make_utterances(5, rt.input_dim(), 29);
+  nn::ForwardScratch scratch;
+  for (const auto& u : utts) {
+    blas::Matrix<float> out(u.rows(), rt.output_dim());
+    rt.score(u.cview(), out.view(), scratch);
+    const blas::Matrix<float> reference = rt.score(u.view());
+    expect_bitwise_rows(out, 0, reference);
+  }
+}
+
+TEST(BatchParity, ScratchReuseAcrossShrinkingBatches) {
+  // A warm scratch sized for a big batch must not perturb a later small
+  // batch (the view ld stays tied to the request, not the scratch high
+  // water mark — regression guard for reuse bugs).
+  const ModelRuntime rt(make_net(5));
+  nn::ForwardScratch scratch;
+  const auto utts = make_utterances(6, rt.input_dim(), 31);
+  const blas::Matrix<float> all = concat(utts);
+  blas::Matrix<float> big(all.rows(), rt.output_dim());
+  rt.score(all.cview(), big.view(), scratch);
+
+  const blas::Matrix<float> reference = rt.score(utts[2].view());
+  blas::Matrix<float> out(utts[2].rows(), rt.output_dim());
+  rt.score(utts[2].cview(), out.view(), scratch);
+  expect_bitwise_rows(out, 0, reference);
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

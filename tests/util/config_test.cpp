@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
 
 namespace bgqhf::util {
@@ -86,6 +87,38 @@ TEST(Config, SetOverridesValue) {
 TEST(Config, ValueWithEqualsSign) {
   const Config cfg = parse({"expr=a=b"});
   EXPECT_EQ(cfg.get_string("expr", ""), "a=b");
+}
+
+TEST(RuntimeEnvServeKnobs, DefaultsAreZeroMeaningUnset) {
+  const RuntimeEnv env;
+  EXPECT_EQ(env.serve_batch, 0u);
+  EXPECT_EQ(env.serve_timeout_us, 0u);
+}
+
+TEST(RuntimeEnvServeKnobs, SetForTestsInjectsSnapshot) {
+  RuntimeEnv env;
+  env.serve_batch = 96;
+  env.serve_timeout_us = 1500;
+  RuntimeEnv::set_for_tests(env);
+  EXPECT_EQ(RuntimeEnv::get().serve_batch, 96u);
+  EXPECT_EQ(RuntimeEnv::get().serve_timeout_us, 1500u);
+  RuntimeEnv::reset_for_tests();
+}
+
+TEST(RuntimeEnvServeKnobs, FromProcessEnvParsesIntegers) {
+  ASSERT_EQ(setenv("BGQHF_SERVE_BATCH", "48", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_SERVE_TIMEOUT_US", "2500", 1), 0);
+  const RuntimeEnv env = RuntimeEnv::from_process_env();
+  EXPECT_EQ(env.serve_batch, 48u);
+  EXPECT_EQ(env.serve_timeout_us, 2500u);
+  unsetenv("BGQHF_SERVE_BATCH");
+  unsetenv("BGQHF_SERVE_TIMEOUT_US");
+}
+
+TEST(RuntimeEnvServeKnobs, MalformedValueThrows) {
+  ASSERT_EQ(setenv("BGQHF_SERVE_BATCH", "lots", 1), 0);
+  EXPECT_THROW(RuntimeEnv::from_process_env(), std::invalid_argument);
+  unsetenv("BGQHF_SERVE_BATCH");
 }
 
 }  // namespace
