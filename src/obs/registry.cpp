@@ -138,9 +138,15 @@ double HistogramBuckets::midpoint(std::size_t b) {
 }
 
 double HistogramCell::percentile(double q) const {
-  if (count == 0) return 0.0;
-  if (q <= 0.0) return min;
-  if (q >= 1.0) return max;
+  if (count == 0) return kEmptyPercentile;
+  // NaN observations bump `count` without updating the extrema; without
+  // this guard q=0 would report +inf and std::clamp(lo > hi) below is UB.
+  const bool finite_extrema = std::isfinite(min) && std::isfinite(max);
+  // All observations were one value (the single-sample warmup case):
+  // every quantile is that value exactly, no bucket-midpoint estimate.
+  if (finite_extrema && min == max) return min;
+  if (q <= 0.0) return finite_extrema ? min : kEmptyPercentile;
+  if (q >= 1.0) return finite_extrema ? max : kEmptyPercentile;
   // Rank of the q-quantile observation, 1-based (nearest-rank definition).
   const auto rank = static_cast<std::uint64_t>(std::max(
       1.0, std::ceil(q * static_cast<double>(count))));
@@ -150,15 +156,42 @@ double HistogramCell::percentile(double q) const {
     if (cum < rank) continue;
     double estimate;
     if (b == 0) {
-      estimate = min;  // underflow: everything here is <= 1e-9
+      // Underflow: everything here is <= 1e-9 (or non-positive).
+      estimate = finite_extrema ? min : 0.0;
     } else if (b == buckets.size() - 1) {
-      estimate = max;  // overflow: no upper edge to interpolate against
+      // Overflow: no upper edge to interpolate against.
+      estimate = finite_extrema ? max : HistogramBuckets::lower_edge(b);
     } else {
       estimate = HistogramBuckets::midpoint(b);
     }
-    return std::clamp(estimate, min, max);
+    return finite_extrema ? std::clamp(estimate, min, max) : estimate;
   }
-  return max;  // unreachable when bucket counts and `count` agree
+  return finite_extrema ? max : kEmptyPercentile;  // NaN-only cell
+}
+
+HistogramCell HistogramCell::delta_since(const HistogramCell& prev) const {
+  HistogramCell d;
+  if (count <= prev.count) return d;  // empty (or inconsistent) window
+  d.count = count - prev.count;
+  d.sum = sum - prev.sum;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    d.buckets[b] = buckets[b] >= prev.buckets[b]
+                       ? buckets[b] - prev.buckets[b]
+                       : 0;
+    if (d.buckets[b] == 0) continue;
+    // Window extrema from bucket geometry: lower edge of the first
+    // occupied bucket, upper edge (next bucket's lower edge) of the last.
+    // The underflow bucket has no lower edge (observations <= 1e-9 or
+    // non-positive) and the overflow bucket no upper edge; fall back to
+    // the lifetime extrema, which bound every window.
+    const double lo =
+        b == 0 ? std::min(min, 0.0) : HistogramBuckets::lower_edge(b);
+    const double hi =
+        b + 1 >= buckets.size() ? max : HistogramBuckets::lower_edge(b + 1);
+    if (lo < d.min) d.min = lo;
+    if (hi > d.max) d.max = hi;
+  }
+  return d;
 }
 
 // ---- Registry ----

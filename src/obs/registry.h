@@ -95,16 +95,37 @@ struct HistogramBuckets {
 /// the per-phase and per-op stats tables report; the buckets estimate tail
 /// quantiles (serving latency p50/p99) without storing samples.
 struct HistogramCell {
+  /// Sentinel returned by percentile() for every q on an empty cell —
+  /// a defined "no data yet" value (e.g. during serving warmup, when the
+  /// SLO burn-rate gauge polls a latency histogram nothing has hit), not
+  /// an artifact of nearest-rank underflow on zero counts.
+  static constexpr double kEmptyPercentile = 0.0;
+
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
   std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
 
+  bool empty() const noexcept { return count == 0; }
+
   /// Estimated q-quantile (q in [0, 1]) from the bucket counts: geometric
-  /// bucket midpoint clamped to the observed [min, max]. Returns 0 for an
-  /// empty cell. Exact for q=0 (min) and q=1 (max).
+  /// bucket midpoint clamped to the observed [min, max]. Defined at the
+  /// edges: an empty cell returns kEmptyPercentile for every q (including
+  /// 0 and 1); a cell whose observations were all one value (the
+  /// single-sample warmup case) returns that value exactly for every q;
+  /// exact for q=0 (min) and q=1 (max). Non-finite extrema (NaN
+  /// observations never update min/max) degrade to unclamped bucket-edge
+  /// estimates instead of propagating infinities.
   double percentile(double q) const;
+
+  /// The window of observations recorded since `prev` was snapshotted from
+  /// the same (monotonically growing) cell: counts, sums, and buckets
+  /// subtract; min/max are rebuilt from the surviving buckets' geometric
+  /// edges (the true window extrema are unrecoverable once merged).
+  /// percentile() on the result gives windowed quantiles — what an SLO
+  /// burn-rate wants, rather than since-process-start tails.
+  HistogramCell delta_since(const HistogramCell& prev) const;
 };
 
 /// One named metric materialized for export.

@@ -1,0 +1,111 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bgqhf::serve {
+
+bool TokenBucket::try_take(Clock::time_point now) {
+  if (rate_per_s_ <= 0.0) return true;
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::tokens_for_tests(Clock::time_point now) {
+  refill(now);
+  return tokens_;
+}
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (!primed_) {
+    // First sight of this bucket: start the refill clock here rather than
+    // at some epoch that would grant a huge phantom backlog.
+    primed_ = true;
+    last_ = now;
+    return;
+  }
+  if (now <= last_) return;  // clock went nowhere (or a stale `now`)
+  const double dt = std::chrono::duration<double>(now - last_).count();
+  tokens_ = std::min(burst_, tokens_ + dt * rate_per_s_);
+  last_ = now;
+}
+
+const char* to_string(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAdmit:
+      return "admit";
+    case AdmitResult::kTenantRate:
+      return "tenant_rate";
+    case AdmitResult::kShedBatch:
+      return "shed_batch";
+    case AdmitResult::kShedInteractive:
+      return "shed_interactive";
+  }
+  return "?";
+}
+
+const char* to_string(ShedLevel level) {
+  switch (level) {
+    case ShedLevel::kNone:
+      return "none";
+    case ShedLevel::kShedBatch:
+      return "shed_batch";
+    case ShedLevel::kShedAll:
+      return "shed_all";
+  }
+  return "?";
+}
+
+namespace {
+double resolve_burst(const AdmissionOptions& options) {
+  if (options.tenant_burst > 0.0) return options.tenant_burst;
+  return std::max(options.tenant_rate_rps, 1.0);
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), burst_(resolve_burst(options)) {}
+
+AdmitResult AdmissionController::admit(const std::string& tenant,
+                                       Priority priority,
+                                       Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Shed before spending tokens: a shed request must not drain the
+  // tenant's budget for when the shed lifts.
+  if (shed_ == ShedLevel::kShedAll) {
+    return priority == Priority::kBatch ? AdmitResult::kShedBatch
+                                        : AdmitResult::kShedInteractive;
+  }
+  if (shed_ == ShedLevel::kShedBatch && priority == Priority::kBatch) {
+    return AdmitResult::kShedBatch;
+  }
+  if (options_.tenant_rate_rps <= 0.0) return AdmitResult::kAdmit;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(tenant,
+                      TokenBucket(options_.tenant_rate_rps, burst_))
+             .first;
+  }
+  return it->second.try_take(now) ? AdmitResult::kAdmit
+                                  : AdmitResult::kTenantRate;
+}
+
+void AdmissionController::set_shed_level(ShedLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shed_ = level;
+}
+
+ShedLevel AdmissionController::shed_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+std::size_t AdmissionController::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace bgqhf::serve

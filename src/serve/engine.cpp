@@ -47,10 +47,11 @@ double us_since(Clock::time_point start, Clock::time_point now) {
 }  // namespace
 
 Engine::Engine(std::shared_ptr<const ModelRuntime> model,
-               ServeOptions options)
+               ServeOptions options, WorkerFault fault_hook)
     : options_(options),
       queue_(options.queue_capacity),
-      batcher_(queue_, options) {
+      batcher_(queue_, options),
+      fault_hook_(std::move(fault_hook)) {
   if (model == nullptr) {
     throw std::invalid_argument("Engine: null model");
   }
@@ -69,30 +70,45 @@ Engine::~Engine() { stop(); }
 
 std::future<Response> Engine::submit(blas::Matrix<float> features,
                                      std::chrono::microseconds deadline) {
-  const EngineMetrics& m = engine_metrics();
-  if (features.rows() == 0) {
-    throw std::invalid_argument("serve: request carries no frames");
-  }
-  if (features.cols() != input_dim()) {
-    throw std::invalid_argument(
-        "serve: request feature dim " + std::to_string(features.cols()) +
-        " != model input dim " + std::to_string(input_dim()));
-  }
   Request r;
-  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   r.features = std::move(features);
   if (deadline > std::chrono::microseconds::zero()) {
     r.deadline = Clock::now() + deadline;
   }
   std::future<Response> fut = r.reply.get_future();
-  obs::global_add(m.requests);
-  try {
-    queue_.push(std::move(r));
-  } catch (const Overloaded&) {
-    obs::global_add(m.rejects_overloaded);
-    throw;
+  switch (try_submit(r)) {
+    case SubmitStatus::kAccepted:
+      return fut;
+    case SubmitStatus::kOverloaded:
+      throw Overloaded(options_.queue_capacity);
+    case SubmitStatus::kStopped:
+      throw EngineStopped();
   }
-  return fut;
+  throw EngineStopped();  // unreachable
+}
+
+Engine::SubmitStatus Engine::try_submit(Request& r) {
+  const EngineMetrics& m = engine_metrics();
+  if (r.frames() == 0) {
+    throw std::invalid_argument("serve: request carries no frames");
+  }
+  if (r.features.cols() != input_dim()) {
+    throw std::invalid_argument(
+        "serve: request feature dim " + std::to_string(r.features.cols()) +
+        " != model input dim " + std::to_string(input_dim()));
+  }
+  if (r.id == 0) r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  obs::global_add(m.requests);
+  switch (queue_.try_push(r)) {
+    case RequestQueue::PushResult::kOk:
+      return SubmitStatus::kAccepted;
+    case RequestQueue::PushResult::kFull:
+      obs::global_add(m.rejects_overloaded);
+      return SubmitStatus::kOverloaded;
+    case RequestQueue::PushResult::kClosed:
+      return SubmitStatus::kStopped;
+  }
+  return SubmitStatus::kStopped;  // unreachable
 }
 
 std::uint64_t Engine::swap_model(std::shared_ptr<const ModelRuntime> next) {
@@ -124,13 +140,22 @@ std::uint64_t Engine::swap_checkpoint(const std::string& path) {
   return swap_model(ModelRuntime::from_checkpoint(path, model()->network()));
 }
 
-void Engine::stop() {
+void Engine::stop(CloseMode mode) {
   std::lock_guard<std::mutex> lock(stop_mu_);
-  if (stopped_) return;
-  stopped_ = true;
-  queue_.close();
+  if (stopped_.load(std::memory_order_relaxed)) {
+    // A reject-mode stop after a drain-mode stop still sheds whatever the
+    // workers have not popped yet (close is idempotent per mode).
+    if (mode == CloseMode::kReject) queue_.close(mode);
+    return;
+  }
+  stopped_.store(true, std::memory_order_relaxed);
+  queue_.close(mode);
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+}
+
+bool Engine::stopped() const {
+  return stopped_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t Engine::model_version() const {
@@ -166,6 +191,9 @@ void Engine::worker_loop() {
     util::Timer timer;
     try {
       BGQHF_SPAN("serve", "score_batch");
+      // Fault injection point: a seeded stall (sleep) or wedge (throw)
+      // lands here, where a real scoring failure would.
+      if (fault_hook_) fault_hook_();
       blas::ConstMatrixView<float> in;
       if (batch.size() == 1) {
         // Single-request batch: score straight from its feature matrix.

@@ -1,0 +1,78 @@
+#include "serve/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace bgqhf::serve {
+
+ServeFaultInjector::ServeFaultInjector(ServeFaultConfig config,
+                                       std::size_t num_replicas)
+    : config_(config), replicas_(num_replicas) {
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    // Child stream per replica: decisions depend only on (seed, replica,
+    // event index), never on cross-replica interleaving.
+    replicas_[r].rng = util::Rng(config_.seed).fork(r);
+  }
+  for (const ReplicaKill& k : config_.kills) {
+    if (k.replica < replicas_.size() && k.after_requests > 0) {
+      replicas_[k.replica].kill_after = k.after_requests;
+    }
+  }
+}
+
+bool ServeFaultInjector::kill_due(std::size_t replica) {
+  if (replica >= replicas_.size()) return false;
+  ReplicaState& s = replicas_[replica];
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.log.requests;
+  if (s.log.killed || s.kill_after == 0) return false;
+  if (s.log.requests >= s.kill_after) {
+    s.log.killed = true;
+    s.log.killed_at_request = s.log.requests;
+    return true;
+  }
+  return false;
+}
+
+void ServeFaultInjector::on_batch(std::size_t replica) {
+  ReplicaState& s = replicas_[replica];
+  std::uint64_t stall_us = 0;
+  bool wedge = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.log.batches;
+    // Draw both decisions every batch so the rng stream position depends
+    // only on the batch index, not on which probabilities are active.
+    const double stall_draw = s.rng.next_double();
+    const double wedge_draw = s.rng.next_double();
+    if (wedge_draw < config_.wedge_probability) {
+      ++s.log.wedges;
+      wedge = true;
+    } else if (stall_draw < config_.stall_probability) {
+      ++s.log.stalls;
+      stall_us = config_.stall_us;
+    }
+  }
+  // Sleep / throw outside the lock: the injector must not serialize the
+  // worker pool it is faulting.
+  if (wedge) throw ReplicaFault(replica);
+  if (stall_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+  }
+}
+
+std::function<void()> ServeFaultInjector::worker_hook(std::size_t replica) {
+  if (replica >= replicas_.size()) return nullptr;
+  if (config_.stall_probability <= 0.0 && config_.wedge_probability <= 0.0) {
+    return nullptr;
+  }
+  return [this, replica] { on_batch(replica); };
+}
+
+ServeFaultLog ServeFaultInjector::log(std::size_t replica) const {
+  const ReplicaState& s = replicas_.at(replica);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.log;
+}
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the serving replica set.
+//
+// The simmpi FaultInjector models what big-data scale does to training
+// ranks (drop/delay/corrupt/kill); this is the serving-side mirror: what
+// production traffic does to replicas. Three failure modes:
+//
+//  * kill  — replica r dies after its Nth routed request: its engine hard
+//            stops (CloseMode::kReject), stranding queued requests with
+//            typed Shutdown errors for the router's failover to rescue.
+//  * stall — a worker sleeps stall_us before scoring a batch (a replica
+//            with a straggling thread: inflates latency, trips no error).
+//  * wedge — a worker throws before scoring (a wedged/crashing scorer):
+//            the batch fails typed, the health breaker counts it.
+//
+// Determinism, same contract as simmpi: every decision is a pure function
+// of (seed, replica, per-replica event index). Two runs with the same
+// seed and the same per-replica request/batch sequences make identical
+// decisions regardless of thread interleaving — which is what lets the CI
+// overload-soak leg assert exact kill points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/error.h"
+#include "util/rng.h"
+
+namespace bgqhf::serve {
+
+/// Thrown by a wedge-faulted scoring worker: the whole batch fails with
+/// this typed error, which the router's failover treats as a replica
+/// failure (retry elsewhere) and the health breaker counts.
+class ReplicaFault : public ServeError {
+ public:
+  explicit ReplicaFault(std::size_t replica)
+      : ServeError("serve: replica " + std::to_string(replica) +
+                   " scorer wedged by fault schedule"),
+        replica_(replica) {}
+  std::size_t replica() const noexcept { return replica_; }
+
+ private:
+  std::size_t replica_;
+};
+
+/// One scheduled replica death: the replica is killed when its
+/// `after_requests`-th routed request arrives (1-based; that request and
+/// everything queued behind it fail over to survivors).
+struct ReplicaKill {
+  std::size_t replica = 0;
+  std::size_t after_requests = 0;
+};
+
+struct ServeFaultConfig {
+  std::uint64_t seed = 0;
+  std::vector<ReplicaKill> kills;
+  /// Probability a scoring batch stalls `stall_us` before running.
+  double stall_probability = 0.0;
+  std::uint64_t stall_us = 0;
+  /// Probability a scoring batch throws ReplicaFault instead of running.
+  double wedge_probability = 0.0;
+
+  bool any_active() const {
+    return !kills.empty() || stall_probability > 0.0 ||
+           wedge_probability > 0.0;
+  }
+};
+
+/// Per-replica tally, the deterministic-replay witness.
+struct ServeFaultLog {
+  std::size_t requests = 0;  // routed requests counted against the kill
+  std::size_t batches = 0;   // worker batches consulted
+  std::size_t stalls = 0;
+  std::size_t wedges = 0;
+  bool killed = false;
+  std::size_t killed_at_request = 0;  // 1-based request index of the kill
+};
+
+class ServeFaultInjector {
+ public:
+  ServeFaultInjector(ServeFaultConfig config, std::size_t num_replicas);
+
+  /// Count one routed request against `replica`'s kill schedule. Returns
+  /// true exactly when the scheduled kill fires (the caller kills the
+  /// replica); later calls on a killed replica return false — it is
+  /// already dead.
+  bool kill_due(std::size_t replica);
+
+  /// Engine worker hook for `replica`: per-batch seeded stall / wedge
+  /// decisions. Pass to the Engine constructor; returns nullptr when
+  /// neither probability is active (zero overhead on the scoring path).
+  std::function<void()> worker_hook(std::size_t replica);
+
+  ServeFaultLog log(std::size_t replica) const;
+
+ private:
+  struct ReplicaState {
+    mutable std::mutex mu;
+    util::Rng rng;
+    std::size_t kill_after = 0;  // 0 = no kill scheduled
+    ServeFaultLog log;
+  };
+
+  void on_batch(std::size_t replica);
+
+  ServeFaultConfig config_;
+  std::vector<ReplicaState> replicas_;
+};
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,101 @@
+#include "serve/health.h"
+
+#include <chrono>
+
+namespace bgqhf::serve {
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kEjected:
+      return "ejected";
+    case HealthState::kHalfOpen:
+      return "half_open";
+    case HealthState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+HealthState ReplicaHealth::resolve_locked(Clock::time_point now) const {
+  if (state_ == HealthState::kEjected &&
+      now - ejected_at_ >=
+          std::chrono::microseconds(policy_.eject_cooldown_us)) {
+    return HealthState::kHalfOpen;
+  }
+  return state_;
+}
+
+HealthState ReplicaHealth::state(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(now);
+}
+
+bool ReplicaHealth::admits(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolve_locked(now) == HealthState::kHealthy;
+}
+
+bool ReplicaHealth::try_acquire_probe(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resolve_locked(now) != HealthState::kHalfOpen) return false;
+  if (probe_in_flight_) return false;
+  // Commit the half-open transition so a probe failure re-ejects from
+  // kHalfOpen rather than re-tripping from kEjected.
+  state_ = HealthState::kHalfOpen;
+  probe_in_flight_ = true;
+  return true;
+}
+
+void ReplicaHealth::on_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == HealthState::kDead) return;
+  consecutive_errors_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != HealthState::kHealthy) ++rejoins_;
+  state_ = HealthState::kHealthy;
+}
+
+void ReplicaHealth::on_error(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == HealthState::kDead) return;
+  ++consecutive_errors_;
+  if (state_ == HealthState::kHalfOpen) {
+    // The probe failed: back to the bench with a fresh cooldown.
+    state_ = HealthState::kEjected;
+    ejected_at_ = now;
+    probe_in_flight_ = false;
+    ++ejections_;
+    return;
+  }
+  if (state_ == HealthState::kHealthy &&
+      consecutive_errors_ >= policy_.trip_threshold) {
+    state_ = HealthState::kEjected;
+    ejected_at_ = now;
+    ++ejections_;
+  }
+}
+
+void ReplicaHealth::mark_dead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = HealthState::kDead;
+  probe_in_flight_ = false;
+}
+
+std::size_t ReplicaHealth::consecutive_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_errors_;
+}
+
+std::size_t ReplicaHealth::ejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ejections_;
+}
+
+std::size_t ReplicaHealth::rejoins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejoins_;
+}
+
+}  // namespace bgqhf::serve

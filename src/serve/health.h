@@ -1,0 +1,93 @@
+// Per-replica health tracking: a circuit breaker with half-open probes.
+//
+// The router must stop sending traffic to a replica that is failing
+// (wedged scorer, killed process) *before* every client has paid a
+// timeout against it, and must bring a recovered replica back without an
+// operator in the loop. Standard circuit-breaker state machine:
+//
+//   kHealthy --(consecutive errors >= trip_threshold)--> kEjected
+//   kEjected --(eject_cooldown elapsed)---------------> kHalfOpen
+//   kHalfOpen --(one probe request succeeds)----------> kHealthy
+//   kHalfOpen --(the probe fails)---------------------> kEjected (fresh cooldown)
+//   any state --(mark_dead: engine gone)--------------> kDead (terminal)
+//
+// In kHalfOpen exactly one in-flight probe is admitted (try_acquire_probe);
+// the rest of the traffic keeps avoiding the replica until the probe
+// reports back. Successes anywhere reset the consecutive-error count —
+// the breaker trips on *consecutive* failures, so a 1%-error replica under
+// load is not ejected, while a hard-down one trips in trip_threshold
+// requests. Heartbeats reuse the same edges: a failed heartbeat is
+// on_error, a passing one on_success.
+//
+// All transitions are time-explicit (callers pass `now`) so tests and the
+// seeded fault benches drive the clock deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/request.h"
+
+namespace bgqhf::serve {
+
+enum class HealthState { kHealthy, kEjected, kHalfOpen, kDead };
+
+const char* to_string(HealthState s);
+
+struct HealthPolicy {
+  /// Consecutive request/heartbeat failures that trip the breaker.
+  std::size_t trip_threshold = 3;
+  /// How long an ejected replica sits out before a half-open probe.
+  std::uint64_t eject_cooldown_us = 5'000;
+};
+
+class ReplicaHealth {
+ public:
+  explicit ReplicaHealth(HealthPolicy policy) : policy_(policy) {}
+
+  /// Current state, advancing kEjected -> kHalfOpen when the cooldown
+  /// has elapsed by `now`.
+  HealthState state(Clock::time_point now) const;
+
+  /// May the router place a request here at `now`? True in kHealthy; in
+  /// kHalfOpen only the probe holder admits (see try_acquire_probe).
+  bool admits(Clock::time_point now) const;
+
+  /// In kHalfOpen, atomically claim the single probe slot. The caller
+  /// routes exactly one request and reports via on_success/on_error.
+  bool try_acquire_probe(Clock::time_point now);
+
+  /// A request or heartbeat completed. Resets the consecutive-error run;
+  /// a half-open probe success closes the breaker (rejoin).
+  void on_success();
+
+  /// A request or heartbeat failed at `now`. Trips the breaker after
+  /// trip_threshold consecutive errors; fails a half-open probe back to
+  /// kEjected with a fresh cooldown.
+  void on_error(Clock::time_point now);
+
+  /// The replica is gone for good (engine stopped): terminal, never
+  /// probed again.
+  void mark_dead();
+
+  std::size_t consecutive_errors() const;
+  /// Lifetime trip count (ejections), for the obs gauges.
+  std::size_t ejections() const;
+  std::size_t rejoins() const;
+
+ private:
+  /// kEjected -> kHalfOpen edge, under mu_.
+  HealthState resolve_locked(Clock::time_point now) const;
+
+  const HealthPolicy policy_;
+  mutable std::mutex mu_;
+  HealthState state_ = HealthState::kHealthy;
+  std::size_t consecutive_errors_ = 0;
+  Clock::time_point ejected_at_{};
+  bool probe_in_flight_ = false;
+  std::size_t ejections_ = 0;
+  std::size_t rejoins_ = 0;
+};
+
+}  // namespace bgqhf::serve

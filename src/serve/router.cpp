@@ -1,0 +1,447 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.h"
+#include "util/config.h"
+
+namespace bgqhf::serve {
+
+namespace {
+
+struct RouterMetrics {
+  obs::CounterId rejects_shed_batch;
+  obs::CounterId rejects_shed_interactive;
+  obs::CounterId rejects_tenant;
+  obs::CounterId rejects_all_full;
+  obs::CounterId rejects_replica_unavailable;
+  obs::CounterId rejects_shutdown;
+  obs::CounterId failover_retries;
+  obs::CounterId replica_kills;
+  obs::GaugeId burn_rate;
+  obs::GaugeId shed_level;
+  obs::GaugeId replicas_healthy;
+  obs::GaugeId replica_ejections;
+  obs::GaugeId replica_rejoins;
+  obs::HistogramId latency_us;  // the engine's histogram, read windowed
+};
+
+const RouterMetrics& router_metrics() {
+  static const RouterMetrics m = [] {
+    obs::Schema& s = obs::Schema::global();
+    return RouterMetrics{
+        s.counter("serve.rejects.shed_batch"),
+        s.counter("serve.rejects.shed_interactive"),
+        s.counter("serve.rejects.tenant"),
+        s.counter("serve.rejects.all_replicas_full"),
+        s.counter("serve.rejects.replica_unavailable"),
+        s.counter("serve.rejects.shutdown"),
+        s.counter("serve.failover.retries"),
+        s.counter("serve.replica.kills"),
+        s.gauge("serve.slo.burn_rate"),
+        s.gauge("serve.shed_level"),
+        s.gauge("serve.replicas.healthy"),
+        s.gauge("serve.replica.ejections"),
+        s.gauge("serve.replica.rejoins"),
+        s.histogram("serve.latency_us"),
+    };
+  }();
+  return m;
+}
+
+constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+RouterOptions RouterOptions::from_env() {
+  RouterOptions opts;
+  opts.serve = ServeOptions::from_env();
+  const util::RuntimeEnv& env = util::RuntimeEnv::get();
+  if (env.serve_replicas > 0) {
+    opts.replicas = static_cast<std::size_t>(env.serve_replicas);
+  }
+  if (env.serve_slo_us > 0) opts.slo_us = env.serve_slo_us;
+  if (env.serve_tenant_rate > 0) {
+    opts.admission.tenant_rate_rps =
+        static_cast<double>(env.serve_tenant_rate);
+  }
+  return opts;
+}
+
+// ---- RoutedFuture ----
+
+Response RoutedFuture::get() {
+  for (;;) {
+    try {
+      Response resp = fut_.get();
+      set_->note_success(replica_);
+      return resp;
+    } catch (const DeadlineExceeded&) {
+      // The client's own latency budget expired; a retry would only burn
+      // GEMM time on an answer nobody is waiting for.
+      throw;
+    } catch (...) {
+      // Replica failure (typed Shutdown from a kill, ReplicaFault from a
+      // wedge, or an untyped scoring error): count it against the
+      // breaker and fail over while retries and deadline allow.
+      set_->note_failure(replica_);
+      if (retries_left_ == 0 || retry_copy_.rows() == 0) throw;
+      --retries_left_;
+      obs::global_add(router_metrics().failover_retries);
+      ReplicaSet::Placement p =
+          set_->resubmit(retry_copy_, deadline_, replica_, priority_);
+      fut_ = std::move(p.fut);
+      replica_ = p.replica;
+    }
+  }
+}
+
+// ---- ReplicaSet ----
+
+ReplicaSet::ReplicaSet(std::shared_ptr<const ModelRuntime> model,
+                       RouterOptions options, ServeFaultConfig faults)
+    : options_(options), admission_(options.admission) {
+  if (model == nullptr) {
+    throw std::invalid_argument("ReplicaSet: null model");
+  }
+  if (options_.replicas == 0) {
+    throw std::invalid_argument("ReplicaSet: needs at least one replica");
+  }
+  if (faults.any_active()) {
+    faults_ = std::make_unique<ServeFaultInjector>(faults,
+                                                   options_.replicas);
+  }
+  replicas_ = std::vector<Replica>(options_.replicas);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    // Replicas share the immutable ModelRuntime (scoring is const and
+    // lock-free); each gets its own queue, batcher, and worker pool —
+    // independent failure domains over shared frozen weights.
+    replicas_[i].engine = std::make_unique<Engine>(
+        model, options_.serve,
+        faults_ ? faults_->worker_hook(i) : Engine::WorkerFault{});
+    replicas_[i].health = std::make_unique<ReplicaHealth>(options_.health);
+  }
+  if (options_.control_interval_us > 0) {
+    control_thread_ = std::thread([this] { control_loop(); });
+  }
+}
+
+ReplicaSet::~ReplicaSet() { drain(); }
+
+RoutedFuture ReplicaSet::submit(blas::Matrix<float> features,
+                                Priority priority,
+                                const std::string& tenant,
+                                std::chrono::microseconds deadline) {
+  const RouterMetrics& m = router_metrics();
+  if (draining_.load(std::memory_order_relaxed)) {
+    obs::global_add(m.rejects_shutdown);
+    throw Shutdown();
+  }
+  const Clock::time_point now = Clock::now();
+  switch (admission_.admit(tenant, priority, now)) {
+    case AdmitResult::kAdmit:
+      break;
+    case AdmitResult::kTenantRate:
+      obs::global_add(m.rejects_tenant);
+      throw TenantRateLimited(tenant);
+    case AdmitResult::kShedBatch:
+      obs::global_add(m.rejects_shed_batch);
+      throw LoadShed(Priority::kBatch);
+    case AdmitResult::kShedInteractive:
+      obs::global_add(m.rejects_shed_interactive);
+      throw LoadShed(Priority::kInteractive);
+  }
+
+  Request r;
+  r.features = std::move(features);
+  Clock::time_point abs_deadline{};
+  if (deadline > std::chrono::microseconds::zero()) {
+    abs_deadline = now + deadline;
+    r.deadline = abs_deadline;
+  }
+  // The failover copy is taken before placement moves the features into
+  // a queue; hedging off (hedge_retries == 0) skips the copy entirely.
+  blas::Matrix<float> retry_copy;
+  if (options_.hedge_retries > 0) retry_copy = r.features;
+  std::future<Response> fut = r.reply.get_future();
+  Placement p = place(r, std::move(fut), kNoExclude, priority);
+  return RoutedFuture(this, std::move(p.fut), p.replica,
+                      std::move(retry_copy), abs_deadline,
+                      options_.hedge_retries, priority);
+}
+
+ReplicaSet::Placement ReplicaSet::place(Request& r,
+                                        std::future<Response> fut,
+                                        std::size_t exclude,
+                                        Priority priority) {
+  const Clock::time_point now = Clock::now();
+  // Queue-occupancy bound for the sheddable class: batch may only take a
+  // replica whose queue is under this depth, so the remaining slots stay
+  // available to interactive traffic even between control ticks.
+  const bool bounded_batch = priority == Priority::kBatch &&
+                             options_.batch_queue_fraction < 1.0;
+  const std::size_t batch_cap = static_cast<std::size_t>(
+      options_.batch_queue_fraction *
+      static_cast<double>(options_.serve.queue_capacity));
+  // Candidate order: a half-open replica that claims this request as its
+  // rejoin probe goes first (that is the only way it ever rejoins), then
+  // healthy replicas least-loaded-first.
+  std::vector<std::size_t> order;
+  order.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == exclude || replicas_[i].dead.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    if (replicas_[i].health->try_acquire_probe(now)) {
+      order.push_back(i);
+      break;  // one probe claim is enough; it routes this request
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (depth, i)
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == exclude || replicas_[i].dead.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    if (!order.empty() && order.front() == i) continue;  // the probe
+    if (!replicas_[i].health->admits(now)) continue;
+    ranked.emplace_back(replicas_[i].engine->queue_depth(), i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [depth, i] : ranked) order.push_back(i);
+
+  bool saw_full = false;
+  for (const std::size_t i : order) {
+    // The deterministic kill schedule counts requests arriving at each
+    // replica; the fatal one kills it and falls through to a survivor.
+    if (faults_ && faults_->kill_due(i)) {
+      kill_replica(i);
+      continue;
+    }
+    if (bounded_batch && replicas_[i].engine->queue_depth() >= batch_cap) {
+      saw_full = true;
+      continue;
+    }
+    switch (replicas_[i].engine->try_submit(r)) {
+      case Engine::SubmitStatus::kAccepted:
+        return Placement{std::move(fut), i};
+      case Engine::SubmitStatus::kOverloaded:
+        saw_full = true;
+        continue;
+      case Engine::SubmitStatus::kStopped:
+        // Lost a race with a concurrent kill/drain of this replica.
+        replicas_[i].health->mark_dead();
+        replicas_[i].dead.store(true, std::memory_order_relaxed);
+        continue;
+    }
+  }
+  const RouterMetrics& m = router_metrics();
+  if (saw_full) {
+    // Engine-level rejects.overloaded counts per-replica probe failures
+    // (several per routed request); this one counts router-level rejects
+    // — every live queue full — exactly once per request.
+    obs::global_add(m.rejects_all_full);
+    throw Overloaded(options_.serve.queue_capacity);
+  }
+  obs::global_add(m.rejects_replica_unavailable);
+  throw ReplicaUnavailable(replicas_.size());
+}
+
+ReplicaSet::Placement ReplicaSet::resubmit(
+    const blas::Matrix<float>& features, Clock::time_point deadline,
+    std::size_t exclude, Priority priority) {
+  if (draining_.load(std::memory_order_relaxed)) {
+    obs::global_add(router_metrics().rejects_shutdown);
+    throw Shutdown();
+  }
+  if (deadline != Clock::time_point{} && Clock::now() >= deadline) {
+    throw DeadlineExceeded();
+  }
+  Request r;
+  r.features = features;  // the ticket keeps its copy for further retries
+  r.deadline = deadline;
+  std::future<Response> fut = r.reply.get_future();
+  return place(r, std::move(fut), exclude, priority);
+}
+
+void ReplicaSet::kill_replica(std::size_t replica) {
+  Replica& rep = replicas_[replica];
+  bool expected = false;
+  if (!rep.dead.compare_exchange_strong(expected, true)) return;
+  rep.health->mark_dead();
+  obs::global_add(router_metrics().replica_kills);
+  // Reject-mode stop: queued requests fail with typed Shutdown right now
+  // (their RoutedFutures fail over to survivors); the in-flight batch
+  // finishes on its snapshot, then the workers join.
+  rep.engine->stop(CloseMode::kReject);
+}
+
+void ReplicaSet::note_success(std::size_t replica) {
+  if (replica < replicas_.size()) replicas_[replica].health->on_success();
+}
+
+void ReplicaSet::note_failure(std::size_t replica) {
+  if (replica >= replicas_.size()) return;
+  if (replicas_[replica].dead.load(std::memory_order_relaxed)) return;
+  replicas_[replica].health->on_error(Clock::now());
+}
+
+std::uint64_t ReplicaSet::swap_model(
+    std::shared_ptr<const ModelRuntime> next) {
+  BGQHF_SPAN("serve", "replica_set_swap");
+  if (next == nullptr) {
+    throw std::invalid_argument("ReplicaSet::swap_model: null model");
+  }
+  // Every replica validates and flips atomically; in-flight batches keep
+  // their snapshots. Dead replicas swap too (harmless — no worker will
+  // ever snapshot it), keeping versions aligned across the set.
+  std::uint64_t version = 0;
+  for (Replica& rep : replicas_) {
+    version = rep.engine->swap_model(next);
+  }
+  return version;
+}
+
+std::uint64_t ReplicaSet::swap_checkpoint(const std::string& path) {
+  // Load and validate once; a corrupt file must leave every replica on
+  // the current model.
+  return swap_model(ModelRuntime::from_checkpoint(
+      path, replicas_.front().engine->model()->network()));
+}
+
+void ReplicaSet::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> dlock(drain_mu_);
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_stop_ = true;
+  }
+  control_cv_.notify_all();
+  if (control_thread_.joinable()) control_thread_.join();
+  for (Replica& rep : replicas_) {
+    // Graceful: everything already admitted gets scored.
+    rep.engine->stop(CloseMode::kDrain);
+  }
+}
+
+std::size_t ReplicaSet::healthy_replicas() const {
+  const Clock::time_point now = Clock::now();
+  std::size_t n = 0;
+  for (const Replica& rep : replicas_) {
+    if (!rep.dead.load(std::memory_order_relaxed) &&
+        rep.health->state(now) == HealthState::kHealthy) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+HealthState ReplicaSet::replica_state(std::size_t i) const {
+  return replicas_.at(i).health->state(Clock::now());
+}
+
+std::size_t ReplicaSet::replica_queue_depth(std::size_t i) const {
+  return replicas_.at(i).engine->queue_depth();
+}
+
+double ReplicaSet::burn_rate() const {
+  return burn_rate_.load(std::memory_order_relaxed);
+}
+
+void ReplicaSet::control_tick() {
+  const RouterMetrics& m = router_metrics();
+  const Clock::time_point now = Clock::now();
+
+  // Heartbeat: an engine that stopped outside drain() (killed, or its
+  // threads gone) is dead — no probe will revive it.
+  for (Replica& rep : replicas_) {
+    if (!rep.dead.load(std::memory_order_relaxed) &&
+        rep.engine->stopped()) {
+      rep.health->mark_dead();
+      rep.dead.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  // SLO burn rate over the window since the last tick: windowed p99
+  // (delta_since), not the since-boot tail, divided by the SLO.
+  const obs::Registry reg = obs::collect_global();
+  const obs::HistogramCell cell = reg.histogram(m.latency_us);
+  const obs::HistogramCell window = cell.delta_since(latency_snapshot_);
+  latency_snapshot_ = cell;
+
+  ShedLevel level = admission_.shed_level();
+  if (window.count >= options_.min_window_samples) {
+    const double p99 = window.percentile(0.99);
+    const double burn =
+        options_.slo_us > 0
+            ? p99 / static_cast<double>(options_.slo_us)
+            : 0.0;
+    burn_rate_.store(burn, std::memory_order_relaxed);
+    // Trip/release hysteresis: shedding itself lowers the burn rate, so
+    // a symmetric threshold would flap at the control period — admit a
+    // batch flood, shed it, admit it again. A level trips at its burn
+    // threshold and releases (one notch down) only when the burn falls
+    // below shed_release of that threshold.
+    switch (level) {
+      case ShedLevel::kNone:
+        if (burn >= options_.shed_all_burn) {
+          level = ShedLevel::kShedAll;
+        } else if (burn >= options_.shed_batch_burn) {
+          level = ShedLevel::kShedBatch;
+        }
+        break;
+      case ShedLevel::kShedBatch:
+        if (burn >= options_.shed_all_burn) {
+          level = ShedLevel::kShedAll;
+        } else if (burn <
+                   options_.shed_batch_burn * options_.shed_release) {
+          level = ShedLevel::kNone;
+        }
+        break;
+      case ShedLevel::kShedAll:
+        if (burn < options_.shed_all_burn * options_.shed_release) {
+          level = ShedLevel::kShedBatch;
+        }
+        break;
+    }
+  } else {
+    // Too few completions to trust a p99 — warmup, idle, or a shed level
+    // so high nothing flows. Step down one notch so a fully shut system
+    // re-opens instead of staying wedged (a kShedAll that was justified
+    // re-arms within one window of batch traffic flowing again).
+    burn_rate_.store(0.0, std::memory_order_relaxed);
+    level = level == ShedLevel::kShedAll ? ShedLevel::kShedBatch
+                                         : ShedLevel::kNone;
+  }
+  admission_.set_shed_level(level);
+
+  std::size_t ejections = 0, rejoins = 0;
+  for (const Replica& rep : replicas_) {
+    ejections += rep.health->ejections();
+    rejoins += rep.health->rejoins();
+  }
+  obs::global_set(m.burn_rate, burn_rate_.load(std::memory_order_relaxed));
+  obs::global_set(m.shed_level, static_cast<double>(level));
+  obs::global_set(m.replicas_healthy,
+                  static_cast<double>(healthy_replicas()));
+  obs::global_set(m.replica_ejections, static_cast<double>(ejections));
+  obs::global_set(m.replica_rejoins, static_cast<double>(rejoins));
+  (void)now;
+}
+
+void ReplicaSet::control_loop() {
+  std::unique_lock<std::mutex> lock(control_mu_);
+  while (!control_stop_) {
+    control_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.control_interval_us),
+        [this] { return control_stop_; });
+    if (control_stop_) break;
+    lock.unlock();
+    control_tick();
+    lock.lock();
+  }
+}
+
+}  // namespace bgqhf::serve

@@ -1,0 +1,251 @@
+// ReplicaSet: N independent serving engines behind a least-loaded router
+// with admission control, SLO burn-rate shedding, health-checked failover,
+// and set-wide hot swap.
+//
+// The paper's core lesson — one coordinator is both the bottleneck and
+// the failure domain — applied to serving: the PR-5 engine was one
+// process, one model, one queue. A ReplicaSet runs `replicas` complete
+// Engine/ModelRuntime stacks (sharing the immutable ModelRuntime, each
+// with its own bounded queue and worker pool) and routes every request
+// through four gates:
+//
+//   1. admission  — per-tenant token bucket + priority-class shed level
+//                   (AdmissionController); rejected requests get typed
+//                   errors before touching any queue.
+//   2. placement  — least-loaded healthy replica by queue depth; a
+//                   half-open replica may claim the request as its
+//                   rejoin probe. Backpressure from the chosen replica
+//                   falls through to the next-least-loaded one.
+//   3. scoring    — the replica's own Engine pipeline, unchanged.
+//   4. failover   — RoutedFuture::get() transparently resubmits a
+//                   request stranded by a dead/wedged replica (typed
+//                   Shutdown / ReplicaFault) to a survivor, up to
+//                   hedge_retries times, within the original deadline.
+//
+// A control loop (own thread, or manual control_tick() in tests) runs
+// heartbeats (a stopped engine is marked dead), advances the circuit
+// breakers, and computes the SLO burn rate: the p99 of the *windowed*
+// serve.latency_us histogram (HistogramCell::delta_since between ticks)
+// divided by the latency SLO. Burn >= shed_batch_burn sheds the batch
+// class; >= shed_all_burn sheds everything new; an idle or recovering
+// window steps the shed level back down one notch per tick. Load is shed
+// class-by-class *before* the bounded queues saturate, so interactive
+// traffic keeps its latency budget while batch absorbs the loss.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/error.h"
+#include "serve/fault.h"
+#include "serve/health.h"
+#include "serve/options.h"
+
+namespace bgqhf::serve {
+
+struct RouterOptions {
+  /// Number of independent Engine replicas.
+  std::size_t replicas = 2;
+  /// Per-replica engine options (queue bound, batcher policy, workers).
+  ServeOptions serve;
+  AdmissionOptions admission;
+  HealthPolicy health;
+  /// Latency SLO in microseconds: the p99 the burn rate is measured
+  /// against.
+  std::uint64_t slo_us = 50'000;
+  /// Windowed p99 / SLO ratios that raise the shed level.
+  double shed_batch_burn = 1.0;
+  double shed_all_burn = 2.0;
+  /// Release hysteresis: a tripped shed level steps down one notch only
+  /// when the burn falls below `threshold * shed_release` (shedding
+  /// lowers the burn, so a symmetric threshold would flap every tick).
+  double shed_release = 0.5;
+  /// Priority-aware placement: batch-class requests are only admitted to
+  /// a replica whose queue is under this fraction of capacity, reserving
+  /// the rest of every queue for interactive traffic. The burn-rate
+  /// controller reacts at control-tick granularity; this bound holds
+  /// per-request, so a batch flood between ticks can never evict
+  /// interactive work via queue-full rejects. 1.0 disables it.
+  double batch_queue_fraction = 1.0;
+  /// Control-loop period. 0 = no thread; tests call control_tick().
+  std::uint64_t control_interval_us = 2'000;
+  /// Minimum completed requests in a window before the burn rate moves
+  /// the shed level (percentile noise guard during warmup).
+  std::uint64_t min_window_samples = 16;
+  /// Failover resubmissions per request after a replica failure. 0
+  /// disables hedging (and the per-request retained feature copy).
+  std::size_t hedge_retries = 1;
+
+  /// Defaults overlaid with BGQHF_SERVE_REPLICAS / BGQHF_SERVE_SLO_US /
+  /// BGQHF_SERVE_TENANT_RATE from RuntimeEnv, and `serve` resolved via
+  /// ServeOptions::from_env().
+  static RouterOptions from_env();
+};
+
+class ReplicaSet;
+
+/// Handle on a routed request. get() blocks like std::future::get but
+/// adds the failover layer: a request stranded by a replica death or
+/// wedge is resubmitted to a surviving replica (new promise, same
+/// features, same absolute deadline) up to hedge_retries times before
+/// the error is surfaced. DeadlineExceeded is never retried — the
+/// client's budget is spent regardless of whose fault it was.
+class RoutedFuture {
+ public:
+  RoutedFuture(RoutedFuture&&) noexcept = default;
+  RoutedFuture& operator=(RoutedFuture&&) noexcept = default;
+  RoutedFuture(const RoutedFuture&) = delete;
+  RoutedFuture& operator=(const RoutedFuture&) = delete;
+
+  /// Wait for the response, failing over if the serving replica died.
+  /// Must be called (or the future dropped) before the ReplicaSet is
+  /// drained/destroyed.
+  Response get();
+
+  bool valid() const noexcept { return fut_.valid(); }
+  /// Replica currently holding the request (changes on failover).
+  std::size_t replica() const noexcept { return replica_; }
+
+ private:
+  friend class ReplicaSet;
+  RoutedFuture(ReplicaSet* set, std::future<Response> fut,
+               std::size_t replica, blas::Matrix<float> retry_copy,
+               Clock::time_point deadline, std::size_t retries,
+               Priority priority)
+      : set_(set),
+        fut_(std::move(fut)),
+        replica_(replica),
+        retry_copy_(std::move(retry_copy)),
+        deadline_(deadline),
+        retries_left_(retries),
+        priority_(priority) {}
+
+  ReplicaSet* set_;
+  std::future<Response> fut_;
+  std::size_t replica_ = 0;
+  blas::Matrix<float> retry_copy_;  // 0x0 when hedging is off
+  Clock::time_point deadline_{};    // absolute; epoch = none
+  std::size_t retries_left_ = 0;
+  Priority priority_ = Priority::kInteractive;  // kept for failover
+};
+
+class ReplicaSet {
+ public:
+  /// Start `options.replicas` engines over `model`. An active fault
+  /// config arms the deterministic injector (kills counted per routed
+  /// request, stall/wedge hooks installed in every worker pool).
+  ReplicaSet(std::shared_ptr<const ModelRuntime> model,
+             RouterOptions options,
+             ServeFaultConfig faults = ServeFaultConfig{});
+  ~ReplicaSet();  // drain()
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Route one request: admission (typed TenantRateLimited / LoadShed),
+  /// then least-loaded placement with backpressure fall-through. Throws
+  /// Overloaded when every live replica's queue is full,
+  /// ReplicaUnavailable when no replica is live, Shutdown after drain().
+  RoutedFuture submit(
+      blas::Matrix<float> features,
+      Priority priority = Priority::kInteractive,
+      const std::string& tenant = "default",
+      std::chrono::microseconds deadline = std::chrono::microseconds::zero());
+
+  /// Hot swap every replica to `next` (atomic per replica; in-flight
+  /// batches drain on their snapshot). Returns the new version.
+  std::uint64_t swap_model(std::shared_ptr<const ModelRuntime> next);
+  std::uint64_t swap_checkpoint(const std::string& path);
+
+  /// Graceful drain: stop admitting (submit throws Shutdown), let every
+  /// replica score what it already queued, join workers and the control
+  /// thread. Idempotent; the destructor calls it.
+  void drain();
+
+  /// One control-loop iteration: heartbeats, breaker advancement, burn
+  /// rate + shed level. Runs on the control thread when
+  /// control_interval_us > 0; public so tests drive it deterministically.
+  void control_tick();
+
+  std::size_t num_replicas() const { return replicas_.size(); }
+  std::size_t input_dim() const {
+    return replicas_.front().engine->input_dim();
+  }
+  std::size_t healthy_replicas() const;
+  HealthState replica_state(std::size_t i) const;
+  std::size_t replica_queue_depth(std::size_t i) const;
+  ShedLevel shed_level() const { return admission_.shed_level(); }
+  /// Last windowed p99/SLO ratio the control loop computed (0 before the
+  /// first sufficient window).
+  double burn_rate() const;
+  const RouterOptions& options() const noexcept { return options_; }
+  const ServeFaultInjector* faults() const noexcept {
+    return faults_ ? faults_.get() : nullptr;
+  }
+
+ private:
+  friend class RoutedFuture;
+
+  struct Replica {
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<ReplicaHealth> health;
+    std::atomic<bool> dead{false};
+  };
+
+  struct Placement {
+    std::future<Response> fut;
+    std::size_t replica = 0;
+  };
+
+  /// Choose a live replica (least-loaded, or a half-open probe claim)
+  /// and enqueue `r` there, falling through replicas on backpressure.
+  /// `exclude` skips the replica a failover just failed on. Batch-class
+  /// requests only land on replicas under the batch_queue_fraction bound.
+  Placement place(Request& r, std::future<Response> fut,
+                  std::size_t exclude, Priority priority);
+
+  /// Kill `replica` now (fault injection or a fatal health verdict):
+  /// reject-mode engine stop — queued requests fail typed Shutdown —
+  /// and a terminal dead mark.
+  void kill_replica(std::size_t replica);
+
+  void note_success(std::size_t replica);
+  void note_failure(std::size_t replica);
+
+  /// Failover resubmission for RoutedFuture: same features, remaining
+  /// deadline, excluding the replica that failed.
+  Placement resubmit(const blas::Matrix<float>& features,
+                     Clock::time_point deadline, std::size_t exclude,
+                     Priority priority);
+
+  void control_loop();
+
+  RouterOptions options_;
+  AdmissionController admission_;
+  std::unique_ptr<ServeFaultInjector> faults_;
+  std::vector<Replica> replicas_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<double> burn_rate_{0.0};
+  obs::HistogramCell latency_snapshot_;  // control loop's window anchor
+
+  std::mutex drain_mu_;  // serializes drain(): join() races otherwise
+  std::mutex control_mu_;
+  std::condition_variable control_cv_;
+  bool control_stop_ = false;
+  std::thread control_thread_;
+};
+
+}  // namespace bgqhf::serve

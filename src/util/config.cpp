@@ -132,6 +132,10 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   env.trace_file = env_string("BGQHF_TRACE_FILE");
   env.serve_batch = env_u64("BGQHF_SERVE_BATCH");
   env.serve_timeout_us = env_u64("BGQHF_SERVE_TIMEOUT_US");
+  env.serve_replicas = env_u64("BGQHF_SERVE_REPLICAS");
+  env.serve_slo_us = env_u64("BGQHF_SERVE_SLO_US");
+  env.serve_tenant_rate = env_u64("BGQHF_SERVE_TENANT_RATE");
+  env.serve_fault_seed = env_u64("BGQHF_SERVE_FAULT_SEED");
   return env;
 }
 

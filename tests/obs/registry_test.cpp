@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -182,10 +184,75 @@ TEST(GlobalRegistry, CollectMergesEveryThread) {
   EXPECT_EQ(collect_global().counter(c), 0u);
 }
 
-TEST(HistogramPercentiles, EmptyHistogramReportsZero) {
+TEST(HistogramPercentiles, EmptyHistogramReportsSentinelForEveryQ) {
+  // Warmup case: the SLO burn-rate gauge polls latency histograms before
+  // any request has completed. Every q — the edges included, where the
+  // naive path would return the never-set +/-inf extrema — must report
+  // the defined sentinel, not an underflowed nearest-rank artifact.
   HistogramCell cell;
-  EXPECT_EQ(cell.percentile(0.5), 0.0);
-  EXPECT_EQ(cell.percentile(0.99), 0.0);
+  EXPECT_TRUE(cell.empty());
+  for (const double q : {-1.0, 0.0, 0.5, 0.99, 1.0, 2.0}) {
+    EXPECT_EQ(cell.percentile(q), HistogramCell::kEmptyPercentile)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentiles, SingleSampleIsExactForEveryQ) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.single.h");
+  Registry r;
+  r.observe(h, 437.5);
+  const HistogramCell cell = r.histogram(h);
+  EXPECT_FALSE(cell.empty());
+  // One observation: every quantile IS that observation — no geometric
+  // bucket-midpoint estimate (which alone could be ~15% off).
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(cell.percentile(q), 437.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentiles, NanObservationsDoNotPropagateInfinities) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.nan.h");
+  Registry r;
+  r.observe(h, std::numeric_limits<double>::quiet_NaN());
+  const HistogramCell cell = r.histogram(h);
+  // NaN never updates min/max, so the extrema are still +/-inf; the
+  // estimate must stay finite rather than clamp against them (UB).
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_TRUE(std::isfinite(cell.percentile(q))) << "q=" << q;
+  }
+}
+
+TEST(HistogramDelta, DeltaSinceYieldsWindowedPercentiles) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.delta.h");
+  Registry r;
+  // Old regime: slow (10 ms). New regime after the snapshot: fast (100 us).
+  for (int i = 0; i < 100; ++i) r.observe(h, 10000.0);
+  const HistogramCell before = r.histogram(h);
+  for (int i = 0; i < 100; ++i) r.observe(h, 100.0);
+  const HistogramCell after = r.histogram(h);
+
+  // Lifetime p99 still sees the slow half; the window sees only the fast
+  // regime — the difference between "since boot" and an SLO burn window.
+  EXPECT_GT(after.percentile(0.99), 10000.0 / 1.2);
+  const HistogramCell window = after.delta_since(before);
+  EXPECT_EQ(window.count, 100u);
+  EXPECT_DOUBLE_EQ(window.sum, 100 * 100.0);
+  EXPECT_LT(window.percentile(0.99), 100.0 * 1.4);
+  EXPECT_GT(window.percentile(0.50), 100.0 / 1.4);
+}
+
+TEST(HistogramDelta, EmptyWindowIsEmptyCell) {
+  Schema& schema = Schema::global();
+  const HistogramId h = schema.histogram("test.pct.delta.empty.h");
+  Registry r;
+  r.observe(h, 5.0);
+  const HistogramCell snap = r.histogram(h);
+  const HistogramCell window = snap.delta_since(snap);
+  EXPECT_TRUE(window.empty());
+  EXPECT_EQ(window.percentile(0.99), HistogramCell::kEmptyPercentile);
 }
 
 TEST(HistogramPercentiles, ExtremeQuantilesAreExactMinMax) {

@@ -1,0 +1,130 @@
+// Token-bucket rate limiting and priority-class shedding, tested with an
+// explicit clock so every refill is deterministic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "serve/admission.h"
+
+namespace bgqhf::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+const Clock::time_point kT0 = Clock::time_point{} + std::chrono::hours(1);
+
+TEST(TokenBucket, AdmitsBurstThenRejects) {
+  TokenBucket bucket(10.0, 3.0);
+  EXPECT_TRUE(bucket.try_take(kT0));
+  EXPECT_TRUE(bucket.try_take(kT0));
+  EXPECT_TRUE(bucket.try_take(kT0));
+  EXPECT_FALSE(bucket.try_take(kT0));
+}
+
+TEST(TokenBucket, RefillsAtConfiguredRate) {
+  TokenBucket bucket(10.0, 1.0);  // one token per 100 ms
+  EXPECT_TRUE(bucket.try_take(kT0));
+  EXPECT_FALSE(bucket.try_take(kT0 + microseconds(50'000)));
+  EXPECT_TRUE(bucket.try_take(kT0 + microseconds(150'000)));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(1000.0, 2.0);
+  EXPECT_TRUE(bucket.try_take(kT0));
+  EXPECT_TRUE(bucket.try_take(kT0));
+  // An hour of refill still only banks `burst` tokens.
+  const Clock::time_point later = kT0 + std::chrono::hours(1);
+  EXPECT_TRUE(bucket.try_take(later));
+  EXPECT_TRUE(bucket.try_take(later));
+  EXPECT_FALSE(bucket.try_take(later));
+}
+
+TEST(TokenBucket, ZeroRateNeverLimits) {
+  TokenBucket bucket(0.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_take(kT0));
+}
+
+AdmissionOptions limited(double rate, double burst = 0.0) {
+  AdmissionOptions o;
+  o.tenant_rate_rps = rate;
+  o.tenant_burst = burst;
+  return o;
+}
+
+TEST(AdmissionController, HotTenantDoesNotStarveOthers) {
+  AdmissionController ctl(limited(1.0, 2.0));
+  // Tenant "hot" burns its burst; "quiet" is untouched.
+  EXPECT_EQ(ctl.admit("hot", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.admit("hot", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.admit("hot", Priority::kInteractive, kT0),
+            AdmitResult::kTenantRate);
+  EXPECT_EQ(ctl.admit("quiet", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.num_tenants(), 2u);
+}
+
+TEST(AdmissionController, UnlimitedByDefault) {
+  AdmissionController ctl(AdmissionOptions{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ctl.admit("t", Priority::kBatch, kT0), AdmitResult::kAdmit);
+  }
+}
+
+TEST(AdmissionController, ShedBatchKeepsInteractiveFlowing) {
+  AdmissionController ctl(AdmissionOptions{});
+  ctl.set_shed_level(ShedLevel::kShedBatch);
+  EXPECT_EQ(ctl.admit("t", Priority::kBatch, kT0), AdmitResult::kShedBatch);
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+}
+
+TEST(AdmissionController, ShedAllDropsBothClasses) {
+  AdmissionController ctl(AdmissionOptions{});
+  ctl.set_shed_level(ShedLevel::kShedAll);
+  EXPECT_EQ(ctl.admit("t", Priority::kBatch, kT0), AdmitResult::kShedBatch);
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kShedInteractive);
+}
+
+TEST(AdmissionController, ShedRequestsDoNotSpendTenantTokens) {
+  AdmissionController ctl(limited(1.0, 1.0));
+  ctl.set_shed_level(ShedLevel::kShedBatch);
+  // Shed happens before the bucket: a storm of shed batch requests must
+  // not charge the tenant's interactive budget.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ctl.admit("t", Priority::kBatch, kT0),
+              AdmitResult::kShedBatch);
+  }
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+}
+
+TEST(AdmissionController, BurstDefaultsToRate) {
+  // burst <= 0 resolves to max(rate, 1): a 3 rps tenant may burst 3.
+  AdmissionController ctl(limited(3.0));
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kAdmit);
+  EXPECT_EQ(ctl.admit("t", Priority::kInteractive, kT0),
+            AdmitResult::kTenantRate);
+}
+
+TEST(AdmissionEnums, ToStringCoversEveryValue) {
+  EXPECT_STREQ(to_string(AdmitResult::kAdmit), "admit");
+  EXPECT_STREQ(to_string(AdmitResult::kTenantRate), "tenant_rate");
+  EXPECT_STREQ(to_string(AdmitResult::kShedBatch), "shed_batch");
+  EXPECT_STREQ(to_string(AdmitResult::kShedInteractive),
+               "shed_interactive");
+  EXPECT_STREQ(to_string(ShedLevel::kNone), "none");
+  EXPECT_STREQ(to_string(ShedLevel::kShedBatch), "shed_batch");
+  EXPECT_STREQ(to_string(ShedLevel::kShedAll), "shed_all");
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

@@ -188,6 +188,66 @@ TEST(Engine, FailedCheckpointSwapKeepsServingCurrentModel) {
       engine.submit(make_features(1, engine.input_dim(), 2)).get());
 }
 
+TEST(Engine, SwapUnderConcurrentLoadWithFullQueueTearsNothing) {
+  // Hot swap while a producer keeps the tiny queue saturated: every
+  // admitted request must complete (none dropped by the swap), and every
+  // response must bitwise-match the model of the version it reports —
+  // a torn read of the installed model would break one or the other.
+  ServeOptions options = quick_options();
+  options.queue_capacity = 4;  // small: swaps land while the queue is full
+  options.threads = 2;
+  auto a = make_model(1);
+  auto b = make_model(2);
+  Engine engine(a, options);
+
+  const auto x = make_features(2, a->input_dim(), 77);
+  std::vector<std::future<Response>> futures;
+  std::size_t overloaded = 0;
+  for (int i = 0; i < 200; ++i) {
+    blas::Matrix<float> copy(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) copy(r, c) = x(r, c);
+    }
+    try {
+      futures.push_back(engine.submit(std::move(copy)));
+    } catch (const Overloaded&) {
+      ++overloaded;  // backpressure is fine; dropping an admitted one is not
+    }
+    if (i % 20 == 10) {
+      engine.swap_model(engine.model_version() % 2 == 1 ? b : a);
+    }
+  }
+  EXPECT_GT(futures.size(), 0u);
+  const blas::Matrix<float> from_a = a->score(x.view());
+  const blas::Matrix<float> from_b = b->score(x.view());
+  for (auto& fut : futures) {
+    const Response resp = fut.get();  // throws if any request was dropped
+    // Odd versions are model a (started at 1), even are b.
+    expect_bitwise(resp.logits,
+                   resp.model_version % 2 == 1 ? from_a : from_b);
+  }
+}
+
+TEST(Engine, RejectStopShedsQueuedRequestsTyped) {
+  ServeOptions options = quick_options();
+  options.batch_timeout_us = 50'000;  // requests sit queued when stop() hits
+  options.max_batch_frames = 1 << 20;
+  options.threads = 1;
+  auto model = make_model(1);
+  Engine engine(model, options);
+  std::vector<std::future<Response>> futures;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    futures.push_back(
+        engine.submit(make_features(1, model->input_dim(), 60 + i)));
+  }
+  engine.stop(CloseMode::kReject);
+  EXPECT_TRUE(engine.stopped());
+  // Every queued request fails fast with the typed stranded error.
+  for (auto& fut : futures) EXPECT_THROW(fut.get(), Shutdown);
+  EXPECT_THROW(engine.submit(make_features(1, model->input_dim(), 99)),
+               EngineStopped);
+}
+
 TEST(Engine, StopDrainsQueuedRequests) {
   ServeOptions options = quick_options();
   options.batch_timeout_us = 50'000;  // requests sit queued when stop() hits

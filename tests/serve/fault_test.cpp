@@ -1,0 +1,107 @@
+// The serving fault injector's determinism contract: every decision is a
+// pure function of (seed, replica, event index).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/fault.h"
+
+namespace bgqhf::serve {
+namespace {
+
+TEST(ServeFaultInjector, KillFiresExactlyOnceAtScheduledRequest) {
+  ServeFaultConfig config;
+  config.kills = {{0, 3}};
+  ServeFaultInjector inj(config, 2);
+  EXPECT_FALSE(inj.kill_due(0));
+  EXPECT_FALSE(inj.kill_due(0));
+  EXPECT_TRUE(inj.kill_due(0));  // the 3rd routed request
+  EXPECT_FALSE(inj.kill_due(0));  // already dead — never re-fires
+  const ServeFaultLog log = inj.log(0);
+  EXPECT_TRUE(log.killed);
+  EXPECT_EQ(log.killed_at_request, 3u);
+  EXPECT_EQ(log.requests, 4u);
+  // Replica 1 has no schedule; counting continues but nothing fires.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(inj.kill_due(1));
+  EXPECT_FALSE(inj.log(1).killed);
+}
+
+TEST(ServeFaultInjector, NoHookWhenOnlyKillsAreScheduled) {
+  ServeFaultConfig config;
+  config.kills = {{0, 1}};
+  ServeFaultInjector inj(config, 1);
+  // Kills route through kill_due; the scoring-path hook stays free.
+  EXPECT_EQ(inj.worker_hook(0), nullptr);
+}
+
+TEST(ServeFaultInjector, WedgeHookThrowsTypedReplicaFault) {
+  ServeFaultConfig config;
+  config.wedge_probability = 1.0;
+  ServeFaultInjector inj(config, 2);
+  auto hook = inj.worker_hook(1);
+  ASSERT_NE(hook, nullptr);
+  try {
+    hook();
+    FAIL() << "wedge did not throw";
+  } catch (const ReplicaFault& e) {
+    EXPECT_EQ(e.replica(), 1u);
+  }
+  const ServeFaultLog log = inj.log(1);
+  EXPECT_EQ(log.batches, 1u);
+  EXPECT_EQ(log.wedges, 1u);
+  EXPECT_EQ(log.stalls, 0u);
+}
+
+TEST(ServeFaultInjector, StallHookSleepsWithoutThrowing) {
+  ServeFaultConfig config;
+  config.stall_probability = 1.0;
+  config.stall_us = 100;
+  ServeFaultInjector inj(config, 1);
+  auto hook = inj.worker_hook(0);
+  ASSERT_NE(hook, nullptr);
+  EXPECT_NO_THROW(hook());
+  EXPECT_EQ(inj.log(0).stalls, 1u);
+}
+
+TEST(ServeFaultInjector, SameSeedSameDecisionSequence) {
+  ServeFaultConfig config;
+  config.seed = 42;
+  config.stall_probability = 0.3;
+  config.stall_us = 0;  // decision recorded, no actual sleep
+  config.wedge_probability = 0.3;
+  constexpr std::size_t kBatches = 64;
+
+  auto run = [&config]() {
+    ServeFaultInjector inj(config, 2);
+    std::vector<int> outcomes;  // 0 = clean, 1 = stall, 2 = wedge
+    for (std::size_t r = 0; r < 2; ++r) {
+      auto hook = inj.worker_hook(r);
+      std::size_t stalls = 0, wedges = 0;
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        try {
+          hook();
+        } catch (const ReplicaFault&) {
+        }
+        const ServeFaultLog log = inj.log(r);
+        outcomes.push_back(log.wedges > wedges   ? 2
+                           : log.stalls > stalls ? 1
+                                                 : 0);
+        stalls = log.stalls;
+        wedges = log.wedges;
+      }
+    }
+    return outcomes;
+  };
+
+  const std::vector<int> first = run();
+  EXPECT_EQ(first, run());  // bit-identical replay
+
+  // And the replicas draw from distinct streams, not one shared sequence.
+  const std::vector<int> r0(first.begin(), first.begin() + kBatches);
+  const std::vector<int> r1(first.begin() + kBatches, first.end());
+  EXPECT_NE(r0, r1);
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

@@ -1,0 +1,112 @@
+// The per-replica circuit breaker, driven with an explicit clock through
+// every edge: trip, cooldown, half-open probe, rejoin, terminal death.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "serve/health.h"
+
+namespace bgqhf::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+const Clock::time_point kT0 = Clock::time_point{} + std::chrono::hours(1);
+
+HealthPolicy quick_policy() {
+  HealthPolicy p;
+  p.trip_threshold = 3;
+  p.eject_cooldown_us = 1000;
+  return p;
+}
+
+TEST(ReplicaHealth, TripsAfterConsecutiveErrors) {
+  ReplicaHealth h(quick_policy());
+  EXPECT_TRUE(h.admits(kT0));
+  h.on_error(kT0);
+  h.on_error(kT0);
+  EXPECT_EQ(h.state(kT0), HealthState::kHealthy);  // 2 < threshold
+  h.on_error(kT0);
+  EXPECT_EQ(h.state(kT0), HealthState::kEjected);
+  EXPECT_FALSE(h.admits(kT0));
+  EXPECT_EQ(h.ejections(), 1u);
+}
+
+TEST(ReplicaHealth, SuccessResetsTheConsecutiveRun) {
+  ReplicaHealth h(quick_policy());
+  // A 2-error / success / 2-error pattern never reaches 3 consecutive:
+  // a replica with a low steady error rate is not ejected.
+  h.on_error(kT0);
+  h.on_error(kT0);
+  h.on_success();
+  h.on_error(kT0);
+  h.on_error(kT0);
+  EXPECT_EQ(h.state(kT0), HealthState::kHealthy);
+  EXPECT_EQ(h.consecutive_errors(), 2u);
+}
+
+TEST(ReplicaHealth, CooldownLeadsToSingleProbe) {
+  ReplicaHealth h(quick_policy());
+  for (int i = 0; i < 3; ++i) h.on_error(kT0);
+  // Before the cooldown: still ejected, no probe.
+  const Clock::time_point early = kT0 + microseconds(500);
+  EXPECT_EQ(h.state(early), HealthState::kEjected);
+  EXPECT_FALSE(h.try_acquire_probe(early));
+  // After: half-open, exactly one probe slot.
+  const Clock::time_point later = kT0 + microseconds(1500);
+  EXPECT_EQ(h.state(later), HealthState::kHalfOpen);
+  EXPECT_FALSE(h.admits(later));  // half-open admits only via the probe
+  EXPECT_TRUE(h.try_acquire_probe(later));
+  EXPECT_FALSE(h.try_acquire_probe(later));  // slot taken
+}
+
+TEST(ReplicaHealth, ProbeSuccessRejoins) {
+  ReplicaHealth h(quick_policy());
+  for (int i = 0; i < 3; ++i) h.on_error(kT0);
+  const Clock::time_point later = kT0 + microseconds(1500);
+  ASSERT_TRUE(h.try_acquire_probe(later));
+  h.on_success();
+  EXPECT_EQ(h.state(later), HealthState::kHealthy);
+  EXPECT_TRUE(h.admits(later));
+  EXPECT_EQ(h.rejoins(), 1u);
+}
+
+TEST(ReplicaHealth, ProbeFailureReEjectsWithFreshCooldown) {
+  ReplicaHealth h(quick_policy());
+  for (int i = 0; i < 3; ++i) h.on_error(kT0);
+  const Clock::time_point probe_at = kT0 + microseconds(1500);
+  ASSERT_TRUE(h.try_acquire_probe(probe_at));
+  h.on_error(probe_at);
+  EXPECT_EQ(h.state(probe_at), HealthState::kEjected);
+  EXPECT_EQ(h.ejections(), 2u);
+  // The cooldown restarts at the probe failure, not the original trip.
+  EXPECT_EQ(h.state(probe_at + microseconds(500)), HealthState::kEjected);
+  EXPECT_EQ(h.state(probe_at + microseconds(1500)),
+            HealthState::kHalfOpen);
+  // And the freed probe slot can be claimed again.
+  EXPECT_TRUE(h.try_acquire_probe(probe_at + microseconds(1500)));
+}
+
+TEST(ReplicaHealth, DeadIsTerminal) {
+  ReplicaHealth h(quick_policy());
+  h.mark_dead();
+  EXPECT_EQ(h.state(kT0), HealthState::kDead);
+  EXPECT_FALSE(h.admits(kT0));
+  // Neither time, successes, nor errors resurrect it.
+  const Clock::time_point later = kT0 + std::chrono::hours(1);
+  EXPECT_FALSE(h.try_acquire_probe(later));
+  h.on_success();
+  EXPECT_EQ(h.state(later), HealthState::kDead);
+  h.on_error(later);
+  EXPECT_EQ(h.state(later), HealthState::kDead);
+}
+
+TEST(ReplicaHealth, ToStringCoversEveryState) {
+  EXPECT_STREQ(to_string(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(HealthState::kEjected), "ejected");
+  EXPECT_STREQ(to_string(HealthState::kHalfOpen), "half_open");
+  EXPECT_STREQ(to_string(HealthState::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace bgqhf::serve
