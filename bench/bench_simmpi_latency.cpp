@@ -8,11 +8,14 @@
 // selection, over the rank/size grid BENCH_comm.json records.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simmpi/collective.h"
 #include "simmpi/communicator.h"
+#include "simmpi/compress.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -48,6 +51,98 @@ double time_collective(int ranks, std::size_t floats, bool naive,
   return seconds / reps;
 }
 
+struct CompressedRun {
+  double seconds = 0.0;        // per call, at the root
+  double wire_mb = 0.0;        // whole-world wire bytes per call
+  double ratio = 0.0;          // logical bytes / wire bytes, all ranks
+};
+
+// Times compressed_allreduce_blob in its steady-state regime: every call
+// adds the same fresh rank-seeded contribution onto the persistent
+// carrier outside the timed region, and a warmup loop lets the adaptive
+// top-k threshold settle before measuring (in steady state the shipped
+// mass must match the input mass, so the threshold climbs until the keep
+// rate hits the target fraction). The contribution magnitudes are
+// heavy-tailed (product of four uniforms — log-gamma, like real gradient
+// entries); uniform-magnitude data would make every entry equally urgent
+// and the transient ship-everything phase very long.
+CompressedRun time_compressed_allreduce(int ranks, std::size_t floats,
+                                        simmpi::CompressMode mode) {
+  // Even rep counts: the threshold controller settles into a small
+  // period-2 limit cycle, so averaging over full periods keeps the
+  // reported wire volume stable.
+  const int reps = floats >= 10'000'000 ? 4 : 10;
+  const int warmup = 12;
+  simmpi::World world(ranks);
+  CompressedRun out;
+  std::vector<std::size_t> raw(static_cast<std::size_t>(ranks), 0);
+  std::vector<std::size_t> wire(static_cast<std::size_t>(ranks), 0);
+  simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
+    simmpi::CompressOptions opts;
+    opts.mode = mode;  // default topk_fraction / chunk_values
+    simmpi::CompressState state;
+    std::vector<float> fresh(floats);
+    std::uint64_t s =
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(comm.rank() + 1);
+    const auto next01 = [&s] {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>(s >> 11) / 9007199254740992.0;
+    };
+    for (auto& v : fresh) {
+      const double mag = next01() * next01() * next01() * next01();
+      v = static_cast<float>(next01() < 0.5 ? -mag : mag);
+    }
+    // Rotating the contribution by a per-call offset decorrelates the
+    // per-entry increments across calls. Re-adding the *same* vector
+    // every call would synchronize threshold crossings into avalanches
+    // (whole cohorts of equal accumulated value shipping at once), a
+    // regime real gradient sequences don't exhibit.
+    std::vector<float> carrier(floats, 0.0f);
+    int call = 0;
+    const auto contribute = [&] {
+      const std::size_t off =
+          (static_cast<std::size_t>(call++) * 2654435761ULL) % floats;
+      for (std::size_t j = 0; j < floats - off; ++j) {
+        carrier[j] += fresh[j + off];
+      }
+      for (std::size_t j = floats - off; j < floats; ++j) {
+        carrier[j] += fresh[j + off - floats];
+      }
+    };
+    for (int i = 0; i < warmup; ++i) {
+      contribute();
+      (void)simmpi::compressed_allreduce_blob(comm, carrier, opts, state);
+    }
+    const simmpi::OpStats pre = comm.stats().op(simmpi::CollOp::kAllreduce);
+    double seconds = 0.0;
+    for (int i = 0; i < reps; ++i) {
+      contribute();
+      comm.barrier();
+      util::Timer timer;
+      (void)simmpi::compressed_allreduce_blob(comm, carrier, opts, state);
+      comm.barrier();
+      if (comm.rank() == 0) seconds += timer.seconds();
+    }
+    const simmpi::OpStats post = comm.stats().op(simmpi::CollOp::kAllreduce);
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    raw[rank] = post.bytes - pre.bytes;
+    wire[rank] = post.wire_bytes - pre.wire_bytes;
+    if (comm.rank() == 0) out.seconds = seconds / reps;
+  });
+  // Whole-world wire traffic over the timed calls only: what actually
+  // crossed the links versus the logical payload volume.
+  std::size_t raw_total = 0;
+  std::size_t wire_total = 0;
+  for (std::size_t r = 0; r < raw.size(); ++r) {
+    raw_total += raw[r];
+    wire_total += wire[r];
+  }
+  out.wire_mb = static_cast<double>(wire_total) / reps / 1048576.0;
+  out.ratio =
+      static_cast<double>(raw_total) / static_cast<double>(wire_total);
+  return out;
+}
+
 int run_json() {
   std::printf("{\n  \"bench\": \"bench_simmpi_latency --json\",\n");
   std::printf(
@@ -55,6 +150,7 @@ int run_json() {
       "seconds per call at the root, closing barrier included\",\n");
   std::printf("  \"runs\": [\n");
   bool first = true;
+  std::map<std::pair<int, std::size_t>, double> exact_auto;
   for (const char* op : {"bcast", "allreduce"}) {
     const bool allreduce = std::strcmp(op, "allreduce") == 0;
     for (const int ranks : {4, 16, 64}) {
@@ -65,6 +161,7 @@ int run_json() {
           const double s = time_collective(ranks, floats, naive, allreduce);
           const double mb =
               floats * sizeof(float) / 1048576.0;
+          if (allreduce && !naive) exact_auto[{ranks, floats}] = s;
           std::printf(
               "%s    {\"op\": \"%s\", \"ranks\": %d, \"floats\": %zu, "
               "\"tuning\": \"%s\", \"seconds_per_call\": %.6g, "
@@ -77,7 +174,51 @@ int run_json() {
       }
     }
   }
-  std::printf("\n  ]\n}\n");
+  // Compressed allreduce against the exact auto path measured above. The
+  // "effective" bandwidth stays in logical bytes: it answers "how fast
+  // did the global sum arrive", not "how many bytes moved".
+  double gate_speedup = 0.0;
+  struct Cell {
+    simmpi::CompressMode mode;
+    int ranks;
+    std::size_t floats;
+  };
+  const Cell cells[] = {
+      {simmpi::CompressMode::kTopK, 4, 1'000'000},
+      {simmpi::CompressMode::kTopK, 16, 1'000'000},
+      {simmpi::CompressMode::kTopK, 64, 1'000'000},
+      {simmpi::CompressMode::kTopK, 4, 40'000'000},
+      {simmpi::CompressMode::kTopK, 16, 40'000'000},
+      {simmpi::CompressMode::kTopK, 64, 40'000'000},
+      {simmpi::CompressMode::kOneBit, 4, 1'000'000},
+      {simmpi::CompressMode::kOneBit, 16, 1'000'000},
+      {simmpi::CompressMode::kOneBit, 64, 1'000'000},
+  };
+  for (const Cell& c : cells) {
+    const CompressedRun r =
+        time_compressed_allreduce(c.ranks, c.floats, c.mode);
+    const double mb = c.floats * sizeof(float) / 1048576.0;
+    const double speedup = exact_auto.at({c.ranks, c.floats}) / r.seconds;
+    if (c.mode == simmpi::CompressMode::kTopK && c.ranks == 64 &&
+        c.floats == 40'000'000) {
+      gate_speedup = speedup;
+    }
+    std::printf(
+        ",\n    {\"op\": \"compressed_allreduce\", \"mode\": \"%s\", "
+        "\"ranks\": %d, \"floats\": %zu, \"seconds_per_call\": %.6g, "
+        "\"effective_mb_per_s\": %.1f, \"wire_mb_per_call\": %.2f, "
+        "\"compression_ratio\": %.1f, \"speedup_vs_exact_auto\": %.2f}",
+        simmpi::to_string(c.mode), c.ranks, c.floats, r.seconds,
+        mb / r.seconds, r.wire_mb, r.ratio, speedup);
+    std::fflush(stdout);
+  }
+  std::printf("\n  ],\n");
+  std::printf(
+      "  \"compressed_acceptance\": {\n"
+      "    \"topk_p64_40m_floats_effective_bw_vs_exact\": %.2f,\n"
+      "    \"required_min\": 4.0,\n"
+      "    \"pass\": %s\n  }\n}\n",
+      gate_speedup, gate_speedup >= 4.0 ? "true" : "false");
   return 0;
 }
 

@@ -107,13 +107,16 @@ inline obs::Registry run_registry(const hf::TrainOutcome& out) {
 /// by op type) of a really-executed functional run — the small-scale
 /// measured counterpart of the analytic "collective" column in Figs. 4/5.
 inline util::Table per_op_table(const simmpi::CommStats& comm) {
-  util::Table table({"collective", "calls", "MB", "blocked (s)"});
+  // "wire MB" diverges from the logical "MB" only when compression is on
+  // (BGQHF_COMPRESS): it is what actually crossed the links.
+  util::Table table({"collective", "calls", "MB", "wire MB", "blocked (s)"});
   for (std::size_t i = 0; i < simmpi::kNumCollOps; ++i) {
     const auto op = static_cast<simmpi::CollOp>(i);
     const simmpi::OpStats s = comm.op(op);
     if (s.calls == 0) continue;
     table.add_row({simmpi::to_string(op), std::to_string(s.calls),
                    util::Table::fmt(s.bytes / 1048576.0, 2),
+                   util::Table::fmt(s.wire_bytes / 1048576.0, 2),
                    util::Table::fmt(s.seconds, 3)});
   }
   return table;

@@ -1,6 +1,7 @@
 #include "blas/dispatch.h"
 
 #include <atomic>
+#include <cmath>
 #include <string>
 
 #include "blas/kernels_avx2.h"
@@ -31,18 +32,36 @@ void sscal_scalar(float alpha, float* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
+std::size_t topk_select_scalar(float* carrier, std::size_t n, float tau,
+                               std::uint32_t index_base, std::uint32_t* idx,
+                               float* val) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = carrier[i];
+    if (std::fabs(v) >= tau) {
+      idx[k] = index_base + static_cast<std::uint32_t>(i);
+      val[k] = v;
+      carrier[i] = 0.0f;
+      ++k;
+    }
+  }
+  return k;
+}
+
 constexpr KernelTable kScalarTable{KernelKind::kScalar, &microkernel<float>,
                                    &sdot_scalar, &saxpy_scalar,
-                                   &sscal_scalar};
+                                   &sscal_scalar, &topk_select_scalar};
 
 #if defined(BGQHF_HAVE_SSE2_KERNELS)
 constexpr KernelTable kSse2Table{KernelKind::kSse2, &sgemm_microkernel_sse2,
-                                 &sdot_sse2, &saxpy_sse2, &sscal_sse2};
+                                 &sdot_sse2, &saxpy_sse2, &sscal_sse2,
+                                 &topk_select_sse2};
 #endif
 
 #if defined(BGQHF_HAVE_AVX2_TU)
 constexpr KernelTable kAvx2Table{KernelKind::kAvx2, &sgemm_microkernel_avx2,
-                                 &sdot_avx2, &saxpy_avx2, &sscal_avx2};
+                                 &sdot_avx2, &saxpy_avx2, &sscal_avx2,
+                                 &topk_select_avx2};
 #endif
 
 const KernelTable* table_for(KernelKind k) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace bgqhf::blas {
 
@@ -33,6 +34,16 @@ using SgemmMicrokernelFn = void (*)(std::size_t kc, const float* a_panel,
                                     float beta, float* c, std::size_t ldc,
                                     std::size_t mr, std::size_t nr);
 
+/// Threshold select-and-drain for the top-k gradient compressor: every
+/// entry of carrier[0..n) with |v| >= tau is appended to idx/val (as
+/// index_base + i, in ascending index order) and zeroed in the carrier;
+/// returns the number selected. idx/val must have room for n entries.
+/// All implementations are bitwise-identical: selection is a pure float
+/// comparison, and values are copied, never recomputed.
+using TopkSelectFn = std::size_t (*)(float* carrier, std::size_t n,
+                                     float tau, std::uint32_t index_base,
+                                     std::uint32_t* idx, float* val);
+
 /// Per-ISA kernel table. All entries are always populated (never null).
 struct KernelTable {
   KernelKind kind = KernelKind::kScalar;
@@ -41,6 +52,7 @@ struct KernelTable {
   void (*saxpy)(float alpha, const float* x, float* y,
                 std::size_t n) = nullptr;
   void (*sscal)(float alpha, float* x, std::size_t n) = nullptr;
+  TopkSelectFn topk_select = nullptr;
 };
 
 /// True if this build/CPU can execute `k`.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace bgqhf::blas {
 
@@ -32,6 +33,11 @@ void saxpy_avx2(float alpha, const float* x, float* y, std::size_t n);
 
 /// x *= alpha
 void sscal_avx2(float alpha, float* x, std::size_t n);
+
+/// Top-k threshold select-and-drain (see dispatch.h TopkSelectFn).
+std::size_t topk_select_avx2(float* carrier, std::size_t n, float tau,
+                             std::uint32_t index_base, std::uint32_t* idx,
+                             float* val);
 
 #endif  // BGQHF_HAVE_AVX2_TU
 

@@ -4,6 +4,8 @@
 
 #include <emmintrin.h>
 
+#include <cmath>
+
 #include "blas/pack.h"
 
 namespace bgqhf::blas {
@@ -111,6 +113,45 @@ void sscal_sse2(float alpha, float* x, std::size_t n) {
     _mm_storeu_ps(x + i, _mm_mul_ps(av, _mm_loadu_ps(x + i)));
   }
   for (; i < n; ++i) x[i] *= alpha;
+}
+
+std::size_t topk_select_sse2(float* carrier, std::size_t n, float tau,
+                             std::uint32_t index_base, std::uint32_t* idx,
+                             float* val) {
+  // Vector compare + movemask skips 4-entry groups with no survivor; the
+  // sparse hits are drained scalar so output stays in ascending order.
+  // andnot with -0.0f clears the sign bit (|v|), and cmpge is false for
+  // NaN, matching the scalar std::fabs(v) >= tau rule bit for bit.
+  const __m128 sign_mask = _mm_set1_ps(-0.0f);
+  const __m128 tv = _mm_set1_ps(tau);
+  std::size_t k = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_loadu_ps(carrier + i);
+    const __m128 mag = _mm_andnot_ps(sign_mask, v);
+    int m = _mm_movemask_ps(_mm_cmpge_ps(mag, tv));
+    if (m == 0) continue;
+    unsigned mm = static_cast<unsigned>(m);
+    while (mm != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mm));
+      mm &= mm - 1;
+      const std::size_t j = i + lane;
+      idx[k] = index_base + static_cast<std::uint32_t>(j);
+      val[k] = carrier[j];
+      carrier[j] = 0.0f;
+      ++k;
+    }
+  }
+  for (; i < n; ++i) {
+    const float v = carrier[i];
+    if (std::fabs(v) >= tau) {
+      idx[k] = index_base + static_cast<std::uint32_t>(i);
+      val[k] = v;
+      carrier[i] = 0.0f;
+      ++k;
+    }
+  }
+  return k;
 }
 
 }  // namespace bgqhf::blas

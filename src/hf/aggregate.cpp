@@ -1,0 +1,85 @@
+#include "hf/aggregate.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/config.h"
+
+namespace bgqhf::hf {
+
+AggregationOptions AggregationOptions::from_env() {
+  AggregationOptions agg;
+  agg.compress = simmpi::CompressOptions::from_env();
+  agg.overlap = util::RuntimeEnv::get().overlap;
+  return agg;
+}
+
+std::vector<std::size_t> layer_segment_bounds(const nn::Network& net) {
+  // Matches Network's flat layout: [W_0, b_0, W_1, b_1, ...], each layer's
+  // weight matrix immediately followed by its bias.
+  std::vector<std::size_t> bounds;
+  bounds.reserve(net.num_layers() + 1);
+  bounds.push_back(0);
+  for (const auto& spec : net.layers()) {
+    bounds.push_back(bounds.back() + spec.out * spec.in + spec.out);
+  }
+  if (bounds.back() != net.num_params()) {
+    throw std::logic_error("layer_segment_bounds: layout mismatch");
+  }
+  return bounds;
+}
+
+void check_stream_capacity(std::size_t num_segments) {
+  // Gradient segments use streams [0, S); the squares variant rides
+  // [S, 2S) of the same tag ladder.
+  if (2 * num_segments > static_cast<std::size_t>(simmpi::kMaxAsyncStreams)) {
+    throw std::invalid_argument(
+        "aggregate: " + std::to_string(num_segments) +
+        " segments exceed the async-reduce stream budget");
+  }
+}
+
+SegmentSender::SegmentSender(simmpi::Comm& comm, std::span<float> carrier,
+                             const std::vector<std::size_t>& bounds, int root,
+                             int stream_base,
+                             const simmpi::CompressOptions* options,
+                             std::vector<simmpi::CompressState>* states)
+    : comm_(comm),
+      carrier_(carrier),
+      bounds_(bounds),
+      root_(root),
+      stream_base_(stream_base),
+      options_(options),
+      states_(states),
+      started_(bounds.size() - 1, 0) {
+  if (carrier.size() != bounds.back()) {
+    throw std::invalid_argument("SegmentSender: carrier/bounds mismatch");
+  }
+}
+
+void SegmentSender::start_segment(std::size_t s) {
+  started_[s] = 1;
+  const std::span<float> seg =
+      carrier_.subspan(bounds_[s], bounds_[s + 1] - bounds_[s]);
+  simmpi::CompressState* state = states_ ? &(*states_)[s] : nullptr;
+  // Non-root ranks complete at start (buffered send), so the returned
+  // handle is already drained and safe to drop.
+  simmpi::start_reduce_sum(comm_, seg, {}, root_,
+                           stream_base_ + static_cast<int>(s), options_,
+                           state);
+}
+
+void SegmentSender::segment_ready(std::size_t s) {
+  if (s >= started_.size() || started_[s]) return;
+  start_segment(s);
+  ++overlapped_;
+}
+
+std::size_t SegmentSender::flush() {
+  for (std::size_t s = 0; s < started_.size(); ++s) {
+    if (!started_[s]) start_segment(s);
+  }
+  return overlapped_;
+}
+
+}  // namespace bgqhf::hf

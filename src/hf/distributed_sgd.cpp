@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
+#include "hf/aggregate.h"
 #include "nn/backprop.h"
 #include "nn/loss.h"
 #include "simmpi/communicator.h"
+#include "simmpi/compress.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -58,6 +60,14 @@ DistributedSgdOutcome train_sgd_distributed(const TrainerConfig& config,
     nn::Network net = shards.net;  // identical init on all ranks
     std::vector<float> velocity(n, 0.0f);
     std::vector<float> grad(n);
+    // Compressed data-parallel SGD: each rank accumulates its batch
+    // gradient on top of a persistent error-feedback carrier and the
+    // allreduce ships blobs; `grad` then receives the decoded global sum
+    // (identical on every rank — single source of truth).
+    const bool comp = config.aggregation.compress.active();
+    std::vector<float> carrier;
+    simmpi::CompressState cstate;
+    if (comp) carrier.assign(n, 0.0f);
     std::vector<std::size_t> order(train.num_frames());
     std::iota(order.begin(), order.end(), std::size_t{0});
     util::Rng rng(options.seed + 1000 * rank);
@@ -79,7 +89,9 @@ DistributedSgdOutcome train_sgd_distributed(const TrainerConfig& config,
             begin < order.size()
                 ? std::min(options.batch_frames, order.size() - begin)
                 : 0;
-        std::fill(grad.begin(), grad.end(), 0.0f);
+        std::span<float> accum = comp ? std::span<float>(carrier)
+                                      : std::span<float>(grad);
+        if (!comp) std::fill(grad.begin(), grad.end(), 0.0f);
         if (count > 0) {
           for (std::size_t i = 0; i < count; ++i) {
             const std::size_t src = order[begin + i];
@@ -97,11 +109,17 @@ DistributedSgdOutcome train_sgd_distributed(const TrainerConfig& config,
               std::span<const int>(batch_labels).subspan(0, count), &dv);
           loss_sum += loss.loss_sum;
           loss_frames += loss.frames;
-          nn::accumulate_gradient(net, x, cache, std::move(delta), grad);
+          nn::accumulate_gradient(net, x, cache, std::move(delta), accum);
         }
         // The parallel-SGD tax: a full-parameter allreduce per update.
         std::vector<float> frame_count{static_cast<float>(count)};
-        comm.allreduce_sum(grad);
+        if (comp) {
+          simmpi::compressed_allreduce_sum(comm, carrier, grad,
+                                           config.aggregation.compress,
+                                           cstate);
+        } else {
+          comm.allreduce_sum(grad);
+        }
         comm.allreduce_sum(frame_count);
         const float global_count = std::max(1.0f, frame_count[0]);
         const float scale = static_cast<float>(lr) / global_count;

@@ -41,14 +41,31 @@ obs::CounterId ft_excluded_metric() {
 
 MasterCompute::MasterCompute(simmpi::Comm& comm, std::size_t num_params,
                              std::size_t total_train_frames,
-                             PhaseStats* stats, FtOptions ft)
+                             PhaseStats* stats, FtOptions ft,
+                             AggregationOptions agg,
+                             std::vector<std::size_t> segment_bounds)
     : comm_(&comm),
       num_params_(num_params),
       train_frames_(total_train_frames),
       stats_(stats),
+      agg_(agg),
+      bounds_(std::move(segment_bounds)),
       ft_(ft) {
   if (comm.rank() != 0) {
     throw std::logic_error("MasterCompute must run on rank 0");
+  }
+  if (ft_.enabled) agg_ = {};  // FT keeps the exact CRC-framed protocol
+  if (agg_.active()) {
+    if (bounds_.empty()) bounds_ = {0, num_params_};
+    if (bounds_.front() != 0 || bounds_.back() != num_params_) {
+      throw std::invalid_argument("MasterCompute: bad segment bounds");
+    }
+    check_stream_capacity(bounds_.size() - 1);
+    zeros_.assign(num_params_, 0.0f);
+    if (agg_.compress.active()) {
+      grad_states_.resize(bounds_.size() - 1);
+      sq_states_.resize(bounds_.size() - 1);
+    }
   }
   alive_.assign(static_cast<std::size_t>(comm.size()), 1);
   curvature_counts_.assign(static_cast<std::size_t>(comm.size()), 0);
@@ -147,6 +164,27 @@ void MasterCompute::reduce_sum(std::span<float> out) {
   std::copy(buf.begin(), buf.end(), out.begin());
 }
 
+void MasterCompute::reduce_sum_segmented(
+    std::span<float> out, int stream_base,
+    std::vector<simmpi::CompressState>* states) {
+  // All segment reduces start before any wait, so worker blobs for late
+  // segments drain into the mailbox while early ones fold.
+  const simmpi::CompressOptions* copts =
+      agg_.compress.active() ? &agg_.compress : nullptr;
+  const std::size_t nseg = bounds_.size() - 1;
+  std::vector<simmpi::AsyncReduce> handles;
+  handles.reserve(nseg);
+  for (std::size_t s = 0; s < nseg; ++s) {
+    const std::size_t off = bounds_[s];
+    const std::size_t len = bounds_[s + 1] - off;
+    handles.push_back(simmpi::start_reduce_sum(
+        *comm_, std::span<float>(zeros_).subspan(off, len),
+        out.subspan(off, len), 0, stream_base + static_cast<int>(s), copts,
+        states == nullptr ? nullptr : &(*states)[s]));
+  }
+  for (simmpi::AsyncReduce& h : handles) h.wait();
+}
+
 nn::BatchLoss MasterCompute::reduce_loss_stats() {
   std::vector<double> flat(kLossStatsLen, 0.0);
   comm_->reduce_sum(flat, 0);
@@ -176,7 +214,12 @@ nn::BatchLoss MasterCompute::gradient(std::span<float> grad_out) {
   broadcast_command(Command::kGradient, /*aux=*/0);
   nn::BatchLoss total;
   if (!ft_.enabled) {
-    reduce_sum(grad_out);
+    if (agg_.active()) {
+      reduce_sum_segmented(grad_out, /*stream_base=*/0,
+                           agg_.compress.active() ? &grad_states_ : nullptr);
+    } else {
+      reduce_sum(grad_out);
+    }
     total = reduce_loss_stats();
   } else {
     // Fold replies with the reduce tree's association: one slot per rank
@@ -233,8 +276,17 @@ nn::BatchLoss MasterCompute::gradient_with_squares(
   broadcast_command(Command::kGradient, /*aux=*/1);
   nn::BatchLoss total;
   if (!ft_.enabled) {
-    reduce_sum(grad_out);
-    reduce_sum(grad_sq_out);
+    if (agg_.active()) {
+      const bool comp = agg_.compress.active();
+      const int nseg = static_cast<int>(bounds_.size() - 1);
+      reduce_sum_segmented(grad_out, /*stream_base=*/0,
+                           comp ? &grad_states_ : nullptr);
+      reduce_sum_segmented(grad_sq_out, /*stream_base=*/nseg,
+                           comp ? &sq_states_ : nullptr);
+    } else {
+      reduce_sum(grad_out);
+      reduce_sum(grad_sq_out);
+    }
     total = reduce_loss_stats();
   } else {
     const auto replies = ft_collect_replies();

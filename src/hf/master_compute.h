@@ -21,11 +21,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "hf/aggregate.h"
 #include "hf/compute.h"
 #include "hf/fault_tolerance.h"
 #include "hf/phase_stats.h"
 #include "hf/protocol.h"
 #include "simmpi/communicator.h"
+#include "simmpi/compress.h"
 
 namespace bgqhf::hf {
 
@@ -34,9 +36,19 @@ class MasterCompute : public HfCompute {
   /// `num_params` / `total_train_frames` are known to the master from the
   /// shard-building phase. `stats`, when given, accumulates per-phase wall
   /// time on the master side (the functional Figs. 2/4 instrumentation).
+  ///
+  /// `agg` + `segment_bounds` select the gradient-aggregation path; they
+  /// must match every worker's (the trainer derives both from one config).
+  /// When `agg` is active the gradient collectives run per segment over
+  /// async-reduce streams, compressed when BGQHF_COMPRESS is on; bounds
+  /// default to one whole-vector segment. Ignored under FT — the CRC
+  /// protocol stays exact, lossy blobs from a worker that later dies would
+  /// leave its residual permanently dropped.
   MasterCompute(simmpi::Comm& comm, std::size_t num_params,
                 std::size_t total_train_frames,
-                PhaseStats* stats = nullptr, FtOptions ft = {});
+                PhaseStats* stats = nullptr, FtOptions ft = {},
+                AggregationOptions agg = {},
+                std::vector<std::size_t> segment_bounds = {});
 
   std::size_t num_params() const override { return num_params_; }
   std::size_t total_train_frames() const override { return train_frames_; }
@@ -64,6 +76,11 @@ class MasterCompute : public HfCompute {
   /// Tree-reduce the workers' equal-length vectors into `out`; the
   /// master's own contribution (slot 0 of the tree) is zero.
   void reduce_sum(std::span<float> out);
+  /// Segmented variant: start one async reduce per segment (compressed
+  /// when agg_.compress is on, using `states`), then wait them all into
+  /// the matching slices of `out`.
+  void reduce_sum_segmented(std::span<float> out, int stream_base,
+                            std::vector<simmpi::CompressState>* states);
   nn::BatchLoss reduce_loss_stats();
 
   // ---- fault-tolerant path ----
@@ -80,6 +97,12 @@ class MasterCompute : public HfCompute {
   std::size_t train_frames_;
   std::size_t curvature_frames_ = 0;
   PhaseStats* stats_;
+
+  AggregationOptions agg_;
+  std::vector<std::size_t> bounds_;
+  std::vector<float> zeros_;  // master's (zero) reduce contribution
+  std::vector<simmpi::CompressState> grad_states_;
+  std::vector<simmpi::CompressState> sq_states_;
 
   FtOptions ft_;
   std::vector<char> alive_;  // by rank; [0] unused

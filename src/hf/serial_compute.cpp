@@ -33,8 +33,9 @@ nn::BatchLoss unflatten_loss(const std::vector<double>& flat) {
 }
 }  // namespace
 
-SerialCompute::SerialCompute(std::vector<std::unique_ptr<Workload>> shards)
-    : shards_(std::move(shards)) {
+SerialCompute::SerialCompute(std::vector<std::unique_ptr<Workload>> shards,
+                             AggregationOptions agg)
+    : shards_(std::move(shards)), agg_(agg) {
   if (shards_.empty()) {
     throw std::invalid_argument("SerialCompute: needs at least one shard");
   }
@@ -44,7 +45,39 @@ SerialCompute::SerialCompute(std::vector<std::unique_ptr<Workload>> shards)
     }
     train_frames_ += s->train_frames();
   }
-  scratch_.resize(shards_.front()->num_params());
+  const std::size_t n = shards_.front()->num_params();
+  scratch_.resize(n);
+  if (agg_.compress.active()) {
+    bounds_ = shards_.front()->segment_bounds();
+    if (bounds_.front() != 0 || bounds_.back() != n) {
+      throw std::invalid_argument("SerialCompute: bad segment bounds");
+    }
+    const std::size_t nseg = bounds_.size() - 1;
+    zero_carrier_.assign(n, 0.0f);
+    carriers_.assign(shards_.size(), std::vector<float>(n, 0.0f));
+    sq_carriers_.assign(shards_.size(), std::vector<float>(n, 0.0f));
+    grad_states_.resize(shards_.size() + 1);
+    sq_states_.resize(shards_.size() + 1);
+    for (auto& per_slot : grad_states_) per_slot.resize(nseg);
+    for (auto& per_slot : sq_states_) per_slot.resize(nseg);
+  }
+}
+
+void SerialCompute::fold_compressed(
+    std::span<float> out, std::vector<std::vector<float>*> carriers,
+    std::vector<std::vector<simmpi::CompressState>>& states) {
+  for (std::size_t s = 0; s + 1 < bounds_.size(); ++s) {
+    const std::size_t off = bounds_[s];
+    const std::size_t len = bounds_[s + 1] - off;
+    const std::span<float> seg = out.subspan(off, len);
+    std::fill(seg.begin(), seg.end(), 0.0f);
+    for (std::size_t slot = 0; slot < carriers.size(); ++slot) {
+      const simmpi::Payload blob = simmpi::compress(
+          std::span<float>(*carriers[slot]).subspan(off, len), agg_.compress,
+          states[slot][s]);
+      simmpi::decode_add({blob.data(), blob.size()}, seg);
+    }
+  }
 }
 
 std::size_t SerialCompute::num_params() const {
@@ -56,6 +89,22 @@ void SerialCompute::set_params(std::span<const float> theta) {
 }
 
 nn::BatchLoss SerialCompute::gradient(std::span<float> grad_out) {
+  if (agg_.compress.active()) {
+    // Compressed mirror: each shard accumulates its fresh gradient on top
+    // of its persistent error-feedback carrier, then the blobs fold in the
+    // distributed root's slot order (master's zero slot first).
+    auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
+    std::vector<std::vector<float>*> carriers{&zero_carrier_};
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      loss_fold.push(flat_loss(shards_[i]->gradient(carriers_[i])));
+      carriers.push_back(&carriers_[i]);
+    }
+    fold_compressed(grad_out, std::move(carriers), grad_states_);
+    const nn::BatchLoss total = unflatten_loss(loss_fold.finish());
+    const float inv = 1.0f / static_cast<float>(total.frames);
+    for (auto& g : grad_out) g *= inv;
+    return total;
+  }
   auto fold = fold_with_zero_slot<float>(grad_out.size());
   auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
   for (auto& s : shards_) {
@@ -73,6 +122,23 @@ nn::BatchLoss SerialCompute::gradient(std::span<float> grad_out) {
 
 nn::BatchLoss SerialCompute::gradient_with_squares(
     std::span<float> grad_out, std::span<float> grad_sq_out) {
+  if (agg_.compress.active()) {
+    auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);
+    std::vector<std::vector<float>*> carriers{&zero_carrier_};
+    std::vector<std::vector<float>*> sq_carriers{&zero_carrier_};
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      loss_fold.push(flat_loss(
+          shards_[i]->gradient_with_squares(carriers_[i], sq_carriers_[i])));
+      carriers.push_back(&carriers_[i]);
+      sq_carriers.push_back(&sq_carriers_[i]);
+    }
+    fold_compressed(grad_out, std::move(carriers), grad_states_);
+    fold_compressed(grad_sq_out, std::move(sq_carriers), sq_states_);
+    const nn::BatchLoss total = unflatten_loss(loss_fold.finish());
+    const float inv = 1.0f / static_cast<float>(total.frames);
+    for (auto& g : grad_out) g *= inv;
+    return total;
+  }
   auto fold = fold_with_zero_slot<float>(grad_out.size());
   auto sq_fold = fold_with_zero_slot<float>(grad_sq_out.size());
   auto loss_fold = fold_with_zero_slot<double>(kLossStatsLen);

@@ -12,14 +12,24 @@
 #include <memory>
 #include <vector>
 
+#include "hf/aggregate.h"
 #include "hf/compute.h"
 #include "hf/workload.h"
+#include "simmpi/compress.h"
 
 namespace bgqhf::hf {
 
 class SerialCompute : public HfCompute {
  public:
-  explicit SerialCompute(std::vector<std::unique_ptr<Workload>> shards);
+  /// `agg` mirrors the distributed aggregation arithmetic: with
+  /// compression on, each (slot, segment) pair gets the same persistent
+  /// error-feedback CompressState a rank would hold (slot 0 is the
+  /// master's zero contribution) and blobs fold in the same slot order,
+  /// so compressed serial == compressed distributed stays bitwise. The
+  /// overlap flag is ignored — it only changes *when* collectives start,
+  /// never their arithmetic.
+  explicit SerialCompute(std::vector<std::unique_ptr<Workload>> shards,
+                         AggregationOptions agg = {});
 
   std::size_t num_params() const override;
   std::size_t total_train_frames() const override { return train_frames_; }
@@ -34,10 +44,26 @@ class SerialCompute : public HfCompute {
   nn::BatchLoss heldout_loss() override;
 
  private:
+  /// Compressed mirror of the master's per-segment rank-order blob fold:
+  /// compress each slot's carrier slice through its own state and
+  /// decode_add into `out` (zeroed first), slot 0 (zero carrier) first.
+  void fold_compressed(std::span<float> out,
+                       std::vector<std::vector<float>*> carriers,
+                       std::vector<std::vector<simmpi::CompressState>>& states);
+
   std::vector<std::unique_ptr<Workload>> shards_;
   std::size_t train_frames_ = 0;
   std::size_t curvature_frames_ = 0;
   std::vector<float> scratch_;
+
+  AggregationOptions agg_;
+  std::vector<std::size_t> bounds_;
+  std::vector<float> zero_carrier_;           // master slot (stays zero)
+  std::vector<std::vector<float>> carriers_;  // per-shard gradient residual
+  std::vector<std::vector<float>> sq_carriers_;
+  // states[slot][segment]; slot 0 = master, slot i+1 = shard i.
+  std::vector<std::vector<simmpi::CompressState>> grad_states_;
+  std::vector<std::vector<simmpi::CompressState>> sq_states_;
 };
 
 }  // namespace bgqhf::hf

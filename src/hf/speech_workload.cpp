@@ -1,8 +1,10 @@
 #include "hf/speech_workload.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
+#include "hf/aggregate.h"
 #include "nn/backprop.h"
 #include "nn/loss.h"
 
@@ -28,8 +30,17 @@ void SpeechWorkload::set_params(std::span<const float> theta) {
   ++params_version_;
 }
 
+std::vector<std::size_t> SpeechWorkload::segment_bounds() const {
+  return layer_segment_bounds(net_);
+}
+
 nn::BatchLoss SpeechWorkload::gradient(std::span<float> grad_accum) {
-  return gradient_impl(grad_accum, {});
+  return gradient_impl(grad_accum, {}, nullptr);
+}
+
+nn::BatchLoss SpeechWorkload::gradient(std::span<float> grad_accum,
+                                       GradientSink* sink) {
+  return gradient_impl(grad_accum, {}, sink);
 }
 
 nn::BatchLoss SpeechWorkload::gradient_with_squares(
@@ -38,11 +49,12 @@ nn::BatchLoss SpeechWorkload::gradient_with_squares(
     throw std::invalid_argument(
         "gradient_with_squares: squares accumulator size mismatch");
   }
-  return gradient_impl(grad_accum, grad_sq_accum);
+  return gradient_impl(grad_accum, grad_sq_accum, nullptr);
 }
 
 nn::BatchLoss SpeechWorkload::gradient_impl(std::span<float> grad,
-                                            std::span<float> grad_sq) {
+                                            std::span<float> grad_sq,
+                                            GradientSink* sink) {
   if (grad.size() != net_.num_params()) {
     throw std::invalid_argument("gradient: accumulator size mismatch");
   }
@@ -50,8 +62,8 @@ nn::BatchLoss SpeechWorkload::gradient_impl(std::span<float> grad,
     batch_scratch_.assign(net_.num_params(), 0.0f);
   }
   return options_.criterion == Criterion::kCrossEntropy
-             ? gradient_ce(grad, grad_sq)
-             : gradient_sequence(grad, grad_sq);
+             ? gradient_ce(grad, grad_sq, sink)
+             : gradient_sequence(grad, grad_sq, sink);
 }
 
 void SpeechWorkload::fold_batch(std::span<float> grad,
@@ -64,8 +76,22 @@ void SpeechWorkload::fold_batch(std::span<float> grad,
   }
 }
 
+namespace {
+
+// Layer-completion hook for the final batch: segments are layers, so the
+// layer index from accumulate_gradient IS the segment index.
+std::function<void(std::size_t)> make_layer_done(GradientSink* sink,
+                                                 bool squares,
+                                                 bool final_batch) {
+  if (sink == nullptr || squares || !final_batch) return {};
+  return [sink](std::size_t l) { sink->segment_ready(l); };
+}
+
+}  // namespace
+
 nn::BatchLoss SpeechWorkload::gradient_ce(std::span<float> grad,
-                                          std::span<float> grad_sq) {
+                                          std::span<float> grad_sq,
+                                          GradientSink* sink) {
   nn::BatchLoss total;
   const bool squares = !grad_sq.empty();
   const std::size_t frames = train_.num_frames();
@@ -81,30 +107,32 @@ nn::BatchLoss SpeechWorkload::gradient_ce(std::span<float> grad,
         cache.logits(),
         std::span<const int>(train_.labels).subspan(begin, count),
         &delta_view);
-    nn::accumulate_gradient(net_, x, cache, std::move(delta),
-                            squares ? std::span<float>(batch_scratch_)
-                                    : grad,
-                            options_.pool);
+    nn::accumulate_gradient(
+        net_, x, cache, std::move(delta),
+        squares ? std::span<float>(batch_scratch_) : grad, options_.pool,
+        make_layer_done(sink, squares, begin + count == frames));
     if (squares) fold_batch(grad, grad_sq);
   }
   return total;
 }
 
 nn::BatchLoss SpeechWorkload::gradient_sequence(std::span<float> grad,
-                                                std::span<float> grad_sq) {
+                                                std::span<float> grad_sq,
+                                                GradientSink* sink) {
   nn::BatchLoss total;
   const bool squares = !grad_sq.empty();
-  for (std::size_t u = 0; u < train_.num_utterances(); ++u) {
+  const std::size_t num_utts = train_.num_utterances();
+  for (std::size_t u = 0; u < num_utts; ++u) {
     const auto x = train_.utt_x(u);
     const nn::ForwardCache cache = net_.forward(x, options_.pool);
     blas::Matrix<float> delta(x.rows, net_.output_dim());
     auto delta_view = delta.view();
     total += nn::sequence_xent(cache.logits(), train_.utt_labels(u),
                                options_.transitions, &delta_view);
-    nn::accumulate_gradient(net_, x, cache, std::move(delta),
-                            squares ? std::span<float>(batch_scratch_)
-                                    : grad,
-                            options_.pool);
+    nn::accumulate_gradient(
+        net_, x, cache, std::move(delta),
+        squares ? std::span<float>(batch_scratch_) : grad, options_.pool,
+        make_layer_done(sink, squares, u + 1 == num_utts));
     if (squares) fold_batch(grad, grad_sq);
   }
   return total;

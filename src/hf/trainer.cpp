@@ -230,7 +230,7 @@ TrainOutcome train_serial(const TrainerConfig& config) {
         shards.net, std::move(shards.train[w]), std::move(shards.heldout[w]),
         w, wl_opts));
   }
-  SerialCompute compute(std::move(workloads));
+  SerialCompute compute(std::move(workloads), config.aggregation);
 
   TrainOutcome out;
   out.theta.assign(shards.net.params().begin(), shards.net.params().end());
@@ -295,7 +295,8 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
       }
       MasterCompute compute(comm, shards.net.num_params(),
                             shards.total_train_frames, &out.master_phases,
-                            config.ft);
+                            config.ft, config.aggregation,
+                            layer_segment_bounds(shards.net));
       out.theta.assign(shards.net.params().begin(),
                        shards.net.params().end());
       out.num_params = shards.net.num_params();
@@ -355,7 +356,7 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
                                 std::move(heldout),
                                 static_cast<std::size_t>(comm.rank() - 1),
                                 wl_opts);
-        worker_loop(comm, workload, &phases, config.ft);
+        worker_loop(comm, workload, &phases, config.ft, config.aggregation);
       } catch (const simmpi::RankKilledError&) {
         // Injected kill: exit the rank cleanly so run_ranks completes; the
         // master observes the silence and excludes this worker at its next

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "hf/aggregate.h"
 #include "hf/fault_tolerance.h"
 #include "hf/optimizer.h"
 #include "hf/phase_stats.h"
@@ -69,6 +70,11 @@ struct TrainerConfig {
   /// When non-empty, load this checkpoint (written via hf.checkpoint_path)
   /// and resume training from its completed iteration.
   std::string resume_from;
+  /// Gradient aggregation: compression codec + per-layer overlap. Defaults
+  /// pick up BGQHF_COMPRESS* / BGQHF_OVERLAP so every driver honours the
+  /// knobs; serial and distributed runs mirror the same arithmetic.
+  /// Ignored when ft.enabled (the CRC protocol stays exact).
+  AggregationOptions aggregation = AggregationOptions::from_env();
 };
 
 /// Per-worker data shards plus the initialized network.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hf/aggregate.h"
 #include "hf/protocol.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -33,9 +34,32 @@ Phase command_phase(Command cmd) {
 }
 
 void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
-                            PhaseStats* stats) {
+                            PhaseStats* stats,
+                            const AggregationOptions& agg) {
   const std::size_t n = workload.num_params();
   std::vector<float> scratch(n);
+
+  // Segmented-aggregation state. The gradient carrier is separate from
+  // `scratch` because under compression it holds the error-feedback
+  // residual between gradient calls — the curvature path re-zeroing
+  // scratch must not wipe it.
+  const bool comp = agg.compress.active();
+  const simmpi::CompressOptions* copts = comp ? &agg.compress : nullptr;
+  std::vector<std::size_t> bounds;
+  std::vector<simmpi::CompressState> grad_states;
+  std::vector<simmpi::CompressState> sq_states;
+  std::vector<float> grad_carrier;
+  std::vector<float> sq_carrier;
+  if (agg.active()) {
+    bounds = workload.segment_bounds();
+    check_stream_capacity(bounds.size() - 1);
+    if (comp) {
+      grad_states.resize(bounds.size() - 1);
+      sq_states.resize(bounds.size() - 1);
+    }
+    grad_carrier.assign(n, 0.0f);
+    sq_carrier.assign(n, 0.0f);
+  }
 
   auto reply_loss_stats = [&](const nn::BatchLoss& loss) {
     std::vector<double> flat{loss.loss_sum,
@@ -65,6 +89,43 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
         break;
       }
       case Command::kGradient: {
+        if (agg.active()) {
+          // Segmented path: per-layer nonblocking reduces (compressed when
+          // BGQHF_COMPRESS is on). Under compression the carriers are NOT
+          // zeroed — they hold the error-feedback residual, and the
+          // workload accumulates the fresh gradient on top of it.
+          const std::size_t nseg = bounds.size() - 1;
+          if (!comp) {
+            std::fill(grad_carrier.begin(), grad_carrier.end(), 0.0f);
+          }
+          if (header[1] == 0) {
+            SegmentSender sink(comm, grad_carrier, bounds, 0, 0, copts,
+                               comp ? &grad_states : nullptr);
+            const nn::BatchLoss loss = workload.gradient(
+                grad_carrier,
+                agg.overlap ? static_cast<GradientSink*>(&sink) : nullptr);
+            const std::size_t overlapped = sink.flush();
+            if (stats != nullptr) stats->add_segments(nseg, overlapped);
+            reply_loss_stats(loss);
+          } else {
+            if (!comp) {
+              std::fill(sq_carrier.begin(), sq_carrier.end(), 0.0f);
+            }
+            const nn::BatchLoss loss =
+                workload.gradient_with_squares(grad_carrier, sq_carrier);
+            SegmentSender grad_sink(comm, grad_carrier, bounds, 0, 0, copts,
+                                    comp ? &grad_states : nullptr);
+            SegmentSender sq_sink(comm, sq_carrier, bounds, 0,
+                                  static_cast<int>(nseg), copts,
+                                  comp ? &sq_states : nullptr);
+            grad_sink.flush();
+            sq_sink.flush();
+            if (stats != nullptr) stats->add_segments(2 * nseg, 0);
+            reply_loss_stats(loss);
+          }
+          stamp(Phase::kGradient, timer);
+          break;
+        }
         std::fill(scratch.begin(), scratch.end(), 0.0f);
         if (header[1] == 0) {
           const nn::BatchLoss loss = workload.gradient(scratch);
@@ -243,14 +304,17 @@ void worker_loop_ft(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
 }  // namespace
 
 void worker_loop(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
-                 const FtOptions& ft) {
+                 const FtOptions& ft, const AggregationOptions& agg) {
   if (comm.rank() == 0) {
     throw std::logic_error("worker_loop must not run on the master rank");
   }
   if (ft.enabled) {
+    // The FT protocol keeps exact CRC-framed payloads: lossy blobs from a
+    // rank that later dies would leave its residual permanently dropped,
+    // breaking the survivor-reweighting equivalence.
     worker_loop_ft(comm, workload, stats, ft);
   } else {
-    worker_loop_collective(comm, workload, stats);
+    worker_loop_collective(comm, workload, stats, agg);
   }
 }
 

@@ -1,6 +1,7 @@
 // Worker-side command loop.
 #pragma once
 
+#include "hf/aggregate.h"
 #include "hf/fault_tolerance.h"
 #include "hf/phase_stats.h"
 #include "hf/workload.h"
@@ -21,7 +22,14 @@ namespace bgqhf::hf {
 /// report the failure to the master and withdraw rather than silently
 /// train on garbage — and a missing command past ft.command_timeout makes
 /// it conclude the master is gone and exit instead of hanging.
+///
+/// `agg` selects the gradient-aggregation path: when active (compressed
+/// and/or overlapped) the gradient replies become per-layer-segment
+/// nonblocking reduces matching MasterCompute's, with one error-feedback
+/// CompressState per segment persisted across calls. Must match the
+/// master's options. Ignored under FT (the CRC protocol stays exact).
 void worker_loop(simmpi::Comm& comm, Workload& workload,
-                 PhaseStats* stats = nullptr, const FtOptions& ft = {});
+                 PhaseStats* stats = nullptr, const FtOptions& ft = {},
+                 const AggregationOptions& agg = {});
 
 }  // namespace bgqhf::hf

@@ -6,6 +6,7 @@
 // delta * W), which is where the paper's tuned SGEMM earns its keep.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "blas/matrix.h"
@@ -19,10 +20,17 @@ namespace bgqhf::nn {
 ///   cache      activations from Network::forward on x
 ///   delta_out  d(sum loss)/d(logits), N x output_dim; consumed (scratch)
 ///   grad       flat vector, Network parameter layout
+///   layer_done fired with l right after layer l's [W_l, b_l] slice of
+///              `grad` receives its final write for this batch (b_l lands
+///              one step earlier via the fused epilogue); descending layer
+///              order. Lets the aggregation layer ship layer l while the
+///              GEMMs for layers below are still running.
 void accumulate_gradient(const Network& net, blas::ConstMatrixView<float> x,
                          const ForwardCache& cache,
                          blas::Matrix<float>&& delta_out,
                          std::span<float> grad,
-                         util::ThreadPool* pool = nullptr);
+                         util::ThreadPool* pool = nullptr,
+                         const std::function<void(std::size_t)>& layer_done =
+                             {});
 
 }  // namespace bgqhf::nn

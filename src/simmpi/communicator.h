@@ -409,6 +409,26 @@ class Comm {
     return all;
   }
 
+  // ---- collective-engine internals exposed to the compression layer ----
+  //
+  // compress.cpp builds its collectives out of the same payload-level
+  // primitives the in-header algorithms use. These are NOT a user-facing
+  // message API: no per-message stats, reserved (negative) tag space only.
+
+  /// Enqueue a payload into `dest`'s mailbox (buffered; shares the backing
+  /// buffer, so a blob can fan out to every child without copies).
+  void coll_send_payload(Payload p, int dest, int tag) {
+    if (tag >= 0) {
+      throw std::invalid_argument("simmpi: collective tag must be < 0");
+    }
+    check_rank(dest);
+    send_payload(std::move(p), dest, tag);
+  }
+  /// Blocking collective-internal receive (no deadline).
+  Message coll_recv(int source, int tag) {
+    return recv_coll(source, tag, Deadline::never());
+  }
+
  private:
   void check_rank(int r) const {
     if (r < 0 || r >= size()) {

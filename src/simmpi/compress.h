@@ -1,0 +1,232 @@
+// Gradient compression for the collective engine: top-k dropping with
+// error-feedback residuals, and 1-bit quantization with per-chunk scales.
+//
+// The paper's bottleneck is master-side gradient traffic; after the
+// algorithmic collective rewrites the remaining multiplier is sending
+// fewer bytes (Strom 2015 / Seide 2014 / Dryden 2016 lineage). Both codecs
+// here are lossy per call but unbiased over time through error feedback:
+// the *carrier* buffer a rank compresses holds contribution + residual on
+// entry, and whatever the decoder will NOT reconstruct stays behind in the
+// carrier as the next call's residual. With top-k the selected entries are
+// zeroed and the rest are untouched — the carrier IS the residual store,
+// so one sweep does selection, packing and residual update (no separate
+// residual array, no extra memory pass).
+//
+// Wire format (little-endian, see DESIGN.md):
+//   WireHeader { magic 'BQCZ', mode u8, pad[3], total_values u64, aux u64 }
+//   mode kRaw    aux = 0             payload: total f32 (passthrough)
+//   mode kTopK   aux = k             payload: k u32 indices, then k f32
+//   mode kOneBit aux = chunk_values  payload: ceil(total/chunk) pairs of
+//                                    f32 {pos_scale, neg_scale}, then
+//                                    ceil(total/32) u32 sign words
+//
+// Every compressed collective keeps a *fixed* combine order (blobs fold in
+// rank order), so compressed runs are bitwise deterministic at a given
+// rank count, and SerialCompute can mirror the arithmetic exactly — the
+// same contract the exact tree reductions honour via PairwiseFold.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/communicator.h"
+#include "simmpi/message.h"
+
+namespace bgqhf::simmpi {
+
+enum class CompressMode {
+  kOff = 0,  // exact payloads (today's bitwise path)
+  kTopK,     // threshold top-k value dropping, error feedback
+  kOneBit,   // 1-bit sign quantization, per-chunk scale pair
+};
+
+const char* to_string(CompressMode m);
+/// "", "off" -> kOff; "topk" -> kTopK; "onebit" -> kOneBit; anything else
+/// throws std::invalid_argument (typos must be loud, like BGQHF_COLL).
+CompressMode parse_compress_mode(const std::string& s);
+
+struct CompressOptions {
+  CompressMode mode = CompressMode::kOff;
+  /// Target fraction of values a top-k pass keeps (the adaptive threshold
+  /// steers the realized fraction toward this between calls).
+  double topk_fraction = 0.01;
+  /// Values per 1-bit quantization chunk (one {pos,neg} scale pair each).
+  std::size_t chunk_values = 4096;
+  /// Vectors shorter than this ship raw (passthrough): scalar stats and
+  /// tiny layers are not worth a header + index stream.
+  std::size_t min_values = 1024;
+
+  bool active() const { return mode != CompressMode::kOff; }
+
+  /// BGQHF_COMPRESS / BGQHF_COMPRESS_TOPK / BGQHF_COMPRESS_CHUNK via
+  /// util::RuntimeEnv.
+  static CompressOptions from_env();
+};
+
+/// Per-stream compression state: the adaptive top-k threshold, pack
+/// workspaces, the root's downlink residual (allreduce), and wire-byte
+/// accounting. One state per (rank, logical stream) — e.g. one per layer
+/// segment — persisted across iterations; the error-feedback contract is
+/// only honest if the same state sees every call of its stream.
+class CompressState {
+ public:
+  CompressState() = default;
+  // The downlink sub-state is heap-held; keep states movable, not copyable
+  // (copying would fork a residual history, which is always a bug).
+  CompressState(CompressState&&) = default;
+  CompressState& operator=(CompressState&&) = default;
+
+  std::size_t last_raw_bytes() const { return last_raw_; }
+  std::size_t last_wire_bytes() const { return last_wire_; }
+  std::size_t total_raw_bytes() const { return total_raw_; }
+  std::size_t total_wire_bytes() const { return total_wire_; }
+  /// Raw/wire ratio over the state's lifetime (1.0 until first use).
+  double compression_ratio() const {
+    return total_wire_ == 0 ? 1.0
+                            : static_cast<double>(total_raw_) /
+                                  static_cast<double>(total_wire_);
+  }
+  double threshold() const { return threshold_; }
+
+  /// The root's state for re-compressing the folded allreduce total (its
+  /// own error-feedback stream, magnitudes ~P times the uplink's).
+  CompressState& downlink();
+  /// Dense residual carrier for the allreduce downlink (root only).
+  std::vector<float>& residual(std::size_t n);
+  /// Zero-filled fold accumulator reused across calls (root only).
+  std::vector<float>& zeroed_scratch(std::size_t n);
+
+ private:
+  friend Payload compress(std::span<float>, const CompressOptions&,
+                          CompressState&);
+
+  /// The two pack workspaces alternate between calls, so in the overlapped
+  /// pipeline the blob in flight for layer k and the one being packed for
+  /// layer k+1 never share a buffer (the payload takes ownership on send).
+  std::vector<std::byte>& next_workspace() {
+    std::vector<std::byte>& ws = pack_[which_];
+    which_ ^= 1;
+    return ws;
+  }
+
+  double threshold_ = 0.0;  // 0 = estimate from data on first call
+  std::array<std::vector<std::byte>, 2> pack_;
+  int which_ = 0;
+  std::vector<std::uint32_t> idx_;  // top-k selection scratch
+  std::vector<float> val_;
+  std::vector<float> residual_;  // allreduce downlink carrier (root)
+  std::vector<float> acc_;       // allreduce fold accumulator (root)
+  std::unique_ptr<CompressState> down_;
+  std::size_t last_raw_ = 0;
+  std::size_t last_wire_ = 0;
+  std::size_t total_raw_ = 0;
+  std::size_t total_wire_ = 0;
+};
+
+// ---- codec ----
+
+/// Compress `carrier` (contribution + residual) into a wire blob; on
+/// return the carrier holds the new residual (top-k: unselected entries
+/// untouched, selected zeroed; 1-bit: value minus reconstruction; raw
+/// passthrough: zeroed). Deterministic in (carrier contents, state).
+Payload compress(std::span<float> carrier, const CompressOptions& options,
+                 CompressState& state);
+
+/// Number of values a blob decodes to (validates the header).
+std::size_t decoded_values(std::span<const std::byte> blob);
+
+/// acc += decode(blob). acc.size() must equal decoded_values(blob).
+void decode_add(std::span<const std::byte> blob, std::span<float> acc);
+
+/// out = decode(blob) (dense overwrite; top-k zero-fills the gaps).
+void decode_overwrite(std::span<const std::byte> blob, std::span<float> out);
+
+// ---- compressed / nonblocking collectives ----
+//
+// Tag ladder continues from communicator.h (kTagPairwise = base - 11).
+inline constexpr int kTagCompressedUp = kCollectiveTagBase - 12;
+inline constexpr int kTagCompressedDown = kCollectiveTagBase - 13;
+/// Async reduce streams: stream s uses kTagAsyncReduceBase - s, so
+/// segment reduces started out of order still match up by tag.
+inline constexpr int kTagAsyncReduceBase = kCollectiveTagBase - 64;
+inline constexpr int kMaxAsyncStreams = 256;
+
+/// Nonblocking reduce-to-root handle (start_reduce_sum). Senders complete
+/// at start (buffered sends); the root folds worker partials in wait().
+/// Exact mode folds with PairwiseFold over rank-order slots — bitwise
+/// identical to the blocking tree reduce — and compressed mode folds the
+/// decoded blobs in the same rank order.
+class AsyncReduce {
+ public:
+  AsyncReduce() = default;
+
+  /// Complete the reduce. On the root, `out` (given at start) holds the
+  /// fold; elsewhere a no-op. Idempotent.
+  void wait();
+  bool pending() const { return pending_; }
+
+ private:
+  friend AsyncReduce start_reduce_sum(Comm&, std::span<float>,
+                                      std::span<float>, int, int,
+                                      const CompressOptions*,
+                                      CompressState*);
+  Comm* comm_ = nullptr;
+  int root_ = 0;
+  int tag_ = 0;
+  std::span<const float> mine_{};
+  std::span<float> out_{};
+  Payload own_blob_;  // root's own compressed contribution
+  const CompressOptions* options_ = nullptr;
+  bool compressed_ = false;
+  bool pending_ = false;
+  std::size_t wire_sent_ = 0;
+};
+
+/// Start a nonblocking sum-reduce of `mine` to `root` on `stream`.
+/// Non-roots pack (compress when `options` is non-null and active) and
+/// send immediately; the carrier is updated to its residual before this
+/// returns, so the caller may keep accumulating into it. The root stashes
+/// its own (compressed) contribution and receives in wait(); `out` (root
+/// only) must stay valid until then. Exact mode (`options` null or kOff)
+/// sends raw floats and folds bitwise-identically to reduce_sum.
+AsyncReduce start_reduce_sum(Comm& comm, std::span<float> carrier,
+                             std::span<float> out, int root, int stream,
+                             const CompressOptions* options = nullptr,
+                             CompressState* state = nullptr);
+
+/// Blocking compressed reduce: every rank compresses its carrier (which
+/// becomes its residual); the root decodes the blobs in rank order into
+/// `out` (zeroed first). Requires options.active().
+void compressed_reduce_sum(Comm& comm, std::span<float> carrier,
+                           std::span<float> out, int root,
+                           const CompressOptions& options,
+                           CompressState& state);
+
+/// Compressed allreduce, blob delivery: uplink star to rank 0, rank-order
+/// fold, downlink re-compression through rank 0's own error-feedback
+/// residual, then a shared-payload star broadcast. Every rank returns the
+/// *same* blob; consumers fold it with decode_add / decode_overwrite
+/// (O(wire) — the HF consumers never materialize a dense copy per rank).
+struct CompressedTotal {
+  Payload blob;               // compressed global sum (shared buffer)
+  std::size_t raw_bytes = 0;  // n * sizeof(float)
+  std::size_t wire_bytes = 0; // this rank's uplink + downlink wire bytes
+};
+CompressedTotal compressed_allreduce_blob(Comm& comm,
+                                          std::span<float> carrier,
+                                          const CompressOptions& options,
+                                          CompressState& state);
+
+/// Compressed allreduce, dense delivery: blob variant + decode_overwrite
+/// into `out` on every rank (all ranks end bitwise identical; rank 0 also
+/// uses the decoded value, not its exact fold, so there is one truth).
+void compressed_allreduce_sum(Comm& comm, std::span<float> carrier,
+                              std::span<float> out,
+                              const CompressOptions& options,
+                              CompressState& state);
+
+}  // namespace bgqhf::simmpi

@@ -14,6 +14,7 @@ struct CommHandles {
   obs::CounterId coll_bytes;
   std::array<obs::HistogramId, kNumCollOps> op_seconds;
   std::array<obs::CounterId, kNumCollOps> op_bytes;
+  std::array<obs::CounterId, kNumCollOps> op_wire_bytes;
 };
 
 const CommHandles& handles() {
@@ -29,6 +30,7 @@ const CommHandles& handles() {
           std::string("simmpi.coll.") + to_string(static_cast<CollOp>(i));
       out.op_seconds[i] = schema.histogram(base + ".seconds");
       out.op_bytes[i] = schema.counter(base + ".bytes");
+      out.op_wire_bytes[i] = schema.counter(base + ".wire_bytes");
     }
     return out;
   }();
@@ -47,11 +49,13 @@ void CommStats::add_collective(std::size_t bytes, double seconds) {
   registry_.add(handles().coll_bytes, bytes);
 }
 
-void CommStats::add_op(CollOp op, std::size_t bytes, double seconds) {
+void CommStats::add_op_wire(CollOp op, std::size_t bytes,
+                            std::size_t wire_bytes, double seconds) {
   add_collective(bytes, seconds);
   const auto i = static_cast<std::size_t>(op);
   registry_.observe(handles().op_seconds[i], seconds);
   registry_.add(handles().op_bytes[i], bytes);
+  registry_.add(handles().op_wire_bytes[i], wire_bytes);
 }
 
 std::size_t CommStats::p2p_messages() const {
@@ -80,6 +84,7 @@ OpStats CommStats::op(CollOp o) const {
   OpStats out;
   out.calls = cell.count;
   out.bytes = registry_.counter(handles().op_bytes[i]);
+  out.wire_bytes = registry_.counter(handles().op_wire_bytes[i]);
   out.seconds = cell.sum;
   return out;
 }

@@ -51,7 +51,8 @@ inline const char* to_string(CollOp op) {
 /// Snapshot of one collective op class (returned by value from op()).
 struct OpStats {
   std::size_t calls = 0;
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;       // logical payload bytes (uncompressed)
+  std::size_t wire_bytes = 0;  // bytes actually moved (== bytes when exact)
   double seconds = 0;
 };
 
@@ -62,8 +63,16 @@ class CommStats {
   /// steps); add_op() is the normal entry point.
   void add_collective(std::size_t bytes, double seconds);
   /// One collective call attributed to its op class (also counted in the
-  /// aggregate collective_* metrics).
-  void add_op(CollOp op, std::size_t bytes, double seconds);
+  /// aggregate collective_* metrics). Exact paths move exactly the logical
+  /// bytes, so wire == raw.
+  void add_op(CollOp op, std::size_t bytes, double seconds) {
+    add_op_wire(op, bytes, bytes, seconds);
+  }
+  /// Same, with the compressed/raw byte split: `bytes` is the logical
+  /// payload size, `wire_bytes` what actually crossed the mailboxes
+  /// ("simmpi.coll.<op>.wire_bytes"). Fig. 4/5 report the reduction.
+  void add_op_wire(CollOp op, std::size_t bytes, std::size_t wire_bytes,
+                   double seconds);
 
   std::size_t p2p_messages() const;
   std::size_t p2p_bytes() const;

@@ -99,6 +99,17 @@ bool env_flag(const char* name) {
   return !(s.empty() || s == "0" || s == "false" || s == "no" || s == "off");
 }
 
+double env_double(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::invalid_argument(std::string(name) + ": not a number: " + v);
+  }
+  return parsed;
+}
+
 std::uint64_t env_u64(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return 0;
@@ -128,6 +139,10 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   RuntimeEnv env;
   env.coll = env_string("BGQHF_COLL");
   env.force_kernel = env_string("BGQHF_FORCE_KERNEL");
+  env.compress = env_string("BGQHF_COMPRESS");
+  env.compress_topk = env_double("BGQHF_COMPRESS_TOPK");
+  env.compress_chunk = env_u64("BGQHF_COMPRESS_CHUNK");
+  env.overlap = env_flag("BGQHF_OVERLAP");
   env.trace = env_flag("BGQHF_TRACE");
   env.trace_file = env_string("BGQHF_TRACE_FILE");
   env.serve_batch = env_u64("BGQHF_SERVE_BATCH");

@@ -55,6 +55,19 @@ struct RuntimeEnv {
   /// BGQHF_FORCE_KERNEL — GEMM kernel override ("scalar", "simd", ...).
   /// Empty means dispatch by CPU feature.
   std::string force_kernel;
+  /// BGQHF_COMPRESS — gradient-aggregation codec ("off"/"" = exact bitwise
+  /// path, "topk" = threshold top-k dropping, "onebit" = 1-bit sign
+  /// quantization). Parsed by simmpi::parse_compress_mode.
+  std::string compress;
+  /// BGQHF_COMPRESS_TOPK — target kept fraction for topk mode
+  /// (0 = keep the CompressOptions default of 0.01).
+  double compress_topk = 0;
+  /// BGQHF_COMPRESS_CHUNK — values per 1-bit quantization chunk
+  /// (0 = keep the CompressOptions default of 4096).
+  std::uint64_t compress_chunk = 0;
+  /// BGQHF_OVERLAP — overlap per-layer gradient aggregation with the next
+  /// layer's backprop via nonblocking segment reduces.
+  bool overlap = false;
   /// BGQHF_TRACE — enable trace-span recording (obs::tracing_enabled()).
   bool trace = false;
   /// BGQHF_TRACE_FILE — default Chrome trace output path ("" = none).
