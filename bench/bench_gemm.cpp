@@ -19,6 +19,7 @@
 
 #include "blas/dispatch.h"
 #include "blas/gemm.h"
+#include "blas/precision.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -184,6 +185,49 @@ double measure_fused_forward_gflops(std::size_t batch, std::size_t in,
   return 2.0 * batch * in * out * reps / timer.seconds() / 1e9;
 }
 
+// Name of the microkernel a given precision tier actually dispatches to.
+// The avx512 table aliases the avx2 fp32 kernels (only the reduced-precision
+// entries are new code), so fp32 reports "avx2" even when kind==kAvx512.
+const char* tier_kernel_name(bgqhf::blas::Precision p) {
+  const bgqhf::blas::KernelKind kind = bgqhf::blas::active_kernels().kind;
+  const bool avx512 = kind == bgqhf::blas::KernelKind::kAvx512;
+  switch (p) {
+    case bgqhf::blas::Precision::kBf16:
+      return avx512 ? "bf16(avx512)" : "bf16(scalar)";
+    case bgqhf::blas::Precision::kInt8:
+      return avx512 ? "int8(avx512)" : "int8(scalar)";
+    case bgqhf::blas::Precision::kFp32:
+    default:
+      return avx512 ? "avx2" : to_string(kind);
+  }
+}
+
+// Emits one reduced-precision section. Measurements run with the precision
+// override pinned for the section, so gemm<float> routes through the bf16 /
+// int8 engines; fp32 is restored before returning. `fp32_serial` is the
+// matched-shape fp32 number the trajectory gate divides by.
+void emit_precision_section(std::FILE* out, const char* name,
+                            bgqhf::blas::Precision p,
+                            bgqhf::util::ThreadPool* pool,
+                            double fp32_serial, bool trailing_comma) {
+  bgqhf::blas::set_precision_override(p);
+  const double serial = measure_gemm_gflops(512, 2048, 2048, nullptr);
+  const double threaded = measure_gemm_gflops(512, 2048, 2048, pool);
+  const double tall = measure_gemm_gflops(256, 2048, 440, nullptr);
+  const double fused = measure_fused_forward_gflops(512, 2048, 2048, true);
+  bgqhf::blas::set_precision_override(bgqhf::blas::Precision::kFp32);
+  std::fprintf(out, "  \"%s\": {\n", name);
+  std::fprintf(out, "    \"kernel\": \"%s\",\n", tier_kernel_name(p));
+  std::fprintf(out, "    \"sgemm_512x2048x2048_serial\": %.3f,\n", serial);
+  std::fprintf(out, "    \"sgemm_512x2048x2048_threaded\": %.3f,\n",
+               threaded);
+  std::fprintf(out, "    \"sgemm_256x2048x440_serial\": %.3f,\n", tall);
+  std::fprintf(out, "    \"fused_forward_512x2048x2048\": %.3f,\n", fused);
+  std::fprintf(out, "    \"speedup_vs_fp32_512x2048x2048\": %.3f\n",
+               serial / fp32_serial);
+  std::fprintf(out, "  }%s\n", trailing_comma ? "," : "");
+}
+
 int run_json_reporter(const char* path) {
   bgqhf::util::ThreadPool pool(4);
   std::FILE* out = (path == nullptr || path[0] == '\0')
@@ -193,14 +237,19 @@ int run_json_reporter(const char* path) {
     std::fprintf(stderr, "bench_gemm: cannot open %s\n", path);
     return 1;
   }
+  // Pin fp32 for the baseline sections regardless of ambient
+  // BGQHF_PRECISION; the bf16/int8 sections below set their own override.
+  bgqhf::blas::set_precision_override(bgqhf::blas::Precision::kFp32);
+  const double fp32_serial = measure_gemm_gflops(512, 2048, 2048, nullptr);
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"bench_gemm\",\n");
   std::fprintf(out, "  \"kernel\": \"%s\",\n",
                to_string(bgqhf::blas::active_kernels().kind));
+  std::fprintf(out, "  \"sgemm_kernel\": \"%s\",\n",
+               tier_kernel_name(bgqhf::blas::Precision::kFp32));
   std::fprintf(out, "  \"pool_threads\": %zu,\n", pool.size());
   std::fprintf(out, "  \"units\": \"GFLOP/s\",\n");
-  std::fprintf(out, "  \"sgemm_512x2048x2048_serial\": %.3f,\n",
-               measure_gemm_gflops(512, 2048, 2048, nullptr));
+  std::fprintf(out, "  \"sgemm_512x2048x2048_serial\": %.3f,\n", fp32_serial);
   std::fprintf(out, "  \"sgemm_512x2048x2048_threaded\": %.3f,\n",
                measure_gemm_gflops(512, 2048, 2048, &pool));
   std::fprintf(out, "  \"sgemm_256x2048x440_serial\": %.3f,\n",
@@ -209,8 +258,13 @@ int run_json_reporter(const char* path) {
                measure_gemm_gflops(256, 2048, 440, &pool));
   std::fprintf(out, "  \"fused_forward_512x2048x2048\": %.3f,\n",
                measure_fused_forward_gflops(512, 2048, 2048, true));
-  std::fprintf(out, "  \"unfused_forward_512x2048x2048\": %.3f\n",
+  std::fprintf(out, "  \"unfused_forward_512x2048x2048\": %.3f,\n",
                measure_fused_forward_gflops(512, 2048, 2048, false));
+  emit_precision_section(out, "bf16", bgqhf::blas::Precision::kBf16, &pool,
+                         fp32_serial, /*trailing_comma=*/true);
+  emit_precision_section(out, "int8", bgqhf::blas::Precision::kInt8, &pool,
+                         fp32_serial, /*trailing_comma=*/false);
+  bgqhf::blas::reset_precision();
   std::fprintf(out, "}\n");
   if (out != stdout) std::fclose(out);
   return 0;

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "blas/kernels_avx2.h"
+#include "blas/kernels_avx512.h"
+#include "blas/kernels_reduced.h"
 #include "blas/kernels_sse2.h"
 #include "blas/microkernel.h"
 #include "util/config.h"
@@ -50,18 +52,32 @@ std::size_t topk_select_scalar(float* carrier, std::size_t n, float tau,
 
 constexpr KernelTable kScalarTable{KernelKind::kScalar, &microkernel<float>,
                                    &sdot_scalar, &saxpy_scalar,
-                                   &sscal_scalar, &topk_select_scalar};
+                                   &sscal_scalar, &topk_select_scalar,
+                                   &bf16_microkernel_scalar,
+                                   &int8_microkernel_scalar};
 
 #if defined(BGQHF_HAVE_SSE2_KERNELS)
 constexpr KernelTable kSse2Table{KernelKind::kSse2, &sgemm_microkernel_sse2,
                                  &sdot_sse2, &saxpy_sse2, &sscal_sse2,
-                                 &topk_select_sse2};
+                                 &topk_select_sse2, &bf16_microkernel_scalar,
+                                 &int8_microkernel_scalar};
 #endif
 
 #if defined(BGQHF_HAVE_AVX2_TU)
 constexpr KernelTable kAvx2Table{KernelKind::kAvx2, &sgemm_microkernel_avx2,
                                  &sdot_avx2, &saxpy_avx2, &sscal_avx2,
-                                 &topk_select_avx2};
+                                 &topk_select_avx2, &bf16_microkernel_scalar,
+                                 &int8_microkernel_scalar};
+#endif
+
+#if defined(BGQHF_HAVE_AVX512_TU) && defined(BGQHF_HAVE_AVX2_TU)
+// The avx512 tier exists for the reduced-precision kernels only; its fp32
+// entries alias the avx2 functions so auto-selecting it cannot perturb any
+// fp32 result (the default-mode bitwise guarantee).
+constexpr KernelTable kAvx512Table{
+    KernelKind::kAvx512,   &sgemm_microkernel_avx2,  &sdot_avx2,
+    &saxpy_avx2,           &sscal_avx2,              &topk_select_avx2,
+    &bf16_microkernel_avx512, &int8_microkernel_avx512};
 #endif
 
 const KernelTable* table_for(KernelKind k) {
@@ -80,6 +96,12 @@ const KernelTable* table_for(KernelKind k) {
 #else
       return nullptr;
 #endif
+    case KernelKind::kAvx512:
+#if defined(BGQHF_HAVE_AVX512_TU) && defined(BGQHF_HAVE_AVX2_TU)
+      return &kAvx512Table;
+#else
+      return nullptr;
+#endif
   }
   return nullptr;
 }
@@ -92,31 +114,45 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512_vnni() {
+#if defined(BGQHF_HAVE_AVX512_TU)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
 KernelKind resolve_from_env() {
   KernelKind chosen = detect_best_kernel();
   const std::string& force = util::RuntimeEnv::get().force_kernel;
   if (!force.empty() && force != "auto") {
-    KernelKind requested = chosen;
-    bool known = true;
+    KernelKind requested;
     if (force == "scalar") {
       requested = KernelKind::kScalar;
     } else if (force == "sse2") {
       requested = KernelKind::kSse2;
     } else if (force == "avx2") {
       requested = KernelKind::kAvx2;
+    } else if (force == "avx512") {
+      requested = KernelKind::kAvx512;
     } else {
-      known = false;
-      BGQHF_WARN << "BGQHF_FORCE_KERNEL=" << force
-                 << " not recognized; using " << to_string(chosen);
+      // A name that is not a kernel at all is a typo, not a portability
+      // situation — reject loudly (a silent scalar fallback once cost a CI
+      // leg its entire point).
+      throw util::ConfigError("BGQHF_FORCE_KERNEL", force,
+                              "scalar|sse2|avx2|avx512|auto");
     }
-    if (known) {
-      if (kernel_supported(requested)) {
-        chosen = requested;
-      } else {
-        BGQHF_WARN << "BGQHF_FORCE_KERNEL=" << force
-                   << " unsupported on this CPU/build; falling back to "
-                   << to_string(chosen);
-      }
+    if (kernel_supported(requested)) {
+      chosen = requested;
+    } else {
+      // Known kernel, unsupported CPU/build: fall back so one CI config
+      // can run everywhere.
+      BGQHF_WARN << "BGQHF_FORCE_KERNEL=" << force
+                 << " unsupported on this CPU/build; falling back to "
+                 << to_string(chosen);
     }
   }
   return chosen;
@@ -135,6 +171,8 @@ const char* to_string(KernelKind k) {
       return "sse2";
     case KernelKind::kAvx2:
       return "avx2";
+    case KernelKind::kAvx512:
+      return "avx512";
   }
   return "?";
 }
@@ -142,10 +180,14 @@ const char* to_string(KernelKind k) {
 bool kernel_supported(KernelKind k) {
   if (table_for(k) == nullptr) return false;
   if (k == KernelKind::kAvx2) return cpu_has_avx2_fma();
+  if (k == KernelKind::kAvx512) {
+    return cpu_has_avx2_fma() && cpu_has_avx512_vnni();
+  }
   return true;  // scalar always; sse2 is x86-64 baseline when compiled in
 }
 
 KernelKind detect_best_kernel() {
+  if (kernel_supported(KernelKind::kAvx512)) return KernelKind::kAvx512;
   if (kernel_supported(KernelKind::kAvx2)) return KernelKind::kAvx2;
   if (kernel_supported(KernelKind::kSse2)) return KernelKind::kSse2;
   return KernelKind::kScalar;

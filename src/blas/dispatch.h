@@ -6,23 +6,35 @@
 // __builtin_cpu_supports) and select the best available implementation
 // through a function-pointer table:
 //
+//   avx512 - AVX-512 bf16/int8 reduced-precision kernels (VNNI dot,
+//            widen-FMA; kernels_avx512.cpp). Its fp32 entries ARE the avx2
+//            ones, so selecting avx512 never changes fp32 numerics.
 //   avx2   - 8x8 FMA kernel, requires AVX2+FMA (kernels_avx2.cpp, built
 //            with -mavx2 -mfma in its own translation unit)
 //   sse2   - 4-wide mul/add kernel, x86-64 baseline (kernels_sse2.cpp)
 //   scalar - portable reference (microkernel.h), always available
 //
-// The choice is overridable with BGQHF_FORCE_KERNEL=scalar|sse2|avx2|auto
-// (read once, at first use) so tests and CI can pin the portable path, and
-// programmatically with set_kernel_override() for the parity suite. Forcing
-// a kernel the CPU cannot run falls back to the best supported one.
+// Every table also carries the reduced-precision micro-kernels
+// (kernels_reduced.h): scalar references below avx512, the VNNI/widen-FMA
+// implementations there — bitwise identical per precision mode, see
+// kernels_reduced.h.
+//
+// The choice is overridable with BGQHF_FORCE_KERNEL=
+// scalar|sse2|avx2|avx512|auto (read once, at first use) so tests and CI
+// can pin the portable path, and programmatically with
+// set_kernel_override() for the parity suite. Forcing a kernel the CPU
+// cannot run falls back to the best supported one (CI portability); a name
+// that is not a kernel at all throws util::ConfigError.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "blas/kernels_reduced.h"
+
 namespace bgqhf::blas {
 
-enum class KernelKind { kScalar, kSse2, kAvx2 };
+enum class KernelKind { kScalar, kSse2, kAvx2, kAvx512 };
 
 const char* to_string(KernelKind k);
 
@@ -53,6 +65,10 @@ struct KernelTable {
                 std::size_t n) = nullptr;
   void (*sscal)(float alpha, float* x, std::size_t n) = nullptr;
   TopkSelectFn topk_select = nullptr;
+  /// Reduced-precision tile kernels (see kernels_reduced.h for the
+  /// accumulate-only contract; drivers live in gemm_mixed.cpp).
+  Bf16MicrokernelFn bf16_microkernel = nullptr;
+  Int8MicrokernelFn int8_microkernel = nullptr;
 };
 
 /// True if this build/CPU can execute `k`.

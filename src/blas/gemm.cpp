@@ -6,8 +6,10 @@
 #include <type_traits>
 
 #include "blas/dispatch.h"
+#include "blas/gemm_mixed.h"
 #include "blas/microkernel.h"
 #include "blas/pack.h"
+#include "blas/precision.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "util/memory_pool.h"
@@ -242,6 +244,16 @@ template <typename T>
 void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
           ConstMatrixView<T> b, T beta, MatrixView<T> c,
           util::ThreadPool* pool, const GemmBlocking& blocking) {
+  // The precision tier routes float GEMM only: double stays fp64 (it is
+  // the reference/tests configuration) and gemv/level-1 stay fp32 in every
+  // mode (the CG double-accumulation contract).
+  if constexpr (std::is_same_v<T, float>) {
+    if (const Precision p = active_precision(); p != Precision::kFp32) {
+      gemm_reduced(p, ta, tb, alpha, a, b, beta, c, GemmEpilogue<float>{},
+                   pool);
+      return;
+    }
+  }
   gemm_engine(ta, tb, alpha, a, b, beta, c, GemmEpilogue<T>{}, pool,
               blocking);
 }
@@ -251,6 +263,12 @@ void gemm_fused(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
                 ConstMatrixView<T> b, T beta, MatrixView<T> c,
                 const GemmEpilogue<T>& epilogue, util::ThreadPool* pool,
                 const GemmBlocking& blocking) {
+  if constexpr (std::is_same_v<T, float>) {
+    if (const Precision p = active_precision(); p != Precision::kFp32) {
+      gemm_reduced(p, ta, tb, alpha, a, b, beta, c, epilogue, pool);
+      return;
+    }
+  }
   gemm_engine(ta, tb, alpha, a, b, beta, c, epilogue, pool, blocking);
 }
 

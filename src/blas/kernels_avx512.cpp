@@ -1,0 +1,107 @@
+// Compiled with -mavx512f -mavx512bw -mavx512vl -mavx512vnni (see
+// CMakeLists.txt); nothing in here may be called before the runtime
+// dispatcher has verified CPU support.
+#include "blas/kernels_avx512.h"
+
+#if defined(BGQHF_HAVE_AVX512_TU)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "blas/kernels_reduced.h"
+
+namespace bgqhf::blas {
+
+void bf16_microkernel_avx512(std::size_t kc, const float* a_panel,
+                             const std::uint16_t* b_panel, float* acc) {
+  // Full 8x16 tile in eight zmm accumulators. Per k-step: one 16-wide bf16
+  // B-row widen (u16 << 16 is the exact fp32 with the same sign/exponent/
+  // top-7-mantissa bits) plus eight broadcast-FMAs. The A panel already
+  // holds bf16-rounded values in fp32 containers, so the broadcast is a
+  // plain load-port op.
+  __m512 r0 = _mm512_loadu_ps(acc + 0 * kNRmx);
+  __m512 r1 = _mm512_loadu_ps(acc + 1 * kNRmx);
+  __m512 r2 = _mm512_loadu_ps(acc + 2 * kNRmx);
+  __m512 r3 = _mm512_loadu_ps(acc + 3 * kNRmx);
+  __m512 r4 = _mm512_loadu_ps(acc + 4 * kNRmx);
+  __m512 r5 = _mm512_loadu_ps(acc + 5 * kNRmx);
+  __m512 r6 = _mm512_loadu_ps(acc + 6 * kNRmx);
+  __m512 r7 = _mm512_loadu_ps(acc + 7 * kNRmx);
+  const float* a = a_panel;
+  const std::uint16_t* b = b_panel;
+  for (std::size_t k = 0; k < kc; ++k, a += kMRmx, b += kNRmx) {
+    const __m256i raw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m512 bv = _mm512_castsi512_ps(
+        _mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16));
+    r0 = _mm512_fmadd_ps(_mm512_set1_ps(a[0]), bv, r0);
+    r1 = _mm512_fmadd_ps(_mm512_set1_ps(a[1]), bv, r1);
+    r2 = _mm512_fmadd_ps(_mm512_set1_ps(a[2]), bv, r2);
+    r3 = _mm512_fmadd_ps(_mm512_set1_ps(a[3]), bv, r3);
+    r4 = _mm512_fmadd_ps(_mm512_set1_ps(a[4]), bv, r4);
+    r5 = _mm512_fmadd_ps(_mm512_set1_ps(a[5]), bv, r5);
+    r6 = _mm512_fmadd_ps(_mm512_set1_ps(a[6]), bv, r6);
+    r7 = _mm512_fmadd_ps(_mm512_set1_ps(a[7]), bv, r7);
+  }
+  _mm512_storeu_ps(acc + 0 * kNRmx, r0);
+  _mm512_storeu_ps(acc + 1 * kNRmx, r1);
+  _mm512_storeu_ps(acc + 2 * kNRmx, r2);
+  _mm512_storeu_ps(acc + 3 * kNRmx, r3);
+  _mm512_storeu_ps(acc + 4 * kNRmx, r4);
+  _mm512_storeu_ps(acc + 5 * kNRmx, r5);
+  _mm512_storeu_ps(acc + 6 * kNRmx, r6);
+  _mm512_storeu_ps(acc + 7 * kNRmx, r7);
+}
+
+namespace {
+
+inline __m512i broadcast_dword(const std::uint8_t* p) {
+  std::int32_t d;
+  std::memcpy(&d, p, sizeof(d));
+  return _mm512_set1_epi32(d);
+}
+
+}  // namespace
+
+void int8_microkernel_avx512(std::size_t kgroups, const std::uint8_t* a_panel,
+                             const std::int8_t* b_panel, std::int32_t* acc) {
+  // Per k-group: one 64-byte B load (16 columns x 4 k-values) and eight
+  // vpdpbusd, each broadcasting one A row's 4 bytes as a dword. vpdpbusd
+  // widens u8 x s8 products to int32 and accumulates without intermediate
+  // saturation, so this is exact integer arithmetic.
+  __m512i r0 = _mm512_loadu_si512(acc + 0 * kNRmx);
+  __m512i r1 = _mm512_loadu_si512(acc + 1 * kNRmx);
+  __m512i r2 = _mm512_loadu_si512(acc + 2 * kNRmx);
+  __m512i r3 = _mm512_loadu_si512(acc + 3 * kNRmx);
+  __m512i r4 = _mm512_loadu_si512(acc + 4 * kNRmx);
+  __m512i r5 = _mm512_loadu_si512(acc + 5 * kNRmx);
+  __m512i r6 = _mm512_loadu_si512(acc + 6 * kNRmx);
+  __m512i r7 = _mm512_loadu_si512(acc + 7 * kNRmx);
+  const std::uint8_t* a = a_panel;
+  const std::int8_t* b = b_panel;
+  for (std::size_t g = 0; g < kgroups;
+       ++g, a += kMRmx * kKGroup, b += kNRmx * kKGroup) {
+    const __m512i bv = _mm512_loadu_si512(b);
+    r0 = _mm512_dpbusd_epi32(r0, broadcast_dword(a + 0 * kKGroup), bv);
+    r1 = _mm512_dpbusd_epi32(r1, broadcast_dword(a + 1 * kKGroup), bv);
+    r2 = _mm512_dpbusd_epi32(r2, broadcast_dword(a + 2 * kKGroup), bv);
+    r3 = _mm512_dpbusd_epi32(r3, broadcast_dword(a + 3 * kKGroup), bv);
+    r4 = _mm512_dpbusd_epi32(r4, broadcast_dword(a + 4 * kKGroup), bv);
+    r5 = _mm512_dpbusd_epi32(r5, broadcast_dword(a + 5 * kKGroup), bv);
+    r6 = _mm512_dpbusd_epi32(r6, broadcast_dword(a + 6 * kKGroup), bv);
+    r7 = _mm512_dpbusd_epi32(r7, broadcast_dword(a + 7 * kKGroup), bv);
+  }
+  _mm512_storeu_si512(acc + 0 * kNRmx, r0);
+  _mm512_storeu_si512(acc + 1 * kNRmx, r1);
+  _mm512_storeu_si512(acc + 2 * kNRmx, r2);
+  _mm512_storeu_si512(acc + 3 * kNRmx, r3);
+  _mm512_storeu_si512(acc + 4 * kNRmx, r4);
+  _mm512_storeu_si512(acc + 5 * kNRmx, r5);
+  _mm512_storeu_si512(acc + 6 * kNRmx, r6);
+  _mm512_storeu_si512(acc + 7 * kNRmx, r7);
+}
+
+}  // namespace bgqhf::blas
+
+#endif  // BGQHF_HAVE_AVX512_TU

@@ -1,0 +1,36 @@
+// AVX-512 reduced-precision GEMM micro-kernels: bf16 widen-FMA and int8
+// VNNI. Same accumulate-only contract as kernels_reduced.h.
+//
+// Design notes (why these are bitwise-identical to the scalar references):
+//
+//   bf16: each k-step widens the B row (u16 << 16 reinterpreted as fp32)
+//   and issues one 16-wide FMA per A row, in the same ascending-k,
+//   one-FMA-per-element order as the scalar loop. We deliberately do NOT
+//   use vdpbf16ps: its internal rounding/denormal behaviour is
+//   implementation-defined territory, while widen+FMA is plain IEEE fp32.
+//
+//   int8: vpdpbusd(u8, s8) accumulates 4-wide dot products into int32
+//   without intermediate saturation (unlike the vpmaddubsw emulation), so
+//   the arithmetic is exact integer math — identical to scalar by
+//   definition.
+//
+// Compiled with -mavx512{f,bw,vl,vnni} in its own translation unit; the
+// dispatcher (dispatch.cpp) only selects these after a runtime cpuid probe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bgqhf::blas {
+
+#if defined(BGQHF_HAVE_AVX512_TU)
+
+void bf16_microkernel_avx512(std::size_t kc, const float* a_panel,
+                             const std::uint16_t* b_panel, float* acc);
+
+void int8_microkernel_avx512(std::size_t kgroups, const std::uint8_t* a_panel,
+                             const std::int8_t* b_panel, std::int32_t* acc);
+
+#endif  // BGQHF_HAVE_AVX512_TU
+
+}  // namespace bgqhf::blas

@@ -1,0 +1,51 @@
+#include "blas/precision.h"
+
+#include <atomic>
+
+#include "util/config.h"
+
+namespace bgqhf::blas {
+
+namespace {
+
+// -1 = unresolved; otherwise a Precision value. Mirrors the kernel-table
+// cache in dispatch.cpp: resolved once at first use, swappable by tests.
+std::atomic<int> g_precision{-1};
+
+}  // namespace
+
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+Precision parse_precision(const std::string& s) {
+  if (s.empty() || s == "fp32") return Precision::kFp32;
+  if (s == "bf16") return Precision::kBf16;
+  if (s == "int8") return Precision::kInt8;
+  throw util::ConfigError("BGQHF_PRECISION", s, "fp32|bf16|int8");
+}
+
+Precision active_precision() {
+  int v = g_precision.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = static_cast<int>(parse_precision(util::RuntimeEnv::get().precision));
+    g_precision.store(v, std::memory_order_release);
+  }
+  return static_cast<Precision>(v);
+}
+
+void set_precision_override(Precision p) {
+  g_precision.store(static_cast<int>(p), std::memory_order_release);
+}
+
+void reset_precision() { g_precision.store(-1, std::memory_order_release); }
+
+}  // namespace bgqhf::blas

@@ -175,7 +175,7 @@ Engine::Installed Engine::snapshot() const {
 
 void Engine::worker_loop() {
   const EngineMetrics& m = engine_metrics();
-  nn::ForwardScratch scratch;   // forward-pass ping-pong activations
+  QuantizedScratch scratch;     // fp32 ping-pong + int8 pack workspace
   nn::ForwardScratch assembly;  // batch input / output staging
   for (;;) {
     std::vector<Request> batch = batcher_.next_batch();

@@ -25,6 +25,32 @@ std::shared_ptr<const ModelRuntime> ModelRuntime::from_network_file(
   return std::make_shared<const ModelRuntime>(nn::load_network(path));
 }
 
+std::shared_ptr<const ModelRuntime> ModelRuntime::with_int8(
+    nn::Network net, blas::ConstMatrixView<float> calibration,
+    float tolerance) {
+  BGQHF_SPAN("serve", "model_quantize");
+  auto quant = std::make_shared<const QuantizedModel>(
+      QuantizedModel::quantize(net, calibration));
+  const float measured = quant->max_logit_delta(net, calibration);
+  if (measured > tolerance) {
+    throw QuantizationRejected(measured, tolerance);
+  }
+  auto runtime = std::make_shared<ModelRuntime>(std::move(net));
+  runtime->quant_ = std::move(quant);
+  return runtime;
+}
+
+std::shared_ptr<const ModelRuntime> ModelRuntime::from_quantized_file(
+    const std::string& path) {
+  BGQHF_SPAN("serve", "model_load");
+  auto quant =
+      std::make_shared<const QuantizedModel>(QuantizedModel::load(path));
+  auto runtime = std::make_shared<ModelRuntime>(quant->dequantize());
+  runtime->trained_iterations_ = quant->trained_iterations();
+  runtime->quant_ = std::move(quant);
+  return runtime;
+}
+
 void ModelRuntime::score(blas::ConstMatrixView<float> x,
                          blas::MatrixView<float> out,
                          nn::ForwardScratch& scratch,
@@ -33,10 +59,22 @@ void ModelRuntime::score(blas::ConstMatrixView<float> x,
   net_.forward_logits_into(x, out, scratch, pool);
 }
 
+void ModelRuntime::score(blas::ConstMatrixView<float> x,
+                         blas::MatrixView<float> out,
+                         QuantizedScratch& scratch,
+                         util::ThreadPool* pool) const {
+  if (quant_ != nullptr) {
+    BGQHF_SPAN("serve", "score");
+    quant_->score(x, out, scratch);
+    return;
+  }
+  score(x, out, scratch.acts, pool);
+}
+
 blas::Matrix<float> ModelRuntime::score(blas::ConstMatrixView<float> x,
                                         util::ThreadPool* pool) const {
   blas::Matrix<float> out(x.rows, output_dim());
-  nn::ForwardScratch scratch;
+  QuantizedScratch scratch;
   score(x, out.view(), scratch, pool);
   return out;
 }

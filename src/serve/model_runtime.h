@@ -15,6 +15,7 @@
 
 #include "blas/matrix.h"
 #include "nn/network.h"
+#include "serve/quantized.h"
 #include "util/thread_pool.h"
 
 namespace bgqhf::serve {
@@ -37,6 +38,21 @@ class ModelRuntime {
   static std::shared_ptr<const ModelRuntime> from_network_file(
       const std::string& path);
 
+  /// Quantize `net` to int8 against a replay corpus and gate it: the
+  /// runtime scores through the pre-packed VNNI path only if the worst
+  /// calibration-corpus logit stays within `tolerance` of fp32 — else
+  /// QuantizationRejected and nothing is installed. The fp32 network is
+  /// retained for topology checks and as the gate reference.
+  static std::shared_ptr<const ModelRuntime> with_int8(
+      nn::Network net, blas::ConstMatrixView<float> calibration,
+      float tolerance);
+
+  /// Serve a quantized-model file (save()d QuantizedModel): the fp32
+  /// network is reconstructed by dequantizing, scoring runs int8. Throws
+  /// hf::CheckpointError on a bad file.
+  static std::shared_ptr<const ModelRuntime> from_quantized_file(
+      const std::string& path);
+
   std::size_t input_dim() const { return net_.input_dim(); }
   std::size_t output_dim() const { return net_.output_dim(); }
   std::size_t num_params() const { return net_.num_params(); }
@@ -54,12 +70,25 @@ class ModelRuntime {
              nn::ForwardScratch& scratch,
              util::ThreadPool* pool = nullptr) const;
 
-  /// Allocating convenience overload.
+  /// Precision-dispatching overload (the engine's worker path): scores
+  /// through the int8 pre-packed weights when this runtime carries them,
+  /// the fused fp32 forward otherwise. Same zero-alloc contract; the
+  /// scratch embeds the fp32 ping-pong buffers, so a worker needs only
+  /// this one scratch for both kinds of runtime.
+  void score(blas::ConstMatrixView<float> x, blas::MatrixView<float> out,
+             QuantizedScratch& scratch,
+             util::ThreadPool* pool = nullptr) const;
+
+  /// Allocating convenience overload (dispatches like the scratch form).
   blas::Matrix<float> score(blas::ConstMatrixView<float> x,
                             util::ThreadPool* pool = nullptr) const;
 
+  /// Non-null when this runtime serves int8.
+  const QuantizedModel* quantized() const { return quant_.get(); }
+
  private:
   nn::Network net_;
+  std::shared_ptr<const QuantizedModel> quant_;
   std::uint64_t trained_iterations_ = 0;
 };
 

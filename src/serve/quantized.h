@@ -1,0 +1,130 @@
+// Post-training int8 quantization for the serving path.
+//
+// A QuantizedModel freezes a trained fp32 network into the int8 form the
+// VNNI GEMM serves from: per-row symmetric s8 weights (max-abs/127 scales,
+// pre-packed once into the kernel panel layout) plus one static activation
+// scale per layer, calibrated as the max-abs each layer's input reaches
+// over a replay corpus. Biases and the epilogue stay fp32 — the integer
+// part is exactly the m*n*k multiply the paper's GEMM budget is spent on.
+//
+// The static activation scales are what make serving zero-alloc and
+// batch-invariant: with the scale pinned per layer instead of derived per
+// batch row-block, quantizing a request alone or inside a larger batch
+// yields the same u8 codes, so batched scoring stays bitwise identical to
+// per-request scoring (the same parity contract the fp32 path pins).
+//
+// Disk format (little-endian):
+//   magic "BGQHFQW1" | u32 version |
+//   u64 trained_iterations | u64 num_layers |
+//   per layer: u64 in | u64 out | u8 act | f32 input_scale |
+//              f32 row_scale[out] | f32 bias[out] | s8 wq[out*in] |
+//   u32 crc32 footer over every preceding byte
+// Loads throw hf::CheckpointError (kBadMagic / kBadVersion / kCorrupt /
+// kShapeMismatch) so the engine's hot-swap path branches on the same typed
+// faults as fp32 checkpoints; a bad file never takes down a server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/gemm_mixed.h"
+#include "blas/matrix.h"
+#include "nn/network.h"
+#include "serve/error.h"
+
+namespace bgqhf::serve {
+
+/// One quantized affine layer: z = act(x Wq^T * scales + b).
+struct QuantizedLayer {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  nn::Activation act = nn::Activation::kSigmoid;
+  /// Raw out x in row-major s8 codes (kept for save() and dequantize();
+  /// the packed panels below are derived from these).
+  std::vector<std::int8_t> wq;
+  std::vector<float> row_scale;  // out: per-row weight scales (max-abs/127)
+  std::vector<float> bias;       // out: fp32, applied in the epilogue
+  /// Static activation scale from calibration: max |input| / 127 over the
+  /// replay corpus (1.0 for an all-zero input, matching the weight rule).
+  float input_scale = 1.0f;
+  /// Kernel-layout panels + per-column sums, built once at construction.
+  blas::Int8PackedMatrix packed;
+};
+
+/// Per-thread scoring scratch: fp32 ping-pong activations plus the
+/// activation-side quantize+pack workspace. Zero allocations once warm;
+/// keep one per scoring worker (the engine does).
+struct QuantizedScratch {
+  nn::ForwardScratch acts;
+  blas::Int8Scratch int8;
+};
+
+/// The int8 accuracy gate refused a model: the worst calibration-corpus
+/// logit deviated from fp32 by more than the caller's tolerance. Carries
+/// both numbers so deploy tooling can log the margin.
+class QuantizationRejected : public ServeError {
+ public:
+  QuantizationRejected(float measured, float tolerance)
+      : ServeError("serve: int8 quantization rejected, max |logit delta| " +
+                   std::to_string(measured) + " > tolerance " +
+                   std::to_string(tolerance)),
+        measured_(measured),
+        tolerance_(tolerance) {}
+
+  float measured() const noexcept { return measured_; }
+  float tolerance() const noexcept { return tolerance_; }
+
+ private:
+  float measured_;
+  float tolerance_;
+};
+
+class QuantizedModel {
+ public:
+  /// Quantize a trained network. `calibration` (rows x input_dim) is the
+  /// replay corpus: one fp32 forward pass records the max-abs input every
+  /// layer sees, which becomes that layer's static activation scale.
+  /// Throws std::invalid_argument on an empty corpus or dim mismatch.
+  static QuantizedModel quantize(const nn::Network& net,
+                                 blas::ConstMatrixView<float> calibration,
+                                 std::uint64_t trained_iterations = 0);
+
+  /// Score a batch through the pre-packed int8 path: logits
+  /// (x.rows x output_dim) into `out`. Bitwise identical for a row whether
+  /// scored alone or inside a batch (static scales, see header comment).
+  void score(blas::ConstMatrixView<float> x, blas::MatrixView<float> out,
+             QuantizedScratch& scratch) const;
+
+  /// Worst-case |int8 logit - fp32 logit| over a corpus — the number the
+  /// accuracy gate compares against its tolerance.
+  float max_logit_delta(const nn::Network& fp32,
+                        blas::ConstMatrixView<float> corpus) const;
+
+  /// Reconstruct the fp32 network the codes represent (w = q * row_scale).
+  /// Re-quantizing the result reproduces the codes exactly: the max-abs
+  /// element of a dequantized row is its +-127 code times the scale, so
+  /// the re-derived scale matches to within an ulp — far inside the
+  /// half-step margin every code has.
+  nn::Network dequantize() const;
+
+  std::size_t input_dim() const { return layers_.front().in; }
+  std::size_t output_dim() const { return layers_.back().out; }
+  std::size_t num_layers() const { return layers_.size(); }
+  const std::vector<QuantizedLayer>& layers() const { return layers_; }
+  std::uint64_t trained_iterations() const { return trained_iterations_; }
+
+  /// Atomic write (tmp + rename) with a CRC32 footer.
+  void save(const std::string& path) const;
+  /// Load + CRC-validate + repack. Throws hf::CheckpointError.
+  static QuantizedModel load(const std::string& path);
+
+ private:
+  QuantizedModel() = default;
+
+  std::vector<QuantizedLayer> layers_;
+  std::uint64_t trained_iterations_ = 0;
+};
+
+}  // namespace bgqhf::serve

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "blas/dispatch.h"
+#include "blas/precision.h"
 #include "obs/span.h"
 #include "util/config.h"
 #include "util/timer.h"
@@ -19,7 +20,13 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x5A434251u;  // "BQCZ" little-endian
 
-enum WireMode : std::uint8_t { kWireRaw = 0, kWireTopK = 1, kWireOneBit = 2 };
+enum WireMode : std::uint8_t {
+  kWireRaw = 0,
+  kWireTopK = 1,
+  kWireOneBit = 2,
+  kWireBf16 = 3,    // dense bfloat16 body, widened to fp32 on decode
+  kWireTopK16 = 4,  // top-k with bfloat16 value stream
+};
 
 struct WireHeader {
   std::uint32_t magic = kMagic;
@@ -74,6 +81,16 @@ BlobView parse(std::span<const std::byte> blob) {
                onebit_words(v.header.total) * sizeof(std::uint32_t);
       break;
     }
+    case kWireBf16:
+      expect = v.header.total * sizeof(std::uint16_t);
+      break;
+    case kWireTopK16:
+      if (v.header.aux > v.header.total) {
+        throw std::length_error("simmpi: top-k count exceeds total");
+      }
+      expect =
+          v.header.aux * (sizeof(std::uint32_t) + sizeof(std::uint16_t));
+      break;
     default:
       throw std::invalid_argument("simmpi: unknown compression wire mode");
   }
@@ -94,6 +111,7 @@ const char* to_string(CompressMode m) {
     case CompressMode::kOff: return "off";
     case CompressMode::kTopK: return "topk";
     case CompressMode::kOneBit: return "onebit";
+    case CompressMode::kBf16: return "bf16";
   }
   return "?";
 }
@@ -102,6 +120,7 @@ CompressMode parse_compress_mode(const std::string& s) {
   if (s.empty() || s == "off") return CompressMode::kOff;
   if (s == "topk") return CompressMode::kTopK;
   if (s == "onebit") return CompressMode::kOneBit;
+  if (s == "bf16") return CompressMode::kBf16;
   throw std::invalid_argument("BGQHF_COMPRESS: unknown mode '" + s + "'");
 }
 
@@ -117,6 +136,11 @@ CompressOptions CompressOptions::from_env() {
     o.topk_fraction = env.compress_topk;
   }
   if (env.compress_chunk != 0) o.chunk_values = env.compress_chunk;
+  // Reduced-precision compute implies reduced-precision wire: in bf16 mode
+  // gradients are bf16-rounded data anyway, so shipping fp32 payloads
+  // would spend bytes on bits the compute tier already discarded.
+  o.bf16_wire = !env.precision.empty() &&
+                blas::parse_precision(env.precision) == blas::Precision::kBf16;
   return o;
 }
 
@@ -153,6 +177,23 @@ Payload compress(std::span<float> carrier, const CompressOptions& options,
     if (n > 0) {
       std::memcpy(ws.data() + sizeof(WireHeader), carrier.data(), raw_bytes);
       std::fill(carrier.begin(), carrier.end(), 0.0f);
+    }
+  } else if (options.mode == CompressMode::kBf16 ||
+             (options.bf16_wire && options.mode == CompressMode::kOff)) {
+    // Dense bf16 body: half the raw bytes. One sweep rounds, packs, and
+    // leaves the rounding error v - bf16(v) behind as the residual, so the
+    // dropped low bits are not lost, they are delayed (error feedback).
+    BGQHF_SPAN("compress", "pack");
+    hdr.mode = kWireBf16;
+    ws.resize(sizeof(WireHeader) + n * sizeof(std::uint16_t));
+    std::memcpy(ws.data(), &hdr, sizeof(WireHeader));
+    auto* out16 =
+        reinterpret_cast<std::uint16_t*>(ws.data() + sizeof(WireHeader));
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = carrier[i];
+      const std::uint16_t h = blas::float_to_bf16(v);
+      out16[i] = h;
+      carrier[i] = v - blas::bf16_to_float(h);
     }
   } else if (options.mode == CompressMode::kTopK) {
     BGQHF_SPAN("compress", "pack");
@@ -223,16 +264,40 @@ Payload compress(std::span<float> carrier, const CompressOptions& options,
           state.threshold_ * (k == 0 ? 0.5 : 0.8),
           static_cast<double>(std::numeric_limits<float>::min()));
     }
-    hdr.mode = kWireTopK;
     hdr.aux = k;
-    ws.resize(sizeof(WireHeader) +
-              k * (sizeof(std::uint32_t) + sizeof(float)));
-    std::memcpy(ws.data(), &hdr, sizeof(WireHeader));
-    if (k > 0) {
-      std::memcpy(ws.data() + sizeof(WireHeader), state.idx_.data(),
-                  k * sizeof(std::uint32_t));
-      std::memcpy(ws.data() + sizeof(WireHeader) + k * sizeof(std::uint32_t),
-                  state.val_.data(), k * sizeof(float));
+    if (options.bf16_wire) {
+      // Composed carrier: top-k picks the entries, bf16 shrinks their
+      // value stream from 4 to 2 bytes. The selection sweep zeroed each
+      // selected slot; writing back v - bf16(v) restores the rounding
+      // error to the residual, so the composition keeps both contracts.
+      hdr.mode = kWireTopK16;
+      ws.resize(sizeof(WireHeader) +
+                k * (sizeof(std::uint32_t) + sizeof(std::uint16_t)));
+      std::memcpy(ws.data(), &hdr, sizeof(WireHeader));
+      if (k > 0) {
+        std::memcpy(ws.data() + sizeof(WireHeader), state.idx_.data(),
+                    k * sizeof(std::uint32_t));
+        auto* val16 = reinterpret_cast<std::uint16_t*>(
+            ws.data() + sizeof(WireHeader) + k * sizeof(std::uint32_t));
+        for (std::size_t j = 0; j < k; ++j) {
+          const float v = state.val_[j];
+          const std::uint16_t h = blas::float_to_bf16(v);
+          val16[j] = h;
+          carrier[state.idx_[j]] = v - blas::bf16_to_float(h);
+        }
+      }
+    } else {
+      hdr.mode = kWireTopK;
+      ws.resize(sizeof(WireHeader) +
+                k * (sizeof(std::uint32_t) + sizeof(float)));
+      std::memcpy(ws.data(), &hdr, sizeof(WireHeader));
+      if (k > 0) {
+        std::memcpy(ws.data() + sizeof(WireHeader), state.idx_.data(),
+                    k * sizeof(std::uint32_t));
+        std::memcpy(
+            ws.data() + sizeof(WireHeader) + k * sizeof(std::uint32_t),
+            state.val_.data(), k * sizeof(float));
+      }
     }
   } else {
     BGQHF_SPAN("compress", "quantize");
@@ -341,6 +406,29 @@ void decode_add(std::span<const std::byte> blob, std::span<float> acc) {
       }
       break;
     }
+    case kWireBf16: {
+      // Widen and accumulate in fp32: the sum itself never loses precision
+      // beyond what the bf16 payload already dropped.
+      const auto* h = reinterpret_cast<const std::uint16_t*>(v.body);
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] += blas::bf16_to_float(h[i]);
+      }
+      break;
+    }
+    case kWireTopK16: {
+      const std::size_t k = v.header.aux;
+      const auto* idx = reinterpret_cast<const std::uint32_t*>(v.body);
+      const auto* val = reinterpret_cast<const std::uint16_t*>(
+          v.body + k * sizeof(std::uint32_t));
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint32_t i = idx[j];
+        if (i >= n) {
+          throw std::out_of_range("simmpi: top-k index out of range");
+        }
+        acc[i] += blas::bf16_to_float(val[j]);
+      }
+      break;
+    }
   }
 }
 
@@ -383,6 +471,26 @@ void decode_overwrite(std::span<const std::byte> blob, std::span<float> out) {
         for (std::size_t i = b; i < e; ++i) {
           out[i] = ((bits[i >> 5] >> (i & 31u)) & 1u) != 0 ? ps : ns;
         }
+      }
+      break;
+    }
+    case kWireBf16: {
+      const auto* h = reinterpret_cast<const std::uint16_t*>(v.body);
+      for (std::size_t i = 0; i < n; ++i) out[i] = blas::bf16_to_float(h[i]);
+      break;
+    }
+    case kWireTopK16: {
+      std::fill(out.begin(), out.end(), 0.0f);
+      const std::size_t k = v.header.aux;
+      const auto* idx = reinterpret_cast<const std::uint32_t*>(v.body);
+      const auto* val = reinterpret_cast<const std::uint16_t*>(
+          v.body + k * sizeof(std::uint32_t));
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::uint32_t i = idx[j];
+        if (i >= n) {
+          throw std::out_of_range("simmpi: top-k index out of range");
+        }
+        out[i] = blas::bf16_to_float(val[j]);
       }
       break;
     }

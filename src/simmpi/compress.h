@@ -19,6 +19,14 @@
 //   mode kOneBit aux = chunk_values  payload: ceil(total/chunk) pairs of
 //                                    f32 {pos_scale, neg_scale}, then
 //                                    ceil(total/32) u32 sign words
+//   mode kBf16   aux = 0             payload: total u16 bfloat16 (dense)
+//   mode kTopK16 aux = k             payload: k u32 indices, then k u16
+//                                    bfloat16 values
+//
+// The two bf16 body types halve (dense) or shrink (top-k values) the wire
+// payload; the rounding error v - bf16(v) stays behind in the carrier, so
+// bf16 bodies ride the same error-feedback contract as top-k/1-bit.
+// Decoders widen back to fp32 and every fold accumulates in fp32.
 //
 // Every compressed collective keeps a *fixed* combine order (blobs fold in
 // rank order), so compressed runs are bitwise deterministic at a given
@@ -42,11 +50,13 @@ enum class CompressMode {
   kOff = 0,  // exact payloads (today's bitwise path)
   kTopK,     // threshold top-k value dropping, error feedback
   kOneBit,   // 1-bit sign quantization, per-chunk scale pair
+  kBf16,     // dense bfloat16 payloads, rounding error fed back
 };
 
 const char* to_string(CompressMode m);
-/// "", "off" -> kOff; "topk" -> kTopK; "onebit" -> kOneBit; anything else
-/// throws std::invalid_argument (typos must be loud, like BGQHF_COLL).
+/// "", "off" -> kOff; "topk" -> kTopK; "onebit" -> kOneBit; "bf16" ->
+/// kBf16; anything else throws std::invalid_argument (typos must be loud,
+/// like BGQHF_COLL).
 CompressMode parse_compress_mode(const std::string& s);
 
 struct CompressOptions {
@@ -59,11 +69,17 @@ struct CompressOptions {
   /// Vectors shorter than this ship raw (passthrough): scalar stats and
   /// tiny layers are not worth a header + index stream.
   std::size_t min_values = 1024;
+  /// bf16 wire bodies, derived from BGQHF_PRECISION=bf16: upgrades kOff to
+  /// dense bf16 payloads and kTopK to bf16 value streams (kTopK16 bodies).
+  /// kOneBit already ships 1 bit/value and is unchanged. Composes with the
+  /// error-feedback carriers: the bf16 rounding error stays behind as
+  /// residual, and folds still accumulate in fp32.
+  bool bf16_wire = false;
 
-  bool active() const { return mode != CompressMode::kOff; }
+  bool active() const { return mode != CompressMode::kOff || bf16_wire; }
 
-  /// BGQHF_COMPRESS / BGQHF_COMPRESS_TOPK / BGQHF_COMPRESS_CHUNK via
-  /// util::RuntimeEnv.
+  /// BGQHF_COMPRESS / BGQHF_COMPRESS_TOPK / BGQHF_COMPRESS_CHUNK (plus
+  /// BGQHF_PRECISION for bf16_wire) via util::RuntimeEnv.
   static CompressOptions from_env();
 };
 

@@ -139,6 +139,7 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   RuntimeEnv env;
   env.coll = env_string("BGQHF_COLL");
   env.force_kernel = env_string("BGQHF_FORCE_KERNEL");
+  env.precision = env_string("BGQHF_PRECISION");
   env.compress = env_string("BGQHF_COMPRESS");
   env.compress_topk = env_double("BGQHF_COMPRESS_TOPK");
   env.compress_chunk = env_u64("BGQHF_COMPRESS_CHUNK");

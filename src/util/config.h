@@ -8,10 +8,32 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace bgqhf::util {
+
+/// Typed error for an invalid BGQHF_* knob value (unknown enum name,
+/// malformed number). Derives std::invalid_argument so existing catch
+/// sites keep working; carries the knob/value pair so tests and callers
+/// can assert on *which* knob was rejected rather than string-matching
+/// the message.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string knob, std::string value, const std::string& expected)
+      : std::invalid_argument(knob + "=" + value + " invalid; expected " +
+                              expected),
+        knob_(std::move(knob)),
+        value_(std::move(value)) {}
+
+  const std::string& knob() const noexcept { return knob_; }
+  const std::string& value() const noexcept { return value_; }
+
+ private:
+  std::string knob_;
+  std::string value_;
+};
 
 class Config {
  public:
@@ -53,8 +75,14 @@ struct RuntimeEnv {
   /// Empty means auto-select.
   std::string coll;
   /// BGQHF_FORCE_KERNEL — GEMM kernel override ("scalar", "simd", ...).
-  /// Empty means dispatch by CPU feature.
+  /// Empty means dispatch by CPU feature. Unknown names are rejected with
+  /// ConfigError at first dispatch (blas::active_kernels()).
   std::string force_kernel;
+  /// BGQHF_PRECISION — GEMM compute tier ("fp32"/"" = default, "bf16" =
+  /// bf16-storage/fp32-accumulate, "int8" = int8 x int8 -> int32 with
+  /// per-row/column scales). Parsed by blas::parse_precision, which throws
+  /// ConfigError on anything else.
+  std::string precision;
   /// BGQHF_COMPRESS — gradient-aggregation codec ("off"/"" = exact bitwise
   /// path, "topk" = threshold top-k dropping, "onebit" = 1-bit sign
   /// quantization). Parsed by simmpi::parse_compress_mode.

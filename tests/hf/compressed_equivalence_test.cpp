@@ -73,6 +73,25 @@ TEST_P(CompressedEquivalenceTest, OnebitSerialBitwiseEqualsDistributed) {
   expect_bitwise_equal(train_serial(cfg), train_distributed(cfg));
 }
 
+TEST_P(CompressedEquivalenceTest, Bf16DenseSerialBitwiseEqualsDistributed) {
+  // BGQHF_PRECISION=bf16 payloads: dense bf16 bodies with the rounding
+  // error fed back. The serial mirror runs the same codec, so the
+  // trajectory still matches bitwise.
+  TrainerConfig cfg = config(GetParam(), Criterion::kCrossEntropy);
+  cfg.aggregation = compressed(simmpi::CompressMode::kBf16);
+  expect_bitwise_equal(train_serial(cfg), train_distributed(cfg));
+}
+
+TEST_P(CompressedEquivalenceTest, Bf16TopkComposedSerialEqualsDistributed) {
+  // topk selection + bf16 value streams (kTopK16 bodies): both loss
+  // sources land in the same error-feedback carrier, and serial ==
+  // distributed must survive the composition.
+  TrainerConfig cfg = config(GetParam(), Criterion::kCrossEntropy);
+  cfg.aggregation = compressed(simmpi::CompressMode::kTopK);
+  cfg.aggregation.compress.bf16_wire = true;
+  expect_bitwise_equal(train_serial(cfg), train_distributed(cfg));
+}
+
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, CompressedEquivalenceTest,
                          ::testing::Values(1, 2, 3));
 
@@ -117,7 +136,8 @@ TEST(CompressedEquivalence, CompressedTrainingStillConverges) {
   const TrainOutcome exact = train_distributed(exact_cfg);
   const double initial = exact.hf.iterations.front().heldout_before;
   for (const auto mode :
-       {simmpi::CompressMode::kTopK, simmpi::CompressMode::kOneBit}) {
+       {simmpi::CompressMode::kTopK, simmpi::CompressMode::kOneBit,
+        simmpi::CompressMode::kBf16}) {
     TrainerConfig cfg = exact_cfg;
     cfg.aggregation = compressed(mode);
     const TrainOutcome lossy = train_distributed(cfg);
@@ -176,6 +196,50 @@ TEST(CompressedEquivalence, CompressedSgdStillLearns) {
   wire = op.wire_bytes;
   EXPECT_GT(raw, 0u);
   EXPECT_LT(wire, raw);
+}
+
+TEST(Bf16Wire, ShrinksSgdTrafficAloneAndComposedWithTopk) {
+  // The bf16 bodies are a wire-format change, not an algorithm change, so
+  // they compose with any mode: dense bf16 roughly halves the exact
+  // payload, and switching a top-k run's value stream to bf16 strictly
+  // undercuts the same run with fp32 values — while still learning.
+  TrainerConfig cfg;
+  cfg.workers = 2;
+  cfg.corpus.hours = 0.004;
+  cfg.corpus.feature_dim = 8;
+  cfg.corpus.num_states = 4;
+  cfg.corpus.mean_utt_seconds = 1.0;
+  cfg.corpus.seed = 141;
+  cfg.context = 1;
+  cfg.hidden = {12};
+  cfg.heldout_every_kth = 4;
+  SgdOptions opts;
+  opts.epochs = 2;
+  opts.batch_frames = 64;
+
+  const auto wire_of = [&](simmpi::CompressMode mode, bool bf16) {
+    TrainerConfig c = cfg;
+    c.aggregation = compressed(mode);
+    c.aggregation.compress.topk_fraction = 0.25;
+    c.aggregation.compress.bf16_wire = bf16;
+    const DistributedSgdOutcome out = train_sgd_distributed(c, opts);
+    EXPECT_LT(out.sgd.epochs.back().heldout_loss,
+              out.sgd.epochs.front().heldout_loss)
+        << simmpi::to_string(mode) << " bf16=" << bf16;
+    const auto op = out.comm.op(simmpi::CollOp::kAllreduce);
+    EXPECT_GT(op.bytes, 0u);
+    return std::pair<std::size_t, std::size_t>{op.wire_bytes, op.bytes};
+  };
+
+  // Allreduce wire accounting covers both directions (uplink + downlink),
+  // so the exact baseline moves 2x the logical bytes; dense bf16 halves
+  // each direction (~n u16 + header per blob).
+  const auto [dense16, raw] = wire_of(simmpi::CompressMode::kBf16, false);
+  EXPECT_LT(dense16, 2 * raw * 3 / 5);  // ~2x reduction, header slack
+  const auto [topk32, raw32] = wire_of(simmpi::CompressMode::kTopK, false);
+  const auto [topk16, raw16] = wire_of(simmpi::CompressMode::kTopK, true);
+  ASSERT_EQ(raw32, raw16);  // same run, same logical traffic
+  EXPECT_LT(topk16, topk32);
 }
 
 TEST(AggregationConfig, DefaultIsExactUnlessEnvSaysOtherwise) {

@@ -1,0 +1,282 @@
+// Post-training int8 quantization contracts: the checkpoint round-trips
+// bitwise through disk, dequantize/re-quantize reproduces the codes, the
+// accuracy gate enforces its tolerance against fp32 logits, static
+// activation scales keep batched scoring bitwise equal to per-request
+// scoring, and the engine serves an int8 runtime end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "blas/matrix.h"
+#include "hf/checkpoint.h"
+#include "nn/network.h"
+#include "serve/engine.h"
+#include "serve/model_runtime.h"
+#include "serve/quantized.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+
+namespace bgqhf::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+nn::Network make_net(std::uint64_t seed) {
+  nn::Network net = nn::Network::mlp(6, {9, 5}, 4);
+  util::Rng rng(seed);
+  net.init_glorot(rng);
+  return net;
+}
+
+blas::Matrix<float> make_corpus(std::size_t rows, std::size_t dim,
+                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  blas::Matrix<float> m(rows, dim);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      m(r, c) = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+  }
+  return m;
+}
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path,
+                const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_bitwise(blas::ConstMatrixView<float> a,
+                    blas::ConstMatrixView<float> b) {
+  ASSERT_EQ(a.rows, b.rows);
+  ASSERT_EQ(a.cols, b.cols);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < a.cols; ++j) {
+      std::uint32_t ba = 0, bb = 0;
+      std::memcpy(&ba, &a(i, j), sizeof(ba));
+      std::memcpy(&bb, &b(i, j), sizeof(bb));
+      ASSERT_EQ(ba, bb) << "(" << i << "," << j << "): " << a(i, j)
+                        << " vs " << b(i, j);
+    }
+  }
+}
+
+TEST(Quantized, Int8LogitsTrackFp32WithinTolerance) {
+  const nn::Network net = make_net(7);
+  const blas::Matrix<float> corpus = make_corpus(32, net.input_dim(), 11);
+  const QuantizedModel q = QuantizedModel::quantize(net, corpus.cview());
+  const float delta = q.max_logit_delta(net, corpus.cview());
+  EXPECT_GT(delta, 0.0f);   // int8 is lossy; a zero delta means a stub
+  EXPECT_LT(delta, 0.25f);  // but close: ~1% of the +-2 input range/layer
+}
+
+TEST(Quantized, SaveLoadRoundTripsBitwise) {
+  const nn::Network net = make_net(17);
+  const blas::Matrix<float> corpus = make_corpus(24, net.input_dim(), 19);
+  const QuantizedModel q =
+      QuantizedModel::quantize(net, corpus.cview(), /*trained=*/42);
+  const std::string path = temp_path("quantized_roundtrip.qw");
+  q.save(path);
+  const QuantizedModel back = QuantizedModel::load(path);
+
+  EXPECT_EQ(back.trained_iterations(), 42u);
+  ASSERT_EQ(back.num_layers(), q.num_layers());
+  for (std::size_t l = 0; l < q.num_layers(); ++l) {
+    const QuantizedLayer& a = q.layers()[l];
+    const QuantizedLayer& b = back.layers()[l];
+    EXPECT_EQ(a.in, b.in);
+    EXPECT_EQ(a.out, b.out);
+    EXPECT_EQ(a.act, b.act);
+    EXPECT_EQ(std::memcmp(&a.input_scale, &b.input_scale, sizeof(float)), 0);
+    ASSERT_EQ(a.wq, b.wq);
+    ASSERT_EQ(a.row_scale.size(), b.row_scale.size());
+    EXPECT_EQ(std::memcmp(a.row_scale.data(), b.row_scale.data(),
+                          a.row_scale.size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(a.bias.data(), b.bias.data(),
+                          a.bias.size() * sizeof(float)),
+              0);
+  }
+
+  // Same codes + same scales => same scores, bit for bit.
+  blas::Matrix<float> out_a(corpus.rows(), q.output_dim());
+  blas::Matrix<float> out_b(corpus.rows(), q.output_dim());
+  QuantizedScratch sa, sb;
+  q.score(corpus.cview(), out_a.view(), sa);
+  back.score(corpus.cview(), out_b.view(), sb);
+  expect_bitwise(out_a.cview(), out_b.cview());
+  std::remove(path.c_str());
+}
+
+TEST(Quantized, DequantizeRequantizeReproducesCodes) {
+  const nn::Network net = make_net(23);
+  const blas::Matrix<float> corpus = make_corpus(16, net.input_dim(), 29);
+  const QuantizedModel q = QuantizedModel::quantize(net, corpus.cview());
+  const nn::Network fp32 = q.dequantize();
+  const QuantizedModel q2 = QuantizedModel::quantize(fp32, corpus.cview());
+  ASSERT_EQ(q2.num_layers(), q.num_layers());
+  for (std::size_t l = 0; l < q.num_layers(); ++l) {
+    ASSERT_EQ(q.layers()[l].wq, q2.layers()[l].wq) << "layer " << l;
+  }
+}
+
+TEST(Quantized, TamperedFileIsCorrupt) {
+  const nn::Network net = make_net(31);
+  const blas::Matrix<float> corpus = make_corpus(8, net.input_dim(), 37);
+  const QuantizedModel q = QuantizedModel::quantize(net, corpus.cview());
+  const std::string path = temp_path("quantized_tamper.qw");
+  q.save(path);
+
+  std::vector<unsigned char> bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  write_file(path, bytes);
+  try {
+    QuantizedModel::load(path);
+    FAIL() << "tampered file loaded";
+  } catch (const hf::CheckpointError& e) {
+    EXPECT_EQ(e.fault(), hf::CheckpointFault::kCorrupt);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Quantized, WrongMagicIsRejected) {
+  // An hf trainer checkpoint has a valid CRC footer over the same layout,
+  // so it gets past the integrity check and must die on the magic.
+  hf::TrainerCheckpoint ckpt;
+  ckpt.theta.assign(16, 0.5f);
+  ckpt.d0.assign(16, 0.0f);
+  const std::string path = temp_path("quantized_wrong_magic.qw");
+  hf::save_checkpoint(ckpt, path);
+  try {
+    QuantizedModel::load(path);
+    FAIL() << "trainer checkpoint loaded as quantized model";
+  } catch (const hf::CheckpointError& e) {
+    EXPECT_EQ(e.fault(), hf::CheckpointFault::kBadMagic);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Quantized, BrokenLayerChainIsShapeMismatch) {
+  const nn::Network net = make_net(41);
+  const blas::Matrix<float> corpus = make_corpus(8, net.input_dim(), 43);
+  const QuantizedModel q = QuantizedModel::quantize(net, corpus.cview());
+  const std::string path = temp_path("quantized_chain.qw");
+  q.save(path);
+
+  // Patch layer 1's input dim (it must equal layer 0's output dim) and
+  // re-seal the CRC so only the shape check can object.
+  std::vector<unsigned char> bytes = read_file(path);
+  const std::size_t in0 = q.layers()[0].in;
+  const std::size_t out0 = q.layers()[0].out;
+  const std::size_t layer0 =
+      8 + 4 + 8 + 8;  // magic, version, iterations, num_layers
+  const std::size_t layer1 = layer0 + 8 + 8 + 1 + 4 +
+                             out0 * sizeof(float) * 2 + out0 * in0;
+  const std::uint64_t bogus = out0 + 1;
+  std::memcpy(bytes.data() + layer1, &bogus, sizeof(bogus));
+  const std::uint32_t crc =
+      util::crc32(bytes.data(), bytes.size() - sizeof(std::uint32_t));
+  std::memcpy(bytes.data() + bytes.size() - sizeof(crc), &crc, sizeof(crc));
+  write_file(path, bytes);
+  try {
+    QuantizedModel::load(path);
+    FAIL() << "broken layer chain loaded";
+  } catch (const hf::CheckpointError& e) {
+    EXPECT_EQ(e.fault(), hf::CheckpointFault::kShapeMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Quantized, StaticScalesMakeBatchingBitwise) {
+  // The int8 batch parity contract mirrors the fp32 one: with per-layer
+  // static activation scales the u8 codes of a row do not depend on its
+  // batch, so batch-of-N equals N batch-of-1 bit for bit.
+  const nn::Network net = make_net(47);
+  const blas::Matrix<float> corpus = make_corpus(13, net.input_dim(), 53);
+  const QuantizedModel q = QuantizedModel::quantize(net, corpus.cview());
+  blas::Matrix<float> batched(corpus.rows(), q.output_dim());
+  QuantizedScratch scratch;
+  q.score(corpus.cview(), batched.view(), scratch);
+  for (std::size_t r = 0; r < corpus.rows(); ++r) {
+    blas::Matrix<float> single(1, q.output_dim());
+    q.score(corpus.cview().block(r, 0, 1, corpus.cols()), single.view(),
+            scratch);
+    expect_bitwise(batched.cview().block(r, 0, 1, q.output_dim()),
+                   single.cview());
+  }
+}
+
+TEST(Quantized, RuntimeGateEnforcesTolerance) {
+  nn::Network net = make_net(59);
+  const blas::Matrix<float> corpus = make_corpus(32, net.input_dim(), 61);
+  try {
+    ModelRuntime::with_int8(net, corpus.cview(), /*tolerance=*/0.0f);
+    FAIL() << "zero tolerance admitted a lossy model";
+  } catch (const QuantizationRejected& e) {
+    EXPECT_GT(e.measured(), e.tolerance());
+  }
+
+  const auto rt = ModelRuntime::with_int8(net, corpus.cview(), 0.5f);
+  ASSERT_NE(rt->quantized(), nullptr);
+  // The runtime's dispatching score path is the quantized model's.
+  blas::Matrix<float> direct(corpus.rows(), rt->output_dim());
+  QuantizedScratch scratch;
+  rt->quantized()->score(corpus.cview(), direct.view(), scratch);
+  const blas::Matrix<float> via_runtime = rt->score(corpus.cview());
+  expect_bitwise(via_runtime.cview(), direct.cview());
+}
+
+TEST(Quantized, FromQuantizedFileServesInt8) {
+  const nn::Network net = make_net(67);
+  const blas::Matrix<float> corpus = make_corpus(16, net.input_dim(), 71);
+  const QuantizedModel q =
+      QuantizedModel::quantize(net, corpus.cview(), /*trained=*/9);
+  const std::string path = temp_path("quantized_serve.qw");
+  q.save(path);
+
+  const auto rt = ModelRuntime::from_quantized_file(path);
+  ASSERT_NE(rt->quantized(), nullptr);
+  EXPECT_EQ(rt->trained_iterations(), 9u);
+  EXPECT_EQ(rt->input_dim(), net.input_dim());
+  EXPECT_EQ(rt->output_dim(), net.output_dim());
+
+  blas::Matrix<float> expect(corpus.rows(), q.output_dim());
+  QuantizedScratch scratch;
+  q.score(corpus.cview(), expect.view(), scratch);
+  const blas::Matrix<float> got = rt->score(corpus.cview());
+  expect_bitwise(got.cview(), expect.cview());
+  std::remove(path.c_str());
+}
+
+TEST(Quantized, EngineServesInt8EndToEnd) {
+  nn::Network net = make_net(73);
+  const blas::Matrix<float> corpus = make_corpus(32, net.input_dim(), 79);
+  const auto rt = ModelRuntime::with_int8(net, corpus.cview(), 0.5f);
+
+  blas::Matrix<float> expect(4, rt->output_dim());
+  QuantizedScratch scratch;
+  const blas::Matrix<float> features = make_corpus(4, rt->input_dim(), 83);
+  rt->quantized()->score(features.cview(), expect.view(), scratch);
+
+  ServeOptions opts;
+  opts.threads = 1;
+  Engine engine(rt, opts);
+  Response resp = engine.submit(features).get();
+  engine.stop();
+  expect_bitwise(resp.logits.cview(), expect.cview());
+}
+
+}  // namespace
+}  // namespace bgqhf::serve

@@ -8,7 +8,9 @@
 #include <limits>
 #include <vector>
 
+#include "blas/precision.h"
 #include "simmpi/compress.h"
+#include "util/config.h"
 
 namespace bgqhf::simmpi {
 namespace {
@@ -51,8 +53,10 @@ TEST(CompressMode_, ParseAndToString) {
   EXPECT_EQ(parse_compress_mode("off"), CompressMode::kOff);
   EXPECT_EQ(parse_compress_mode("topk"), CompressMode::kTopK);
   EXPECT_EQ(parse_compress_mode("onebit"), CompressMode::kOneBit);
+  EXPECT_EQ(parse_compress_mode("bf16"), CompressMode::kBf16);
   EXPECT_THROW(parse_compress_mode("zstd"), std::invalid_argument);
   EXPECT_STREQ(to_string(CompressMode::kTopK), "topk");
+  EXPECT_STREQ(to_string(CompressMode::kBf16), "bf16");
 }
 
 TEST(CompressCodec, OffModeIsExactPassthroughAndZeroesCarrier) {
@@ -275,6 +279,122 @@ TEST(CompressCodec, MalformedBlobsAreRejected) {
 
   std::vector<float> wrong_size(255);
   EXPECT_THROW(decode_add(bytes, wrong_size), std::length_error);
+}
+
+// ---- bf16 wire bodies ----
+
+CompressOptions bf16_dense() {
+  CompressOptions o;
+  o.mode = CompressMode::kBf16;
+  o.min_values = 1;
+  return o;
+}
+
+TEST(CompressBf16, DenseRoundsPacksAndFeedsBackResidual) {
+  const std::vector<float> orig = random_values(512, 21);
+  std::vector<float> carrier = orig;
+  CompressState state;
+  const Payload blob = compress(carrier, bf16_dense(), state);
+  std::vector<float> out(orig.size());
+  decode_overwrite(as_blob(blob), out);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(out[i], blas::bf16_round(orig[i])) << i;
+    // The bf16 delta is within a factor of two of the value, so the
+    // residual subtraction is exact (Sterbenz) and decode + residual
+    // reconstructs the original bitwise.
+    ASSERT_EQ(out[i] + carrier[i], orig[i]) << i;
+  }
+}
+
+TEST(CompressBf16, DenseWireIsHalfOfRaw) {
+  std::vector<float> carrier = random_values(4096, 22);
+  CompressState state;
+  const Payload blob = compress(carrier, bf16_dense(), state);
+  EXPECT_EQ(state.last_raw_bytes(), 4096u * sizeof(float));
+  // Header + 2 bytes/value: just over half the fp32 payload.
+  EXPECT_LT(blob.size(), state.last_raw_bytes() * 0.51 + 64);
+  EXPECT_GT(state.compression_ratio(), 1.9);
+}
+
+TEST(CompressBf16, PrecisionFlagUpgradesOffModeToDenseBf16) {
+  CompressOptions opts;  // kOff
+  opts.bf16_wire = true;
+  opts.min_values = 1;
+  EXPECT_TRUE(opts.active());
+  const std::vector<float> orig = random_values(256, 23);
+  std::vector<float> carrier = orig;
+  CompressState state;
+  const Payload blob = compress(carrier, opts, state);
+  std::vector<float> out(orig.size());
+  decode_overwrite(as_blob(blob), out);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(out[i], blas::bf16_round(orig[i])) << i;
+  }
+}
+
+TEST(CompressBf16, FromEnvDerivesWireFlagFromPrecision) {
+  util::RuntimeEnv env;
+  env.precision = "bf16";
+  util::RuntimeEnv::set_for_tests(env);
+  EXPECT_TRUE(CompressOptions::from_env().bf16_wire);
+  env.precision = "int8";
+  util::RuntimeEnv::set_for_tests(env);
+  EXPECT_FALSE(CompressOptions::from_env().bf16_wire);
+  env.precision = "";
+  util::RuntimeEnv::set_for_tests(env);
+  EXPECT_FALSE(CompressOptions::from_env().bf16_wire);
+  util::RuntimeEnv::reset_for_tests();
+}
+
+TEST(CompressBf16, TopK16ComposesSelectionWithBf16Values) {
+  // Two big entries over a zero floor (the threshold floors at FLT_MIN,
+  // so zeros never select): selection keeps the big ones, the value
+  // stream ships them as bf16, and the carrier keeps the bf16 rounding
+  // error at the selected slots.
+  std::vector<float> carrier(2048, 0.0f);
+  carrier[100] = 1.375f;    // exact in bf16: residual must be 0
+  carrier[1000] = -2.03f;   // inexact in bf16: residual = v - bf16(v)
+  const std::vector<float> orig = carrier;
+  CompressOptions opts = topk(2.0 / 2048.0);
+  opts.bf16_wire = true;
+  CompressState state;
+  const Payload blob = compress(carrier, opts, state);
+  std::vector<float> out(carrier.size());
+  decode_overwrite(as_blob(blob), out);
+  EXPECT_EQ(out[100], 1.375f);
+  EXPECT_EQ(out[1000], blas::bf16_round(-2.03f));
+  EXPECT_EQ(carrier[100], 0.0f);
+  EXPECT_EQ(carrier[1000], orig[1000] - blas::bf16_round(-2.03f));
+  EXPECT_EQ(carrier[5], 0.0f);  // unselected: untouched residual
+  // 6 bytes per kept entry instead of 8.
+  const Payload blob32 = [&] {
+    std::vector<float> c2 = orig;
+    CompressState s2;
+    return compress(c2, topk(2.0 / 2048.0), s2);
+  }();
+  EXPECT_LT(blob.size(), blob32.size());
+}
+
+TEST(CompressBf16, MalformedBf16BlobsAreRejected) {
+  std::vector<float> carrier = random_values(256, 24);
+  CompressState state;
+  const Payload blob = compress(carrier, bf16_dense(), state);
+  std::vector<std::byte> bytes(blob.data(), blob.data() + blob.size());
+  std::vector<float> out(256);
+
+  const std::span<const std::byte> truncated(bytes.data(), bytes.size() - 2);
+  EXPECT_THROW(decode_add(truncated, out), std::length_error);
+
+  // A top-k16 header claiming more kept values than the total.
+  std::vector<float> c2 = random_values(2048, 25);
+  CompressOptions opts = topk(0.01);
+  opts.bf16_wire = true;
+  CompressState s2;
+  const Payload tk = compress(c2, opts, s2);
+  std::vector<std::byte> tkb(tk.data(), tk.data() + tk.size());
+  std::uint64_t huge = 1u << 20;
+  std::memcpy(tkb.data() + 16, &huge, sizeof(huge));  // aux field
+  EXPECT_THROW(decoded_values(tkb), std::length_error);
 }
 
 }  // namespace

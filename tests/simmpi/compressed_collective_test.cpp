@@ -196,6 +196,35 @@ TEST(CompressedAllreduce, OnebitConstantInputIsExact) {
   });
 }
 
+TEST(CompressedAllreduce, Bf16WireHalvesTrafficAndIsExactOnBf16Values) {
+  // BGQHF_PRECISION=bf16 with compression off upgrades the collectives to
+  // dense bf16 bodies. 1.25 and the fold total 4 * 1.25 = 5.0 are both
+  // exact in bf16, so the allreduce is lossless here, every residual is
+  // fully consumed, and the shared blob is half the fp32 payload.
+  const int size = 4;
+  run_world(size, [size](Comm& comm) {
+    const std::size_t n = 4096;
+    CompressOptions opts;
+    opts.bf16_wire = true;
+    opts.min_values = 1;
+    ASSERT_EQ(opts.mode, CompressMode::kOff);
+    ASSERT_TRUE(opts.active());
+    std::vector<float> carrier(n, 1.25f);
+    std::vector<float> out(n);
+    CompressState state;
+    compressed_allreduce_sum(comm, carrier, out, opts, state);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], static_cast<float>(size) * 1.25f) << i;
+      ASSERT_EQ(carrier[i], 0.0f) << i;  // bf16 was exact: no residual
+    }
+    // The uplink blob this state packed is ~n u16: about half the raw
+    // fp32 bytes the exact path would move.
+    EXPECT_LT(state.total_wire_bytes(),
+              static_cast<std::size_t>(0.6 * n * sizeof(float)));
+    EXPECT_GT(state.compression_ratio(), 1.9);
+  });
+}
+
 TEST(CompressedAllreduce, BlobDeliveryMatchesDenseDelivery) {
   run_world(3, [](Comm& comm) {
     const std::size_t n = 1024;
