@@ -22,13 +22,6 @@ namespace bgqhf::hf {
 
 namespace {
 
-std::vector<std::size_t> utterance_lengths(const speech::Corpus& corpus) {
-  std::vector<std::size_t> lengths;
-  lengths.reserve(corpus.utterances.size());
-  for (const auto& u : corpus.utterances) lengths.push_back(u.num_frames());
-  return lengths;
-}
-
 // ---- dataset wire format (load_data phase, p2p) ----
 
 // FT mode replaces indefinitely-blocking receives with deadlines so a
@@ -141,51 +134,75 @@ Shards build_shards(const TrainerConfig& config) {
     throw std::invalid_argument("TrainerConfig: workers must be > 0");
   }
   Shards shards;
-  speech::Corpus corpus = speech::generate_corpus(config.corpus);
-  speech::Corpus heldout =
-      speech::split_heldout(corpus, config.heldout_every_kth);
-  if (heldout.utterances.empty()) {
+  // Data staging flows through the DataSource API: held-out splitting and
+  // partition strategies fold into construction options, and the bytes
+  // come either from an in-RAM generated corpus or, when a store directory
+  // is configured (BGQHF_DATA_DIR), streamed out of core through the
+  // prefetching ShardedSource. Both paths present identical utterance
+  // order, so the training trajectory is bitwise independent of which one
+  // served the data.
+  speech::SourceOptions sopts;
+  sopts.heldout_every_kth = config.heldout_every_kth;
+  sopts.speaker_cmvn = config.speaker_cmvn;
+  sopts.partition = config.partition;
+  sopts.heldout_partition = speech::PartitionStrategy::kNaiveEqualCount;
+  sopts.prefetch_depth = config.data.prefetch_depth;
+  speech::SourceSplit split =
+      config.data.data_dir.empty()
+          ? speech::make_in_memory_split(
+                speech::generate_corpus(config.corpus), sopts)
+          : speech::open_sharded_split(config.data.data_dir, sopts);
+  speech::DataSource& train_src = *split.train;
+  if (!config.data.data_dir.empty() &&
+      (train_src.feature_dim() != config.corpus.feature_dim ||
+       train_src.num_states() != config.corpus.num_states)) {
+    throw speech::DataError(
+        speech::DataFault::kShapeMismatch,
+        "build_shards: store at " + config.data.data_dir + " holds dim=" +
+            std::to_string(train_src.feature_dim()) + "/states=" +
+            std::to_string(train_src.num_states()) +
+            " but the configured corpus expects dim=" +
+            std::to_string(config.corpus.feature_dim) + "/states=" +
+            std::to_string(config.corpus.num_states));
+  }
+  if (split.heldout == nullptr || split.heldout->num_utterances() == 0) {
     // Algorithm 1 steers entirely by the held-out loss; an empty held-out
     // set would make every iteration "fail" silently.
     throw std::invalid_argument(
         "build_shards: corpus too small for heldout_every_kth=" +
         std::to_string(config.heldout_every_kth) +
-        " (got " + std::to_string(corpus.utterances.size()) +
+        " (got " + std::to_string(train_src.num_utterances()) +
         " training utterances, 0 held-out); increase corpus.hours or "
         "lower heldout_every_kth");
   }
-  if (corpus.utterances.empty()) {
+  speech::DataSource& held_src = *split.heldout;
+  if (train_src.num_utterances() == 0) {
     throw std::invalid_argument("build_shards: no training utterances");
   }
-  if (config.speaker_cmvn) {
-    speech::apply_speaker_cmvn(corpus);
-    speech::apply_speaker_cmvn(heldout);
-  }
-  const speech::Normalizer norm = speech::estimate_normalizer(corpus);
+  const speech::Normalizer norm = speech::estimate_normalizer(train_src);
 
   const std::size_t workers = static_cast<std::size_t>(config.workers);
-  const speech::Partition train_part = speech::partition_utterances(
-      utterance_lengths(corpus), workers, config.partition);
-  const speech::Partition held_part = speech::partition_utterances(
-      utterance_lengths(heldout), workers,
-      speech::PartitionStrategy::kNaiveEqualCount);
+  // Assignment is computed from the sources' length tables alone — for a
+  // sharded store that means the index; no shard data is touched.
+  const speech::Partition train_part = train_src.partition(workers);
+  const speech::Partition held_part = held_src.partition(workers);
 
   for (std::size_t w = 0; w < workers; ++w) {
     shards.train.push_back(speech::build_dataset(
-        corpus, train_part.assignment[w], &norm, config.context));
+        train_src, train_part.assignment[w], &norm, config.context));
     shards.heldout.push_back(speech::build_dataset(
-        heldout, held_part.assignment[w], &norm, config.context));
+        held_src, held_part.assignment[w], &norm, config.context));
     shards.total_train_frames += shards.train.back().num_frames();
   }
 
-  shards.num_states = corpus.num_states;
+  shards.num_states = train_src.num_states();
   shards.advance_prob = 1.0 / config.corpus.state_dwell_frames;
   const std::size_t input_dim =
-      speech::stacked_dim(corpus.feature_dim, config.context);
+      speech::stacked_dim(train_src.feature_dim(), config.context);
   switch (config.init) {
     case InitScheme::kGlorot: {
       shards.net =
-          nn::Network::mlp(input_dim, config.hidden, corpus.num_states);
+          nn::Network::mlp(input_dim, config.hidden, shards.num_states);
       util::Rng init_rng(config.init_seed);
       shards.net.init_glorot(init_rng);
       break;
@@ -194,25 +211,25 @@ Shards build_shards(const TrainerConfig& config) {
       // Pretraining sees the whole training set (the master does this
       // once, before sharding, so serial and distributed runs agree).
       const speech::Dataset full_train =
-          speech::build_full_dataset(corpus, &norm, config.context);
+          speech::build_full_dataset(train_src, &norm, config.context);
       const speech::Dataset full_held =
-          speech::build_full_dataset(heldout, &norm, config.context);
+          speech::build_full_dataset(held_src, &norm, config.context);
       PretrainOptions pre;
       pre.init_seed = config.init_seed;
       shards.net = pretrain_layerwise(input_dim, config.hidden,
-                                      corpus.num_states, full_train,
+                                      shards.num_states, full_train,
                                       full_held, pre, config.pool)
                        .net;
       break;
     }
     case InitScheme::kRbm: {
       const speech::Dataset full_train =
-          speech::build_full_dataset(corpus, &norm, config.context);
+          speech::build_full_dataset(train_src, &norm, config.context);
       nn::RbmOptions rbm;
       rbm.seed = config.init_seed;
       rbm.gaussian_visible = true;
       shards.net = nn::rbm_pretrain_network(
-          full_train.x.view(), config.hidden, corpus.num_states, rbm);
+          full_train.x.view(), config.hidden, shards.num_states, rbm);
       break;
     }
   }
@@ -267,10 +284,15 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
   // failures local to the failed worker.
   const double startup_timeout =
       config.ft.enabled ? config.ft.command_timeout : 0.0;
+  // Same rule as the checkpoint for data staging: a corrupt store, a
+  // shape-mismatched store, or a too-small corpus throws here, on the
+  // calling thread — not inside the master rank while workers sit in a
+  // startup bcast that will never come. Staging is seeded and comm-free,
+  // so where it runs cannot change the trajectory.
+  Shards shards = build_shards(config);
   simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
     if (comm.rank() == 0) {
       // ---- master ----
-      Shards shards = build_shards(config);
       std::vector<std::uint64_t> blob = encode_config(config, shards);
       if (config.ft.enabled) {
         for (int w = 0; w < config.workers; ++w) {

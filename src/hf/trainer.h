@@ -22,6 +22,7 @@
 #include "simmpi/stats.h"
 #include "speech/corpus.h"
 #include "speech/partition.h"
+#include "speech/source.h"
 
 namespace bgqhf::hf {
 
@@ -38,6 +39,12 @@ struct TrainerConfig {
   /// master and holds no data, per the paper's one-layer architecture).
   int workers = 4;
   speech::CorpusSpec corpus;
+  /// Where training data comes from. An empty data_dir generates the
+  /// corpus in RAM from `corpus` (the seed behaviour); a non-empty one
+  /// streams a pre-staged sharded store (see tools/corpus_shard) through
+  /// the prefetching ShardedSource — same utterances, same trajectory,
+  /// bounded memory. Defaults honour BGQHF_DATA_DIR / BGQHF_PREFETCH_DEPTH.
+  speech::StoreConfig data = speech::StoreConfig::from_env();
   /// +/- context frames stacked into each network input.
   std::size_t context = 2;
   std::vector<std::size_t> hidden{32, 32};

@@ -17,68 +17,78 @@ std::size_t spec_total_frames(const CorpusSpec& spec) {
                                   spec.frames_per_second);
 }
 
-Corpus generate_corpus(const CorpusSpec& spec) {
+CorpusGenerator::CorpusGenerator(const CorpusSpec& spec)
+    : spec_(spec),
+      len_rng_(0),
+      path_rng_(0),
+      noise_rng_(0) {
   if (spec.num_states == 0 || spec.feature_dim == 0) {
     throw std::invalid_argument("corpus: states and feature_dim must be > 0");
   }
-  Corpus corpus;
-  corpus.feature_dim = spec.feature_dim;
-  corpus.num_states = spec.num_states;
-
   util::Rng rng(spec.seed);
 
   // Per-state acoustic means: well separated relative to the noise so the
   // classification task is learnable but not trivial.
   util::Rng mean_rng = rng.fork(0xACu);
-  std::vector<std::vector<float>> state_means(spec.num_states);
-  for (auto& mean : state_means) {
+  state_means_.resize(spec.num_states);
+  for (auto& mean : state_means_) {
     mean.resize(spec.feature_dim);
     for (auto& v : mean) v = static_cast<float>(mean_rng.normal(0.0, 1.0));
   }
 
-  const std::size_t target_frames = spec_total_frames(spec);
+  target_frames_ = spec_total_frames(spec);
   // Log-normal duration with the requested arithmetic mean:
   // E[X] = exp(mu + sigma^2/2)  =>  mu = log(mean) - sigma^2/2.
-  const double mu =
+  mu_ =
       std::log(spec.mean_utt_seconds) - 0.5 * spec.log_sigma * spec.log_sigma;
 
-  util::Rng len_rng = rng.fork(0x1Eu);
-  util::Rng path_rng = rng.fork(0x2Fu);
-  util::Rng noise_rng = rng.fork(0x3Du);
+  len_rng_ = rng.fork(0x1Eu);
+  path_rng_ = rng.fork(0x2Fu);
+  noise_rng_ = rng.fork(0x3Du);
+}
 
-  std::size_t frames_so_far = 0;
-  std::uint64_t next_id = 0;
-  while (frames_so_far < target_frames) {
-    const double seconds = std::exp(len_rng.normal(mu, spec.log_sigma));
-    std::size_t frames = static_cast<std::size_t>(
-        std::max(1.0, seconds * spec.frames_per_second));
-    frames = std::min(frames, target_frames - frames_so_far +
-                                  static_cast<std::size_t>(1));
+std::optional<Utterance> CorpusGenerator::next() {
+  if (frames_so_far_ >= target_frames_) return std::nullopt;
 
-    Utterance utt;
-    utt.id = next_id++;
-    utt.speaker = static_cast<int>(path_rng.below(1000));
-    utt.features = blas::Matrix<float>(frames, spec.feature_dim);
-    utt.labels.resize(frames);
+  const double seconds = std::exp(len_rng_.normal(mu_, spec_.log_sigma));
+  std::size_t frames = static_cast<std::size_t>(
+      std::max(1.0, seconds * spec_.frames_per_second));
+  frames = std::min(frames, target_frames_ - frames_so_far_ +
+                                static_cast<std::size_t>(1));
 
-    // Left-to-right dwell process over states, wrapping so long utterances
-    // revisit states (speech alignments do the same across phones).
-    std::size_t state = path_rng.below(spec.num_states);
-    const double advance_prob = 1.0 / spec.state_dwell_frames;
-    for (std::size_t t = 0; t < frames; ++t) {
-      utt.labels[t] = static_cast<int>(state);
-      const auto& mean = state_means[state];
-      for (std::size_t d = 0; d < spec.feature_dim; ++d) {
-        utt.features(t, d) = static_cast<float>(
-            mean[d] + noise_rng.normal(0.0, spec.noise_stddev));
-      }
-      if (path_rng.next_double() < advance_prob) {
-        state = (state + 1) % spec.num_states;
-      }
+  Utterance utt;
+  utt.id = next_id_++;
+  utt.speaker = static_cast<int>(path_rng_.below(1000));
+  utt.features = blas::Matrix<float>(frames, spec_.feature_dim);
+  utt.labels.resize(frames);
+
+  // Left-to-right dwell process over states, wrapping so long utterances
+  // revisit states (speech alignments do the same across phones).
+  std::size_t state = path_rng_.below(spec_.num_states);
+  const double advance_prob = 1.0 / spec_.state_dwell_frames;
+  for (std::size_t t = 0; t < frames; ++t) {
+    utt.labels[t] = static_cast<int>(state);
+    const auto& mean = state_means_[state];
+    for (std::size_t d = 0; d < spec_.feature_dim; ++d) {
+      utt.features(t, d) = static_cast<float>(
+          mean[d] + noise_rng_.normal(0.0, spec_.noise_stddev));
     }
+    if (path_rng_.next_double() < advance_prob) {
+      state = (state + 1) % spec_.num_states;
+    }
+  }
 
-    frames_so_far += frames;
-    corpus.utterances.push_back(std::move(utt));
+  frames_so_far_ += frames;
+  return utt;
+}
+
+Corpus generate_corpus(const CorpusSpec& spec) {
+  CorpusGenerator gen(spec);
+  Corpus corpus;
+  corpus.feature_dim = spec.feature_dim;
+  corpus.num_states = spec.num_states;
+  while (auto utt = gen.next()) {
+    corpus.utterances.push_back(std::move(*utt));
   }
   return corpus;
 }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "speech/utterance.h"
@@ -44,12 +45,46 @@ struct Corpus {
   std::size_t total_frames() const;
 };
 
+/// Streaming utterance generator: yields the exact utterance sequence
+/// generate_corpus materializes, one at a time, so the sharded store can
+/// stage a 400-hour-spec corpus without ever holding it in RAM.
+/// Deterministic in spec.seed (same RNG fork discipline as the batch
+/// generator; generate_corpus is a thin loop over this class).
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusSpec& spec);
+
+  /// The next utterance, or nullopt once the spec's target frame count is
+  /// reached.
+  std::optional<Utterance> next();
+
+  std::size_t feature_dim() const { return spec_.feature_dim; }
+  std::size_t num_states() const { return spec_.num_states; }
+  std::size_t frames_emitted() const { return frames_so_far_; }
+
+ private:
+  CorpusSpec spec_;
+  std::vector<std::vector<float>> state_means_;
+  util::Rng len_rng_;
+  util::Rng path_rng_;
+  util::Rng noise_rng_;
+  std::size_t target_frames_ = 0;
+  double mu_ = 0.0;
+  std::size_t frames_so_far_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
 /// Generate a corpus from the spec (deterministic in spec.seed).
 Corpus generate_corpus(const CorpusSpec& spec);
 
 /// Split off a held-out set: every k-th utterance (round-robin by index) is
 /// moved to the returned corpus. Deterministic; used for the loss that
 /// drives HF's backtracking and damping.
+///
+/// Deprecated for trainer-style call sites: construct a DataSource with
+/// SourceOptions::heldout_every_kth instead (speech/source.h), which
+/// computes the same split without mutating a Corpus in place. Kept for
+/// standalone corpus manipulation.
 Corpus split_heldout(Corpus& corpus, std::size_t every_kth);
 
 /// Number of frames a spec implies (without generating), used by the

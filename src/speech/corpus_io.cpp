@@ -3,14 +3,18 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+
+#include "speech/store/format.h"
 
 namespace bgqhf::speech {
 
 namespace {
 
 constexpr char kMagic[5] = {'B', 'G', 'Q', 'C', '\0'};
-constexpr std::uint32_t kVersion = 1;
+// v2: utterance bodies are store record frames (CRC-checked) instead of
+// bare PODs. v1 files are no longer readable; regenerate with save_corpus
+// or convert to a sharded store with the corpus_shard tool.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -18,10 +22,12 @@ void write_pod(std::ostream& out, const T& v) {
 }
 
 template <typename T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, const std::string& path) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!in) throw std::runtime_error("load_corpus: truncated file");
+  if (!in) {
+    throw DataError(DataFault::kCorrupt, "load_corpus: truncated " + path);
+  }
   return v;
 }
 
@@ -29,61 +35,60 @@ T read_pod(std::istream& in) {
 
 void save_corpus(const Corpus& corpus, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_corpus: cannot open " + path);
+  if (!out) {
+    throw DataError(DataFault::kIo, "save_corpus: cannot open " + path);
+  }
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
   write_pod(out, static_cast<std::uint64_t>(corpus.utterances.size()));
   write_pod(out, static_cast<std::uint64_t>(corpus.feature_dim));
   write_pod(out, static_cast<std::uint64_t>(corpus.num_states));
+  std::string record;
   for (const Utterance& utt : corpus.utterances) {
-    write_pod(out, static_cast<std::uint64_t>(utt.id));
-    write_pod(out, static_cast<std::int32_t>(utt.speaker));
-    write_pod(out, static_cast<std::uint64_t>(utt.num_frames()));
-    for (const int label : utt.labels) {
-      write_pod(out, static_cast<std::int32_t>(label));
-    }
-    out.write(reinterpret_cast<const char*>(utt.features.data()),
-              static_cast<std::streamsize>(utt.features.size() *
-                                           sizeof(float)));
+    record.clear();
+    store::append_record(record, utt, corpus.feature_dim);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
   }
-  if (!out) throw std::runtime_error("save_corpus: write failed");
+  if (!out) throw DataError(DataFault::kIo, "save_corpus: write failed");
 }
 
 Corpus load_corpus(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_corpus: cannot open " + path);
+  if (!in) {
+    throw DataError(DataFault::kIo, "load_corpus: cannot open " + path);
+  }
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_corpus: bad magic in " + path);
+    throw DataError(DataFault::kBadMagic, "load_corpus: bad magic in " + path);
   }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("load_corpus: unsupported version");
+  const auto version = read_pod<std::uint32_t>(in, path);
+  if (version != kVersion) {
+    throw DataError(DataFault::kBadVersion,
+                    "load_corpus: unsupported version " +
+                        std::to_string(version) + " in " + path);
   }
   Corpus corpus;
-  const auto num_utts = read_pod<std::uint64_t>(in);
-  corpus.feature_dim = read_pod<std::uint64_t>(in);
-  corpus.num_states = read_pod<std::uint64_t>(in);
+  const auto num_utts = read_pod<std::uint64_t>(in, path);
+  corpus.feature_dim = read_pod<std::uint64_t>(in, path);
+  corpus.num_states = read_pod<std::uint64_t>(in, path);
   if (corpus.feature_dim == 0 || corpus.feature_dim > (1u << 20)) {
-    throw std::runtime_error("load_corpus: implausible feature_dim");
+    throw DataError(DataFault::kShapeMismatch,
+                    "load_corpus: implausible feature_dim in " + path);
   }
+  // Slurp the record stream and hand it to the shared store codec frame by
+  // frame — the same decoder (and the same validation) shards use.
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
   corpus.utterances.reserve(num_utts);
+  std::size_t offset = 0;
   for (std::uint64_t u = 0; u < num_utts; ++u) {
-    Utterance utt;
-    utt.id = read_pod<std::uint64_t>(in);
-    utt.speaker = read_pod<std::int32_t>(in);
-    const auto frames = read_pod<std::uint64_t>(in);
-    if (frames == 0 || frames > (1u << 26)) {
-      throw std::runtime_error("load_corpus: implausible frame count");
-    }
-    utt.labels.resize(frames);
-    for (auto& label : utt.labels) label = read_pod<std::int32_t>(in);
-    utt.features = blas::Matrix<float>(frames, corpus.feature_dim);
-    in.read(reinterpret_cast<char*>(utt.features.data()),
-            static_cast<std::streamsize>(utt.features.size() *
-                                         sizeof(float)));
-    if (!in) throw std::runtime_error("load_corpus: truncated features");
-    corpus.utterances.push_back(std::move(utt));
+    std::size_t consumed = 0;
+    corpus.utterances.push_back(
+        store::decode_record(body.data() + offset, body.size() - offset,
+                             corpus.feature_dim, corpus.num_states, path,
+                             &consumed));
+    offset += consumed;
   }
   return corpus;
 }

@@ -45,4 +45,18 @@ Dataset build_dataset(const Corpus& corpus,
 Dataset build_full_dataset(const Corpus& corpus, const Normalizer* norm,
                            std::size_t context);
 
+class DataSource;
+
+/// Build a dataset by streaming the given ordinals out of a DataSource —
+/// the same row-writing arithmetic as the Corpus overload, so at equal
+/// utterance content the resulting dataset is bitwise identical whether
+/// the bytes came from RAM or a sharded store.
+Dataset build_dataset(DataSource& source,
+                      std::span<const std::size_t> indices,
+                      const Normalizer* norm, std::size_t context);
+
+/// Build from every utterance of the source.
+Dataset build_full_dataset(DataSource& source, const Normalizer* norm,
+                           std::size_t context);
+
 }  // namespace bgqhf::speech

@@ -18,32 +18,46 @@ void Normalizer::apply(blas::MatrixView<float> m) const {
   }
 }
 
-Normalizer estimate_normalizer(const Corpus& corpus) {
-  const std::size_t d = corpus.feature_dim;
-  std::vector<double> sum(d, 0.0), sumsq(d, 0.0);
-  std::size_t n = 0;
-  for (const auto& utt : corpus.utterances) {
-    for (std::size_t t = 0; t < utt.num_frames(); ++t) {
-      for (std::size_t c = 0; c < d; ++c) {
-        const double v = utt.features(t, c);
-        sum[c] += v;
-        sumsq[c] += v * v;
-      }
-    }
-    n += utt.num_frames();
+NormalizerAccumulator::NormalizerAccumulator(std::size_t feature_dim)
+    : sum_(feature_dim, 0.0), sumsq_(feature_dim, 0.0) {}
+
+void NormalizerAccumulator::add(const Utterance& utt) {
+  const std::size_t d = sum_.size();
+  if (utt.features.cols() != d) {
+    throw std::invalid_argument("NormalizerAccumulator: dimension mismatch");
   }
-  if (n == 0) throw std::invalid_argument("estimate_normalizer: empty corpus");
+  for (std::size_t t = 0; t < utt.num_frames(); ++t) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double v = utt.features(t, c);
+      sum_[c] += v;
+      sumsq_[c] += v * v;
+    }
+  }
+  frames_ += utt.num_frames();
+}
+
+Normalizer NormalizerAccumulator::finish() const {
+  if (frames_ == 0) {
+    throw std::invalid_argument("estimate_normalizer: empty corpus");
+  }
+  const std::size_t d = sum_.size();
+  const double n = static_cast<double>(frames_);
   Normalizer norm;
   norm.mean.resize(d);
   norm.inv_std.resize(d);
   for (std::size_t c = 0; c < d; ++c) {
-    const double mean = sum[c] / static_cast<double>(n);
-    const double var =
-        std::max(1e-8, sumsq[c] / static_cast<double>(n) - mean * mean);
+    const double mean = sum_[c] / n;
+    const double var = std::max(1e-8, sumsq_[c] / n - mean * mean);
     norm.mean[c] = static_cast<float>(mean);
     norm.inv_std[c] = static_cast<float>(1.0 / std::sqrt(var));
   }
   return norm;
+}
+
+Normalizer estimate_normalizer(const Corpus& corpus) {
+  NormalizerAccumulator acc(corpus.feature_dim);
+  for (const auto& utt : corpus.utterances) acc.add(utt);
+  return acc.finish();
 }
 
 namespace {

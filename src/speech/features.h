@@ -23,6 +23,26 @@ struct Normalizer {
   void apply(blas::MatrixView<float> m) const;
 };
 
+/// Streaming normalizer estimation: per-dimension double sum / sum-of-
+/// squares folded utterance by utterance. Both the in-RAM corpus path and
+/// the out-of-core DataSource path drive this one accumulator, so feeding
+/// the same utterances in the same order yields a bit-identical Normalizer
+/// regardless of where the bytes came from.
+class NormalizerAccumulator {
+ public:
+  explicit NormalizerAccumulator(std::size_t feature_dim);
+
+  void add(const Utterance& utt);
+
+  /// Throws std::invalid_argument when no frames were added.
+  Normalizer finish() const;
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> sumsq_;
+  std::size_t frames_ = 0;
+};
+
 /// Estimate a normalizer over all frames of the corpus.
 Normalizer estimate_normalizer(const Corpus& corpus);
 

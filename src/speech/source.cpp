@@ -1,0 +1,213 @@
+#include "speech/source.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "util/config.h"
+
+namespace bgqhf::speech {
+
+namespace {
+
+std::vector<std::size_t> iota_ordinals(std::size_t n) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return all;
+}
+
+void validate_split_k(std::size_t every_kth) {
+  if (every_kth == 1) {
+    throw std::invalid_argument(
+        "SourceOptions: heldout_every_kth must be 0 (no split) or >= 2");
+  }
+}
+
+/// The split rule split_heldout applied: ordinal i is held out iff
+/// i % k == k - 1.
+bool is_heldout(std::size_t ordinal, std::size_t every_kth) {
+  return every_kth != 0 && ordinal % every_kth == every_kth - 1;
+}
+
+}  // namespace
+
+// ---- DataSource ----
+
+UtteranceBatch DataSource::fetch(std::size_t begin, std::size_t end) {
+  if (begin > end || end > num_utterances()) {
+    throw std::out_of_range("DataSource::fetch: bad range [" +
+                            std::to_string(begin) + ", " +
+                            std::to_string(end) + ") of " +
+                            std::to_string(num_utterances()));
+  }
+  UtteranceBatch batch;
+  batch.begin = begin;
+  batch.utterances.reserve(end - begin);
+  std::vector<std::size_t> ordinals(end - begin);
+  std::iota(ordinals.begin(), ordinals.end(), begin);
+  for_each(ordinals,
+           [&](const Utterance& utt) { batch.utterances.push_back(utt); });
+  return batch;
+}
+
+void DataSource::visit(const std::function<void(const Utterance&)>& fn) {
+  const std::vector<std::size_t> all = iota_ordinals(num_utterances());
+  for_each(all, fn);
+}
+
+std::size_t DataSource::total_frames() const {
+  const auto& len = lengths();
+  return std::accumulate(len.begin(), len.end(), std::size_t{0});
+}
+
+Partition DataSource::partition(std::size_t workers) const {
+  return partition_utterances(lengths(), workers, strategy_);
+}
+
+// ---- InMemorySource ----
+
+InMemorySource::InMemorySource(Corpus corpus, PartitionStrategy strategy)
+    : DataSource(strategy), corpus_(std::move(corpus)) {
+  lengths_.reserve(corpus_.utterances.size());
+  for (const auto& utt : corpus_.utterances) {
+    lengths_.push_back(utt.num_frames());
+  }
+}
+
+std::size_t InMemorySource::num_utterances() const {
+  return corpus_.utterances.size();
+}
+
+void InMemorySource::for_each(
+    std::span<const std::size_t> ordinals,
+    const std::function<void(const Utterance&)>& fn) {
+  for (const std::size_t ord : ordinals) {
+    fn(corpus_.utterances.at(ord));
+  }
+}
+
+// ---- ShardedSource ----
+
+ShardedSource::ShardedSource(
+    std::shared_ptr<const store::CorpusIndex> index,
+    std::shared_ptr<store::ShardCache> cache,
+    std::vector<std::size_t> store_ordinals, PartitionStrategy strategy)
+    : DataSource(strategy),
+      index_(std::move(index)),
+      cache_(std::move(cache)),
+      store_ordinals_(std::move(store_ordinals)) {
+  lengths_.reserve(store_ordinals_.size());
+  for (const std::size_t ord : store_ordinals_) {
+    lengths_.push_back(
+        static_cast<std::size_t>(index_->entries.at(ord).frames));
+  }
+}
+
+std::size_t ShardedSource::num_utterances() const {
+  return store_ordinals_.size();
+}
+
+void ShardedSource::for_each(
+    std::span<const std::size_t> ordinals,
+    const std::function<void(const Utterance&)>& fn) {
+  // Announce the shard plan implied by the visit order so the loader runs
+  // ahead of us, then walk it holding one decoded shard at a time.
+  std::vector<std::uint32_t> plan;
+  for (const std::size_t ord : ordinals) {
+    const std::uint32_t shard = index_->entries.at(store_ordinals_.at(ord)).shard;
+    if (plan.empty() || plan.back() != shard) plan.push_back(shard);
+  }
+  cache_->schedule(plan);
+
+  std::shared_ptr<const store::DecodedShard> current;
+  for (const std::size_t ord : ordinals) {
+    const store::IndexEntry& entry = index_->entries[store_ordinals_[ord]];
+    if (current == nullptr || current->shard != entry.shard) {
+      current = cache_->get(entry.shard);
+    }
+    fn(current->at_offset(entry.offset));
+  }
+}
+
+// ---- splits ----
+
+SourceSplit make_in_memory_split(Corpus corpus, const SourceOptions& options) {
+  validate_split_k(options.heldout_every_kth);
+  SourceSplit split;
+  if (options.heldout_every_kth == 0) {
+    if (options.speaker_cmvn) apply_speaker_cmvn(corpus);
+    split.train = std::make_unique<InMemorySource>(std::move(corpus),
+                                                   options.partition);
+    return split;
+  }
+  Corpus held = split_heldout(corpus, options.heldout_every_kth);
+  // CMVN within each half, after the split — per-speaker statistics are
+  // computed over each half independently, matching the seed trainer.
+  if (options.speaker_cmvn) {
+    apply_speaker_cmvn(corpus);
+    apply_speaker_cmvn(held);
+  }
+  split.train = std::make_unique<InMemorySource>(std::move(corpus),
+                                                 options.partition);
+  split.heldout = std::make_unique<InMemorySource>(
+      std::move(held), options.heldout_partition);
+  return split;
+}
+
+SourceSplit open_sharded_split(const std::string& dir,
+                               const SourceOptions& options) {
+  validate_split_k(options.heldout_every_kth);
+  if (options.speaker_cmvn) {
+    throw std::invalid_argument(
+        "open_sharded_split: speaker_cmvn needs a second pass over the "
+        "store and is only supported by the in-memory source");
+  }
+  auto index = std::make_shared<const store::CorpusIndex>(
+      store::load_index(store::index_path(dir)));
+
+  store::CacheOptions copts;
+  copts.depth = options.prefetch_depth;
+  copts.prefetch = options.prefetch;
+  copts.fault = options.io_fault;
+  auto cache = std::make_shared<store::ShardCache>(dir, *index, copts);
+
+  std::vector<std::size_t> train_ords;
+  std::vector<std::size_t> held_ords;
+  for (std::size_t i = 0; i < index->entries.size(); ++i) {
+    if (is_heldout(i, options.heldout_every_kth)) {
+      held_ords.push_back(i);
+    } else {
+      train_ords.push_back(i);
+    }
+  }
+
+  SourceSplit split;
+  split.train = std::make_unique<ShardedSource>(
+      index, cache, std::move(train_ords), options.partition);
+  if (options.heldout_every_kth != 0) {
+    split.heldout = std::make_unique<ShardedSource>(
+        index, std::move(cache), std::move(held_ords),
+        options.heldout_partition);
+  }
+  return split;
+}
+
+// ---- helpers over the API ----
+
+StoreConfig StoreConfig::from_env() {
+  const util::RuntimeEnv& env = util::RuntimeEnv::get();
+  StoreConfig config;
+  config.data_dir = env.data_dir;
+  if (env.prefetch_depth != 0) {
+    config.prefetch_depth = static_cast<std::size_t>(env.prefetch_depth);
+  }
+  return config;
+}
+
+Normalizer estimate_normalizer(DataSource& source) {
+  NormalizerAccumulator acc(source.feature_dim());
+  source.visit([&](const Utterance& utt) { acc.add(utt); });
+  return acc.finish();
+}
+
+}  // namespace bgqhf::speech

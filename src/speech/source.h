@@ -1,0 +1,196 @@
+// The DataSource API: one front door for training data, wherever it lives.
+//
+// The trainer used to take a raw Corpus& and mutate it in place
+// (split_heldout, CMVN) before staging datasets — which hard-wired the
+// whole pipeline to an in-RAM corpus. DataSource inverts that: the trainer
+// sees an ordered collection of utterances with index-only metadata
+// (lengths, shapes) and pulls feature bytes on demand. Two implementations:
+//
+//   - InMemorySource wraps today's Corpus (the seed behaviour);
+//   - ShardedSource streams a BGQS1 store through the prefetching
+//     ShardCache, never holding more than the prefetch window in RAM.
+//
+// Held-out splitting and partition-strategy selection fold into
+// construction options (SourceOptions), so call sites stop mutating
+// corpora. Both implementations present the *same utterance order* for the
+// same underlying data, and estimate_normalizer / build_dataset fold
+// per-utterance in that order — the paper's "no loss in accuracy" claim in
+// testable form: a ShardedSource run is bitwise identical to the in-RAM
+// run at equal seed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "speech/corpus.h"
+#include "speech/error.h"
+#include "speech/features.h"
+#include "speech/partition.h"
+#include "speech/store/prefetch.h"
+
+namespace bgqhf::speech {
+
+/// A fetched, owned range of utterances (fetch() copies out of whatever
+/// backing storage the source uses).
+struct UtteranceBatch {
+  std::size_t begin = 0;  // ordinal of utterances.front()
+  std::vector<Utterance> utterances;
+};
+
+/// Construction-time options shared by every DataSource factory.
+struct SourceOptions {
+  /// Every k-th utterance goes to the held-out set (the split the trainer
+  /// used to perform by mutating the corpus). 0 = no split: all data is
+  /// training data and SourceSplit.heldout is null. Values 1 are invalid.
+  std::size_t heldout_every_kth = 0;
+  /// Apply per-speaker CMVN within each split half. Only the in-memory
+  /// source supports this (streaming CMVN would need a second pass over
+  /// the store); open_sharded_split rejects it.
+  bool speaker_cmvn = false;
+  /// Partition strategy baked into the training source (partition() uses
+  /// it), and the held-out source's strategy. Matches the trainer's seed
+  /// behaviour: balanced train shards, naive held-out shards.
+  PartitionStrategy partition = PartitionStrategy::kSortedBalanced;
+  PartitionStrategy heldout_partition = PartitionStrategy::kNaiveEqualCount;
+  /// Sharded sources only: prefetch window and the deterministic slow-I/O
+  /// hook (tests / datastore bench).
+  std::size_t prefetch_depth = 2;
+  bool prefetch = true;
+  store::IoFault io_fault;
+};
+
+/// Environment-resolved store selection (BGQHF_DATA_DIR /
+/// BGQHF_PREFETCH_DEPTH via util::RuntimeEnv, injectable with
+/// set_for_tests). An empty data_dir means "no store: generate in RAM".
+struct StoreConfig {
+  std::string data_dir;
+  std::size_t prefetch_depth = 2;
+
+  static StoreConfig from_env();
+};
+
+/// Ordered, random-access collection of utterances. Metadata (counts,
+/// shapes, lengths) is index-only — partitioning and held-out splitting
+/// never touch feature bytes. Fetching is pull-based so an out-of-core
+/// implementation can stream.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  virtual std::size_t num_utterances() const = 0;
+  virtual std::size_t feature_dim() const = 0;
+  virtual std::size_t num_states() const = 0;
+  /// Frames per utterance, by ordinal. Computed from the index alone.
+  virtual const std::vector<std::size_t>& lengths() const = 0;
+
+  /// Visit the given ordinals, in the given order, without copying.
+  /// The reference passed to `fn` is valid only during the call. This is
+  /// the zero-copy workhorse fetch()/visit()/build_dataset sit on; the
+  /// sharded implementation prefetches the implied shard plan first.
+  virtual void for_each(std::span<const std::size_t> ordinals,
+                        const std::function<void(const Utterance&)>& fn) = 0;
+
+  /// Copy out the ordinal range [begin, end).
+  UtteranceBatch fetch(std::size_t begin, std::size_t end);
+
+  /// Visit every utterance in ordinal order.
+  void visit(const std::function<void(const Utterance&)>& fn);
+
+  std::size_t total_frames() const;
+
+  /// Partition this source's utterances across `workers` using the
+  /// strategy selected at construction — from lengths() only.
+  Partition partition(std::size_t workers) const;
+  PartitionStrategy partition_strategy() const { return strategy_; }
+
+ protected:
+  explicit DataSource(PartitionStrategy strategy) : strategy_(strategy) {}
+
+ private:
+  PartitionStrategy strategy_;
+};
+
+/// The seed path: a materialized Corpus behind the DataSource API.
+class InMemorySource final : public DataSource {
+ public:
+  explicit InMemorySource(
+      Corpus corpus,
+      PartitionStrategy strategy = PartitionStrategy::kSortedBalanced);
+
+  std::size_t num_utterances() const override;
+  std::size_t feature_dim() const override { return corpus_.feature_dim; }
+  std::size_t num_states() const override { return corpus_.num_states; }
+  const std::vector<std::size_t>& lengths() const override {
+    return lengths_;
+  }
+  void for_each(std::span<const std::size_t> ordinals,
+                const std::function<void(const Utterance&)>& fn) override;
+
+  const Corpus& corpus() const { return corpus_; }
+
+ private:
+  Corpus corpus_;
+  std::vector<std::size_t> lengths_;
+};
+
+/// A view over selected ordinals of an opened BGQS1 store, streamed through
+/// a (possibly shared) prefetch cache. The train and held-out halves of a
+/// split share one cache so the loader window serves both.
+class ShardedSource final : public DataSource {
+ public:
+  ShardedSource(std::shared_ptr<const store::CorpusIndex> index,
+                std::shared_ptr<store::ShardCache> cache,
+                std::vector<std::size_t> store_ordinals,
+                PartitionStrategy strategy);
+
+  std::size_t num_utterances() const override;
+  std::size_t feature_dim() const override { return index_->feature_dim; }
+  std::size_t num_states() const override { return index_->num_states; }
+  const std::vector<std::size_t>& lengths() const override {
+    return lengths_;
+  }
+  void for_each(std::span<const std::size_t> ordinals,
+                const std::function<void(const Utterance&)>& fn) override;
+
+  /// Prefetch accounting (hits/misses/bytes/stall), for tests and the
+  /// datastore bench. Shared with the sibling split half.
+  store::CacheStats cache_stats() const { return cache_->stats(); }
+  const store::ShardCache& cache() const { return *cache_; }
+
+ private:
+  std::shared_ptr<const store::CorpusIndex> index_;
+  std::shared_ptr<store::ShardCache> cache_;
+  std::vector<std::size_t> store_ordinals_;  // view ordinal -> index entry
+  std::vector<std::size_t> lengths_;
+};
+
+/// A train/held-out pair from one underlying collection. heldout is null
+/// when options.heldout_every_kth == 0.
+struct SourceSplit {
+  std::unique_ptr<DataSource> train;
+  std::unique_ptr<DataSource> heldout;
+};
+
+/// Split `corpus` per options (same every-k-th rule split_heldout used),
+/// apply CMVN within each half if requested, and wrap both halves as
+/// InMemorySources. Replaces the split_heldout + apply_speaker_cmvn
+/// call-site dance.
+SourceSplit make_in_memory_split(Corpus corpus, const SourceOptions& options);
+
+/// Open the sharded store at `dir` and split it by the same every-k-th
+/// ordinal rule — from the index alone; no shard data is touched until
+/// utterances are fetched. Throws DataError on a missing/corrupt store and
+/// std::invalid_argument when options.speaker_cmvn is set.
+SourceSplit open_sharded_split(const std::string& dir,
+                               const SourceOptions& options);
+
+/// Estimate the global normalizer over every utterance of `source`, in
+/// ordinal order — the same fold estimate_normalizer(Corpus) performs, so
+/// both paths produce bit-identical normalizers for the same data.
+Normalizer estimate_normalizer(DataSource& source);
+
+}  // namespace bgqhf::speech

@@ -1,0 +1,255 @@
+#include "speech/store/prefetch.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace bgqhf::speech::store {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+obs::CounterId hit_counter() {
+  static obs::CounterId id =
+      obs::Schema::global().counter("data.prefetch_hit");
+  return id;
+}
+obs::CounterId miss_counter() {
+  static obs::CounterId id =
+      obs::Schema::global().counter("data.prefetch_miss");
+  return id;
+}
+obs::CounterId bytes_counter() {
+  static obs::CounterId id =
+      obs::Schema::global().counter("data.bytes_loaded");
+  return id;
+}
+obs::HistogramId load_histogram() {
+  static obs::HistogramId id =
+      obs::Schema::global().histogram("data.shard_load_seconds");
+  return id;
+}
+obs::HistogramId stall_histogram() {
+  static obs::HistogramId id =
+      obs::Schema::global().histogram("data.stall_seconds");
+  return id;
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+const Utterance& DecodedShard::at_offset(std::uint64_t offset) const {
+  const auto it = std::lower_bound(offsets.begin(), offsets.end(), offset);
+  if (it == offsets.end() || *it != offset) {
+    throw DataError(DataFault::kCorrupt,
+                    "no record at offset " + std::to_string(offset) +
+                        " in shard " + std::to_string(shard));
+  }
+  return utterances[static_cast<std::size_t>(it - offsets.begin())];
+}
+
+ShardCache::ShardCache(std::string dir, const CorpusIndex& index,
+                       CacheOptions options)
+    : dir_(std::move(dir)),
+      shard_files_(index.shard_files),
+      feature_dim_(index.feature_dim),
+      num_states_(index.num_states),
+      options_(options) {
+  if (options_.prefetch) {
+    loader_ = std::thread([this] { loader_main(); });
+  }
+}
+
+ShardCache::~ShardCache() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  ready_cv_.notify_all();
+  if (loader_.joinable()) loader_.join();
+}
+
+std::shared_ptr<const DecodedShard> ShardCache::load_shard(
+    std::uint32_t shard) {
+  BGQHF_SPAN("data", "shard_load");
+  const auto t0 = Clock::now();
+  if (options_.fault.armed()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.fault.delay_seconds(shard)));
+  }
+  if (shard >= shard_files_.size()) {
+    throw DataError(DataFault::kIo,
+                    "shard id " + std::to_string(shard) + " out of range");
+  }
+  MappedShard map(join(dir_, shard_files_[shard]), feature_dim_, num_states_);
+
+  auto decoded = std::make_shared<DecodedShard>();
+  decoded->shard = shard;
+  decoded->bytes = map.file_bytes();
+  const std::uint64_t n = map.header().num_records;
+  decoded->offsets.reserve(n);
+  decoded->utterances.reserve(n);
+  std::uint64_t offset = kShardHeaderBytes;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t next = 0;
+    Utterance utt = map.read_sequential(offset, &next);
+    decoded->offsets.push_back(offset);
+    decoded->utterances.push_back(std::move(utt));
+    offset = next;
+  }
+
+  const double io = seconds_since(t0);
+  obs::global_add(bytes_counter(), map.file_bytes());
+  obs::global_observe(load_histogram(), io);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shards_loaded;
+    stats_.bytes_loaded += map.file_bytes();
+    stats_.io_seconds += io;
+  }
+  return decoded;
+}
+
+bool ShardCache::loadable_entry_locked() {
+  // Skip plan entries that are already resident; the window is measured in
+  // plan positions, so skipped entries still advance load_pos_.
+  while (load_pos_ < plan_.size() &&
+         load_pos_ < consume_pos_ + options_.depth &&
+         cache_.count(plan_[load_pos_]) != 0) {
+    ++load_pos_;
+  }
+  return load_pos_ < plan_.size() &&
+         load_pos_ < consume_pos_ + options_.depth;
+}
+
+void ShardCache::loader_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || loadable_entry_locked(); });
+    if (stop_) return;
+    const std::uint32_t shard = plan_[load_pos_];
+    inflight_valid_ = true;
+    inflight_ = shard;
+    lock.unlock();
+    std::shared_ptr<const DecodedShard> decoded;
+    try {
+      decoded = load_shard(shard);
+    } catch (...) {
+      lock.lock();
+      loader_error_ = std::current_exception();
+      inflight_valid_ = false;
+      stop_ = true;  // a poisoned store is not worth prefetching further
+      ready_cv_.notify_all();
+      return;
+    }
+    lock.lock();
+    insert_locked(shard, std::move(decoded));
+    inflight_valid_ = false;
+    ++load_pos_;
+    ready_cv_.notify_all();
+  }
+}
+
+void ShardCache::insert_locked(std::uint32_t shard,
+                               std::shared_ptr<const DecodedShard> decoded) {
+  cache_[shard] = std::move(decoded);
+  touch_lru_locked(shard);
+  const std::size_t capacity = options_.depth + 1;
+  while (cache_.size() > capacity && lru_.size() > 1) {
+    const std::uint32_t victim = lru_.front();
+    lru_.erase(lru_.begin());
+    cache_.erase(victim);  // holders' shared_ptrs keep the data alive
+  }
+}
+
+void ShardCache::touch_lru_locked(std::uint32_t shard) {
+  const auto it = std::find(lru_.begin(), lru_.end(), shard);
+  if (it != lru_.end()) lru_.erase(it);
+  lru_.push_back(shard);
+}
+
+void ShardCache::rethrow_error_locked() {
+  if (loader_error_) std::rethrow_exception(loader_error_);
+}
+
+void ShardCache::schedule(std::vector<std::uint32_t> plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = std::move(plan);
+    load_pos_ = 0;
+    consume_pos_ = 0;
+  }
+  work_cv_.notify_all();
+}
+
+std::shared_ptr<const DecodedShard> ShardCache::get(std::uint32_t shard) {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_error_locked();
+
+  // Advance the consumption cursor when this request matches the plan (the
+  // loader's look-ahead window is anchored to it).
+  for (std::size_t p = consume_pos_; p < plan_.size(); ++p) {
+    if (plan_[p] == shard) {
+      consume_pos_ = p + 1;
+      break;
+    }
+  }
+
+  const auto it = cache_.find(shard);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    obs::global_add(hit_counter());
+    touch_lru_locked(shard);
+    work_cv_.notify_all();  // window advanced; loader may have new room
+    return it->second;
+  }
+
+  ++stats_.misses;
+  obs::global_add(miss_counter());
+  const auto t0 = Clock::now();
+  std::shared_ptr<const DecodedShard> result;
+  {
+    BGQHF_SPAN("data", "stall");
+    if (inflight_valid_ && inflight_ == shard) {
+      // The loader is already on it; just wait.
+      ready_cv_.wait(lock, [&] {
+        return loader_error_ != nullptr || cache_.count(shard) != 0;
+      });
+      rethrow_error_locked();
+      result = cache_.at(shard);
+      touch_lru_locked(shard);
+    } else {
+      // Not started anywhere: load inline in the consumer thread while the
+      // loader keeps working the plan.
+      lock.unlock();
+      auto decoded = load_shard(shard);
+      lock.lock();
+      insert_locked(shard, decoded);
+      result = std::move(decoded);
+    }
+  }
+  const double stall = seconds_since(t0);
+  stats_.stall_seconds += stall;
+  obs::global_observe(stall_histogram(), stall);
+  work_cv_.notify_all();
+  return result;
+}
+
+CacheStats ShardCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace bgqhf::speech::store

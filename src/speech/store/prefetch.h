@@ -1,0 +1,123 @@
+// Double-buffered shard prefetch cache.
+//
+// ShardCache keeps a small window of decoded shards in memory and runs a
+// single background loader thread that walks a consumer-announced plan
+// (schedule()) staying at most `depth` shards ahead of consumption. While
+// the trainer grinds GEMMs over shard k, the loader is decoding shard k+1 —
+// the paper's overlap discipline applied to input I/O instead of
+// communication. With prefetch off the same cache degrades to a synchronous
+// loader, which is exactly the baseline the datastore bench compares
+// against.
+//
+// Accounting: every get() is a hit (already decoded) or a miss; misses
+// stall the consumer for however long the load still needs. Stats are
+// mirrored into obs as data.* counters/histograms and "data" trace spans so
+// a trace can prove the loader hid the I/O.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "speech/store/reader.h"
+
+namespace bgqhf::speech::store {
+
+/// One fully decoded shard: every record, in file order, plus the byte
+/// offset each record started at (the index addresses records by offset).
+struct DecodedShard {
+  std::uint32_t shard = 0;
+  std::size_t bytes = 0;                // shard file size
+  std::vector<std::uint64_t> offsets;   // ascending record offsets
+  std::vector<Utterance> utterances;    // offsets[i] -> utterances[i]
+
+  /// The record that starts at `offset`; throws DataError{kCorrupt} when
+  /// no record does (an index pointing between records).
+  const Utterance& at_offset(std::uint64_t offset) const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;           // shard already decoded at get()
+  std::uint64_t misses = 0;         // consumer had to wait or load inline
+  std::uint64_t shards_loaded = 0;  // loads performed (either thread)
+  std::uint64_t bytes_loaded = 0;   // shard file bytes read
+  double stall_seconds = 0.0;       // consumer-visible wait across misses
+  double io_seconds = 0.0;          // wall time inside shard loads
+};
+
+struct CacheOptions {
+  /// How many shards the loader may run ahead of consumption. The cache
+  /// holds depth+1 decoded shards (the one being consumed plus the window);
+  /// eviction is least-recently-used.
+  std::size_t depth = 2;
+  /// false = no loader thread; every miss loads synchronously. The
+  /// baseline leg of the datastore bench.
+  bool prefetch = true;
+  /// Deterministic slow-I/O injection applied to every shard load.
+  IoFault fault;
+};
+
+class ShardCache {
+ public:
+  /// Shapes and shard file names are copied out of `index`; the cache does
+  /// not keep a reference to it.
+  ShardCache(std::string dir, const CorpusIndex& index,
+             CacheOptions options = {});
+  ~ShardCache();
+
+  ShardCache(const ShardCache&) = delete;
+  ShardCache& operator=(const ShardCache&) = delete;
+
+  /// Announce the upcoming shard consumption order. Replaces any previous
+  /// plan; the loader immediately starts filling the window. Decoded
+  /// shards already cached are reused, not reloaded.
+  void schedule(std::vector<std::uint32_t> plan);
+
+  /// The decoded shard, blocking until it is resident. Any DataError the
+  /// loader hit is rethrown here.
+  std::shared_ptr<const DecodedShard> get(std::uint32_t shard);
+
+  CacheStats stats() const;
+  std::size_t num_shards() const { return shard_files_.size(); }
+  const CacheOptions& options() const { return options_; }
+
+ private:
+  std::shared_ptr<const DecodedShard> load_shard(std::uint32_t shard);
+  void loader_main();
+  // All *_locked helpers require mu_ held.
+  bool loadable_entry_locked();
+  void insert_locked(std::uint32_t shard,
+                     std::shared_ptr<const DecodedShard> decoded);
+  void touch_lru_locked(std::uint32_t shard);
+  void rethrow_error_locked();
+
+  std::string dir_;
+  std::vector<std::string> shard_files_;
+  std::size_t feature_dim_ = 0;
+  std::size_t num_states_ = 0;
+  CacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // wakes the loader
+  std::condition_variable ready_cv_;  // wakes consumers waiting on a load
+  std::unordered_map<std::uint32_t, std::shared_ptr<const DecodedShard>>
+      cache_;
+  std::vector<std::uint32_t> lru_;  // back = most recently used
+  std::vector<std::uint32_t> plan_;
+  std::size_t load_pos_ = 0;     // next plan entry the loader takes
+  std::size_t consume_pos_ = 0;  // next plan entry the consumer wants
+  bool inflight_valid_ = false;
+  std::uint32_t inflight_ = 0;  // shard the loader is decoding right now
+  bool stop_ = false;
+  std::exception_ptr loader_error_;
+  CacheStats stats_;
+  std::thread loader_;
+};
+
+}  // namespace bgqhf::speech::store

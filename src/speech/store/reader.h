@@ -1,0 +1,69 @@
+// Shard readers: mmap-backed record access plus a deterministic I/O fault
+// hook.
+//
+// MappedShard maps one BGQS1 file read-only and decodes CRC-framed records
+// at index-supplied offsets (or sequentially). Decoding copies into an
+// owned Utterance — the map itself stays cold until a record is touched,
+// so opening every shard of a store costs pages, not bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "speech/store/format.h"
+
+namespace bgqhf::speech::store {
+
+/// Deterministic slow-I/O injection for tests and the datastore bench:
+/// each shard load sleeps delay_ms * (0.5 + u) milliseconds where u in
+/// [0, 1) is drawn from (seed, shard id) — the same schedule on every run,
+/// emulating a shared-filesystem fetch without real hardware variance.
+struct IoFault {
+  double delay_ms = 0.0;
+  std::uint64_t seed = 0;
+
+  bool armed() const { return delay_ms > 0.0; }
+  /// The injected delay for `shard`, in seconds.
+  double delay_seconds(std::size_t shard) const;
+};
+
+class MappedShard {
+ public:
+  /// Map `path` and validate its header. Shape expectations come from the
+  /// index; a shard whose own header disagrees throws
+  /// DataError{kShapeMismatch} (kIo / kBadMagic / kBadVersion / kCorrupt
+  /// for the other failure classes).
+  MappedShard(const std::string& path, std::size_t expect_feature_dim,
+              std::size_t expect_num_states);
+  ~MappedShard();
+
+  MappedShard(MappedShard&& other) noexcept;
+  MappedShard& operator=(MappedShard&&) = delete;
+  MappedShard(const MappedShard&) = delete;
+  MappedShard& operator=(const MappedShard&) = delete;
+
+  const ShardHeader& header() const { return header_; }
+  std::size_t file_bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// Decode the record at `offset` (from the index). When `expect` is
+  /// given, the decoded id and frame count must match it (a stale index
+  /// over a rewritten shard throws DataError{kShapeMismatch}).
+  Utterance read_at(std::uint64_t offset,
+                    const IndexEntry* expect = nullptr) const;
+
+  /// Decode the record at `offset` and return the offset one past it —
+  /// sequential whole-shard scans for the prefetch cache.
+  Utterance read_sequential(std::uint64_t offset,
+                            std::uint64_t* next_offset) const;
+
+ private:
+  Utterance decode_at(std::uint64_t offset, std::size_t* consumed) const;
+
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  ShardHeader header_;
+};
+
+}  // namespace bgqhf::speech::store

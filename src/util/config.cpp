@@ -122,6 +122,19 @@ std::uint64_t env_u64(const char* name) {
   return static_cast<std::uint64_t>(parsed);
 }
 
+/// env_u64 with the typed knob error: tests assert on knob()/value()
+/// instead of string-matching the message.
+std::uint64_t env_u64_knob(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw ConfigError(name, v, "an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
 std::mutex& runtime_env_mutex() {
   static std::mutex* mu = new std::mutex();
   return *mu;
@@ -152,6 +165,8 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   env.serve_slo_us = env_u64("BGQHF_SERVE_SLO_US");
   env.serve_tenant_rate = env_u64("BGQHF_SERVE_TENANT_RATE");
   env.serve_fault_seed = env_u64("BGQHF_SERVE_FAULT_SEED");
+  env.data_dir = env_string("BGQHF_DATA_DIR");
+  env.prefetch_depth = env_u64_knob("BGQHF_PREFETCH_DEPTH");
   return env;
 }
 

@@ -118,6 +118,14 @@ struct RuntimeEnv {
   /// BGQHF_SERVE_FAULT_SEED — seed for the serving fault injector when a
   /// bench/CI leg arms it (0 = the bench's own default).
   std::uint64_t serve_fault_seed = 0;
+  /// BGQHF_DATA_DIR — directory of a sharded corpus store (index.bgqsx +
+  /// *.bgqs shards). When set, the trainer streams utterances out of core
+  /// through ShardedSource instead of generating the corpus in RAM.
+  std::string data_dir;
+  /// BGQHF_PREFETCH_DEPTH — how many shards the store's background loader
+  /// keeps decoded ahead of consumption (0 = keep the default of 2).
+  /// Malformed values throw ConfigError.
+  std::uint64_t prefetch_depth = 0;
 
   /// Cached process snapshot (first call reads the environment).
   static const RuntimeEnv& get();

@@ -121,5 +121,30 @@ TEST(RuntimeEnvServeKnobs, MalformedValueThrows) {
   unsetenv("BGQHF_SERVE_BATCH");
 }
 
+TEST(RuntimeEnvDataKnobs, FromProcessEnvReadsStoreKnobs) {
+  ASSERT_EQ(setenv("BGQHF_DATA_DIR", "/data/store400h", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_PREFETCH_DEPTH", "4", 1), 0);
+  const RuntimeEnv env = RuntimeEnv::from_process_env();
+  EXPECT_EQ(env.data_dir, "/data/store400h");
+  EXPECT_EQ(env.prefetch_depth, 4u);
+  unsetenv("BGQHF_DATA_DIR");
+  unsetenv("BGQHF_PREFETCH_DEPTH");
+  const RuntimeEnv unset = RuntimeEnv::from_process_env();
+  EXPECT_TRUE(unset.data_dir.empty());
+  EXPECT_EQ(unset.prefetch_depth, 0u);
+}
+
+TEST(RuntimeEnvDataKnobs, MalformedPrefetchDepthNamesTheKnob) {
+  ASSERT_EQ(setenv("BGQHF_PREFETCH_DEPTH", "deep", 1), 0);
+  try {
+    RuntimeEnv::from_process_env();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.knob(), "BGQHF_PREFETCH_DEPTH");
+    EXPECT_EQ(e.value(), "deep");
+  }
+  unsetenv("BGQHF_PREFETCH_DEPTH");
+}
+
 }  // namespace
 }  // namespace bgqhf::util
