@@ -23,9 +23,9 @@ bgqhf::hf::TrainerConfig base() {
   cfg.context = 2;
   cfg.hidden = {28};
   cfg.heldout_every_kth = 4;
-  cfg.curvature_fraction = 0.05;
+  cfg.hf.hyper.curvature_fraction = 0.05;
   cfg.hf.max_iterations = 7;
-  cfg.hf.cg.max_iters = 40;
+  cfg.hf.hyper.cg_max_iters = 40;
   return cfg;
 }
 
@@ -72,7 +72,7 @@ int main() {
     std::vector<Row> rows;
     for (const double frac : {0.01, 0.03, 0.10, 0.30}) {
       bgqhf::hf::TrainerConfig cfg = base();
-      cfg.curvature_fraction = frac;
+      cfg.hf.hyper.curvature_fraction = frac;
       rows.push_back(run(cfg, Table::fmt(100 * frac, 0) + "%"));
     }
     print("Curvature sample fraction (paper: 'about 1% to 3%')",

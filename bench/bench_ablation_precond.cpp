@@ -25,7 +25,7 @@ int main() {
   cfg.hidden = {32};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 8;
-  cfg.hf.cg.max_iters = 60;
+  cfg.hf.hyper.cg_max_iters = 60;
   cfg.hf.cg.progress_tol = 5e-4;
 
   std::printf("\n=== Jacobi preconditioner ablation (functional run) ===\n");

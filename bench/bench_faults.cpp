@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   base.hidden = {24};
   base.heldout_every_kth = 4;
   base.hf.max_iterations = 4;
-  base.hf.cg.max_iters = 20;
+  base.hf.hyper.cg_max_iters = 20;
   base.ft.enabled = true;
   base.ft.reply_timeout = 0.25;
   base.ft.max_retries = 2;

@@ -25,7 +25,7 @@ int main() {
   base.hidden = {24};
   base.heldout_every_kth = 4;
   base.hf.max_iterations = 4;
-  base.hf.cg.max_iters = 20;
+  base.hf.hyper.cg_max_iters = 20;
 
   const hf::Phase phases[] = {
       hf::Phase::kLoadData,        hf::Phase::kSyncWeights,

@@ -42,7 +42,7 @@ struct Entry {
 Entry run_hf() {
   bgqhf::hf::TrainerConfig cfg = task();
   cfg.hf.max_iterations = 8;
-  cfg.hf.cg.max_iters = 30;
+  cfg.hf.hyper.cg_max_iters = 30;
   bgqhf::util::Timer t;
   const auto out = bgqhf::hf::train_serial(cfg);
   return {"HF (Algorithm 1)", out.hf.final_heldout_loss,

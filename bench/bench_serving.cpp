@@ -508,7 +508,7 @@ int run_ci(const bench::ObsCli& obs_cli) {
   cfg.context = 1;
   cfg.hidden = {12};
   cfg.hf.max_iterations = 1;
-  cfg.hf.cg.max_iters = 4;
+  cfg.hf.hyper.cg_max_iters = 4;
   std::printf("[ci] training tiny model (%.3f h synthetic corpus)...\n",
               cfg.corpus.hours);
   const hf::TrainOutcome out = hf::train_serial(cfg);

@@ -37,7 +37,7 @@ int main() {
   cfg.hidden = {32};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 8;
-  cfg.hf.cg.max_iters = 30;
+  cfg.hf.hyper.cg_max_iters = 30;
 
   util::Timer hf_timer;
   const hf::TrainOutcome hf_out = hf::train_serial(cfg);

@@ -75,7 +75,7 @@ inline hf::TrainerConfig measured_run_config(int workers) {
   cfg.context = 2;
   cfg.hidden = {24};
   cfg.hf.max_iterations = 2;
-  cfg.hf.cg.max_iters = 10;
+  cfg.hf.hyper.cg_max_iters = 10;
   return cfg;
 }
 

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     hf::SerialCompute compute(std::move(workloads));
     hf::HfOptions hf_opts;
     hf_opts.max_iterations = iters;
-    hf_opts.cg.max_iters = 25;
+    hf_opts.hyper.cg_max_iters = 25;
     std::vector<float> theta(init.params().begin(), init.params().end());
     const hf::HfResult result =
         hf::HfOptimizer(hf_opts).run(compute, theta);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   trainer.hidden = {static_cast<std::size_t>(cfg.get_int("hidden", 32))};
   trainer.hf.max_iterations =
       static_cast<std::size_t>(cfg.get_int("iters", 8));
-  trainer.hf.cg.max_iters = 30;
+  trainer.hf.hyper.cg_max_iters = 30;
   trainer.hf.verbose = cfg.get_bool("verbose", false);
   if (trainer.hf.verbose) util::set_log_level(util::LogLevel::kInfo);
 

@@ -30,7 +30,7 @@ bgqhf::hf::TrainerConfig base_config(const bgqhf::util::Config& cfg) {
   trainer.hidden = {20};
   trainer.hf.max_iterations =
       static_cast<std::size_t>(cfg.get_int("iters", 4));
-  trainer.hf.cg.max_iters = 20;
+  trainer.hf.hyper.cg_max_iters = 20;
   return trainer;
 }
 

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   trainer.hidden = {static_cast<std::size_t>(cfg.get_int("hidden", 24))};
   trainer.hf.max_iterations =
       static_cast<std::size_t>(cfg.get_int("iters", 5));
-  trainer.hf.cg.max_iters = 25;
+  trainer.hf.hyper.cg_max_iters = 25;
 
   for (const auto& key : cfg.unused_keys()) {
     std::fprintf(stderr, "unknown flag: %s\n", key.c_str());

@@ -9,7 +9,7 @@ namespace bgqhf::hf {
 
 CgResult cg_minimize(const Matvec& apply_a, std::span<const float> grad,
                      std::span<const float> d0, const CgOptions& options,
-                     const Matvec* apply_minv) {
+                     std::size_t max_iters, const Matvec* apply_minv) {
   const std::size_t n = grad.size();
   CgResult result;
 
@@ -70,7 +70,7 @@ CgResult cg_minimize(const Matvec& apply_a, std::span<const float> grad,
 
   result.stop = CgResult::Stop::kMaxIters;
   std::size_t iter = 0;
-  while (iter < options.max_iters) {
+  while (iter < max_iters) {
     if (std::sqrt(rs_old) < options.residual_tol) {
       result.stop = CgResult::Stop::kResidual;
       break;

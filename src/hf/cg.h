@@ -27,8 +27,10 @@ namespace bgqhf::hf {
 using Matvec =
     std::function<void(std::span<const float> v, std::span<float> out)>;
 
+/// Truncation mechanics only — the iteration *budget* is a searchable
+/// hyperparameter (hf::HyperParams::cg_max_iters) and is passed to
+/// cg_minimize explicitly.
 struct CgOptions {
-  std::size_t max_iters = 250;
   std::size_t min_iters = 1;
   /// Martens' epsilon: stop when (q_i - q_{i-k}) / q_i < k * progress_tol
   /// with window k = max(10, i/10) and q_i < 0.
@@ -62,6 +64,7 @@ struct CgResult {
 /// preconditioner [25]"); we provide it as the natural extension.
 CgResult cg_minimize(const Matvec& apply_a, std::span<const float> grad,
                      std::span<const float> d0, const CgOptions& options,
+                     std::size_t max_iters,
                      const Matvec* apply_minv = nullptr);
 
 }  // namespace bgqhf::hf

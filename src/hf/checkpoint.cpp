@@ -7,6 +7,7 @@
 #include "nn/network.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "simmpi/compress.h"
 #include "util/checksum.h"
 
 namespace bgqhf::hf {
@@ -33,6 +34,10 @@ namespace {
 
 constexpr char kMagic[8] = {'B', 'G', 'Q', 'H', 'F', 'C', 'K', 'P'};
 constexpr std::uint32_t kVersion = 1;
+
+// In-memory weights blob (encode_weights_blob): distinct magic so a wire
+// payload is never mistaken for (or fed to) the file-checkpoint loaders.
+constexpr char kWeightsMagic[8] = {'B', 'G', 'Q', 'H', 'F', 'W', 'T', 'S'};
 
 class Writer {
  public:
@@ -260,6 +265,79 @@ CheckpointWeights load_checkpoint_weights(const std::string& path) {
   w.theta.resize(n_params);
   for (auto& v : w.theta) v = r.pod<float>();
   r.skip<float>(n_params);  // d0: CG-restart momentum, training-only
+  return w;
+}
+
+std::vector<std::byte> encode_weights_blob(const CheckpointWeights& weights,
+                                           WeightsWire wire) {
+  obs::global_add(obs::Schema::global().counter("hf.checkpoint.encodes"));
+  Writer w;
+  for (const char c : kWeightsMagic) w.pod(c);
+  w.pod(kVersion);
+  w.pod(static_cast<std::uint32_t>(wire));
+  w.pod(weights.completed_iterations);
+  w.pod(weights.hf_seed);
+  if (wire == WeightsWire::kBf16) {
+    // Dense bf16 body through the compress codec (a fresh state per blob:
+    // a one-shot exchange has no error-feedback stream to carry, the
+    // rounding residual the carrier retains is discarded with the copy).
+    simmpi::CompressOptions copts;
+    copts.mode = simmpi::CompressMode::kBf16;
+    copts.min_values = 0;
+    simmpi::CompressState state;
+    std::vector<float> carrier = weights.theta;
+    const simmpi::Payload body = simmpi::compress(carrier, copts, state);
+    std::vector<std::byte> bytes(body.data(), body.data() + body.size());
+    w.pod_vector(bytes);
+  } else {
+    w.pod_vector(weights.theta);
+  }
+  const std::uint32_t crc = util::crc32(w.bytes().data(), w.bytes().size());
+  w.pod(crc);
+  return std::move(w.bytes());
+}
+
+CheckpointWeights decode_weights_blob(const std::vector<std::byte>& blob) {
+  if (blob.size() < sizeof(kWeightsMagic) + sizeof(std::uint32_t) * 2) {
+    throw CheckpointError(CheckpointFault::kCorrupt, "weights blob too short");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (util::crc32(blob.data(), blob.size() - sizeof(stored_crc)) !=
+      stored_crc) {
+    throw CheckpointError(CheckpointFault::kCorrupt,
+                          "weights blob CRC mismatch");
+  }
+  Reader r(blob);
+  for (const char expected : kWeightsMagic) {
+    if (r.pod<char>() != expected) {
+      throw CheckpointError(CheckpointFault::kBadMagic, "weights blob");
+    }
+  }
+  if (const auto v = r.pod<std::uint32_t>(); v != kVersion) {
+    throw CheckpointError(CheckpointFault::kBadVersion,
+                          "weights blob version " + std::to_string(v) +
+                              " (want " + std::to_string(kVersion) + ")");
+  }
+  const auto wire = r.pod<std::uint32_t>();
+  CheckpointWeights w;
+  w.completed_iterations = r.pod<std::uint64_t>();
+  w.hf_seed = r.pod<std::uint64_t>();
+  switch (static_cast<WeightsWire>(wire)) {
+    case WeightsWire::kF32:
+      w.theta = r.pod_vector<float>();
+      break;
+    case WeightsWire::kBf16: {
+      const std::vector<std::byte> body = r.pod_vector<std::byte>();
+      w.theta.assign(simmpi::decoded_values(body), 0.0f);
+      simmpi::decode_overwrite(body, w.theta);
+      break;
+    }
+    default:
+      throw CheckpointError(CheckpointFault::kCorrupt,
+                            "weights blob wire tag " + std::to_string(wire));
+  }
   return w;
 }
 

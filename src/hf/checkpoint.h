@@ -101,4 +101,21 @@ CheckpointWeights load_checkpoint_weights(const std::string& path);
 /// when the checkpoint was trained on a different topology.
 void install_weights(const CheckpointWeights& weights, nn::Network& net);
 
+/// Wire body for encode_weights_blob: fp32 ships theta verbatim (decode
+/// round-trips bitwise); bf16 ships the compress codec's dense bfloat16
+/// payload (half the theta bytes; decode widens back, so the round-trip
+/// equals theta passed through blas::bf16_round). Both are covered by the
+/// blob's CRC32 footer.
+enum class WeightsWire : std::uint32_t { kF32 = 0, kBf16 = 1 };
+
+/// In-memory weights-only codec ("BGQHFWTS" magic) for live exchange
+/// between trainers — the LTFB tournament ships these blobs over simmpi
+/// instead of rendezvousing on the filesystem. Same Writer/Reader/CRC32
+/// machinery as the file format: the footer covers every byte, and decode
+/// throws CheckpointError{kCorrupt/kBadMagic/kBadVersion} on damage, so a
+/// bit-flipped wire payload is rejected rather than installed.
+std::vector<std::byte> encode_weights_blob(
+    const CheckpointWeights& weights, WeightsWire wire = WeightsWire::kF32);
+CheckpointWeights decode_weights_blob(const std::vector<std::byte>& blob);
+
 }  // namespace bgqhf::hf

@@ -13,16 +13,17 @@
 // `paper_literal` switch lets the ablation bench run the printed variant.
 #pragma once
 
+#include "hf/hyperparams.h"
+
 namespace bgqhf::hf {
 
+/// Controller mechanics only — lambda0 and the grow/shrink multipliers
+/// are searchable hyperparameters and live in hf::HyperParams.
 struct DampingOptions {
-  double lambda0 = 1.0;
   double lambda_min = 1e-8;
   double lambda_max = 1e8;
   double rho_low = 0.25;
   double rho_high = 0.75;
-  double grow = 1.5;     // the paper's 3/2
-  double shrink = 2.0 / 3.0;
   /// Use the sign convention as literally printed in Algorithm 1 (see
   /// header comment) instead of the Martens convention.
   bool paper_literal = false;
@@ -30,8 +31,12 @@ struct DampingOptions {
 
 class LevenbergMarquardt {
  public:
-  explicit LevenbergMarquardt(const DampingOptions& options = {})
-      : options_(options), lambda_(options.lambda0) {}
+  explicit LevenbergMarquardt(const HyperParams& hyper,
+                              const DampingOptions& options = {})
+      : options_(options),
+        grow_(hyper.damping_grow),
+        shrink_(hyper.damping_shrink),
+        lambda_(hyper.lambda0) {}
 
   double lambda() const { return lambda_; }
 
@@ -40,7 +45,7 @@ class LevenbergMarquardt {
   void set_lambda(double v) { set(v); }
 
   /// A backtracking pass found no improving iterate: raise damping.
-  void on_failed_iteration() { set(lambda_ * options_.grow); }
+  void on_failed_iteration() { set(lambda_ * grow_); }
 
   /// Successful iteration with reduction ratio rho =
   /// (L_prev - L_best) / q(d_N).
@@ -48,11 +53,11 @@ class LevenbergMarquardt {
     const bool poor = rho < options_.rho_low;
     const bool good = rho > options_.rho_high;
     if (options_.paper_literal) {
-      if (poor) set(lambda_ * options_.shrink);
-      else if (good) set(lambda_ * options_.grow);
+      if (poor) set(lambda_ * shrink_);
+      else if (good) set(lambda_ * grow_);
     } else {
-      if (poor) set(lambda_ * options_.grow);
-      else if (good) set(lambda_ * options_.shrink);
+      if (poor) set(lambda_ * grow_);
+      else if (good) set(lambda_ * shrink_);
     }
   }
 
@@ -64,6 +69,8 @@ class LevenbergMarquardt {
   }
 
   DampingOptions options_;
+  double grow_;
+  double shrink_;
   double lambda_;
 };
 

@@ -1,0 +1,70 @@
+#include "hf/hyperparams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/config.h"
+#include "util/rng.h"
+
+namespace bgqhf::hf {
+
+HyperParams HyperParams::from_env() {
+  const util::RuntimeEnv& env = util::RuntimeEnv::get();
+  HyperParams hp;
+  if (env.hf_lambda0 > 0) hp.lambda0 = env.hf_lambda0;
+  if (env.hf_cg_iters > 0) {
+    hp.cg_max_iters = static_cast<std::size_t>(env.hf_cg_iters);
+  }
+  if (env.hf_resample > 0) hp.curvature_fraction = env.hf_resample;
+  return hp;
+}
+
+std::string HyperParams::to_string() const {
+  std::ostringstream os;
+  os << "lambda0=" << lambda0 << " cg=" << cg_max_iters
+     << " resample=" << curvature_fraction << " grow=" << damping_grow
+     << " shrink=" << damping_shrink;
+  return os.str();
+}
+
+HyperParams HyperParams::perturb(util::Rng& rng) const {
+  // Fixed draw order — five draws, always consumed, so the offspring is a
+  // pure function of the rng state even when a clamp saturates.
+  const double d_lambda = rng.uniform(-1.0, 1.0);
+  const double d_cg = rng.uniform(-0.5, 0.5);
+  const double d_frac = rng.uniform(-1.0, 1.0);
+  const double d_grow = rng.uniform(-0.25, 0.25);
+  const double d_shrink = rng.uniform(-0.25, 0.25);
+
+  HyperParams hp = *this;
+  hp.lambda0 = std::clamp(lambda0 * std::exp2(d_lambda), 1e-8, 1e8);
+  const double cg = std::round(static_cast<double>(cg_max_iters) *
+                               std::exp2(d_cg));
+  hp.cg_max_iters = static_cast<std::size_t>(std::max(4.0, cg));
+  hp.curvature_fraction =
+      std::clamp(curvature_fraction * std::exp2(d_frac), 0.001, 1.0);
+  // Keep the damping controller contractive: grow strictly above 1,
+  // shrink strictly below.
+  hp.damping_grow = std::clamp(damping_grow * std::exp2(d_grow), 1.05, 10.0);
+  hp.damping_shrink =
+      std::clamp(damping_shrink * std::exp2(d_shrink), 0.05, 0.95);
+  return hp;
+}
+
+std::array<double, 5> HyperParams::pack() const {
+  return {lambda0, static_cast<double>(cg_max_iters), curvature_fraction,
+          damping_grow, damping_shrink};
+}
+
+HyperParams HyperParams::unpack(const std::array<double, 5>& packed) {
+  HyperParams hp;
+  hp.lambda0 = packed[0];
+  hp.cg_max_iters = static_cast<std::size_t>(packed[1]);
+  hp.curvature_fraction = packed[2];
+  hp.damping_grow = packed[3];
+  hp.damping_shrink = packed[4];
+  return hp;
+}
+
+}  // namespace bgqhf::hf

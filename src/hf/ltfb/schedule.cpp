@@ -1,0 +1,59 @@
+#include "hf/ltfb/schedule.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace bgqhf::hf::ltfb {
+
+namespace {
+
+// Disjoint logical stream ids forked off the tournament seed. Pairing,
+// initial perturbation, and per-round mutation must never share a stream:
+// a draw consumed by one would silently shift another and break replay.
+constexpr std::uint64_t kPairingStream = 0;
+constexpr std::uint64_t kInitStream = 1;
+constexpr std::uint64_t kMutationStream = 2;
+
+}  // namespace
+
+TournamentSchedule::TournamentSchedule(std::uint64_t seed,
+                                       std::size_t populations)
+    : seed_(seed), populations_(populations) {
+  if (populations < 2) {
+    throw std::invalid_argument(
+        "TournamentSchedule: need at least 2 populations");
+  }
+}
+
+std::vector<int> TournamentSchedule::pairing(std::size_t round) const {
+  std::vector<int> ids(populations_);
+  std::iota(ids.begin(), ids.end(), 0);
+  util::Rng rng = util::Rng(seed_).fork(kPairingStream).fork(round);
+  // Fisher-Yates over the id list; adjacent shuffled ids pair up.
+  for (std::size_t i = populations_ - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(ids[i], ids[j]);
+  }
+  std::vector<int> partner(populations_, -1);
+  for (std::size_t i = 0; i + 1 < populations_; i += 2) {
+    partner[static_cast<std::size_t>(ids[i])] = ids[i + 1];
+    partner[static_cast<std::size_t>(ids[i + 1])] = ids[i];
+  }
+  return partner;
+}
+
+int TournamentSchedule::partner(std::size_t round, std::size_t pop) const {
+  return pairing(round).at(pop);
+}
+
+util::Rng TournamentSchedule::init_rng(std::size_t pop) const {
+  return util::Rng(seed_).fork(kInitStream).fork(pop);
+}
+
+util::Rng TournamentSchedule::mutation_rng(std::size_t round,
+                                           std::size_t pop) const {
+  return util::Rng(seed_).fork(kMutationStream).fork(
+      round * populations_ + pop);
+}
+
+}  // namespace bgqhf::hf::ltfb

@@ -1,0 +1,51 @@
+// Seeded tournament schedule for LTFB population training.
+//
+// Every decision the tournament makes — which populations meet in round r,
+// and the RNG stream that mutates a loser's hyperparameters — is a pure
+// function of (seed, round, population count). No rank ever communicates
+// to agree on a bracket: each population master replays the schedule
+// locally, the same way the simmpi fault injectors replay kill schedules,
+// which is what makes a whole tournament bitwise reproducible from one
+// seed (the BGQHF_LTFB_SEED determinism gate in CI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bgqhf::hf::ltfb {
+
+class TournamentSchedule {
+ public:
+  TournamentSchedule(std::uint64_t seed, std::size_t populations);
+
+  std::size_t populations() const noexcept { return populations_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Full pairing for one round: pairing[p] is p's partner, or -1 for a
+  /// bye (odd population counts sit one population out per round). The
+  /// pairing is a seeded Fisher-Yates shuffle of the population ids with
+  /// adjacent shuffled ids paired, so every population meets a varying
+  /// opponent while all masters agree on the bracket without talking.
+  std::vector<int> pairing(std::size_t round) const;
+
+  /// Partner of `pop` in `round` (convenience over pairing()), or -1.
+  int partner(std::size_t round, std::size_t pop) const;
+
+  /// RNG stream that perturbs population `pop`'s starting hyperparameters
+  /// (population 0 conventionally keeps the unperturbed base config; the
+  /// caller decides). Disjoint from every other stream below.
+  util::Rng init_rng(std::size_t pop) const;
+
+  /// RNG stream that mutates the hyperparameters `pop` adopts after losing
+  /// its round-`round` match. One stream per (round, pop), so the same
+  /// loss in the same round always mutates identically.
+  util::Rng mutation_rng(std::size_t round, std::size_t pop) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t populations_;
+};
+
+}  // namespace bgqhf::hf::ltfb

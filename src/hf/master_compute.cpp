@@ -1,5 +1,6 @@
 #include "hf/master_compute.h"
 
+#include <bit>
 #include <stdexcept>
 
 #include "obs/registry.h"
@@ -440,6 +441,11 @@ nn::BatchLoss MasterCompute::heldout_loss() {
         "lost?)");
   }
   return total;
+}
+
+void MasterCompute::set_curvature_fraction(double fraction) {
+  broadcast_command(Command::kSetCurvature,
+                    std::bit_cast<std::uint64_t>(fraction));
 }
 
 void MasterCompute::shutdown() { broadcast_command(Command::kShutdown); }

@@ -62,6 +62,11 @@ class MasterCompute : public HfCompute {
                          std::span<float> out) override;
   nn::BatchLoss heldout_loss() override;
 
+  /// Broadcast a new curvature resample fraction to every (live) worker
+  /// (LTFB hyperparameter mutation applied to a running population). No
+  /// reply; takes effect at each worker's next prepare_curvature.
+  void set_curvature_fraction(double fraction);
+
   /// Tell all (live) workers to exit their loops. Call exactly once, after
   /// the optimizer finishes.
   void shutdown();

@@ -23,7 +23,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
   }
 
   HfResult result;
-  LevenbergMarquardt lm(options_.damping);
+  LevenbergMarquardt lm(options_.hyper, options_.damping);
   util::Rng seed_rng(options_.seed);
 
   std::vector<float> d0(n, 0.0f);
@@ -133,6 +133,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
     {
       BGQHF_SPAN("hf", "cg_minimize");
       cg = cg_minimize(apply_a, grad, d0, options_.cg,
+                       options_.hyper.cg_max_iters,
                        precond ? &apply_minv : nullptr);
     }
     log.cg_iterations = cg.iterations;
@@ -248,6 +249,7 @@ HfResult HfOptimizer::run(HfCompute& compute, std::span<float> theta,
   const nn::BatchLoss final_loss = compute.heldout_loss();
   result.final_heldout_loss = final_loss.mean_loss();
   result.final_heldout_accuracy = final_loss.accuracy();
+  result.final_lambda = lm.lambda();
   return result;
 }
 

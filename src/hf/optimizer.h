@@ -20,12 +20,17 @@
 #include "hf/cg.h"
 #include "hf/compute.h"
 #include "hf/damping.h"
+#include "hf/hyperparams.h"
 #include "hf/linesearch.h"
 
 namespace bgqhf::hf {
 
 struct HfOptions {
   std::size_t max_iterations = 20;
+  /// The searchable hyperparameters: lambda0, CG budget, curvature
+  /// resample fraction, damping multipliers. One struct so LTFB can
+  /// perturb / exchange / mutate them as a unit.
+  HyperParams hyper = HyperParams::from_env();
   DampingOptions damping;
   CgOptions cg;
   LineSearchOptions linesearch;
@@ -71,6 +76,9 @@ struct HfResult {
   std::vector<HfIterationLog> iterations;
   double final_heldout_loss = 0.0;
   double final_heldout_accuracy = 0.0;
+  /// Damping state when the run ended — an LTFB leg seeds the next leg's
+  /// HyperParams::lambda0 with this so lambda carries across tournaments.
+  double final_lambda = 0.0;
   bool early_stopped = false;
 };
 

@@ -24,6 +24,9 @@ enum class Command : std::uint64_t {
   kCurvatureProduct = 4,  // followed by bcast of v; workers reduce products
   kHeldoutLoss = 5,       // workers reduce held-out loss stats
   kShutdown = 6,          // workers exit their loop
+  kSetCurvature = 7,      // aux = bit_cast<double> curvature fraction; no
+                          // reply. LTFB mutation changes the resample rate
+                          // of a *running* population between legs.
 };
 
 /// Fixed header broadcast before every operation: {command, aux}.
@@ -53,5 +56,14 @@ inline constexpr int kTagFtCommand = 110;  // {command, aux} per worker
 inline constexpr int kTagFtPayload = 111;  // theta / CG vector per worker
 inline constexpr int kTagFtReply = 112;    // one framed reply per command
 inline constexpr int kTagFtFailure = 113;  // worker self-reported failure
+
+/// LTFB tournament exchange between population masters. These messages
+/// ride the WORLD communicator while the populations train inside split
+/// sub-comms; the per-round tag keeps a straggler's round-r blob from ever
+/// being matched against round r+1.
+inline constexpr int kTagLtfbBase = 500;
+inline constexpr int ltfb_round_tag(std::size_t round) {
+  return kTagLtfbBase + static_cast<int>(round);
+}
 
 }  // namespace bgqhf::hf

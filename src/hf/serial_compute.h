@@ -43,6 +43,13 @@ class SerialCompute : public HfCompute {
                          std::span<float> out) override;
   nn::BatchLoss heldout_loss() override;
 
+  /// Serial mirror of MasterCompute::set_curvature_fraction: applied to
+  /// every shard, so a serial re-run of a mutated population stays
+  /// bitwise-equivalent to the distributed one.
+  void set_curvature_fraction(double fraction) {
+    for (auto& shard : shards_) shard->set_curvature_fraction(fraction);
+  }
+
  private:
   /// Compressed mirror of the master's per-segment rank-order blob fold:
   /// compress each slot's carrier slice through its own state and

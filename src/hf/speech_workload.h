@@ -61,6 +61,9 @@ class SpeechWorkload : public Workload {
       std::span<float> grad_accum, std::span<float> grad_sq_accum) override;
   void prepare_curvature(std::uint64_t seed) override;
   std::size_t curvature_frames() const override { return curvature_frames_; }
+  void set_curvature_fraction(double fraction) override {
+    options_.curvature_fraction = fraction;
+  }
   void curvature_product(std::span<const float> v,
                          std::span<float> out_accum) override;
   nn::BatchLoss heldout_loss() override;

@@ -81,7 +81,8 @@ std::vector<std::uint64_t> encode_config(const TrainerConfig& config,
   for (const auto h : config.hidden) blob.push_back(h);
   blob.push_back(static_cast<std::uint64_t>(config.criterion));
   blob.push_back(config.batch_frames);
-  blob.push_back(std::bit_cast<std::uint64_t>(config.curvature_fraction));
+  blob.push_back(
+      std::bit_cast<std::uint64_t>(config.hf.hyper.curvature_fraction));
   blob.push_back(std::bit_cast<std::uint64_t>(shards.advance_prob));
   return blob;
 }
@@ -120,7 +121,7 @@ SpeechWorkloadOptions make_workload_options(const TrainerConfig& config,
   SpeechWorkloadOptions opts;
   opts.criterion = config.criterion;
   opts.batch_frames = config.batch_frames;
-  opts.curvature_fraction = config.curvature_fraction;
+  opts.curvature_fraction = config.hf.hyper.curvature_fraction;
   opts.pool = pool;
   if (config.criterion == Criterion::kSequence) {
     opts.transitions =
@@ -264,6 +265,135 @@ TrainOutcome train_serial(const TrainerConfig& config) {
   return out;
 }
 
+void distribute_shards(simmpi::Comm& comm, const TrainerConfig& config,
+                       const Shards& shards, PhaseStats* master_phases) {
+  const int workers = comm.size() - 1;
+  // Under FT, startup distribution avoids tree collectives: a collective
+  // cannot attribute a stall to a peer, and a rank dead mid-tree starves
+  // its whole subtree. Point-to-point sends with receive deadlines keep
+  // failures local to the failed worker.
+  std::vector<std::uint64_t> blob = encode_config(config, shards);
+  if (config.ft.enabled) {
+    for (int w = 0; w < workers; ++w) {
+      comm.send<std::uint64_t>(blob, w + 1, kTagConfigBlob);
+    }
+  } else {
+    comm.bcast(blob, 0);
+  }
+  // load_data: ship each worker its shard over point-to-point sends
+  // (the phase Figures 2/4 chart as load_data).
+  BGQHF_SPAN(phase_label(Phase::kLoadData), "master");
+  util::Timer load_timer;
+  for (int w = 0; w < workers; ++w) {
+    const auto shard = static_cast<std::size_t>(w);
+    send_dataset(comm, w + 1, shards.train[shard], kTagShardMeta,
+                 kTagShardLabels, kTagShardX);
+    send_dataset(comm, w + 1, shards.heldout[shard], kTagShardHeldMeta,
+                 kTagShardHeldLabels, kTagShardHeldX);
+  }
+  if (master_phases != nullptr) {
+    master_phases->add(Phase::kLoadData, load_timer.seconds());
+  }
+}
+
+void run_worker_rank(simmpi::Comm& comm, const TrainerConfig& config,
+                     PhaseStats* phases) {
+  const double startup_timeout =
+      config.ft.enabled ? config.ft.command_timeout : 0.0;
+  try {
+    std::vector<std::uint64_t> blob;
+    if (config.ft.enabled) {
+      blob = comm.recv_for<std::uint64_t>(0, kTagConfigBlob,
+                                          startup_timeout);
+    } else {
+      comm.bcast(blob, 0);
+    }
+    const DecodedConfig dc = decode_config(blob);
+    util::Timer load_timer;
+    speech::Dataset train, heldout;
+    {
+      BGQHF_SPAN(phase_label(Phase::kLoadData), "worker");
+      train = recv_dataset(comm, 0, kTagShardMeta, kTagShardLabels,
+                           kTagShardX, startup_timeout);
+      heldout = recv_dataset(comm, 0, kTagShardHeldMeta,
+                             kTagShardHeldLabels, kTagShardHeldX,
+                             startup_timeout);
+    }
+    if (phases != nullptr) {
+      phases->add(Phase::kLoadData, load_timer.seconds());
+    }
+    nn::Network net =
+        nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);
+    SpeechWorkloadOptions wl_opts;
+    wl_opts.criterion = dc.criterion;
+    wl_opts.batch_frames = dc.batch_frames;
+    wl_opts.curvature_fraction = dc.curvature_fraction;
+    wl_opts.pool = nullptr;
+    if (dc.criterion == Criterion::kSequence) {
+      wl_opts.transitions = nn::TransitionModel::left_to_right(
+          dc.num_states, dc.advance_prob);
+    }
+    SpeechWorkload workload(std::move(net), std::move(train),
+                            std::move(heldout),
+                            static_cast<std::size_t>(comm.rank() - 1),
+                            wl_opts);
+    worker_loop(comm, workload, phases, config.ft, config.aggregation);
+  } catch (const simmpi::RankKilledError&) {
+    // Injected kill: exit the rank cleanly so run_ranks completes; the
+    // master observes the silence and excludes this worker at its next
+    // reply deadline.
+    BGQHF_WARN << "worker rank " << comm.rank()
+               << ": killed by fault injection; exiting";
+  } catch (const simmpi::TimeoutError& e) {
+    // A startup message never arrived (dropped in transit): withdraw
+    // instead of stalling the whole run.
+    BGQHF_WARN << "worker rank " << comm.rank()
+               << ": startup receive timed out (" << e.what()
+               << "); withdrawing";
+  }
+}
+
+void train_over(simmpi::Comm& comm, const TrainerConfig& config,
+                const Shards& shards, const TrainerCheckpoint* resume,
+                TrainOutcome& out) {
+  if (comm.size() != config.workers + 1) {
+    throw std::invalid_argument(
+        "train_over: comm size must be config.workers + 1");
+  }
+  if (comm.rank() == 0) {
+    // ---- master ----
+    distribute_shards(comm, config, shards, &out.master_phases);
+    MasterCompute compute(comm, shards.net.num_params(),
+                          shards.total_train_frames, &out.master_phases,
+                          config.ft, config.aggregation,
+                          layer_segment_bounds(shards.net));
+    out.theta.assign(shards.net.params().begin(),
+                     shards.net.params().end());
+    out.num_params = shards.net.num_params();
+    HfOptimizer optimizer(config.hf);
+    util::Timer timer;
+    try {
+      out.hf = optimizer.run(compute, out.theta, resume);
+    } catch (...) {
+      // Optimizer-side failure (e.g. checkpoint seed/size mismatch):
+      // release the workers before propagating, so run_ranks can join
+      // them instead of deadlocking on a master that never said goodbye.
+      try {
+        compute.shutdown();
+      } catch (...) {
+      }
+      throw;
+    }
+    out.seconds = timer.seconds();
+    out.excluded_workers = compute.excluded_workers();
+    compute.shutdown();
+  } else {
+    run_worker_rank(
+        comm, config,
+        &out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)]);
+  }
+}
+
 TrainOutcome train_distributed(const TrainerConfig& config) {
   TrainOutcome out;
   out.worker_phases.assign(static_cast<std::size_t>(config.workers),
@@ -278,121 +408,14 @@ TrainOutcome train_distributed(const TrainerConfig& config) {
     resume = std::make_unique<TrainerCheckpoint>(
         load_checkpoint(config.resume_from));
   }
-  // Under FT, startup distribution avoids tree collectives: a collective
-  // cannot attribute a stall to a peer, and a rank dead mid-tree starves
-  // its whole subtree. Point-to-point sends with receive deadlines keep
-  // failures local to the failed worker.
-  const double startup_timeout =
-      config.ft.enabled ? config.ft.command_timeout : 0.0;
   // Same rule as the checkpoint for data staging: a corrupt store, a
   // shape-mismatched store, or a too-small corpus throws here, on the
   // calling thread — not inside the master rank while workers sit in a
   // startup bcast that will never come. Staging is seeded and comm-free,
   // so where it runs cannot change the trajectory.
-  Shards shards = build_shards(config);
+  const Shards shards = build_shards(config);
   simmpi::run_ranks(world, [&](simmpi::Comm& comm) {
-    if (comm.rank() == 0) {
-      // ---- master ----
-      std::vector<std::uint64_t> blob = encode_config(config, shards);
-      if (config.ft.enabled) {
-        for (int w = 0; w < config.workers; ++w) {
-          comm.send<std::uint64_t>(blob, w + 1, kTagConfigBlob);
-        }
-      } else {
-        comm.bcast(blob, 0);
-      }
-      // load_data: ship each worker its shard over point-to-point sends
-      // (the phase Figures 2/4 chart as load_data).
-      {
-        BGQHF_SPAN(phase_label(Phase::kLoadData), "master");
-        util::Timer load_timer;
-        for (int w = 0; w < config.workers; ++w) {
-          const auto shard = static_cast<std::size_t>(w);
-          send_dataset(comm, w + 1, shards.train[shard], kTagShardMeta,
-                       kTagShardLabels, kTagShardX);
-          send_dataset(comm, w + 1, shards.heldout[shard], kTagShardHeldMeta,
-                       kTagShardHeldLabels, kTagShardHeldX);
-        }
-        out.master_phases.add(Phase::kLoadData, load_timer.seconds());
-      }
-      MasterCompute compute(comm, shards.net.num_params(),
-                            shards.total_train_frames, &out.master_phases,
-                            config.ft, config.aggregation,
-                            layer_segment_bounds(shards.net));
-      out.theta.assign(shards.net.params().begin(),
-                       shards.net.params().end());
-      out.num_params = shards.net.num_params();
-      HfOptimizer optimizer(config.hf);
-      util::Timer timer;
-      try {
-        out.hf = optimizer.run(compute, out.theta, resume.get());
-      } catch (...) {
-        // Optimizer-side failure (e.g. checkpoint seed/size mismatch):
-        // release the workers before propagating, so run_ranks can join
-        // them instead of deadlocking on a master that never said goodbye.
-        try {
-          compute.shutdown();
-        } catch (...) {
-        }
-        throw;
-      }
-      out.seconds = timer.seconds();
-      out.excluded_workers = compute.excluded_workers();
-      compute.shutdown();
-    } else {
-      // ---- worker ----
-      try {
-        std::vector<std::uint64_t> blob;
-        if (config.ft.enabled) {
-          blob = comm.recv_for<std::uint64_t>(0, kTagConfigBlob,
-                                              startup_timeout);
-        } else {
-          comm.bcast(blob, 0);
-        }
-        const DecodedConfig dc = decode_config(blob);
-        PhaseStats& phases =
-            out.worker_phases[static_cast<std::size_t>(comm.rank() - 1)];
-        util::Timer load_timer;
-        speech::Dataset train, heldout;
-        {
-          BGQHF_SPAN(phase_label(Phase::kLoadData), "worker");
-          train = recv_dataset(comm, 0, kTagShardMeta, kTagShardLabels,
-                               kTagShardX, startup_timeout);
-          heldout = recv_dataset(comm, 0, kTagShardHeldMeta,
-                                 kTagShardHeldLabels, kTagShardHeldX,
-                                 startup_timeout);
-        }
-        phases.add(Phase::kLoadData, load_timer.seconds());
-        nn::Network net =
-            nn::Network::mlp(dc.input_dim, dc.hidden, dc.num_states);
-        SpeechWorkloadOptions wl_opts;
-        wl_opts.criterion = dc.criterion;
-        wl_opts.batch_frames = dc.batch_frames;
-        wl_opts.curvature_fraction = dc.curvature_fraction;
-        wl_opts.pool = nullptr;
-        if (dc.criterion == Criterion::kSequence) {
-          wl_opts.transitions = nn::TransitionModel::left_to_right(
-              dc.num_states, dc.advance_prob);
-        }
-        SpeechWorkload workload(std::move(net), std::move(train),
-                                std::move(heldout),
-                                static_cast<std::size_t>(comm.rank() - 1),
-                                wl_opts);
-        worker_loop(comm, workload, &phases, config.ft, config.aggregation);
-      } catch (const simmpi::RankKilledError&) {
-        // Injected kill: exit the rank cleanly so run_ranks completes; the
-        // master observes the silence and excludes this worker at its next
-        // reply deadline.
-        BGQHF_WARN << "worker rank " << comm.rank()
-                   << ": killed by fault injection; exiting";
-      } catch (const simmpi::TimeoutError& e) {
-        // A startup message never arrived (dropped in transit): withdraw
-        // instead of stalling the whole run.
-        BGQHF_WARN << "worker rank " << comm.rank()
-                   << ": startup receive timed out (" << e.what()
-                   << "); withdrawing";
-      }
-    }
+    train_over(comm, config, shards, resume.get(), out);
   });
   out.comm = world.total_stats();
   return out;

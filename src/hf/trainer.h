@@ -59,7 +59,6 @@ struct TrainerConfig {
   /// Network initialization before HF (pretraining runs at shard-building
   /// time, identically in serial and distributed runs).
   InitScheme init = InitScheme::kGlorot;
-  double curvature_fraction = 0.02;
   std::size_t batch_frames = 1024;
   HfOptions hf;
   std::uint64_t init_seed = 42;
@@ -120,5 +119,30 @@ struct TrainOutcome {
 
 TrainOutcome train_serial(const TrainerConfig& config);
 TrainOutcome train_distributed(const TrainerConfig& config);
+
+/// Master-side startup over an arbitrary communicator (rank 0 = master,
+/// comm.size()-1 workers): broadcast the config blob and ship each worker
+/// its shard. Factored out of train_distributed so the same startup runs
+/// inside an LTFB population's split sub-communicator.
+void distribute_shards(simmpi::Comm& comm, const TrainerConfig& config,
+                       const Shards& shards, PhaseStats* master_phases);
+
+/// Worker-side body over an arbitrary communicator: receive config and
+/// shards from rank 0, build the speech workload, and serve worker_loop
+/// until shutdown. Injected kills and startup timeouts return normally
+/// (after logging), so run_ranks can always join the rank.
+void run_worker_rank(simmpi::Comm& comm, const TrainerConfig& config,
+                     PhaseStats* phases);
+
+/// The per-rank body of train_distributed over an arbitrary communicator:
+/// rank 0 drives the HF optimizer through MasterCompute, other ranks run
+/// run_worker_rank. Every rank of `comm` must call this; results land in
+/// the shared `out` (master fields from rank 0, worker_phases[r-1] from
+/// rank r, which must be pre-sized). comm.size() must be
+/// config.workers + 1. Used directly by the split-communicator
+/// equivalence tests and the LTFB trainer.
+void train_over(simmpi::Comm& comm, const TrainerConfig& config,
+                const Shards& shards, const TrainerCheckpoint* resume,
+                TrainOutcome& out);
 
 }  // namespace bgqhf::hf

@@ -1,5 +1,6 @@
 #include "hf/worker.h"
 
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -29,6 +30,8 @@ Phase command_phase(Command cmd) {
       return Phase::kHeldoutLoss;
     case Command::kShutdown:
       return Phase::kShutdown;
+    case Command::kSetCurvature:
+      return Phase::kCurvaturePrepare;
   }
   throw std::logic_error("worker_loop: unknown command");
 }
@@ -166,6 +169,10 @@ void worker_loop_collective(simmpi::Comm& comm, Workload& workload,
         stamp(Phase::kHeldoutLoss, timer);
         break;
       }
+      case Command::kSetCurvature:
+        workload.set_curvature_fraction(std::bit_cast<double>(header[1]));
+        stamp(Phase::kCurvaturePrepare, timer);
+        break;
       case Command::kShutdown:
         stamp(Phase::kShutdown, timer);
         return;
@@ -284,6 +291,11 @@ void worker_loop_ft(simmpi::Comm& comm, Workload& workload, PhaseStats* stats,
         stamp(Phase::kHeldoutLoss, timer);
         break;
       }
+      case Command::kSetCurvature:
+        workload.set_curvature_fraction(
+            std::bit_cast<double>(header.data[1]));
+        stamp(Phase::kCurvaturePrepare, timer);
+        break;
       case Command::kShutdown:
         stamp(Phase::kShutdown, timer);
         return;

@@ -72,6 +72,11 @@ class Workload {
   virtual void prepare_curvature(std::uint64_t seed) = 0;
   virtual std::size_t curvature_frames() const = 0;
 
+  /// Change the curvature resample rate of a live workload (LTFB mutation
+  /// between training legs). Takes effect at the next prepare_curvature;
+  /// workloads without a sampling rate ignore it.
+  virtual void set_curvature_fraction(double fraction) { (void)fraction; }
+
   /// out_accum += sum over the curvature sample of G(theta) * v.
   virtual void curvature_product(std::span<const float> v,
                                  std::span<float> out_accum) = 0;

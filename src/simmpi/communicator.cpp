@@ -1,5 +1,7 @@
 #include "simmpi/communicator.h"
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -29,10 +31,18 @@ void World::install_faults(const FaultConfig& config) {
                 : nullptr;
 }
 
+std::shared_ptr<CommGroup> World::intern_group(
+    const std::vector<int>& members) {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  auto& slot = groups_[members];
+  if (slot == nullptr) slot = std::make_shared<CommGroup>(members);
+  return slot;
+}
+
 void Comm::deliver(Message m, int dest) {
   FaultInjector* f = world_->faults();
   if (f != nullptr) {
-    switch (f->on_send(rank_, m)) {
+    switch (f->on_send(world_rank_, m)) {
       case FaultAction::kDrop:
         return;  // lost in transit; only a deadline on the receiver sees it
       case FaultAction::kDelay:
@@ -52,10 +62,13 @@ void Comm::deliver(Message m, int dest) {
 void Comm::send_payload(Payload p, int dest, int tag) {
   fault_op();
   Message m;
-  m.source = rank_;
+  // World-space stamp: receivers on any communicator over this World can
+  // tell who really sent the message, and split-comm receives translate
+  // their expected source the same way (translate_source).
+  m.source = world_rank_;
   m.tag = tag;
   m.payload = std::move(p);
-  deliver(std::move(m), dest);
+  deliver(std::move(m), global(dest));
 }
 
 void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
@@ -69,7 +82,7 @@ void Comm::send_bytes(std::vector<std::byte> bytes, int dest, int tag,
 Message Comm::recv_message(int source, int tag, bool collective) {
   fault_op();
   util::Timer t;
-  Message m = world_->mailbox(rank_).pop(source, tag);
+  Message m = world_->mailbox(world_rank_).pop(translate_source(source), tag);
   if (!collective) stats().add_p2p(m.size_bytes(), t.seconds());
   return m;
 }
@@ -78,8 +91,11 @@ Message Comm::recv_message_for(int source, int tag, double timeout_seconds,
                                bool collective) {
   fault_op();
   util::Timer t;
-  std::optional<Message> m = world_->mailbox(rank_).pop_for(
-      source, tag, std::chrono::duration<double>(timeout_seconds));
+  std::optional<Message> m = world_->mailbox(world_rank_).pop_for(
+      translate_source(source), tag,
+      std::chrono::duration<double>(timeout_seconds));
+  // The error carries this communicator's rank space — that is what FT
+  // callers compare against their worker ids.
   if (!m.has_value()) throw TimeoutError(rank_, source, tag);
   if (!collective) stats().add_p2p(m->size_bytes(), t.seconds());
   return std::move(*m);
@@ -93,8 +109,40 @@ Message Comm::recv_coll(int source, int tag, const Deadline& dl) {
 void Comm::barrier() {
   BGQHF_SPAN("collective", "barrier");
   util::Timer t;
-  world_->barrier().arrive_and_wait();
+  if (group_ != nullptr) {
+    group_->barrier.arrive_and_wait();
+  } else {
+    world_->barrier().arrive_and_wait();
+  }
   stats().add_op(CollOp::kBarrier, 0, t.seconds());
+}
+
+Comm Comm::split(int color, int key) {
+  BGQHF_SPAN("collective", "split");
+  // Allgather (color, key, rank) triples over *this* communicator, so
+  // splitting a split composes; members carry world ranks.
+  const std::array<int, 3> mine{color, key, rank_};
+  const std::vector<int> all =
+      allgather(std::span<const int>(mine.data(), mine.size()));
+  std::vector<std::array<int, 3>> sel;  // (key, rank-here, world rank)
+  for (std::size_t i = 0; i + 2 < all.size(); i += 3) {
+    if (all[i] != color) continue;
+    sel.push_back({all[i + 1], all[i + 2], global(all[i + 2])});
+  }
+  // Group-rank order: (key, then current rank) — ranks are unique, so the
+  // order is total and every member derives the identical list.
+  std::sort(sel.begin(), sel.end());
+  std::vector<int> members;
+  members.reserve(sel.size());
+  int my_group_rank = -1;
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    members.push_back(sel[i][2]);
+    if (sel[i][1] == rank_) my_group_rank = static_cast<int>(i);
+  }
+  if (my_group_rank < 0) {
+    throw std::logic_error("simmpi: split lost its own rank");
+  }
+  return Comm(*world_, world_->intern_group(members), my_group_rank);
 }
 
 void run_ranks(World& world, const std::function<void(Comm&)>& fn) {

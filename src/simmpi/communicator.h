@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -34,6 +36,17 @@
 
 namespace bgqhf::simmpi {
 
+/// Rank group backing a split sub-communicator: the members (group rank ->
+/// world rank, sorted by the split's (key, rank) order) plus the group's
+/// own barrier. Interned in the World by member list, so every member's
+/// Comm shares one barrier object.
+struct CommGroup {
+  std::vector<int> members;
+  util::Barrier barrier;
+  explicit CommGroup(std::vector<int> m)
+      : members(std::move(m)), barrier(members.size()) {}
+};
+
 /// Shared state of one job: mailboxes, barrier, per-rank statistics, the
 /// collective tuning policy, and (optionally) a fault injector consulted on
 /// every communication op.
@@ -45,6 +58,13 @@ class World {
   Mailbox& mailbox(int rank) { return *mailboxes_.at(rank); }
   util::Barrier& barrier() { return barrier_; }
   CommStats& stats(int rank) { return stats_.at(rank); }
+
+  /// Intern the group with exactly these members (world ranks, group-rank
+  /// order). Every member of a split calls this with the identical list
+  /// and receives the same CommGroup, so the group barrier counts the
+  /// right parties. Identical member lists from independent splits share
+  /// one group — barrier semantics depend only on membership.
+  std::shared_ptr<CommGroup> intern_group(const std::vector<int>& members);
 
   /// Sum of all ranks' stats (call after the job joins).
   CommStats total_stats() const;
@@ -67,6 +87,8 @@ class World {
   std::vector<CommStats> stats_;
   std::unique_ptr<FaultInjector> faults_;
   CollectiveTuning tuning_ = CollectiveTuning::from_env();
+  std::mutex group_mu_;
+  std::map<std::vector<int>, std::shared_ptr<CommGroup>> groups_;
 };
 
 /// Reserved internal tag space for collectives (user tags must be >= 0,
@@ -106,12 +128,32 @@ inline TreeShape binomial_shape(int rank, int root, int n) {
 
 class Comm {
  public:
-  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  Comm(World& world, int rank)
+      : world_(&world), rank_(rank), world_rank_(rank) {}
 
   int rank() const noexcept { return rank_; }
-  int size() const noexcept { return world_->size(); }
-  CommStats& stats() { return world_->stats(rank_); }
+  int size() const noexcept {
+    return group_ ? static_cast<int>(group_->members.size())
+                  : world_->size();
+  }
+  /// This rank's identity in the underlying World. Equal to rank() on the
+  /// world communicator; on a split communicator it is what stats, fault
+  /// schedules, and trace attribution key on.
+  int world_rank() const noexcept { return world_rank_; }
+  CommStats& stats() { return world_->stats(world_rank_); }
   const CollectiveTuning& tuning() const { return world_->tuning(); }
+
+  /// MPI_Comm_split: collective over this communicator. Ranks passing the
+  /// same `color` land in one sub-communicator whose ranks are ordered by
+  /// (key, then this communicator's rank); every collective, compression,
+  /// and FT path runs unchanged inside the result. World-rank identities
+  /// (per-rank stats, fault kill schedules, obs attribution) are
+  /// preserved — only the rank numbering seen through the returned Comm
+  /// changes. Splitting a split communicator composes. Messages are
+  /// stamped with world source ranks, so traffic on a sub-communicator
+  /// and on its parent share mailboxes safely as long as (source, tag)
+  /// pairs stay distinct — the same rule concurrent tags already obey.
+  Comm split(int color, int key);
 
   // ---- point to point ----
 
@@ -131,7 +173,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     const Message m = recv_message(source, tag, /*collective=*/false);
     if (status != nullptr) {
-      *status = Status{m.source, m.tag, m.size_bytes()};
+      *status = Status{to_group(m.source), m.tag, m.size_bytes()};
     }
     return from_bytes<T>(m);
   }
@@ -143,7 +185,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     const Message m = recv_message(source, tag, /*collective=*/false);
     if (status != nullptr) {
-      *status = Status{m.source, m.tag, m.size_bytes()};
+      *status = Status{to_group(m.source), m.tag, m.size_bytes()};
     }
     const std::size_t n = m.size_bytes() / sizeof(T);
     if (n > out.size()) {
@@ -163,14 +205,14 @@ class Comm {
     const Message m =
         recv_message_for(source, tag, timeout_seconds, /*collective=*/false);
     if (status != nullptr) {
-      *status = Status{m.source, m.tag, m.size_bytes()};
+      *status = Status{to_group(m.source), m.tag, m.size_bytes()};
     }
     return from_bytes<T>(m);
   }
 
   /// Non-destructive probe.
   bool probe(int source, int tag) const {
-    return world_->mailbox(rank_).probe(source, tag);
+    return world_->mailbox(world_rank_).probe(translate_source(source), tag);
   }
 
   // ---- nonblocking point-to-point ----
@@ -193,7 +235,8 @@ class Comm {
     /// Non-blocking completion test; once true, data() is valid.
     bool test() {
       if (done_) return true;
-      auto msg = comm_->world_->mailbox(comm_->rank_).try_pop(source_, tag_);
+      auto msg =
+          comm_->world_->mailbox(comm_->world_rank_).try_pop(source_, tag_);
       if (!msg.has_value()) return false;
       data_ = Comm::from_bytes<T>(*msg);
       // Charge the elapsed time since the request was posted: a poll that
@@ -207,7 +250,7 @@ class Comm {
     std::vector<T>& wait() {
       if (!done_) {
         util::Timer t;
-        const Message msg = comm_->world_->mailbox(comm_->rank_)
+        const Message msg = comm_->world_->mailbox(comm_->world_rank_)
                                 .pop(source_, tag_);
         data_ = Comm::from_bytes<T>(msg);
         comm_->stats().add_p2p(msg.size_bytes(), t.seconds());
@@ -233,7 +276,9 @@ class Comm {
   /// Post a nonblocking receive matching (source, tag).
   template <typename T>
   RecvRequest<T> irecv(int source, int tag) {
-    return RecvRequest<T>(this, source, tag);
+    // Translated here, once: the stored source is already world-space, so
+    // the request's mailbox matching never consults the group again.
+    return RecvRequest<T>(this, translate_source(source), tag);
   }
 
   // ---- collectives (all ranks must call, same arguments shape) ----
@@ -430,10 +475,50 @@ class Comm {
   }
 
  private:
+  /// Split-communicator handle: `group_rank` indexes `group->members`.
+  Comm(World& world, std::shared_ptr<CommGroup> group, int group_rank)
+      : world_(&world),
+        rank_(group_rank),
+        world_rank_(group->members.at(static_cast<std::size_t>(group_rank))),
+        group_(std::move(group)) {}
+
   void check_rank(int r) const {
     if (r < 0 || r >= size()) {
       throw std::out_of_range("simmpi: rank out of range");
     }
+  }
+
+  // ---- group-rank translation ----
+  //
+  // Collective algorithms and user p2p calls operate purely in this
+  // communicator's rank space; translation to world ranks happens at
+  // exactly these boundaries (send destination, expected receive source,
+  // message source stamp, barrier, stats, fault schedule).
+
+  /// This communicator's rank -> world rank (identity when not split).
+  int global(int r) const {
+    return group_ ? group_->members[static_cast<std::size_t>(r)] : r;
+  }
+  /// World rank -> this communicator's rank (identity when not split).
+  /// Only ever called on sources that were translated through global(),
+  /// so the member search cannot miss.
+  int to_group(int world_rank) const {
+    if (group_ == nullptr) return world_rank;
+    for (std::size_t i = 0; i < group_->members.size(); ++i) {
+      if (group_->members[i] == world_rank) return static_cast<int>(i);
+    }
+    throw std::logic_error("simmpi: message source outside split group");
+  }
+  /// Expected-source translation for receives. Wildcard sources cannot be
+  /// translated on a split communicator — the mailbox would match
+  /// world-level traffic from outside the group.
+  int translate_source(int source) const {
+    if (group_ == nullptr) return source;
+    if (source == kAnySource) {
+      throw std::invalid_argument(
+          "simmpi: kAnySource is not supported on split communicators");
+    }
+    return global(source);
   }
 
   template <typename T>
@@ -470,8 +555,10 @@ class Comm {
   /// destination mailbox. All delivery paths funnel through here.
   void deliver(Message m, int dest);
   /// Count one op against this rank's fault schedule (kill injection).
+  /// Always the world rank: a kill targets a physical rank, whichever
+  /// communicator it happens to be talking through.
   void fault_op() {
-    if (FaultInjector* f = world_->faults()) f->on_op(rank_);
+    if (FaultInjector* f = world_->faults()) f->on_op(world_rank_);
   }
 
   // ---- broadcast engine ----
@@ -1143,7 +1230,9 @@ class Comm {
   }
 
   World* world_;
-  int rank_;
+  int rank_;        // rank within this communicator (== world when unsplit)
+  int world_rank_;  // identity in the World (mailbox slot, stats, faults)
+  std::shared_ptr<CommGroup> group_;  // null on the world communicator
 };
 
 /// Spawn `size` rank threads, each running fn(comm). After all ranks join,

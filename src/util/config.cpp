@@ -167,6 +167,12 @@ RuntimeEnv RuntimeEnv::from_process_env() {
   env.serve_fault_seed = env_u64("BGQHF_SERVE_FAULT_SEED");
   env.data_dir = env_string("BGQHF_DATA_DIR");
   env.prefetch_depth = env_u64_knob("BGQHF_PREFETCH_DEPTH");
+  env.hf_lambda0 = env_double("BGQHF_HF_LAMBDA0");
+  env.hf_cg_iters = env_u64_knob("BGQHF_HF_CG_ITERS");
+  env.hf_resample = env_double("BGQHF_HF_RESAMPLE");
+  env.ltfb_populations = env_u64_knob("BGQHF_LTFB_POPULATIONS");
+  env.ltfb_round_iters = env_u64_knob("BGQHF_LTFB_ROUND_ITERS");
+  env.ltfb_seed = env_u64("BGQHF_LTFB_SEED");
   return env;
 }
 

@@ -126,6 +126,26 @@ struct RuntimeEnv {
   /// keeps decoded ahead of consumption (0 = keep the default of 2).
   /// Malformed values throw ConfigError.
   std::uint64_t prefetch_depth = 0;
+  /// BGQHF_HF_LAMBDA0 — initial Levenberg-Marquardt damping for the HF
+  /// optimizer (0 = keep the hf::HyperParams default of 1.0).
+  double hf_lambda0 = 0;
+  /// BGQHF_HF_CG_ITERS — truncated-CG iteration budget per outer HF
+  /// iteration (0 = keep the default of 250). Malformed values throw
+  /// ConfigError.
+  std::uint64_t hf_cg_iters = 0;
+  /// BGQHF_HF_RESAMPLE — fraction of local utterances resampled for each
+  /// curvature batch (0 = keep the default of 0.02).
+  double hf_resample = 0;
+  /// BGQHF_LTFB_POPULATIONS — number of concurrent trainer populations in
+  /// the LTFB tournament (0 = keep the LtfbOptions default). Malformed
+  /// values throw ConfigError.
+  std::uint64_t ltfb_populations = 0;
+  /// BGQHF_LTFB_ROUND_ITERS — HF outer iterations each population runs
+  /// between tournaments (0 = keep the default).
+  std::uint64_t ltfb_round_iters = 0;
+  /// BGQHF_LTFB_SEED — seed for the tournament schedule, hyperparameter
+  /// perturbation, and mutation streams (0 = keep the default).
+  std::uint64_t ltfb_seed = 0;
 
   /// Cached process snapshot (first call reads the environment).
   static const RuntimeEnv& get();

@@ -218,9 +218,9 @@ TEST(HfOnQuadratic, ReachesMinimizerQuickly) {
   std::vector<float> theta(8, 0.0f);
   HfOptions opts;
   opts.max_iterations = 4;
-  opts.cg.max_iters = 40;
+  opts.hyper.cg_max_iters = 40;
   opts.cg.progress_tol = 0.0;
-  opts.damping.lambda0 = 1e-4;  // quadratic model is exact here
+  opts.hyper.lambda0 = 1e-4;  // quadratic model is exact here
   HfOptimizer(opts).run(q, theta);
   EXPECT_LT(distance_to(target, theta), 0.05);
 }

@@ -67,10 +67,9 @@ TEST(Cg, SolvesSpdSystemToHighAccuracy) {
   std::vector<float> d0(12, 0.0f);
 
   CgOptions opts;
-  opts.max_iters = 200;
   opts.progress_tol = 0.0;  // disable truncation; run to residual stop
   opts.residual_tol = 1e-6;
-  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts, 200);
   EXPECT_LT(residual_norm(op, result.iterates.back(), g), 1e-3);
 }
 
@@ -84,7 +83,7 @@ TEST(Cg, IdentityOperatorConvergesInOneIteration) {
   std::vector<float> d0(n, 0.0f);
   CgOptions opts;
   opts.residual_tol = 1e-6;
-  const CgResult result = cg_minimize(identity, g, d0, opts);
+  const CgResult result = cg_minimize(identity, g, d0, opts, 250);
   EXPECT_LE(result.iterations, 2u);
   for (const float x : result.iterates.back()) {
     EXPECT_NEAR(x, -2.0f, 1e-5);  // solves x = -g
@@ -99,7 +98,7 @@ TEST(Cg, QValuesDecreaseMonotonically) {
   std::vector<float> d0(20, 0.0f);
   CgOptions opts;
   opts.progress_tol = 0.0;
-  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts, 250);
   ASSERT_GE(result.q_values.size(), 2u);
   for (std::size_t i = 1; i < result.q_values.size(); ++i) {
     EXPECT_LE(result.q_values[i], result.q_values[i - 1] + 1e-6);
@@ -116,8 +115,7 @@ TEST(Cg, IterateIndicesStrictlyIncreaseAndEndAtFinal) {
   std::vector<float> d0(30, 0.0f);
   CgOptions opts;
   opts.progress_tol = 0.0;
-  opts.max_iters = 25;
-  const CgResult result = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult result = cg_minimize(op.matvec(), g, d0, opts, 25);
   for (std::size_t i = 1; i < result.iterate_indices.size(); ++i) {
     EXPECT_GT(result.iterate_indices[i], result.iterate_indices[i - 1]);
   }
@@ -136,15 +134,14 @@ TEST(Cg, MartensTruncationStopsEarly) {
   std::vector<float> d0(60, 0.0f);
 
   CgOptions loose;
-  loose.max_iters = 500;
   loose.progress_tol = 5e-2;
-  const CgResult truncated = cg_minimize(op.matvec(), g, d0, loose);
+  const CgResult truncated = cg_minimize(op.matvec(), g, d0, loose, 500);
   EXPECT_EQ(truncated.stop, CgResult::Stop::kProgress);
   EXPECT_LT(truncated.iterations, 500u);
 
   CgOptions strict = loose;
   strict.progress_tol = 1e-8;
-  const CgResult longer = cg_minimize(op.matvec(), g, d0, strict);
+  const CgResult longer = cg_minimize(op.matvec(), g, d0, strict, 500);
   EXPECT_GE(longer.iterations, truncated.iterations);
 }
 
@@ -157,11 +154,11 @@ TEST(Cg, WarmStartAtSolutionStopsImmediately) {
   CgOptions opts;
   opts.progress_tol = 0.0;
   opts.residual_tol = 1e-7;
-  const CgResult first = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult first = cg_minimize(op.matvec(), g, d0, opts, 250);
   // Restart from the solution: the residual is already near float noise,
   // so the warm solve takes far fewer iterations than the cold one.
   const CgResult warm =
-      cg_minimize(op.matvec(), g, first.iterates.back(), opts);
+      cg_minimize(op.matvec(), g, first.iterates.back(), opts, 250);
   EXPECT_LT(warm.iterations, first.iterations);
   EXPECT_LE(warm.iterations, 5u);
 }
@@ -175,11 +172,11 @@ TEST(Cg, WarmStartReachesSameSolution) {
   opts.progress_tol = 0.0;
   opts.residual_tol = 1e-7;
   const CgResult cold =
-      cg_minimize(op.matvec(), g, std::vector<float>(15, 0.0f), opts);
+      cg_minimize(op.matvec(), g, std::vector<float>(15, 0.0f), opts, 250);
   for (std::size_t i = 0; i < 15; ++i) {
     half[i] = 0.5f * cold.iterates.back()[i];
   }
-  const CgResult warm = cg_minimize(op.matvec(), g, half, opts);
+  const CgResult warm = cg_minimize(op.matvec(), g, half, opts, 250);
   for (std::size_t i = 0; i < 15; ++i) {
     EXPECT_NEAR(warm.iterates.back()[i], cold.iterates.back()[i], 1e-2f);
   }
@@ -188,7 +185,7 @@ TEST(Cg, WarmStartReachesSameSolution) {
 TEST(Cg, ZeroGradientReturnsZeroStep) {
   const SpdOperator op = SpdOperator::random(5, 1.0, 13);
   std::vector<float> g(5, 0.0f), d0(5, 0.0f);
-  const CgResult result = cg_minimize(op.matvec(), g, d0, CgOptions{});
+  const CgResult result = cg_minimize(op.matvec(), g, d0, CgOptions{}, 250);
   for (const float x : result.iterates.back()) EXPECT_EQ(x, 0.0f);
 }
 
@@ -198,10 +195,9 @@ TEST(Cg, RespectsMaxIters) {
   std::vector<float> g(50);
   for (auto& v : g) v = static_cast<float>(rng.normal());
   CgOptions opts;
-  opts.max_iters = 7;
   opts.progress_tol = 0.0;
   const CgResult result =
-      cg_minimize(op.matvec(), g, std::vector<float>(50, 0.0f), opts);
+      cg_minimize(op.matvec(), g, std::vector<float>(50, 0.0f), opts, 7);
   EXPECT_EQ(result.iterations, 7u);
   EXPECT_EQ(result.stop, CgResult::Stop::kMaxIters);
 }

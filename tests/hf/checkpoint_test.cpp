@@ -215,7 +215,7 @@ TEST(CheckpointWeightsOnly, InstallSetsNetworkParameters) {
 HfOptions quadratic_options(std::size_t max_iterations) {
   HfOptions opts;
   opts.max_iterations = max_iterations;
-  opts.cg.max_iters = 10;
+  opts.hyper.cg_max_iters = 10;
   opts.seed = 17;
   return opts;
 }
@@ -314,8 +314,8 @@ TEST(Checkpoint, DistributedResumeMatchesStraightRunBitwise) {
   cfg.context = 1;
   cfg.hidden = {12};
   cfg.heldout_every_kth = 4;
-  cfg.curvature_fraction = 0.15;
-  cfg.hf.cg.max_iters = 15;
+  cfg.hf.hyper.curvature_fraction = 0.15;
+  cfg.hf.hyper.cg_max_iters = 15;
   cfg.hf.seed = 11;
 
   cfg.hf.max_iterations = 4;

@@ -6,35 +6,35 @@ namespace bgqhf::hf {
 namespace {
 
 TEST(Damping, StartsAtLambda0) {
-  DampingOptions opts;
-  opts.lambda0 = 0.25;
-  LevenbergMarquardt lm(opts);
+  HyperParams hyper;
+  hyper.lambda0 = 0.25;
+  LevenbergMarquardt lm(hyper);
   EXPECT_DOUBLE_EQ(lm.lambda(), 0.25);
 }
 
 TEST(Damping, PoorModelFitGrowsLambda) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_rho(0.1);
   EXPECT_DOUBLE_EQ(lm.lambda(), before * 1.5);
 }
 
 TEST(Damping, GoodModelFitShrinksLambda) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_rho(0.9);
   EXPECT_DOUBLE_EQ(lm.lambda(), before * (2.0 / 3.0));
 }
 
 TEST(Damping, MiddleRhoLeavesLambdaUnchanged) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_rho(0.5);
   EXPECT_DOUBLE_EQ(lm.lambda(), before);
 }
 
 TEST(Damping, FailedIterationGrowsLambda) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_failed_iteration();
   EXPECT_DOUBLE_EQ(lm.lambda(), before * 1.5);
@@ -42,24 +42,22 @@ TEST(Damping, FailedIterationGrowsLambda) {
 
 TEST(Damping, ClampsAtMaximum) {
   DampingOptions opts;
-  opts.lambda0 = 1.0;
   opts.lambda_max = 2.0;
-  LevenbergMarquardt lm(opts);
+  LevenbergMarquardt lm(HyperParams{}, opts);
   for (int i = 0; i < 10; ++i) lm.on_failed_iteration();
   EXPECT_DOUBLE_EQ(lm.lambda(), 2.0);
 }
 
 TEST(Damping, ClampsAtMinimum) {
   DampingOptions opts;
-  opts.lambda0 = 1.0;
   opts.lambda_min = 0.5;
-  LevenbergMarquardt lm(opts);
+  LevenbergMarquardt lm(HyperParams{}, opts);
   for (int i = 0; i < 10; ++i) lm.on_rho(1.0);
   EXPECT_DOUBLE_EQ(lm.lambda(), 0.5);
 }
 
 TEST(Damping, BoundaryRhosAreInclusiveOfMiddleBand) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_rho(0.25);  // exactly at the low threshold: no change
   EXPECT_DOUBLE_EQ(lm.lambda(), before);
@@ -70,7 +68,7 @@ TEST(Damping, BoundaryRhosAreInclusiveOfMiddleBand) {
 TEST(Damping, PaperLiteralModeInvertsTheRhoRule) {
   DampingOptions opts;
   opts.paper_literal = true;
-  LevenbergMarquardt lm(opts);
+  LevenbergMarquardt lm(HyperParams{}, opts);
   const double before = lm.lambda();
   lm.on_rho(0.1);  // printed Algorithm 1: lambda *= 2/3
   EXPECT_DOUBLE_EQ(lm.lambda(), before * (2.0 / 3.0));
@@ -79,14 +77,14 @@ TEST(Damping, PaperLiteralModeInvertsTheRhoRule) {
 }
 
 TEST(Damping, NegativeRhoTreatedAsPoorFit) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   const double before = lm.lambda();
   lm.on_rho(-2.0);
   EXPECT_DOUBLE_EQ(lm.lambda(), before * 1.5);
 }
 
 TEST(Damping, SequenceOfUpdatesComposes) {
-  LevenbergMarquardt lm;
+  LevenbergMarquardt lm{HyperParams{}};
   lm.on_rho(0.9);              // * 2/3
   lm.on_failed_iteration();    // * 3/2
   EXPECT_DOUBLE_EQ(lm.lambda(), 1.0);

@@ -57,8 +57,8 @@ TEST(FailurePath, FailedIterationsLeaveThetaUntouchedAndRaiseLambda) {
   std::vector<float> theta(8, 0.0f);  // already at the held-out optimum
   HfOptions opts;
   opts.max_iterations = 4;
-  opts.cg.max_iters = 20;
-  opts.damping.lambda0 = 1.0;
+  opts.hyper.cg_max_iters = 20;
+  opts.hyper.lambda0 = 1.0;
   const HfResult result = HfOptimizer(opts).run(compute, theta);
 
   ASSERT_EQ(result.iterations.size(), 4u);
@@ -83,7 +83,7 @@ TEST(FailurePath, FailedIterationResetsCgMomentum) {
   std::vector<float> theta(6, 0.0f);
   HfOptions opts;
   opts.max_iterations = 3;
-  opts.cg.max_iters = 15;
+  opts.hyper.cg_max_iters = 15;
   const HfResult result = HfOptimizer(opts).run(compute, theta);
   ASSERT_GE(result.iterations.size(), 3u);
   // Lambda differs per iteration (grows), so CG counts may differ; the

@@ -41,9 +41,9 @@ TrainerConfig base_config(int workers) {
   cfg.context = 1;
   cfg.hidden = {12};
   cfg.heldout_every_kth = 4;
-  cfg.curvature_fraction = 0.15;
+  cfg.hf.hyper.curvature_fraction = 0.15;
   cfg.hf.max_iterations = 3;
-  cfg.hf.cg.max_iters = 15;
+  cfg.hf.hyper.cg_max_iters = 15;
   cfg.hf.seed = 11;
   return cfg;
 }

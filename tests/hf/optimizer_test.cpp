@@ -20,9 +20,9 @@ TrainerConfig small_config() {
   cfg.context = 1;
   cfg.hidden = {16};
   cfg.heldout_every_kth = 4;
-  cfg.curvature_fraction = 0.1;
+  cfg.hf.hyper.curvature_fraction = 0.1;
   cfg.hf.max_iterations = 6;
-  cfg.hf.cg.max_iters = 20;
+  cfg.hf.hyper.cg_max_iters = 20;
   cfg.hf.seed = 5;
   return cfg;
 }
@@ -145,7 +145,7 @@ TEST(Workload, CurvatureProductRequiresFreshPreparation) {
 
 TEST(Workload, CurvatureSampleSizeTracksFraction) {
   TrainerConfig cfg = small_config();
-  cfg.curvature_fraction = 0.5;
+  cfg.hf.hyper.curvature_fraction = 0.5;
   Shards shards = build_shards(cfg);
   const std::size_t total = shards.train[0].num_frames();
   SpeechWorkload wl(shards.net, std::move(shards.train[0]),

@@ -20,7 +20,7 @@ TrainerConfig config() {
   cfg.hidden = {12};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 6;
-  cfg.hf.cg.max_iters = 20;
+  cfg.hf.hyper.cg_max_iters = 20;
   return cfg;
 }
 

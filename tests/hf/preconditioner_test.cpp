@@ -69,15 +69,14 @@ TEST(Preconditioner, JacobiCollapsesIterationsOnIllConditionedSystem) {
   const std::vector<float> d0(n, 0.0f);
 
   CgOptions opts;
-  opts.max_iters = 500;
   opts.progress_tol = 0.0;
   opts.residual_tol = 1e-5;
 
-  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts, 500);
 
   JacobiPreconditioner jacobi(op.d, 0.0, 1.0);
   const Matvec minv = jacobi.as_matvec();
-  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, &minv);
+  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, 500, &minv);
 
   EXPECT_LT(pre.iterations, plain.iterations / 4)
       << "plain=" << plain.iterations << " pre=" << pre.iterations;
@@ -101,14 +100,13 @@ TEST(Preconditioner, UniformDiagonalReproducesPlainCgSolution) {
   for (auto& v : g) v = static_cast<float>(rng.normal());
   const std::vector<float> d0(n, 0.0f);
   CgOptions opts;
-  opts.max_iters = 200;
   opts.progress_tol = 0.0;
   opts.residual_tol = 1e-6;
 
-  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts);
+  const CgResult plain = cg_minimize(op.matvec(), g, d0, opts, 200);
   JacobiPreconditioner uniform(std::vector<float>(n, 3.0f), 0.0, 1.0);
   const Matvec minv = uniform.as_matvec();
-  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, &minv);
+  const CgResult pre = cg_minimize(op.matvec(), g, d0, opts, 200, &minv);
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(plain.iterates.back()[i], pre.iterates.back()[i], 1e-3f);
   }
@@ -126,7 +124,7 @@ TEST(Preconditioner, HfWithPreconditionerStillTrains) {
   cfg.hidden = {12};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 5;
-  cfg.hf.cg.max_iters = 20;
+  cfg.hf.hyper.cg_max_iters = 20;
   cfg.hf.use_preconditioner = true;
   const TrainOutcome out = train_serial(cfg);
   EXPECT_LT(out.hf.final_heldout_loss,
@@ -147,7 +145,7 @@ TEST(Preconditioner, DistributedEqualsSerialWithPreconditioner) {
   cfg.hidden = {10};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 3;
-  cfg.hf.cg.max_iters = 15;
+  cfg.hf.hyper.cg_max_iters = 15;
   cfg.hf.use_preconditioner = true;
   const TrainOutcome serial = train_serial(cfg);
   const TrainOutcome distributed = train_distributed(cfg);

@@ -108,7 +108,7 @@ TEST(Pretrain, PretrainedInitAcceleratesHf) {
   cfg.hidden = {16, 12};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 3;
-  cfg.hf.cg.max_iters = 15;
+  cfg.hf.hyper.cg_max_iters = 15;
 
   const Data data = make_data();
   const PretrainResult pre = pretrain_layerwise(

@@ -25,9 +25,9 @@ TrainerConfig config(int workers) {
   cfg.hidden = {12};
   cfg.criterion = Criterion::kCrossEntropy;
   cfg.heldout_every_kth = 4;
-  cfg.curvature_fraction = 0.15;
+  cfg.hf.hyper.curvature_fraction = 0.15;
   cfg.hf.max_iterations = 2;
-  cfg.hf.cg.max_iters = 15;
+  cfg.hf.hyper.cg_max_iters = 15;
   cfg.hf.seed = 11;
   return cfg;
 }

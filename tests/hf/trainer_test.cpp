@@ -21,7 +21,7 @@ TrainerConfig small_config(int workers) {
   cfg.hidden = {10};
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 2;
-  cfg.hf.cg.max_iters = 10;
+  cfg.hf.hyper.cg_max_iters = 10;
   return cfg;
 }
 

@@ -75,7 +75,7 @@ TEST_F(PipelineTest, EndToEnd) {
   cfg.hidden = hidden;
   cfg.heldout_every_kth = 4;
   cfg.hf.max_iterations = 6;
-  cfg.hf.cg.max_iters = 25;
+  cfg.hf.hyper.cg_max_iters = 25;
 
   hf::SpeechWorkloadOptions wl_opts;
   wl_opts.curvature_fraction = 0.1;

@@ -146,7 +146,7 @@ TEST(ChromeExport, InstrumentedTrainingRunExportsAllRanks) {
   cfg.context = 1;
   cfg.hidden = {12};
   cfg.hf.max_iterations = 1;
-  cfg.hf.cg.max_iters = 4;
+  cfg.hf.hyper.cg_max_iters = 4;
   const hf::TrainOutcome out = hf::train_distributed(cfg);
   (void)out;
 

@@ -134,6 +134,44 @@ TEST(RuntimeEnvDataKnobs, FromProcessEnvReadsStoreKnobs) {
   EXPECT_EQ(unset.prefetch_depth, 0u);
 }
 
+TEST(RuntimeEnvHfKnobs, FromProcessEnvReadsHyperAndLtfbKnobs) {
+  ASSERT_EQ(setenv("BGQHF_HF_LAMBDA0", "0.25", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_HF_CG_ITERS", "120", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_HF_RESAMPLE", "0.05", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_LTFB_POPULATIONS", "8", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_LTFB_ROUND_ITERS", "5", 1), 0);
+  ASSERT_EQ(setenv("BGQHF_LTFB_SEED", "9001", 1), 0);
+  const RuntimeEnv env = RuntimeEnv::from_process_env();
+  EXPECT_EQ(env.hf_lambda0, 0.25);
+  EXPECT_EQ(env.hf_cg_iters, 120u);
+  EXPECT_EQ(env.hf_resample, 0.05);
+  EXPECT_EQ(env.ltfb_populations, 8u);
+  EXPECT_EQ(env.ltfb_round_iters, 5u);
+  EXPECT_EQ(env.ltfb_seed, 9001u);
+  unsetenv("BGQHF_HF_LAMBDA0");
+  unsetenv("BGQHF_HF_CG_ITERS");
+  unsetenv("BGQHF_HF_RESAMPLE");
+  unsetenv("BGQHF_LTFB_POPULATIONS");
+  unsetenv("BGQHF_LTFB_ROUND_ITERS");
+  unsetenv("BGQHF_LTFB_SEED");
+  const RuntimeEnv unset = RuntimeEnv::from_process_env();
+  EXPECT_EQ(unset.hf_lambda0, 0.0);
+  EXPECT_EQ(unset.ltfb_populations, 0u);
+  EXPECT_EQ(unset.ltfb_seed, 0u);
+}
+
+TEST(RuntimeEnvHfKnobs, MalformedLtfbPopulationsNamesTheKnob) {
+  ASSERT_EQ(setenv("BGQHF_LTFB_POPULATIONS", "many", 1), 0);
+  try {
+    RuntimeEnv::from_process_env();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.knob(), "BGQHF_LTFB_POPULATIONS");
+    EXPECT_EQ(e.value(), "many");
+  }
+  unsetenv("BGQHF_LTFB_POPULATIONS");
+}
+
 TEST(RuntimeEnvDataKnobs, MalformedPrefetchDepthNamesTheKnob) {
   ASSERT_EQ(setenv("BGQHF_PREFETCH_DEPTH", "deep", 1), 0);
   try {
